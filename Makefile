@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench fuzz cover suite clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem -timeout 30m .
+
+# Short fuzz pass over the three netlist parsers.
+fuzz:
+	$(GO) test ./internal/circuit -run=NONE -fuzz FuzzParseBench -fuzztime 30s
+	$(GO) test ./internal/verilog -run=NONE -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/pla -run=NONE -fuzz FuzzParse -fuzztime 30s
+
+cover:
+	$(GO) test -cover ./...
+
+# Materialize the generated benchmark suites.
+suite:
+	$(GO) run ./cmd/benchgen -out benchmarks -verilog -multiplier
+
+clean:
+	rm -rf benchmarks out.vcd

@@ -1,0 +1,163 @@
+// Command atpg runs the complete delay-test flow the paper's technique
+// enables:
+//
+//  1. identify robust dependent paths (never tested),
+//  2. select the paths to test (threshold or per-lead strategy, §VI),
+//  3. generate a compact robust two-pattern test set with fault dropping,
+//  4. report coverage and propose DFT control points for the remainder.
+//
+// Usage:
+//
+//	atpg -bench file.bench [-strategy threshold|perlead] [-frac 0.7] [-k 2]
+//	atpg -example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdfault"
+	"rdfault/internal/loader"
+	"rdfault/internal/tgen"
+)
+
+func main() {
+	var (
+		benchFile = flag.String("bench", "", "read circuit from a netlist file (.bench, .v or .pla)")
+		example   = flag.Bool("example", false, "use the paper's example circuit")
+		strategy  = flag.String("strategy", "threshold", "path selection: threshold|perlead")
+		frac      = flag.Float64("frac", 0.7, "threshold as a fraction of the critical delay")
+		k         = flag.Int("k", 2, "paths per lead for the perlead strategy")
+		limit     = flag.Int("limit", 20000, "cap on selected paths")
+		emit      = flag.Bool("emit", false, "print the generated test vectors")
+		outTests  = flag.String("o", "", "write the test set to this file (tgen.WriteTests format)")
+	)
+	flag.Parse()
+
+	var c *rdfault.Circuit
+	switch {
+	case *example:
+		c = rdfault.PaperExample()
+	case *benchFile != "":
+		parsed, err := loader.Load(*benchFile)
+		if err != nil {
+			fatal(err)
+		}
+		c = parsed
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("circuit %s: %s\n", c.Name(), c.Stats())
+	fmt.Printf("logical paths: %v\n", rdfault.CountPaths(c))
+
+	// 1+2: RD identification and selection.
+	d := rdfault.UnitDelays(c)
+	t0 := time.Now()
+	sel, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	var chosen []rdfault.Logical
+	switch *strategy {
+	case "threshold":
+		th := sel.Analysis().CriticalDelay() * *frac
+		s := sel.ByThreshold(th, rdfault.SelectOptions{Limit: *limit})
+		fmt.Printf("threshold %.2f (%.0f%% of critical %.2f): %s\n",
+			th, *frac*100, sel.Analysis().CriticalDelay(), s.Summary())
+		chosen = s.Selected
+	case "perlead":
+		s := sel.PerLead(*k, rdfault.SelectOptions{Limit: *limit})
+		fmt.Printf("per-lead k=%d: %s\n", *k, s.Summary())
+		chosen = s.Selected
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	fmt.Printf("selection took %v (non-RD paths: %d of %v)\n",
+		time.Since(t0).Round(time.Millisecond), sel.NonRD(), sel.TotalLogicalPaths())
+
+	// 3: compact robust test set.
+	gn := rdfault.NewGenerator(c)
+	t0 = time.Now()
+	tests, cov := rdfault.CompactTests(c, chosen, gn, rdfault.CompactOptions{AllowNonRobust: true})
+	before := len(tests)
+	tests = rdfault.ReduceTests(c, tests, chosen, true)
+	fmt.Printf("generated %d tests (%d after static reduction) covering %d/%d targets (%.2f%%; %d robust, %d non-robust) in %v\n",
+		before, len(tests), cov.Detected(), cov.Targets, cov.Percent(), cov.RobustDetected,
+		cov.NonRobustDetected, time.Since(t0).Round(time.Millisecond))
+	if cov.Aborted > 0 {
+		fmt.Printf("  %d targets aborted (backtrack limit)\n", cov.Aborted)
+	}
+
+	// 4: DFT proposals for uncovered targets that are not even
+	// non-robustly testable.
+	simulator := rdfault.NewFaultSimulator(c)
+	detected := map[string]bool{}
+	for _, tt := range tests {
+		for _, lp := range simulator.Detects(tt).Robust {
+			detected[lp.Key()] = true
+		}
+	}
+	var untestable []rdfault.Logical
+	for _, lp := range chosen {
+		if detected[lp.Key()] {
+			continue
+		}
+		if gn.Classify(lp) == rdfault.FuncSensitizable {
+			untestable = append(untestable, lp)
+		}
+	}
+	if len(untestable) > 0 {
+		props := rdfault.ProposeControlPoints(c, untestable)
+		fmt.Printf("%d selected paths need DFT; %d control points proposed:\n",
+			len(untestable), len(props))
+		for i, p := range props {
+			if i == 8 {
+				fmt.Printf("  ... and %d more\n", len(props)-8)
+				break
+			}
+			fmt.Printf("  %s\n", p.String(c))
+		}
+	} else {
+		fmt.Println("no DFT modifications needed for the selected set")
+	}
+
+	if *emit {
+		fmt.Println("\ntest vectors (v1 -> v2, inputs in declaration order):")
+		for i, tt := range tests {
+			fmt.Printf("  t%-4d %s -> %s\n", i, bits(tt.V1), bits(tt.V2))
+		}
+	}
+	if *outTests != "" {
+		f, err := os.Create(*outTests)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tgen.WriteTests(f, c, tests); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *outTests)
+	}
+}
+
+func bits(v []bool) string {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		if x {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atpg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command benchgen materializes the generated benchmark suites as .bench
+// and .pla files, so experiments can be rerun with external tools or the
+// circuits inspected directly.
+//
+// Usage:
+//
+//	benchgen -out ./benchmarks [-multiplier]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/pla"
+	"rdfault/internal/verilog"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "benchmarks", "output directory")
+		multiplier = flag.Bool("multiplier", false, "also emit the 16x16 multiplier (c6288 analogue, ~3k gates)")
+		emitV      = flag.Bool("verilog", false, "also emit structural Verilog (.v) next to each .bench")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, nc := range gen.ISCAS85Suite() {
+		path := filepath.Join(*out, nc.Paper+"-like.bench")
+		if err := writeBench(path, nc.C); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, nc.C.Stats())
+		if *emitV {
+			vpath := filepath.Join(*out, nc.Paper+"-like.v")
+			if err := writeVerilog(vpath, nc.C); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", vpath)
+		}
+	}
+	if *multiplier {
+		c := gen.C6288Analogue()
+		path := filepath.Join(*out, "c6288-like.bench")
+		if err := writeBench(path, c); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, c.Stats())
+	}
+	for _, nc := range gen.MCNCSuite() {
+		path := filepath.Join(*out, nc.Paper+"-like.pla")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pla.Write(f, nc.Cover); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d cubes, %d in, %d out)\n",
+			path, len(nc.Cover.Cubes), nc.Cover.NumIn, nc.Cover.NumOut)
+	}
+	c := gen.PaperExample()
+	path := filepath.Join(*out, "paper-example.bench")
+	if err := writeBench(path, c); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%s)\n", path, c.Stats())
+}
+
+func writeVerilog(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := verilog.Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeBench(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := circuit.WriteBench(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command pathcount reports exact path statistics for a circuit: total
+// physical/logical paths, per-output-cone counts, and the heaviest leads.
+// Counting is linear-time and arbitrary precision, so it handles
+// c6288-class circuits whose path counts exceed 10^20.
+//
+// Usage:
+//
+//	pathcount -bench file.bench
+//	pathcount -suite iscas     # generated analogue suite + the multiplier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"sort"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/loader"
+	"rdfault/internal/paths"
+)
+
+func main() {
+	var (
+		benchFile = flag.String("bench", "", "read circuit from a netlist file (.bench, .v or .pla)")
+		suite     = flag.String("suite", "", "report on a generated suite: 'iscas'")
+		topLeads  = flag.Int("top", 5, "number of heaviest leads to list")
+	)
+	flag.Parse()
+
+	switch {
+	case *suite == "iscas":
+		for _, nc := range gen.ISCAS85Suite() {
+			report(nc.C, nc.Paper, *topLeads)
+		}
+		report(gen.C6288Analogue(), "c6288", *topLeads)
+		return
+	case *suite != "":
+		fatal(fmt.Errorf("unknown suite %q", *suite))
+	case *benchFile == "":
+		flag.Usage()
+		os.Exit(2)
+	}
+	c, err := loader.Load(*benchFile)
+	if err != nil {
+		fatal(err)
+	}
+	report(c, c.Name(), *topLeads)
+}
+
+func report(c *circuit.Circuit, label string, top int) {
+	ct := paths.NewCounts(c)
+	fmt.Printf("%-8s %s\n", label, c.Stats())
+	fmt.Printf("         physical paths: %v   logical paths: %v\n", ct.Physical(), ct.Logical())
+	for _, po := range c.Outputs() {
+		_ = po
+	}
+	// Per-cone counts.
+	type coneCount struct {
+		name  string
+		count *big.Int
+	}
+	cones := make([]coneCount, 0, len(c.Outputs()))
+	for _, po := range c.Outputs() {
+		cones = append(cones, coneCount{c.Gate(po).Name, ct.Up(po)})
+	}
+	sort.Slice(cones, func(i, j int) bool { return cones[i].count.Cmp(cones[j].count) > 0 })
+	if len(cones) > 3 {
+		cones = cones[:3]
+	}
+	for _, cc := range cones {
+		fmt.Printf("         cone %-12s %v paths\n", cc.name, cc.count)
+	}
+	// Heaviest leads (the |LP_c(l)| measure of Heuristic 1).
+	type leadCount struct {
+		lead  circuit.Lead
+		count *big.Int
+	}
+	var leads []leadCount
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		for pin := range c.Fanin(g) {
+			l := circuit.Lead{To: g, Pin: pin}
+			leads = append(leads, leadCount{l, ct.ThroughLead(l)})
+		}
+	}
+	sort.Slice(leads, func(i, j int) bool { return leads[i].count.Cmp(leads[j].count) > 0 })
+	if len(leads) > top {
+		leads = leads[:top]
+	}
+	for _, lc := range leads {
+		fmt.Printf("         lead %s->%s pin%d: %v paths\n",
+			c.Gate(c.Source(lc.lead)).Name, c.Gate(lc.lead.To).Name, lc.lead.Pin, lc.count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pathcount:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command rdcompare reproduces Table III: the exact-ish leaf-dag
+// unfolding approach of Lam et al. (DAC 1993) against the paper's
+// Heuristic 2, reporting RD percentages and running times side by side
+// with the published numbers.
+//
+// Usage:
+//
+//	rdcompare -suite mcnc              # generated MCNC-analogue covers
+//	rdcompare -pla file.pla            # a single Espresso cover
+//	rdcompare -speedup                 # the §VI c499 speed-up experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdfault"
+	"rdfault/internal/exp"
+	"rdfault/internal/gen"
+)
+
+func main() {
+	var (
+		suite   = flag.String("suite", "", "run a generated suite: 'mcnc'")
+		plaFile = flag.String("pla", "", "compare on a single .pla cover")
+		speedup = flag.Bool("speedup", false, "run the growing-size speed-up experiment")
+		nodeCap = flag.Int("nodecap", 400_000, "leaf-dag node cap (unfolding aborts beyond it)")
+	)
+	flag.Parse()
+
+	switch {
+	case *speedup:
+		if _, err := exp.RunSpeedup(os.Stdout, []int{4, 6, 8, 10, 12, 14, 20}, *nodeCap); err != nil {
+			fatal(err)
+		}
+	case *suite == "mcnc":
+		rows, err := exp.RunMCNC(gen.MCNCSuite())
+		if err != nil {
+			fatal(err)
+		}
+		exp.FprintTableIII(os.Stdout, rows)
+		fmt.Printf("\naverage RD shortfall of Heuristic 2 vs [1]: %.2f%% (paper: 2.05%%)\n",
+			exp.QualityGap(rows))
+	case *plaFile != "":
+		f, err := os.Open(*plaFile)
+		if err != nil {
+			fatal(err)
+		}
+		cv, err := rdfault.ParsePLA(*plaFile, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		c, err := rdfault.Synthesize(cv, rdfault.SynthOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		lam, err := rdfault.IdentifyByUnfolding(c, rdfault.UnfoldingOptions{NodeCap: *nodeCap})
+		if err != nil {
+			fatal(err)
+		}
+		lamT := time.Since(t0)
+		t0 = time.Now()
+		rep, err := rdfault.Identify(c, rdfault.Heuristic2, rdfault.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		h2T := time.Since(t0)
+		fmt.Printf("%s: %v logical paths\n", c.Name(), rep.TotalLogicalPaths)
+		fmt.Printf("  approach of [1]: %6.2f%% RD in %v\n", lam.RDPercent(), lamT.Round(time.Millisecond))
+		fmt.Printf("  Heuristic 2:     %6.2f%% RD in %v\n", rep.RDPercent(), h2T.Round(time.Millisecond))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdcompare:", err)
+	os.Exit(1)
+}

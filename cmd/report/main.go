@@ -1,0 +1,65 @@
+// Command report runs the complete experiment suite and writes a
+// self-contained HTML report plus a machine-readable JSON dump.
+//
+// Usage:
+//
+//	report -quick -o report.html -json report.json   # seconds
+//	report -o report.html                            # full run, minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rdfault/internal/exp"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "scaled-down workloads (seconds instead of minutes)")
+		outHTML  = flag.String("o", "report.html", "HTML report path")
+		outJSON  = flag.String("json", "", "also write JSON to this path")
+		progress = flag.Bool("v", false, "stream experiment output to stderr while running")
+	)
+	flag.Parse()
+
+	var sink io.Writer = io.Discard
+	if *progress {
+		sink = os.Stderr
+	}
+	summary, err := exp.RunAll(sink, *quick)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*outHTML)
+	if err != nil {
+		fatal(err)
+	}
+	if err := summary.WriteHTML(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *outHTML)
+	if *outJSON != "" {
+		jf, err := os.Create(*outJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := summary.WriteJSON(jf); err != nil {
+			fatal(err)
+		}
+		if err := jf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *outJSON)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

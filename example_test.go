@@ -1,0 +1,91 @@
+package rdfault_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfault"
+)
+
+// The paper's running example: 3 of its 8 logical paths are robust
+// dependent, so only 5 need delay tests.
+func ExampleIdentify() {
+	c := rdfault.PaperExample()
+	rep, err := rdfault.Identify(c, rdfault.Heuristic2, rdfault.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("RD paths: %v of %v (%.1f%%)\n", rep.RD, rep.TotalLogicalPaths, rep.RDPercent())
+	// Output:
+	// RD paths: 3 of 8 (37.5%)
+}
+
+func ExampleCountPaths() {
+	c := rdfault.PaperExample()
+	fmt.Println(rdfault.CountPaths(c))
+	// Output:
+	// 8
+}
+
+func ExampleParseBench() {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+`
+	c, err := rdfault.ParseBench("tiny", strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Stats())
+	// Output:
+	// gates=4 inputs=2 outputs=1 leads=3 depth=2 INPUT=2 OUTPUT=1 NAND=1
+}
+
+func ExampleStabilizingSystem() {
+	c := rdfault.PaperExample()
+	// For input 111 the first-controlling-input choice stabilizes the
+	// output through the single lead from a.
+	s := rdfault.StabilizingSystem(c, []bool{true, true, true}, nil)
+	fmt.Println(s)
+	// Output:
+	// a->y, y->y$po
+}
+
+func ExampleEnumerate() {
+	c := rdfault.PaperExample()
+	sort := rdfault.PinOrderSort(c)
+	res, err := rdfault.Enumerate(c, rdfault.SigmaPi, rdfault.Options{Sort: &sort})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kept %d, robust dependent %v\n", res.Selected, res.RD)
+	// Output:
+	// kept 5, robust dependent 3
+}
+
+func ExampleNewGenerator() {
+	c := rdfault.PaperExample()
+	gn := rdfault.NewGenerator(c)
+	// Classify every logical path, counting per class.
+	counts := map[rdfault.Class]int{}
+	rdfault.ForEachLogicalPath(c, func(lp rdfault.Logical) bool {
+		counts[gn.Classify(rdfault.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne})]++
+		return true
+	})
+	fmt.Printf("robust=%d non-robust=%d func-sens=%d\n",
+		counts[rdfault.Robust], counts[rdfault.NonRobustClass], counts[rdfault.FuncSensitizable])
+	// Output:
+	// robust=4 non-robust=1 func-sens=3
+}
+
+func ExampleSimulate() {
+	c := rdfault.PaperExample()
+	d := rdfault.UnitDelays(c)
+	// Input b rises; the output settles through the longest path.
+	res := rdfault.Simulate(c, d, []bool{false, false, false}, []bool{false, true, false})
+	fmt.Printf("settles at t=%v\n", res.StabilizeTime(c))
+	// Output:
+	// settles at t=3
+}

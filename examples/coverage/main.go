@@ -1,0 +1,77 @@
+// Coverage walks through Example 3 of the paper on a realistic circuit:
+// choosing the stabilizing assignment well maximizes the achievable fault
+// coverage and minimizes design-for-testability (DFT) work.
+//
+// For a generated ALU, the program selects the to-be-tested path set
+// LP^sup(σ^π) under three input sorts (Heuristic 2, pin order, inverse),
+// classifies every selected path with the two-pattern test generator, and
+// reports coverage plus the untestable paths a DFT pass would have to
+// address.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdfault"
+	"rdfault/internal/gen"
+)
+
+func main() {
+	c := gen.ALU(4, gen.XorNAND)
+	fmt.Printf("circuit: %s\n", c.Stats())
+	fmt.Printf("logical paths: %v\n\n", rdfault.CountPaths(c))
+
+	h2, _, _, err := rdfault.Heuristic2Sort(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pin := rdfault.PinOrderSort(c)
+	inv := h2.Inverse()
+
+	for _, cfg := range []struct {
+		name string
+		sort rdfault.InputSort
+	}{
+		{"Heuristic 2", h2},
+		{"pin order", pin},
+		{"inverse (bad)", inv},
+	} {
+		var selected []rdfault.Logical
+		res, err := rdfault.Enumerate(c, rdfault.SigmaPi, rdfault.Options{
+			Sort: &cfg.sort,
+			OnPath: func(lp rdfault.Logical) {
+				selected = append(selected, rdfault.Logical{
+					Path: lp.Path.Clone(), FinalOne: lp.FinalOne,
+				})
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gn := rdfault.NewGenerator(c)
+		testable, untestable := 0, 0
+		var dftExamples []string
+		for _, lp := range selected {
+			if gn.Classify(lp) >= rdfault.NonRobustClass {
+				testable++
+			} else {
+				untestable++
+				if len(dftExamples) < 3 {
+					dftExamples = append(dftExamples, lp.Path.String(c))
+				}
+			}
+		}
+		cov := 100.0
+		if len(selected) > 0 {
+			cov = 100 * float64(testable) / float64(len(selected))
+		}
+		fmt.Printf("%-14s selects %5d paths (RD %6.2f%%): coverage %6.2f%%, %d paths need DFT\n",
+			cfg.name, len(selected), res.RDPercent(), cov, untestable)
+		for _, s := range dftExamples {
+			fmt.Printf("               DFT candidate: %s\n", s)
+		}
+	}
+	fmt.Println("\nA better assignment selects fewer paths AND a larger share of them is")
+	fmt.Println("testable — exactly the twofold effect Example 3 describes.")
+}

@@ -1,0 +1,56 @@
+// Paperfigures reproduces Figures 1-5 and Examples 1-4 of the paper on
+// the reconstructed running example circuit y = OR(a, AND(b, OR(b, c))):
+// the three stabilizing systems for input 111, the 6-path and 5-path
+// complete stabilizing assignments, the test-class hierarchy of Figure 3,
+// and the optimal input sort of Figure 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/exp"
+	"rdfault/internal/gen"
+	"rdfault/internal/stabilize"
+)
+
+func main() {
+	dotDir := flag.String("dot", "", "also write GraphViz drawings of the Figure 1 stabilizing systems to this directory")
+	flag.Parse()
+	if _, err := exp.RunFigures(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *dotDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	c := gen.PaperExample()
+	for i, s := range stabilize.AllSystems(c, []bool{true, true, true}) {
+		highlight := map[circuit.Lead]bool{}
+		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+			for pin := range c.Fanin(g) {
+				if s.HasLead(g, pin) {
+					highlight[circuit.Lead{To: g, Pin: pin}] = true
+				}
+			}
+		}
+		path := filepath.Join(*dotDir, fmt.Sprintf("figure1_system%d.dot", i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := circuit.WriteDot(f, c, highlight); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,86 @@
+// Testflow demonstrates the end-to-end delay-testing flow RD
+// identification enables, on a generated ALU:
+//
+//	RD identification -> path selection -> robust ATPG with fault
+//	dropping -> coverage accounting -> DFT proposals.
+//
+// It also shows the headline saving: how many fewer paths the selection
+// keeps because of the RD filter, exactly the adaptation Section VI
+// describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdfault"
+	"rdfault/internal/gen"
+)
+
+func main() {
+	c := gen.ALUComparator(6, gen.XorNAND)
+	d := rdfault.UnitDelays(c)
+	fmt.Printf("circuit: %s\n", c.Stats())
+	fmt.Printf("logical paths: %v\n\n", rdfault.CountPaths(c))
+
+	// Selection with and without the RD filter.
+	with, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	without, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{NoRDFilter: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	threshold := with.Analysis().CriticalDelay() * 0.6
+	selWith := with.ByThreshold(threshold, rdfault.SelectOptions{})
+	selWithout := without.ByThreshold(threshold, rdfault.SelectOptions{})
+	fmt.Printf("paths slower than %.1f (60%% of critical %.1f):\n",
+		threshold, with.Analysis().CriticalDelay())
+	fmt.Printf("  without RD identification: %d paths to test\n", len(selWithout.Selected))
+	fmt.Printf("  with    RD identification: %d paths to test (%d proved robust dependent)\n\n",
+		len(selWith.Selected), selWith.SkippedRD)
+
+	// Compact robust test set for the RD-filtered selection.
+	gn := rdfault.NewGenerator(c)
+	tests, cov := rdfault.CompactTests(c, selWith.Selected, gn,
+		rdfault.CompactOptions{AllowNonRobust: true})
+	fmt.Printf("ATPG with fault dropping: %d tests cover %d/%d targets (%.2f%%; %d robust, %d non-robust)\n",
+		cov.Tests, cov.Detected(), cov.Targets, cov.Percent(), cov.RobustDetected, cov.NonRobustDetected)
+
+	// Validate the set with independent fault simulation.
+	sim := rdfault.NewFaultSimulator(c)
+	robustDetected := map[string]bool{}
+	for _, tt := range tests {
+		for _, lp := range sim.Detects(tt).Robust {
+			robustDetected[lp.Key()] = true
+		}
+	}
+	verify := 0
+	for _, lp := range selWith.Selected {
+		if robustDetected[lp.Key()] {
+			verify++
+		}
+	}
+	fmt.Printf("fault simulation confirms %d robustly detected targets\n\n", verify)
+
+	// DFT for what remains.
+	var untestable []rdfault.Logical
+	for _, lp := range selWith.Selected {
+		if !robustDetected[lp.Key()] && gn.Classify(lp) == rdfault.FuncSensitizable {
+			untestable = append(untestable, lp)
+		}
+	}
+	if len(untestable) == 0 {
+		fmt.Println("every remaining target is at least non-robustly testable; no DFT needed")
+		return
+	}
+	props := rdfault.ProposeControlPoints(c, untestable)
+	fmt.Printf("%d targets are functionally sensitizable only; %d control points proposed\n",
+		len(untestable), len(props))
+	mod, err := rdfault.InsertControlPoints(c, props)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after insertion: %s (function preserved with test inputs at 0)\n", mod.Stats())
+}

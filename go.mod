@@ -1,0 +1,3 @@
+module rdfault
+
+go 1.22

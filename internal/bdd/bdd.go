@@ -1,0 +1,382 @@
+// Package bdd implements reduced ordered binary decision diagrams with a
+// unique table and operation cache — the canonical-function substrate
+// used for exact equivalence checking and functional redundancy removal
+// (package synth's sweep), complementing the SAT solver.
+//
+// The implementation is deliberately classical: no complement edges, a
+// fixed variable order (the caller chooses indices), hash-consed nodes,
+// and a binary Apply cache. Functions are referenced by Ref; equal
+// functions always have equal Refs.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+
+	"rdfault/internal/circuit"
+)
+
+// Ref identifies a BDD node (and thus a boolean function) within one
+// Manager.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; terminals use a sentinel
+	lo, hi Ref
+}
+
+type opKey struct {
+	op   uint8
+	f, g Ref
+}
+
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+)
+
+// Manager owns the node pool for one variable order. Not safe for
+// concurrent use.
+type Manager struct {
+	nodes   []node
+	unique  map[node]Ref
+	cache   map[opKey]Ref
+	numVars int
+	limit   int
+}
+
+// ErrNodeLimit is returned (wrapped) when a node cap set with
+// SetNodeLimit is exceeded.
+var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
+
+// SetNodeLimit caps the node pool; operations beyond it panic internally
+// and surface as ErrNodeLimit from the Build/Equivalent wrappers (0 =
+// unlimited).
+func (m *Manager) SetNodeLimit(n int) { m.limit = n }
+
+const termLevel = int32(1<<31 - 1)
+
+// New returns a Manager over numVars variables (indices 0..numVars-1,
+// index 0 at the top of the order).
+func New(numVars int) *Manager {
+	m := &Manager{
+		unique:  make(map[node]Ref),
+		cache:   make(map[opKey]Ref),
+		numVars: numVars,
+	}
+	m.nodes = append(m.nodes,
+		node{level: termLevel}, // False
+		node{level: termLevel}, // True
+	)
+	return m
+}
+
+// NumNodes returns the number of live nodes including terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Var returns the function of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[n]; ok {
+		return r
+	}
+	if m.limit > 0 && len(m.nodes) >= m.limit {
+		panic(ErrNodeLimit)
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	m.unique[n] = r
+	return r
+}
+
+func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref { return m.Xor(f, True) }
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+
+func terminalApply(op uint8, f, g Ref) (Ref, bool) {
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False, true
+		}
+		if f == True {
+			return g, true
+		}
+		if g == True {
+			return f, true
+		}
+		if f == g {
+			return f, true
+		}
+	case opOr:
+		if f == True || g == True {
+			return True, true
+		}
+		if f == False {
+			return g, true
+		}
+		if g == False {
+			return f, true
+		}
+		if f == g {
+			return f, true
+		}
+	case opXor:
+		if f == g {
+			return False, true
+		}
+		if f == False {
+			return g, true
+		}
+		if g == False {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func (m *Manager) apply(op uint8, f, g Ref) Ref {
+	if r, ok := terminalApply(op, f, g); ok {
+		return r
+	}
+	// Commutative ops: normalize the cache key.
+	kf, kg := f, g
+	if kf > kg {
+		kf, kg = kg, kf
+	}
+	key := opKey{op: op, f: kf, g: kg}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lf, lg := m.level(f), m.level(g)
+	top := lf
+	if lg < top {
+		top = lg
+	}
+	var f0, f1, g0, g1 Ref
+	if lf == top {
+		f0, f1 = m.nodes[f].lo, m.nodes[f].hi
+	} else {
+		f0, f1 = f, f
+	}
+	if lg == top {
+		g0, g1 = m.nodes[g].lo, m.nodes[g].hi
+	} else {
+		g0, g1 = g, g
+	}
+	r := m.mk(top, m.apply(op, f0, g0), m.apply(op, f1, g1))
+	m.cache[key] = r
+	return r
+}
+
+// Eval evaluates f under the assignment in (indexed by variable).
+func (m *Manager) Eval(f Ref, in []bool) bool {
+	for f != False && f != True {
+		n := m.nodes[f]
+		if in[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// numVars variables.
+func (m *Manager) SatCount(f Ref) *big.Int {
+	memo := map[Ref]*big.Int{}
+	var count func(f Ref, level int32) *big.Int
+	pow2 := func(k int32) *big.Int {
+		return new(big.Int).Lsh(big.NewInt(1), uint(k))
+	}
+	var rec func(f Ref) *big.Int
+	rec = func(f Ref) *big.Int {
+		if f == False {
+			return big.NewInt(0)
+		}
+		if f == True {
+			return big.NewInt(1)
+		}
+		if v, ok := memo[f]; ok {
+			return v
+		}
+		n := m.nodes[f]
+		lo := count(n.lo, n.level+1)
+		hi := count(n.hi, n.level+1)
+		s := new(big.Int).Add(lo, hi)
+		memo[f] = s
+		return s
+	}
+	count = func(f Ref, level int32) *big.Int {
+		sub := rec(f)
+		next := int32(m.numVars)
+		if f != False && f != True {
+			next = m.nodes[f].level
+		}
+		// Account for skipped variables between level and next.
+		return new(big.Int).Mul(sub, pow2(next-level))
+	}
+	return count(f, 0)
+}
+
+// OrderForCircuit computes a variable order by depth-first traversal from
+// the outputs (the classic fanin-ordering heuristic): varOf[i] is the BDD
+// level of input i. Related inputs end up adjacent, which keeps BDDs of
+// structured logic (priority chains, datapaths) small where the plain
+// declaration order explodes.
+func OrderForCircuit(c *circuit.Circuit) []int {
+	piIndex := make(map[circuit.GateID]int, len(c.Inputs()))
+	for i, pi := range c.Inputs() {
+		piIndex[pi] = i
+	}
+	varOf := make([]int, len(c.Inputs()))
+	for i := range varOf {
+		varOf[i] = -1
+	}
+	next := 0
+	seen := make([]bool, c.NumGates())
+	var dfs func(g circuit.GateID)
+	dfs = func(g circuit.GateID) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if idx, ok := piIndex[g]; ok {
+			if varOf[idx] == -1 {
+				varOf[idx] = next
+				next++
+			}
+			return
+		}
+		for _, f := range c.Fanin(g) {
+			dfs(f)
+		}
+	}
+	for _, po := range c.Outputs() {
+		dfs(po)
+	}
+	for i := range varOf {
+		if varOf[i] == -1 { // unused input
+			varOf[i] = next
+			next++
+		}
+	}
+	return varOf
+}
+
+// FromCircuitOrdered is FromCircuit with an explicit input-to-level map.
+func FromCircuitOrdered(m *Manager, c *circuit.Circuit, varOf []int) []Ref {
+	if m.numVars < len(c.Inputs()) {
+		panic("bdd: manager has fewer variables than circuit inputs")
+	}
+	out := make([]Ref, c.NumGates())
+	for i, pi := range c.Inputs() {
+		out[pi] = m.Var(varOf[i])
+	}
+	return fromCircuitBody(m, c, out)
+}
+
+// FromCircuit builds the BDD of every gate, indexed by GateID, with PI i
+// (in Inputs() order) mapped to variable i.
+func FromCircuit(m *Manager, c *circuit.Circuit) []Ref {
+	if m.numVars < len(c.Inputs()) {
+		panic("bdd: manager has fewer variables than circuit inputs")
+	}
+	out := make([]Ref, c.NumGates())
+	for i, pi := range c.Inputs() {
+		out[pi] = m.Var(i)
+	}
+	return fromCircuitBody(m, c, out)
+}
+
+func fromCircuitBody(m *Manager, c *circuit.Circuit, out []Ref) []Ref {
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+		case circuit.Output, circuit.Buf:
+			out[g] = out[gate.Fanin[0]]
+		case circuit.Not:
+			out[g] = m.Not(out[gate.Fanin[0]])
+		case circuit.And, circuit.Nand:
+			r := True
+			for _, f := range gate.Fanin {
+				r = m.And(r, out[f])
+			}
+			if gate.Type == circuit.Nand {
+				r = m.Not(r)
+			}
+			out[g] = r
+		case circuit.Or, circuit.Nor:
+			r := False
+			for _, f := range gate.Fanin {
+				r = m.Or(r, out[f])
+			}
+			if gate.Type == circuit.Nor {
+				r = m.Not(r)
+			}
+			out[g] = r
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether the two circuits compute the same functions
+// on all outputs (inputs matched positionally). Variables are ordered by
+// the fanin heuristic computed on the first circuit, and the node pool is
+// capped at 8M nodes: a blowup surfaces as ErrNodeLimit rather than an
+// endless computation.
+func Equivalent(a, b *circuit.Circuit) (eq bool, err error) {
+	if len(a.Inputs()) != len(b.Inputs()) || len(a.Outputs()) != len(b.Outputs()) {
+		return false, fmt.Errorf("bdd: interface mismatch (%d/%d inputs, %d/%d outputs)",
+			len(a.Inputs()), len(b.Inputs()), len(a.Outputs()), len(b.Outputs()))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == ErrNodeLimit {
+				eq, err = false, ErrNodeLimit
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := New(len(a.Inputs()))
+	m.SetNodeLimit(8 << 20)
+	order := OrderForCircuit(a)
+	fa := FromCircuitOrdered(m, a, order)
+	fb := FromCircuitOrdered(m, b, order)
+	for i := range a.Outputs() {
+		if fa[a.Outputs()[i]] != fb[b.Outputs()[i]] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,277 @@
+package bdd
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/satsolver"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New(2)
+	if m.And(True, True) != True || m.And(True, False) != False {
+		t.Fatal("AND terminals")
+	}
+	if m.Or(False, False) != False || m.Or(False, True) != True {
+		t.Fatal("OR terminals")
+	}
+	if m.Xor(True, True) != False || m.Xor(False, True) != True {
+		t.Fatal("XOR terminals")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Fatal("NOT terminals")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a AND b) OR c built two different ways must share a Ref.
+	f1 := m.Or(m.And(a, b), c)
+	f2 := m.Or(c, m.And(b, a))
+	if f1 != f2 {
+		t.Fatal("equal functions got different refs")
+	}
+	// DeMorgan.
+	lhs := m.Not(m.And(a, b))
+	rhs := m.Or(m.Not(a), m.Not(b))
+	if lhs != rhs {
+		t.Fatal("DeMorgan violated")
+	}
+	// x XOR x XOR y == y.
+	if m.Xor(m.Xor(a, a), b) != b {
+		t.Fatal("xor cancellation")
+	}
+}
+
+func TestEvalMatchesSemantics(t *testing.T) {
+	m := New(4)
+	vars := []Ref{m.Var(0), m.Var(1), m.Var(2), m.Var(3)}
+	f := m.Or(m.And(vars[0], m.Not(vars[1])), m.Xor(vars[2], vars[3]))
+	for v := 0; v < 16; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+		want := (in[0] && !in[1]) || (in[2] != in[3])
+		if got := m.Eval(f, in); got != want {
+			t.Fatalf("eval(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	cases := []struct {
+		f    Ref
+		want int64
+	}{
+		{False, 0},
+		{True, 8},
+		{a, 4},
+		{m.And(a, b), 2},
+		{m.Or(a, b), 6},
+		{m.Xor(a, b), 4},
+	}
+	for i, tc := range cases {
+		if got := m.SatCount(tc.f); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("case %d: satcount = %v, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestSatCountAgainstBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 18, Outputs: 2}, seed)
+		m := New(len(c.Inputs()))
+		fs := FromCircuit(m, c)
+		for _, po := range c.Outputs() {
+			brute := int64(0)
+			n := len(c.Inputs())
+			for v := 0; v < 1<<n; v++ {
+				in := make([]bool, n)
+				for i := range in {
+					in[i] = v&(1<<i) != 0
+				}
+				if c.EvalBool(in)[po] {
+					brute++
+				}
+			}
+			if got := m.SatCount(fs[po]); got.Cmp(big.NewInt(brute)) != 0 {
+				t.Fatalf("seed %d: satcount %v, brute %d", seed, got, brute)
+			}
+		}
+	}
+}
+
+func TestFromCircuitMatchesSimulation(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 20, Outputs: 3}, seed)
+		m := New(len(c.Inputs()))
+		fs := FromCircuit(m, c)
+		n := len(c.Inputs())
+		for v := 0; v < 1<<n; v++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = v&(1<<i) != 0
+			}
+			val := c.EvalBool(in)
+			for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+				if m.Eval(fs[g], in) != val[g] {
+					t.Fatalf("seed %d gate %q: BDD disagrees with simulation", seed, c.Gate(g).Name)
+				}
+			}
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// AND vs NOT(NAND).
+	b1 := circuit.NewBuilder("c1")
+	a1 := b1.Input("a")
+	x1 := b1.Input("b")
+	b1.Output("y", b1.Gate(circuit.And, "g", a1, x1))
+	c1 := b1.MustBuild()
+
+	b2 := circuit.NewBuilder("c2")
+	a2 := b2.Input("a")
+	x2 := b2.Input("b")
+	b2.Output("y", b2.Gate(circuit.Not, "g", b2.Gate(circuit.Nand, "n", a2, x2)))
+	c2 := b2.MustBuild()
+
+	eq, err := Equivalent(c1, c2)
+	if err != nil || !eq {
+		t.Fatalf("equivalent circuits reported different (%v)", err)
+	}
+
+	b3 := circuit.NewBuilder("c3")
+	a3 := b3.Input("a")
+	x3 := b3.Input("b")
+	b3.Output("y", b3.Gate(circuit.Or, "g", a3, x3))
+	c3 := b3.MustBuild()
+	eq, err = Equivalent(c1, c3)
+	if err != nil || eq {
+		t.Fatalf("different circuits reported equivalent (%v)", err)
+	}
+
+	if _, err := Equivalent(c1, gen.PaperExample()); err == nil {
+		t.Fatal("interface mismatch not reported")
+	}
+}
+
+func TestVarPanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range variable")
+		}
+	}()
+	m.Var(5)
+}
+
+func TestQuickXorAssociativity(t *testing.T) {
+	m := New(6)
+	f := func(i, j, k uint8) bool {
+		a := m.Var(int(i % 6))
+		b := m.Var(int(j % 6))
+		c := m.Var(int(k % 6))
+		return m.Xor(m.Xor(a, b), c) == m.Xor(a, m.Xor(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromCircuit(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 16, Gates: 120, Outputs: 4}, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(len(c.Inputs()))
+		FromCircuit(m, c)
+	}
+}
+
+// TestCrossEngineAgreement checks the two independent exactness engines
+// against each other: for random circuit pairs (one synthesized from the
+// other by sweep or rebuilt via Verilog-style copying), BDD equivalence
+// and a SAT miter must always agree.
+func TestCrossEngineAgreement(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a := gen.RandomCircuit("a", gen.RandomOptions{Inputs: 6, Gates: 22, Outputs: 3}, seed)
+		same := copyWithInvertedPO(t, a, false)
+		diff := copyWithInvertedPO(t, a, true)
+		for i, pair := range [][2]*circuit.Circuit{{a, same}, {a, diff}} {
+			byBDD, err := Equivalent(pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bySAT := satEquivalent(t, pair[0], pair[1])
+			if byBDD != bySAT {
+				t.Fatalf("seed %d pair %d: BDD says %v, SAT says %v", seed, i, byBDD, bySAT)
+			}
+			if wantEq := i == 0; byBDD != wantEq {
+				t.Fatalf("seed %d pair %d: equivalence = %v, want %v", seed, i, byBDD, wantEq)
+			}
+		}
+	}
+}
+
+// copyWithInvertedPO rebuilds c; with invert set, the first PO's driver
+// gets a NOT in front, making the copy inequivalent.
+func copyWithInvertedPO(t *testing.T, c *circuit.Circuit, invert bool) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder(c.Name() + "-copy")
+	newID := make([]circuit.GateID, c.NumGates())
+	for _, pi := range c.Inputs() {
+		newID[pi] = b.Input(c.Gate(pi).Name)
+	}
+	first := true
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+			continue
+		case circuit.Output:
+			src := newID[gate.Fanin[0]]
+			if invert && first {
+				src = b.Gate(circuit.Not, "flip", src)
+				first = false
+			}
+			newID[g] = b.Output(gate.Name, src)
+		default:
+			fanin := make([]circuit.GateID, len(gate.Fanin))
+			for pin, f := range gate.Fanin {
+				fanin[pin] = newID[f]
+			}
+			newID[g] = b.Gate(gate.Type, gate.Name, fanin...)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func satEquivalent(t *testing.T, a, b *circuit.Circuit) bool {
+	t.Helper()
+	s := satsolver.New()
+	va := satsolver.AddCircuit(s, a)
+	vb := satsolver.AddCircuit(s, b)
+	for i := range a.Inputs() {
+		p, q := va.Var[a.Inputs()[i]], vb.Var[b.Inputs()[i]]
+		s.AddClause(satsolver.MkLit(p, true), satsolver.MkLit(q, false))
+		s.AddClause(satsolver.MkLit(p, false), satsolver.MkLit(q, true))
+	}
+	var diffs []satsolver.Lit
+	for i := range a.Outputs() {
+		oa, ob := va.Var[a.Outputs()[i]], vb.Var[b.Outputs()[i]]
+		d := s.NewVar()
+		s.AddClause(satsolver.MkLit(d, true), satsolver.MkLit(oa, false), satsolver.MkLit(ob, false))
+		s.AddClause(satsolver.MkLit(d, true), satsolver.MkLit(oa, true), satsolver.MkLit(ob, true))
+		diffs = append(diffs, satsolver.MkLit(d, false))
+	}
+	s.AddClause(diffs...)
+	return !s.Solve()
+}

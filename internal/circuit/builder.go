@@ -1,0 +1,213 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder incrementally constructs a Circuit. A Builder is not safe for
+// concurrent use. After Build succeeds the Builder must not be reused.
+type Builder struct {
+	name  string
+	gates []Gate
+	names map[string]GateID
+	err   error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, names: make(map[string]GateID)}
+}
+
+func (b *Builder) fail(format string, args ...any) GateID {
+	if b.err == nil {
+		b.err = fmt.Errorf("circuit %q: "+format, append([]any{b.name}, args...)...)
+	}
+	return None
+}
+
+func (b *Builder) add(t GateType, name string, fanin []GateID) GateID {
+	if b.err != nil {
+		return None
+	}
+	if name == "" {
+		name = fmt.Sprintf("%s_%d", t, len(b.gates))
+	}
+	if _, dup := b.names[name]; dup {
+		return b.fail("duplicate gate name %q", name)
+	}
+	for _, f := range fanin {
+		if f < 0 || int(f) >= len(b.gates) {
+			return b.fail("gate %q references unknown fanin id %d", name, f)
+		}
+		if b.gates[f].Type == Output {
+			return b.fail("gate %q uses PO %q as fanin", name, b.gates[f].Name)
+		}
+	}
+	id := GateID(len(b.gates))
+	b.gates = append(b.gates, Gate{Type: t, Name: name, Fanin: fanin})
+	b.names[name] = id
+	return id
+}
+
+// Input adds a primary input named name and returns its id.
+func (b *Builder) Input(name string) GateID {
+	return b.add(Input, name, nil)
+}
+
+// Gate adds a gate of type t driven by the given fanin gates, in pin
+// order. A generated name is used if name is empty.
+func (b *Builder) Gate(t GateType, name string, fanin ...GateID) GateID {
+	switch t {
+	case Input:
+		return b.fail("use Input to add primary inputs")
+	case Output:
+		return b.fail("use Output to add primary outputs")
+	case Buf, Not:
+		if len(fanin) != 1 {
+			return b.fail("%s gate %q needs exactly 1 fanin, got %d", t, name, len(fanin))
+		}
+	case And, Or, Nand, Nor:
+		if len(fanin) < 2 {
+			return b.fail("%s gate %q needs at least 2 fanins, got %d", t, name, len(fanin))
+		}
+	default:
+		return b.fail("unknown gate type %d", t)
+	}
+	fi := make([]GateID, len(fanin))
+	copy(fi, fanin)
+	return b.add(t, name, fi)
+}
+
+// Output marks the signal driven by gate src as a primary output by adding
+// an Output gate named name.
+func (b *Builder) Output(name string, src GateID) GateID {
+	if b.err != nil {
+		return None
+	}
+	if src < 0 || int(src) >= len(b.gates) {
+		return b.fail("output %q references unknown gate id %d", name, src)
+	}
+	return b.add(Output, name, []GateID{src})
+}
+
+// Xor adds a 2-input XOR expanded into four NAND gates (the classic
+// c499 -> c1355 expansion): n1=NAND(a,b), n2=NAND(a,n1), n3=NAND(b,n1),
+// out=NAND(n2,n3). The returned id is the final NAND. Gates are named
+// name_n1..name_n3 and name.
+func (b *Builder) Xor(name string, x, y GateID) GateID {
+	n1 := b.Gate(Nand, name+"_n1", x, y)
+	n2 := b.Gate(Nand, name+"_n2", x, n1)
+	n3 := b.Gate(Nand, name+"_n3", y, n1)
+	return b.Gate(Nand, name, n2, n3)
+}
+
+// Xnor adds a 2-input XNOR as Xor followed by an inverter. The returned id
+// is the inverter, named name.
+func (b *Builder) Xnor(name string, x, y GateID) GateID {
+	v := b.Xor(name+"_x", x, y)
+	return b.Gate(Not, name, v)
+}
+
+// XorTree adds a balanced tree of 2-input XORs over the given signals and
+// returns the root. len(in) must be at least 1; a single signal is
+// returned unchanged.
+func (b *Builder) XorTree(name string, in ...GateID) GateID {
+	if len(in) == 0 {
+		return b.fail("XorTree %q needs at least one signal", name)
+	}
+	level := append([]GateID(nil), in...)
+	round := 0
+	for len(level) > 1 {
+		var next []GateID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Xor(fmt.Sprintf("%s_r%d_%d", name, round, i/2), level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		round++
+	}
+	return level[0]
+}
+
+// Err returns the first error recorded by the builder, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Build finalizes the circuit: it validates the structure, computes fanout
+// edges, a topological order, levels and lead indexing. Build fails if any
+// builder call failed, if the netlist is empty, or if an internal gate has
+// no fanout (dangling logic is reported, not silently kept). Primary
+// inputs without fanout are allowed: PLA-derived functions may ignore some
+// of their declared inputs.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.gates) == 0 {
+		return nil, errors.New("circuit " + b.name + ": empty netlist")
+	}
+	c := &Circuit{
+		name:   b.name,
+		gates:  b.gates,
+		byName: b.names,
+	}
+	n := len(c.gates)
+	c.fanout = make([][]Edge, n)
+	c.leadOff = make([]int32, n)
+	off := int32(0)
+	for i := range c.gates {
+		g := &c.gates[i]
+		c.leadOff[i] = off
+		off += int32(len(g.Fanin))
+		switch g.Type {
+		case Input:
+			c.inputs = append(c.inputs, GateID(i))
+		case Output:
+			c.outputs = append(c.outputs, GateID(i))
+		}
+		for pin, f := range g.Fanin {
+			c.fanout[f] = append(c.fanout[f], Edge{To: GateID(i), Pin: pin})
+		}
+	}
+	if len(c.inputs) == 0 {
+		return nil, errors.New("circuit " + b.name + ": no primary inputs")
+	}
+	if len(c.outputs) == 0 {
+		return nil, errors.New("circuit " + b.name + ": no primary outputs")
+	}
+	// Builder only allows references to already-created gates, so creation
+	// order is a topological order.
+	c.topo = make([]GateID, n)
+	for i := range c.topo {
+		c.topo[i] = GateID(i)
+	}
+	c.level = make([]int32, n)
+	for _, g := range c.topo {
+		lv := int32(0)
+		for _, f := range c.gates[g].Fanin {
+			if c.level[f]+1 > lv {
+				lv = c.level[f] + 1
+			}
+		}
+		c.level[g] = lv
+	}
+	for i := range c.gates {
+		if c.gates[i].Type != Output && c.gates[i].Type != Input && len(c.fanout[i]) == 0 {
+			return nil, fmt.Errorf("circuit %s: gate %q (%s) has no fanout and is not a PO",
+				b.name, c.gates[i].Name, c.gates[i].Type)
+		}
+	}
+	return c, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and
+// generators of statically known-good circuits.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,305 @@
+// Package circuit provides the gate-level combinational netlist model used
+// throughout the library.
+//
+// The model follows Section II of Sparmann et al. (DAC 1995): a circuit
+// consists of gates and leads. Gate types are the simple gates AND, OR,
+// NAND, NOR and NOT, plus primary inputs (PIs), primary outputs (POs) and
+// BUF. A lead is a wire connecting the output pin of one gate to a specific
+// input pin of another gate; fanout stems therefore consist of several
+// leads sharing a source gate. Stable logic values live on gate outputs —
+// all fanout branches of a stem carry the stem value.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateID identifies a gate within one Circuit. IDs are dense indices in
+// [0, NumGates()) and are assigned in creation order by the Builder.
+type GateID int32
+
+// None is the invalid GateID.
+const None GateID = -1
+
+// GateType enumerates the supported gate kinds.
+type GateType uint8
+
+// Supported gate types. Input gates have no fanin; Output, Buf and Not
+// gates have exactly one fanin; the simple gates And, Or, Nand and Nor
+// have two or more fanins.
+const (
+	Input  GateType = iota // primary input, no fanin
+	Output                 // primary output marker, one fanin, non-inverting
+	Buf                    // buffer, one fanin
+	Not                    // inverter, one fanin
+	And
+	Or
+	Nand
+	Nor
+	numGateTypes
+)
+
+var gateTypeNames = [numGateTypes]string{
+	Input: "INPUT", Output: "OUTPUT", Buf: "BUF", Not: "NOT",
+	And: "AND", Or: "OR", Nand: "NAND", Nor: "NOR",
+}
+
+// String returns the conventional upper-case name of the gate type.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// Inverting reports whether the gate type logically inverts a propagating
+// transition (NOT, NAND, NOR).
+func (t GateType) Inverting() bool {
+	return t == Not || t == Nand || t == Nor
+}
+
+// Controlling returns the controlling input value of the gate type and
+// whether the type has one. AND and NAND are controlled by 0, OR and NOR
+// by 1. Input, Output, Buf and Not have no controlling value.
+func (t GateType) Controlling() (v bool, ok bool) {
+	switch t {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	}
+	return false, false
+}
+
+// NonControlling returns the non-controlling input value of the gate type
+// and whether the type has one (the complement of Controlling).
+func (t GateType) NonControlling() (v bool, ok bool) {
+	c, ok := t.Controlling()
+	return !c, ok
+}
+
+// Eval computes the boolean output of a gate of this type for the given
+// input values. It panics for Input gates and for arities that violate the
+// type's constraints, which indicates a bug in the caller (circuits built
+// through Builder.Build are always structurally valid).
+func (t GateType) Eval(in []bool) bool {
+	switch t {
+	case Output, Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, x := range in {
+			v = v && x
+		}
+		if t == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, x := range in {
+			v = v || x
+		}
+		if t == Nor {
+			return !v
+		}
+		return v
+	}
+	panic("circuit: Eval on " + t.String())
+}
+
+// Gate is one node of the netlist. Fanin lists the source gates of the
+// gate's input pins in pin order; the same source may appear on several
+// pins. Gate values are immutable once the circuit is built.
+type Gate struct {
+	Type  GateType
+	Name  string
+	Fanin []GateID
+}
+
+// Edge describes one lead leaving a gate: it enters input pin Pin of gate
+// To.
+type Edge struct {
+	To  GateID
+	Pin int
+}
+
+// Lead identifies a wire by its destination: input pin Pin of gate To. The
+// source gate is To's fanin at that pin.
+type Lead struct {
+	To  GateID
+	Pin int
+}
+
+// Circuit is an immutable combinational netlist. Construct one with a
+// Builder. All slices returned by accessor methods are owned by the
+// Circuit and must not be modified.
+type Circuit struct {
+	name    string
+	gates   []Gate
+	inputs  []GateID
+	outputs []GateID
+	topo    []GateID // topological order, PIs first
+	level   []int32  // level[g] = 0 for PIs, else 1+max(fanin levels)
+	fanout  [][]Edge // fanout leads per gate
+	leadOff []int32  // leadOff[g] = first lead index of gate g's input pins
+	byName  map[string]GateID
+}
+
+// Name returns the circuit name.
+func (c *Circuit) Name() string { return c.name }
+
+// NumGates returns the number of gates, including PIs and POs.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// Gate returns a read-only view of gate g.
+func (c *Circuit) Gate(g GateID) *Gate { return &c.gates[g] }
+
+// Type returns the type of gate g.
+func (c *Circuit) Type(g GateID) GateType { return c.gates[g].Type }
+
+// Fanin returns the ordered fanin of gate g.
+func (c *Circuit) Fanin(g GateID) []GateID { return c.gates[g].Fanin }
+
+// Fanout returns the fanout leads of gate g.
+func (c *Circuit) Fanout(g GateID) []Edge { return c.fanout[g] }
+
+// Inputs returns the primary inputs in creation order.
+func (c *Circuit) Inputs() []GateID { return c.inputs }
+
+// Outputs returns the primary output gates in creation order.
+func (c *Circuit) Outputs() []GateID { return c.outputs }
+
+// TopoOrder returns a topological order of all gates (fanins precede
+// fanouts).
+func (c *Circuit) TopoOrder() []GateID { return c.topo }
+
+// Level returns the logic level of gate g: 0 for PIs, otherwise one more
+// than the maximum level of its fanins.
+func (c *Circuit) Level(g GateID) int { return int(c.level[g]) }
+
+// Depth returns the maximum gate level in the circuit.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.level {
+		if int(l) > d {
+			d = int(l)
+		}
+	}
+	return d
+}
+
+// GateByName returns the gate with the given name.
+func (c *Circuit) GateByName(name string) (GateID, bool) {
+	g, ok := c.byName[name]
+	return g, ok
+}
+
+// NumLeads returns the total number of leads (sum of all gate fanin
+// counts).
+func (c *Circuit) NumLeads() int {
+	n := len(c.gates)
+	return int(c.leadOff[n-1]) + len(c.gates[n-1].Fanin)
+}
+
+// LeadIndex returns the dense index of the lead entering pin of gate g,
+// suitable for indexing per-lead arrays of length NumLeads().
+func (c *Circuit) LeadIndex(g GateID, pin int) int {
+	return int(c.leadOff[g]) + pin
+}
+
+// LeadAt is the inverse of LeadIndex: it returns the lead with dense index
+// i.
+func (c *Circuit) LeadAt(i int) Lead {
+	// Binary search over leadOff.
+	lo, hi := 0, len(c.gates)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(c.leadOff[mid]) <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return Lead{To: GateID(lo), Pin: i - int(c.leadOff[lo])}
+}
+
+// Source returns the gate driving the given lead.
+func (c *Circuit) Source(l Lead) GateID { return c.gates[l.To].Fanin[l.Pin] }
+
+// EvalBool simulates the circuit for one input vector given in
+// Inputs() order and returns the stable value of every gate, indexed by
+// GateID.
+func (c *Circuit) EvalBool(in []bool) []bool {
+	if len(in) != len(c.inputs) {
+		panic(fmt.Sprintf("circuit: EvalBool got %d values for %d inputs", len(in), len(c.inputs)))
+	}
+	val := make([]bool, len(c.gates))
+	for i, g := range c.inputs {
+		val[g] = in[i]
+	}
+	var buf [8]bool
+	for _, g := range c.topo {
+		gate := &c.gates[g]
+		if gate.Type == Input {
+			continue
+		}
+		args := buf[:0]
+		for _, f := range gate.Fanin {
+			args = append(args, val[f])
+		}
+		val[g] = gate.Type.Eval(args)
+	}
+	return val
+}
+
+// OutputsOf extracts the PO values from a full value vector produced by
+// EvalBool, in Outputs() order.
+func (c *Circuit) OutputsOf(val []bool) []bool {
+	out := make([]bool, len(c.outputs))
+	for i, g := range c.outputs {
+		out[i] = val[g]
+	}
+	return out
+}
+
+// Stats summarizes the structural properties of a circuit.
+type Stats struct {
+	Gates   int // all gates including PIs and POs
+	Inputs  int
+	Outputs int
+	Leads   int
+	Depth   int
+	ByType  [numGateTypes]int
+}
+
+// Stats computes structural statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Gates:   len(c.gates),
+		Inputs:  len(c.inputs),
+		Outputs: len(c.outputs),
+		Leads:   c.NumLeads(),
+		Depth:   c.Depth(),
+	}
+	for i := range c.gates {
+		s.ByType[c.gates[i].Type]++
+	}
+	return s
+}
+
+// String renders the statistics compactly.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gates=%d inputs=%d outputs=%d leads=%d depth=%d",
+		s.Gates, s.Inputs, s.Outputs, s.Leads, s.Depth)
+	for t := GateType(0); t < numGateTypes; t++ {
+		if s.ByType[t] > 0 {
+			fmt.Fprintf(&b, " %s=%d", t, s.ByType[t])
+		}
+	}
+	return b.String()
+}

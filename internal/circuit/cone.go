@@ -1,0 +1,73 @@
+package circuit
+
+import "fmt"
+
+// Cone extracts the single-output subcircuit feeding the primary output
+// po. The paper's theory is developed for single-output circuits and
+// applied per output cone (Section II); Cone implements that restriction.
+// The returned mapping translates new GateIDs back to ids in c. Gate names
+// are preserved.
+func (c *Circuit) Cone(po GateID) (*Circuit, []GateID, error) {
+	if c.gates[po].Type != Output {
+		return nil, nil, fmt.Errorf("circuit %s: gate %q is not a PO", c.name, c.gates[po].Name)
+	}
+	inCone := make([]bool, len(c.gates))
+	stack := []GateID{po}
+	inCone[po] = true
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.gates[g].Fanin {
+			if !inCone[f] {
+				inCone[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	b := NewBuilder(fmt.Sprintf("%s.%s", c.name, c.gates[po].Name))
+	newID := make([]GateID, len(c.gates))
+	mapping := make([]GateID, 0, len(c.gates))
+	for i := range newID {
+		newID[i] = None
+	}
+	// Creation order of c is topological, so a single pass suffices.
+	for _, g := range c.topo {
+		if !inCone[g] {
+			continue
+		}
+		old := &c.gates[g]
+		var id GateID
+		switch old.Type {
+		case Input:
+			id = b.Input(old.Name)
+		case Output:
+			id = b.Output(old.Name, newID[old.Fanin[0]])
+		default:
+			fi := make([]GateID, len(old.Fanin))
+			for k, f := range old.Fanin {
+				fi[k] = newID[f]
+			}
+			id = b.add(old.Type, old.Name, fi)
+		}
+		newID[g] = id
+		mapping = append(mapping, g)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}
+
+// Cones extracts every output cone of c, in Outputs() order.
+func (c *Circuit) Cones() ([]*Circuit, error) {
+	cones := make([]*Circuit, 0, len(c.outputs))
+	for _, po := range c.outputs {
+		sub, _, err := c.Cone(po)
+		if err != nil {
+			return nil, err
+		}
+		cones = append(cones, sub)
+	}
+	return cones, nil
+}

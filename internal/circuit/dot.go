@@ -1,0 +1,51 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the circuit in GraphViz DOT format. Leads present in
+// highlight are drawn bold red — the rendering used for the paper's
+// Figure 1/2 style drawings of stabilizing systems and paths.
+func WriteDot(w io.Writer, c *Circuit, highlight map[Lead]bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", c.Name())
+	for g := GateID(0); int(g) < c.NumGates(); g++ {
+		gate := c.Gate(g)
+		shape := "box"
+		style := ""
+		switch gate.Type {
+		case Input:
+			shape = "circle"
+			style = ", style=filled, fillcolor=\"#ddeeff\""
+		case Output:
+			shape = "doublecircle"
+			style = ", style=filled, fillcolor=\"#ffeedd\""
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q, shape=%s%s];\n",
+			g, dotLabel(gate), shape, style)
+	}
+	for g := GateID(0); int(g) < c.NumGates(); g++ {
+		for pin, f := range c.Fanin(g) {
+			attr := ""
+			if highlight[Lead{To: g, Pin: pin}] {
+				attr = " [color=red, penwidth=2.5]"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d%s;\n", f, g, attr)
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func dotLabel(g *Gate) string {
+	switch g.Type {
+	case Input, Output:
+		return g.Name
+	default:
+		return fmt.Sprintf("%s\n%s", g.Name, strings.ToLower(g.Type.String()))
+	}
+}

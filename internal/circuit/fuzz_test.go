@@ -1,0 +1,35 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench checks that arbitrary input never panics the parser and
+// that anything it accepts survives a write/parse round trip.
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n")
+	f.Add("# comment\nINPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n")
+	f.Add("garbage")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, c); err != nil {
+			t.Fatalf("accepted circuit failed to write: %v", err)
+		}
+		c2, err := ParseBench("fuzz2", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("writer output rejected: %v\n%s", err, buf.String())
+		}
+		if c2.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed gate count %d -> %d", c.NumGates(), c2.NumGates())
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package circuit
+
+import "fmt"
+
+// InputSort is a mapping π that totally orders the input pins of every
+// gate (Definition 7 of the paper). Pos[g][pin] is π(g, l): the position
+// of the lead entering pin of gate g, with 0 the highest priority
+// ("lowest sort number"). Algorithm 1 restricted by a sort always selects
+// the controlling input with the minimum position, fixing one complete
+// stabilizing assignment σ^π.
+type InputSort struct {
+	Pos [][]int
+}
+
+// PinOrderSort returns the identity sort: pins are ordered as listed in
+// each gate's fanin.
+func PinOrderSort(c *Circuit) InputSort {
+	pos := make([][]int, c.NumGates())
+	for g := range pos {
+		fanin := c.Fanin(GateID(g))
+		p := make([]int, len(fanin))
+		for i := range p {
+			p[i] = i
+		}
+		pos[g] = p
+	}
+	return InputSort{Pos: pos}
+}
+
+// Validate checks that the sort covers every gate and that each gate's
+// positions form a permutation of 0..fanin-1.
+func (s InputSort) Validate(c *Circuit) error {
+	if len(s.Pos) != c.NumGates() {
+		return fmt.Errorf("input sort covers %d gates, circuit has %d", len(s.Pos), c.NumGates())
+	}
+	for g := range s.Pos {
+		fanin := c.Fanin(GateID(g))
+		if len(s.Pos[g]) != len(fanin) {
+			return fmt.Errorf("gate %q: sort has %d positions for %d pins",
+				c.Gate(GateID(g)).Name, len(s.Pos[g]), len(fanin))
+		}
+		seen := make([]bool, len(fanin))
+		for pin, p := range s.Pos[g] {
+			if p < 0 || p >= len(fanin) || seen[p] {
+				return fmt.Errorf("gate %q: positions %v are not a permutation",
+					c.Gate(GateID(g)).Name, s.Pos[g])
+			}
+			seen[p] = true
+			_ = pin
+		}
+	}
+	return nil
+}
+
+// Inverse returns the sort with every gate's order reversed — the
+// "inverse to Heuristic 2" control experiment of Table I.
+func (s InputSort) Inverse() InputSort {
+	pos := make([][]int, len(s.Pos))
+	for g := range s.Pos {
+		n := len(s.Pos[g])
+		p := make([]int, n)
+		for pin, v := range s.Pos[g] {
+			p[pin] = n - 1 - v
+		}
+		pos[g] = p
+	}
+	return InputSort{Pos: pos}
+}
+
+// LowOrderSides returns the pins of gate g whose position precedes that of
+// pin: the "low-order side-inputs" of the lead entering pin (footnote 2 of
+// the paper).
+func (s InputSort) LowOrderSides(g GateID, pin int) []int {
+	var out []int
+	p := s.Pos[g][pin]
+	for other, op := range s.Pos[g] {
+		if op < p {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// MinPin returns the pin among candidates with the smallest position for
+// gate g. candidates must be non-empty.
+func (s InputSort) MinPin(g GateID, candidates []int) int {
+	best := candidates[0]
+	for _, pin := range candidates[1:] {
+		if s.Pos[g][pin] < s.Pos[g][best] {
+			best = pin
+		}
+	}
+	return best
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/stabilize"
+)
+
+// collect runs Enumerate and returns the surviving logical path key set.
+func collect(t testing.TB, c *circuit.Circuit, cr Criterion, sort *circuit.InputSort) map[string]bool {
+	t.Helper()
+	got := make(map[string]bool)
+	_, err := Enumerate(c, cr, Options{
+		Sort:   sort,
+		OnPath: func(lp paths.Logical) { got[lp.Key()] = true },
+	})
+	if err != nil {
+		t.Fatalf("Enumerate(%v): %v", cr, err)
+	}
+	return got
+}
+
+// exactSet computes, by exhaustive input enumeration, the set of logical
+// paths for which an input vector satisfying the criterion's conditions
+// (as literally stated in Definitions 4/5 and Lemma 2, over actual stable
+// values) exists.
+func exactSet(t testing.TB, c *circuit.Circuit, cr Criterion, sort *circuit.InputSort) map[string]bool {
+	t.Helper()
+	n := len(c.Inputs())
+	if n > 12 {
+		t.Fatalf("exactSet on %d inputs", n)
+	}
+	vals := make([][]bool, 1<<n)
+	in := make([]bool, n)
+	for v := range vals {
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		vals[v] = c.EvalBool(in)
+	}
+	idx := map[circuit.GateID]int{}
+	for i, pi := range c.Inputs() {
+		idx[pi] = i
+	}
+	out := make(map[string]bool)
+	paths.ForEachLogical(c, func(lp paths.Logical) bool {
+		for v := range vals {
+			val := vals[v]
+			// (pi1): v sets PI(P) to x.
+			if val[lp.Path.PI()] != lp.FinalOne {
+				continue
+			}
+			ok := true
+			for i := 1; i < len(lp.Path.Gates) && ok; i++ {
+				g := lp.Path.Gates[i]
+				pin := lp.Path.Pins[i-1]
+				ctrl, hasCtrl := c.Type(g).Controlling()
+				if !hasCtrl {
+					continue
+				}
+				onPath := val[c.Fanin(g)[pin]]
+				var constrained []int
+				if onPath != ctrl {
+					for p := range c.Fanin(g) {
+						if p != pin {
+							constrained = append(constrained, p)
+						}
+					}
+				} else {
+					switch cr {
+					case FS:
+					case NonRobust:
+						for p := range c.Fanin(g) {
+							if p != pin {
+								constrained = append(constrained, p)
+							}
+						}
+					case SigmaPi:
+						for p := range c.Fanin(g) {
+							if p != pin && sort.Pos[g][p] < sort.Pos[g][pin] {
+								constrained = append(constrained, p)
+							}
+						}
+					}
+				}
+				for _, p := range constrained {
+					if val[c.Fanin(g)[p]] == ctrl {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				out[lp.Key()] = true
+				return true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExamplePaperNumbers(t *testing.T) {
+	c := gen.PaperExample()
+	pin := circuit.PinOrderSort(c)
+
+	fs, err := Enumerate(c, FS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Total.Int64() != 8 {
+		t.Fatalf("total logical paths = %v, want 8", fs.Total)
+	}
+	if fs.Selected != 8 || fs.RD.Sign() != 0 {
+		t.Errorf("FS^sup = %d (RD %v), want 8 (0): every path of the example is functionally sensitizable", fs.Selected, fs.RD)
+	}
+
+	tres, err := Enumerate(c, NonRobust, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Selected != 5 {
+		t.Errorf("T^sup = %d, want 5 (the five testable paths of Example 3)", tres.Selected)
+	}
+
+	sp, err := Enumerate(c, SigmaPi, Options{Sort: &pin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Selected != 5 || sp.RD.Int64() != 3 {
+		t.Errorf("LP^sup(sigma^pi) = %d RD=%v, want 5 and 3 (pin order realizes Figure 5's optimum)", sp.Selected, sp.RD)
+	}
+
+	inv := pin.Inverse()
+	spInv, err := Enumerate(c, SigmaPi, Options{Sort: &inv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spInv.Selected != 8 || spInv.RD.Sign() != 0 {
+		t.Errorf("inverse sort LP^sup = %d RD=%v, want 8 and 0", spInv.Selected, spInv.RD)
+	}
+}
+
+func TestExampleHeuristicsFindOptimum(t *testing.T) {
+	c := gen.PaperExample()
+	for _, h := range []Heuristic{Heuristic1, Heuristic2} {
+		rep, err := Identify(c, h, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if rep.RD.Int64() != 3 {
+			t.Errorf("%v: RD = %v, want 3 (both heuristics find the optimal sort on the example)", h, rep.RD)
+		}
+	}
+	rep, err := Identify(c, Heuristic2Inverse, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RD.Int64() != 0 {
+		t.Errorf("inverse heuristic RD = %v, want 0", rep.RD)
+	}
+	repFUS, err := Identify(c, HeuristicFUS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repFUS.RD.Int64() != 0 {
+		t.Errorf("FUS RD = %v, want 0", repFUS.RD)
+	}
+	if repFUS.RDPercent() != 0 {
+		t.Errorf("FUS RD%% = %v, want 0", repFUS.RDPercent())
+	}
+	if got := rep.String(); got == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestLemma2ExactEquivalence verifies Lemma 2 computationally: the set of
+// logical paths satisfying conditions (pi1)-(pi3) for some input vector
+// equals the exact LP(sigma^pi) built from Algorithm 1 over all vectors.
+func TestLemma2ExactEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 12, Outputs: 2}, seed)
+		sorts := []circuit.InputSort{
+			circuit.PinOrderSort(c),
+			circuit.PinOrderSort(c).Inverse(),
+			Heuristic1Sort(c),
+		}
+		for si, s := range sorts {
+			byLemma := exactSet(t, c, SigmaPi, &s)
+			a := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(s))
+			byAlg1 := make(map[string]bool)
+			for k := range a.LogicalPaths() {
+				byAlg1[k] = true
+			}
+			if len(byLemma) != len(byAlg1) || !subset(byLemma, byAlg1) {
+				t.Fatalf("seed %d sort %d: Lemma 2 characterization (%d paths) != Algorithm 1 enumeration (%d paths)",
+					seed, si, len(byLemma), len(byAlg1))
+			}
+		}
+	}
+}
+
+// TestSupersetProperty: the approximate enumeration only over-selects —
+// LP^sup contains the exact LP(sigma^pi), and likewise for FS and T. This
+// is what makes the identified RD-set sound.
+func TestSupersetProperty(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 14, Outputs: 2}, seed)
+		s := Heuristic1Sort(c)
+
+		for _, tc := range []struct {
+			cr   Criterion
+			sort *circuit.InputSort
+		}{{FS, nil}, {NonRobust, nil}, {SigmaPi, &s}} {
+			exact := exactSet(t, c, tc.cr, tc.sort)
+			sup := collect(t, c, tc.cr, tc.sort)
+			if !subset(exact, sup) {
+				t.Fatalf("seed %d %v: approximate set is not a superset of the exact set", seed, tc.cr)
+			}
+		}
+	}
+}
+
+// TestLemma1Hierarchy checks T^sup ⊆ LP^sup(sigma^pi) ⊆ FS^sup for any
+// sort (the superset-level image of Lemma 1), plus exact-T ⊆ LP^sup.
+func TestLemma1Hierarchy(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 14, Outputs: 2}, seed)
+		for _, s := range []circuit.InputSort{
+			circuit.PinOrderSort(c),
+			circuit.PinOrderSort(c).Inverse(),
+		} {
+			tSup := collect(t, c, NonRobust, nil)
+			spSup := collect(t, c, SigmaPi, &s)
+			fsSup := collect(t, c, FS, nil)
+			if !subset(tSup, spSup) {
+				t.Fatalf("seed %d: T^sup not within LP^sup", seed)
+			}
+			if !subset(spSup, fsSup) {
+				t.Fatalf("seed %d: LP^sup not within FS^sup", seed)
+			}
+			exactT := exactSet(t, c, NonRobust, nil)
+			if !subset(exactT, spSup) {
+				t.Fatalf("seed %d: exact T not within LP^sup (Lemma 1 violated)", seed)
+			}
+		}
+	}
+}
+
+func TestRDMonotoneVsFUS(t *testing.T) {
+	// For every sort, RD(sigma^pi) >= RD(FUS), because LP^sup ⊆ FS^sup.
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 20, Outputs: 2}, seed)
+		fus, err := Identify(c, HeuristicFUS, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []Heuristic{Heuristic1, Heuristic2, Heuristic2Inverse, HeuristicPinOrder} {
+			rep, err := Identify(c, h, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.RD.Cmp(fus.RD) < 0 {
+				t.Errorf("seed %d: RD(%v)=%v < RD(FUS)=%v", seed, h, rep.RD, fus.RD)
+			}
+		}
+	}
+}
+
+func TestLeadCounts(t *testing.T) {
+	c := gen.PaperExample()
+	res, err := Enumerate(c, FS, Options{CollectLeadCounts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute tallies from the surviving paths directly.
+	want := make([]int64, c.NumLeads())
+	_, err = Enumerate(c, FS, Options{OnPath: func(lp paths.Logical) {
+		for i := 1; i < len(lp.Path.Gates); i++ {
+			g := lp.Path.Gates[i]
+			ctrl, ok := c.Type(g).Controlling()
+			if ok && lp.FinalValueAt(c, i-1) == ctrl {
+				want[c.LeadIndex(g, lp.Path.Pins[i-1])]++
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.LeadCounts[i] != want[i] {
+			t.Errorf("lead %d: count %d, want %d", i, res.LeadCounts[i], want[i])
+		}
+	}
+}
+
+func TestHeuristic2MeasureNonNegative(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 2}, seed)
+		_, fsRes, tRes, err := Heuristic2Sort(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fsRes.LeadCounts {
+			if fsRes.LeadCounts[i] < tRes.LeadCounts[i] {
+				t.Fatalf("seed %d lead %d: FS_c=%d < T_c=%d (T^sup must be within FS^sup)",
+					seed, i, fsRes.LeadCounts[i], tRes.LeadCounts[i])
+			}
+		}
+	}
+}
+
+func TestSortsValid(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 2}, seed)
+		s1 := Heuristic1Sort(c)
+		if err := s1.Validate(c); err != nil {
+			t.Fatalf("Heuristic1Sort invalid: %v", err)
+		}
+		s2, _, _, err := Heuristic2Sort(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Validate(c); err != nil {
+			t.Fatalf("Heuristic2Sort invalid: %v", err)
+		}
+		if err := s2.Inverse().Validate(c); err != nil {
+			t.Fatalf("inverse sort invalid: %v", err)
+		}
+	}
+}
+
+func TestNoPruneAblation(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 2}, 3)
+	s := Heuristic1Sort(c)
+	pruned, err := Enumerate(c, SigmaPi, Options{Sort: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Enumerate(c, SigmaPi, Options{Sort: &s, NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Selected != flat.Selected {
+		t.Errorf("pruning changed the selected set: %d vs %d", pruned.Selected, flat.Selected)
+	}
+	if flat.Segments < pruned.Segments {
+		t.Errorf("NoPrune visited fewer segments (%d) than pruned (%d)", flat.Segments, pruned.Segments)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	c := gen.PaperExample()
+	res, err := Enumerate(c, FS, Options{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Error("result marked complete despite limit")
+	}
+	if res.Selected != 3 {
+		t.Errorf("selected %d, want 3", res.Selected)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	c := gen.PaperExample()
+	if _, err := Enumerate(c, SigmaPi, Options{}); err == nil {
+		t.Error("SigmaPi without sort should fail")
+	}
+	bad := circuit.InputSort{Pos: [][]int{{0}}}
+	if _, err := Enumerate(c, SigmaPi, Options{Sort: &bad}); err == nil {
+		t.Error("invalid sort should fail")
+	}
+	if _, err := Identify(c, Heuristic(99), Options{}); err == nil {
+		t.Error("unknown heuristic should fail")
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if FS.String() != "FS" || SigmaPi.String() != "sigma^pi" || NonRobust.String() != "T" {
+		t.Error("criterion names")
+	}
+	if Criterion(9).String() == "" {
+		t.Error("unknown criterion name empty")
+	}
+	for _, h := range []Heuristic{HeuristicFUS, Heuristic1, Heuristic2, Heuristic2Inverse, HeuristicPinOrder, Heuristic(42)} {
+		if h.String() == "" {
+			t.Error("empty heuristic name")
+		}
+	}
+}
+
+func TestMultiOutputConsistentWithCones(t *testing.T) {
+	// RD identification on a multi-output circuit must match running each
+	// output cone separately (Section II's construction): the per-cone
+	// totals and survivors sum up when paths are disjoint by PO.
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 14, Outputs: 3}, 11)
+	whole := collect(t, c, FS, nil)
+	cones, err := c.Cones()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, cone := range cones {
+		sum += len(collect(t, cone, FS, nil))
+	}
+	if sum != len(whole) {
+		t.Errorf("cone-wise FS^sup total %d != whole-circuit %d", sum, len(whole))
+	}
+}
+
+// TestExactMatchesBruteForce: with Options.Exact the enumeration returns
+// the true sets (per the exhaustive-oracle definition), not supersets.
+func TestExactMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 14, Outputs: 2}, seed)
+		s := Heuristic1Sort(c)
+		for _, tc := range []struct {
+			cr   Criterion
+			sort *circuit.InputSort
+		}{{FS, nil}, {NonRobust, nil}, {SigmaPi, &s}} {
+			want := exactSet(t, c, tc.cr, tc.sort)
+			got := make(map[string]bool)
+			res, err := Enumerate(c, tc.cr, Options{
+				Sort:   tc.sort,
+				Exact:  true,
+				OnPath: func(lp paths.Logical) { got[lp.Key()] = true },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) || !subset(want, got) {
+				t.Fatalf("seed %d %v: exact mode selected %d, oracle %d", seed, tc.cr, len(got), len(want))
+			}
+			if res.Selected != int64(len(want)) {
+				t.Fatalf("seed %d %v: Selected=%d", seed, tc.cr, res.Selected)
+			}
+		}
+	}
+}
+
+func TestExactNeverLarger(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 7, Gates: 30, Outputs: 3}, 3)
+	s := Heuristic1Sort(c)
+	approx, err := Enumerate(c, SigmaPi, Options{Sort: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Enumerate(c, SigmaPi, Options{Sort: &s, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Selected > approx.Selected {
+		t.Fatalf("exact %d > approximate %d", exact.Selected, approx.Selected)
+	}
+	if exact.Selected+exact.SATRejects != approx.Selected {
+		t.Fatalf("accounting: exact %d + rejects %d != approx %d",
+			exact.Selected, exact.SATRejects, approx.Selected)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 8, Gates: 40, Outputs: 3}, seed)
+		s := Heuristic1Sort(c)
+		for _, cr := range []Criterion{FS, NonRobust, SigmaPi} {
+			var sort *circuit.InputSort
+			if cr == SigmaPi {
+				sort = &s
+			}
+			serial, err := Enumerate(c, cr, Options{Sort: sort, CollectLeadCounts: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Enumerate(c, cr, Options{Sort: sort, CollectLeadCounts: true, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Selected != serial.Selected || par.Segments != serial.Segments || par.Pruned != serial.Pruned {
+				t.Fatalf("seed %d %v: parallel (%d,%d,%d) != serial (%d,%d,%d)",
+					seed, cr, par.Selected, par.Segments, par.Pruned,
+					serial.Selected, serial.Segments, serial.Pruned)
+			}
+			for i := range serial.LeadCounts {
+				if serial.LeadCounts[i] != par.LeadCounts[i] {
+					t.Fatalf("seed %d %v: lead counts differ at %d", seed, cr, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelOnPathSerialized(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 7, Gates: 30, Outputs: 2}, 2)
+	got := make(map[string]bool)
+	res, err := Enumerate(c, FS, Options{
+		Workers: 4,
+		OnPath: func(lp paths.Logical) {
+			got[lp.Key()] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != res.Selected {
+		t.Fatalf("callback saw %d paths, Selected=%d", len(got), res.Selected)
+	}
+}
+
+func TestLimitForcesSerial(t *testing.T) {
+	c := gen.PaperExample()
+	res, err := Enumerate(c, FS, Options{Limit: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 3 || res.Complete {
+		t.Fatalf("limit with workers: selected=%d complete=%v", res.Selected, res.Complete)
+	}
+}
+
+func BenchmarkEnumerateFS(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 12, Gates: 120, Outputs: 4}, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(c, FS, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdentifyHeu1(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 12, Gates: 120, Outputs: 4}, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Identify(c, Heuristic1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+	"rdfault/internal/paths"
+	"rdfault/internal/satsolver"
+)
+
+// Options tunes Enumerate.
+type Options struct {
+	// Sort is the input sort π; required for the SigmaPi criterion,
+	// ignored otherwise.
+	Sort *circuit.InputSort
+	// CollectLeadCounts enables the per-lead tallies |set_c^sup(l)| used
+	// by Algorithm 3 (Heuristic 2).
+	CollectLeadCounts bool
+	// OnPath, when non-nil, receives every surviving logical path. The
+	// Path buffer is shared; Clone to retain. With Workers > 1 the
+	// callback is serialized by a mutex but arrival order is
+	// nondeterministic.
+	OnPath func(paths.Logical)
+	// Limit aborts enumeration after this many surviving paths
+	// (0 = unlimited); the result is then marked incomplete. A positive
+	// Limit forces serial execution so the cut is deterministic.
+	Limit int64
+	// NoPrune disables prime-segment pruning: conditions are still
+	// accumulated, but contradictions no longer cut the DFS — every
+	// logical path is visited and classified individually. Ablation knob;
+	// the selected set is identical.
+	NoPrune bool
+	// Exact verifies every locally-surviving path with a SAT query over
+	// the full circuit, turning the superset into the exact set (the
+	// quality bound of the paper's approximation, measurable on circuits
+	// far beyond exhaustive input enumeration). Much slower.
+	Exact bool
+	// Workers runs the per-(PI, transition) enumeration jobs on this many
+	// goroutines (0 or 1 = serial). Counts are deterministic; OnPath
+	// ordering is not.
+	Workers int
+
+	// onPrune receives every pruned prime segment (set via
+	// CollectRDSegments; serial only). Buffers are shared.
+	onPrune func(gates []circuit.GateID, pins []int, finalOne bool)
+}
+
+// Result reports one enumeration pass.
+type Result struct {
+	Criterion Criterion
+	// Total is the number of logical paths in the circuit (exact count).
+	Total *big.Int
+	// Selected is the number of logical paths surviving the criterion:
+	// |FS^sup|, |LP^sup(σ^π)| or |T^sup| (the exact sets when
+	// Options.Exact is on).
+	Selected int64
+	// RD is Total - Selected: for SigmaPi this is |RD^sub(σ^π)|, the
+	// identified robust dependent set; for FS it is the number of
+	// functionally unsensitizable paths (the FUS column of Table I).
+	RD *big.Int
+	// LeadCounts[i] counts, for the lead with dense index i, the selected
+	// logical paths through it whose transition at the lead ends on the
+	// controlling value of the gate it feeds (|set_c^sup(l)|). Nil unless
+	// requested.
+	LeadCounts []int64
+	// Segments counts DFS edge extensions; Pruned counts extensions cut
+	// by a local-implication contradiction; SATRejects counts paths the
+	// exact check eliminated beyond local implications.
+	Segments   int64
+	Pruned     int64
+	SATRejects int64
+	// Complete is false if Limit stopped the walk early.
+	Complete bool
+	Duration time.Duration
+}
+
+// RDPercent returns 100*RD/Total as a float; 0 for an empty circuit.
+func (r *Result) RDPercent() float64 {
+	if r.Total.Sign() == 0 {
+		return 0
+	}
+	rd := new(big.Float).SetInt(r.RD)
+	tot := new(big.Float).SetInt(r.Total)
+	q, _ := new(big.Float).Quo(rd, tot).Float64()
+	return 100 * q
+}
+
+// walker is the per-goroutine enumeration state.
+type walker struct {
+	c    *circuit.Circuit
+	cr   Criterion
+	opt  *Options
+	eng  *logic.Engine
+	sat  *satsolver.Solver
+	vars satsolver.CircuitVars
+
+	gateBuf []circuit.GateID
+	pinBuf  []int
+	valBuf  []bool
+	sideBuf []int
+	assume  []satsolver.Lit
+
+	selected   int64
+	segments   int64
+	pruned     int64
+	satRejects int64
+	leadCounts []int64
+	onPath     func(paths.Logical)
+	limit      int64 // only used serially
+	stopped    bool
+}
+
+func newWalker(c *circuit.Circuit, cr Criterion, opt *Options, onPath func(paths.Logical)) *walker {
+	w := &walker{
+		c:      c,
+		cr:     cr,
+		opt:    opt,
+		eng:    logic.NewEngine(c),
+		onPath: onPath,
+		limit:  opt.Limit,
+	}
+	if opt.CollectLeadCounts {
+		w.leadCounts = make([]int64, c.NumLeads())
+	}
+	if opt.Exact {
+		w.sat = satsolver.New()
+		w.vars = satsolver.AddCircuit(w.sat, c)
+	}
+	return w
+}
+
+// record handles one surviving full path; it reports false to stop the
+// walk (limit reached).
+func (w *walker) record() bool {
+	if w.sat != nil && !w.exactCheck() {
+		w.satRejects++
+		return true
+	}
+	w.selected++
+	if w.leadCounts != nil {
+		for i := 1; i < len(w.gateBuf); i++ {
+			g := w.gateBuf[i]
+			ctrl, ok := w.c.Type(g).Controlling()
+			if ok && w.valBuf[i-1] == ctrl {
+				w.leadCounts[w.c.LeadIndex(g, w.pinBuf[i-1])]++
+			}
+		}
+	}
+	if w.onPath != nil {
+		w.onPath(paths.Logical{
+			Path:     paths.Path{Gates: w.gateBuf, Pins: w.pinBuf},
+			FinalOne: w.valBuf[0],
+		})
+	}
+	if w.limit > 0 && w.selected >= w.limit {
+		w.stopped = true
+		return false
+	}
+	return true
+}
+
+// exactCheck asks the SAT solver whether the accumulated conditions are
+// satisfiable over the whole circuit. Every condition is already recorded
+// in the implication engine's assignments, which are sound consequences,
+// so asserting the engine's trail values of the on-path and side gates as
+// assumptions is exact.
+func (w *walker) exactCheck() bool {
+	w.assume = w.assume[:0]
+	// (π1) + on-path values.
+	for i, g := range w.gateBuf {
+		w.assume = append(w.assume, w.vars.Lit(g, w.valBuf[i]))
+	}
+	// Side conditions of every on-path gate.
+	for i := 1; i < len(w.gateBuf); i++ {
+		g := w.gateBuf[i]
+		t := w.c.Type(g)
+		ctrl, hasCtrl := t.Controlling()
+		if !hasCtrl {
+			continue
+		}
+		onPathCtrl := w.valBuf[i-1] == ctrl
+		sides := w.cr.sideConstraints(w.sideBuf[:0], w.c, w.opt.Sort, g, w.pinBuf[i-1], onPathCtrl)
+		for _, p := range sides {
+			w.assume = append(w.assume, w.vars.Lit(w.c.Fanin(g)[p], !ctrl))
+		}
+	}
+	return w.sat.Solve(w.assume...)
+}
+
+func (w *walker) dfs(g circuit.GateID, val bool) bool {
+	if w.c.Type(g) == circuit.Output {
+		return w.record()
+	}
+	for _, e := range w.c.Fanout(g) {
+		w.segments++
+		next := e.To
+		t := w.c.Type(next)
+		nval := val != t.Inverting()
+		ctrlVal, hasCtrl := t.Controlling()
+		onPathCtrl := hasCtrl && val == ctrlVal
+		w.sideBuf = w.cr.sideConstraints(w.sideBuf[:0], w.c, w.opt.Sort, next, e.Pin, onPathCtrl)
+
+		mark := w.eng.Mark()
+		ok := w.eng.Assign(next, nval)
+		if ok {
+			nonCtrl := !ctrlVal
+			for _, p := range w.sideBuf {
+				if !w.eng.Assign(w.c.Fanin(next)[p], nonCtrl) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			w.pruned++
+			w.eng.BacktrackTo(mark)
+			if w.opt.onPrune != nil {
+				w.gateBuf = append(w.gateBuf, next)
+				w.pinBuf = append(w.pinBuf, e.Pin)
+				w.opt.onPrune(w.gateBuf, w.pinBuf, w.valBuf[0])
+				w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
+				w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
+			}
+			if w.opt.NoPrune {
+				w.gateBuf = append(w.gateBuf, next)
+				w.pinBuf = append(w.pinBuf, e.Pin)
+				w.valBuf = append(w.valBuf, nval)
+				okWalk := w.walkRejected(next)
+				w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
+				w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
+				w.valBuf = w.valBuf[:len(w.valBuf)-1]
+				if !okWalk {
+					return false
+				}
+			}
+			continue
+		}
+		w.gateBuf = append(w.gateBuf, next)
+		w.pinBuf = append(w.pinBuf, e.Pin)
+		w.valBuf = append(w.valBuf, nval)
+		cont := w.dfs(next, nval)
+		w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
+		w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
+		w.valBuf = w.valBuf[:len(w.valBuf)-1]
+		w.eng.BacktrackTo(mark)
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// walkRejected visits (without checking conditions) every path extension
+// under g, so that the NoPrune ablation pays the full enumeration cost.
+func (w *walker) walkRejected(g circuit.GateID) bool {
+	if w.c.Type(g) == circuit.Output {
+		return true
+	}
+	for _, e := range w.c.Fanout(g) {
+		w.segments++
+		if !w.walkRejected(e.To) {
+			return false
+		}
+	}
+	return true
+}
+
+// run enumerates all logical paths launched at pi with final value x; it
+// reports false when the walk was stopped by the limit.
+func (w *walker) run(pi circuit.GateID, x bool) bool {
+	mark := w.eng.Mark()
+	defer w.eng.BacktrackTo(mark)
+	// (π1): v sets PI(P) to x.
+	if !w.eng.Assign(pi, x) {
+		return true
+	}
+	w.gateBuf = append(w.gateBuf[:0], pi)
+	w.pinBuf = w.pinBuf[:0]
+	w.valBuf = append(w.valBuf[:0], x)
+	return w.dfs(pi, x)
+}
+
+// Enumerate runs Algorithm 2: it implicitly enumerates all logical paths
+// of c in depth-first order from each PI, asserting the criterion's
+// side-input requirements and the implied on-path stable values into a
+// local implication engine. A contradiction prunes the whole subtree
+// (footnote 3: every extension of a failing segment is RD), which is what
+// makes circuits with tens of millions of paths tractable.
+func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
+	if cr == SigmaPi {
+		if opt.Sort == nil {
+			return nil, fmt.Errorf("core: SigmaPi enumeration requires an input sort")
+		}
+		if err := opt.Sort.Validate(c); err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+	}
+	start := time.Now()
+	res := &Result{
+		Criterion: cr,
+		Total:     paths.NewCounts(c).Logical(),
+		Complete:  true,
+	}
+
+	type job struct {
+		pi circuit.GateID
+		x  bool
+	}
+	var jobs []job
+	for _, pi := range c.Inputs() {
+		jobs = append(jobs, job{pi, false}, job{pi, true})
+	}
+
+	workers := opt.Workers
+	if workers <= 1 || opt.Limit > 0 {
+		workers = 1
+	}
+
+	var ws []*walker
+	if workers == 1 {
+		w := newWalker(c, cr, &opt, opt.OnPath)
+		ws = append(ws, w)
+		for _, j := range jobs {
+			if !w.run(j.pi, j.x) {
+				res.Complete = false
+				break
+			}
+		}
+	} else {
+		onPath := opt.OnPath
+		if onPath != nil {
+			var mu sync.Mutex
+			inner := opt.OnPath
+			onPath = func(lp paths.Logical) {
+				mu.Lock()
+				defer mu.Unlock()
+				inner(lp)
+			}
+		}
+		ch := make(chan job)
+		var wg sync.WaitGroup
+		ws = make([]*walker, workers)
+		for i := range ws {
+			ws[i] = newWalker(c, cr, &opt, onPath)
+			wg.Add(1)
+			go func(w *walker) {
+				defer wg.Done()
+				for j := range ch {
+					w.run(j.pi, j.x)
+				}
+			}(ws[i])
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	if opt.CollectLeadCounts {
+		res.LeadCounts = make([]int64, c.NumLeads())
+	}
+	for _, w := range ws {
+		res.Selected += w.selected
+		res.Segments += w.segments
+		res.Pruned += w.pruned
+		res.SATRejects += w.satRejects
+		if res.LeadCounts != nil {
+			for i, v := range w.leadCounts {
+				res.LeadCounts[i] += v
+			}
+		}
+	}
+	if res.Complete {
+		res.RD = new(big.Int).Sub(res.Total, big.NewInt(res.Selected))
+	} else {
+		res.RD = new(big.Int) // unknown; leave zero
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+)
+
+// Heuristic1Sort computes the input sort of Heuristic 1: the inputs of
+// every gate are ordered by ascending |LP_c(l)| = |P(l)|, the number of
+// physical paths through the lead (Remark 4). Computing it is pure path
+// counting and costs O(gates + leads) big-integer operations — the
+// "linear time" claim of Section V. Ties keep pin order, making the sort
+// deterministic.
+func Heuristic1Sort(c *circuit.Circuit) circuit.InputSort {
+	ct := paths.NewCounts(c)
+	pos := make([][]int, c.NumGates())
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		fanin := c.Fanin(g)
+		counts := make([]*big.Int, len(fanin))
+		for pin := range fanin {
+			counts[pin] = ct.ThroughLead(circuit.Lead{To: g, Pin: pin})
+		}
+		pos[g] = rankPins(counts)
+	}
+	return circuit.InputSort{Pos: pos}
+}
+
+// Heuristic2Sort computes the input sort of Heuristic 2 via Algorithm 3:
+// two enumeration passes approximate |FS_c^sup(l)| and |T_c^sup(l)| per
+// lead, and gate inputs are ordered by ascending
+// |FS_c^sup(l) \ T_c^sup(l)| = FS_c^sup(l) - T_c^sup(l) (T^sup ⊆ FS^sup
+// holds per construction: the T conditions strictly include the FS
+// conditions, so every T survivor also survives FS). The two pass results
+// are returned for timing accounting — Heuristic 2's cost is dominated by
+// running the enumeration three times (twice here, once for the final
+// RD computation), as Table II shows.
+func Heuristic2Sort(c *circuit.Circuit) (circuit.InputSort, *Result, *Result, error) {
+	fsRes, err := Enumerate(c, FS, Options{CollectLeadCounts: true})
+	if err != nil {
+		return circuit.InputSort{}, nil, nil, err
+	}
+	tRes, err := Enumerate(c, NonRobust, Options{CollectLeadCounts: true})
+	if err != nil {
+		return circuit.InputSort{}, nil, nil, err
+	}
+	measure := make([]int64, c.NumLeads())
+	for i := range measure {
+		measure[i] = fsRes.LeadCounts[i] - tRes.LeadCounts[i]
+	}
+	return SortByLeadMeasure(c, measure), fsRes, tRes, nil
+}
+
+// SortByLeadMeasure builds an input sort ordering every gate's pins by
+// ascending per-lead measure (indexed by Circuit.LeadIndex). It is the
+// generic step 3 of Algorithm 3 and lets callers that already ran the
+// enumeration passes construct Heuristic 2's sort without re-running
+// them.
+func SortByLeadMeasure(c *circuit.Circuit, measure []int64) circuit.InputSort {
+	pos := make([][]int, c.NumGates())
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		fanin := c.Fanin(g)
+		counts := make([]*big.Int, len(fanin))
+		for pin := range fanin {
+			counts[pin] = big.NewInt(measure[c.LeadIndex(g, pin)])
+		}
+		pos[g] = rankPins(counts)
+	}
+	return circuit.InputSort{Pos: pos}
+}
+
+// rankPins converts per-pin cost measures into π-positions: the pin with
+// the smallest measure receives position 0. Ties resolve by pin index.
+func rankPins(counts []*big.Int) []int {
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return counts[order[a]].Cmp(counts[order[b]]) < 0
+	})
+	pos := make([]int, len(counts))
+	for rank, pin := range order {
+		pos[pin] = rank
+	}
+	return pos
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"rdfault/internal/circuit"
+)
+
+// Heuristic selects how the input sort for the final σ^π enumeration is
+// chosen.
+type Heuristic uint8
+
+const (
+	// HeuristicFUS is the baseline of Cheng/Chen [2]: no stabilizing
+	// assignment at all, only functionally unsensitizable paths are
+	// declared RD (the FUS column of Table I).
+	HeuristicFUS Heuristic = iota
+	// Heuristic1 sorts gate inputs by path counts (Section V, Heuristic 1).
+	Heuristic1
+	// Heuristic2 sorts gate inputs by |FS_c^sup \ T_c^sup| (Heuristic 2 /
+	// Algorithm 3).
+	Heuristic2
+	// Heuristic2Inverse uses the inverse of Heuristic 2's sort — the
+	// control experiment of Table I's last column.
+	Heuristic2Inverse
+	// HeuristicPinOrder uses the netlist pin order as the sort; a cheap
+	// arbitrary-sort baseline.
+	HeuristicPinOrder
+)
+
+// String names the heuristic as in Table I's columns.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicFUS:
+		return "FUS"
+	case Heuristic1:
+		return "Heu1"
+	case Heuristic2:
+		return "Heu2"
+	case Heuristic2Inverse:
+		return "Heu2-inverse"
+	case HeuristicPinOrder:
+		return "PinOrder"
+	}
+	return fmt.Sprintf("Heuristic(%d)", uint8(h))
+}
+
+// Report is the outcome of a full RD identification run on one circuit.
+type Report struct {
+	Circuit   string
+	Heuristic Heuristic
+	// TotalLogicalPaths is |LP(C)|.
+	TotalLogicalPaths *big.Int
+	// RD is the number of logical paths identified robust dependent.
+	RD *big.Int
+	// Selected is |LP^sup(σ^π)| (or |FS^sup| for HeuristicFUS): the paths
+	// that remain to be considered for delay testing.
+	Selected int64
+	// Sort is the input sort used (unset for HeuristicFUS).
+	Sort *circuit.InputSort
+	// SortDuration covers computing the sort (for Heuristic 2 this
+	// includes the two Algorithm 3 passes); EnumerateDuration covers the
+	// final pass; Total is the whole pipeline wall clock.
+	SortDuration      time.Duration
+	EnumerateDuration time.Duration
+	Total             time.Duration
+	// Final is the final enumeration pass result.
+	Final *Result
+	// Complete is false if a path limit stopped enumeration.
+	Complete bool
+}
+
+// RDPercent returns 100*RD/TotalLogicalPaths.
+func (r *Report) RDPercent() float64 {
+	if r.TotalLogicalPaths.Sign() == 0 {
+		return 0
+	}
+	rd := new(big.Float).SetInt(r.RD)
+	tot := new(big.Float).SetInt(r.TotalLogicalPaths)
+	q, _ := new(big.Float).Quo(rd, tot).Float64()
+	return 100 * q
+}
+
+// Identify runs the complete RD identification pipeline on c with the
+// given heuristic: choose the input sort, then run the final Algorithm 2
+// pass. opt.Sort is ignored (the heuristic provides it); the remaining
+// options pass through to the final enumeration.
+func Identify(c *circuit.Circuit, h Heuristic, opt Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Circuit: c.Name(), Heuristic: h}
+
+	var sortDur time.Duration
+	var s circuit.InputSort
+	switch h {
+	case HeuristicFUS:
+		// No sort; final pass checks FS only.
+	case Heuristic1:
+		t0 := time.Now()
+		s = Heuristic1Sort(c)
+		sortDur = time.Since(t0)
+	case Heuristic2, Heuristic2Inverse:
+		t0 := time.Now()
+		s2, _, _, err := Heuristic2Sort(c)
+		if err != nil {
+			return nil, err
+		}
+		if h == Heuristic2Inverse {
+			s2 = s2.Inverse()
+		}
+		s = s2
+		sortDur = time.Since(t0)
+	case HeuristicPinOrder:
+		s = circuit.PinOrderSort(c)
+	default:
+		return nil, fmt.Errorf("core: unknown heuristic %v", h)
+	}
+
+	cr := SigmaPi
+	if h == HeuristicFUS {
+		cr = FS
+	} else {
+		opt.Sort = &s
+		rep.Sort = &s
+	}
+	res, err := Enumerate(c, cr, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.TotalLogicalPaths = res.Total
+	rep.RD = res.RD
+	rep.Selected = res.Selected
+	rep.SortDuration = sortDur
+	rep.EnumerateDuration = res.Duration
+	rep.Total = time.Since(start)
+	rep.Final = res
+	rep.Complete = res.Complete
+	return rep, nil
+}
+
+// String renders the report as one Table I/II style row.
+func (r *Report) String() string {
+	return fmt.Sprintf("%-12s %-13s paths=%v RD=%v (%.2f%%) sort=%v enum=%v",
+		r.Circuit, r.Heuristic, r.TotalLogicalPaths, r.RD, r.RDPercent(),
+		r.SortDuration.Round(time.Millisecond), r.EnumerateDuration.Round(time.Millisecond))
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+)
+
+// RDSegment is one prime robust dependent segment: a logical path prefix
+// that already violates the sensitization conditions, so that EVERY
+// extension of it to a PO is robust dependent (footnote 3 of the paper).
+// A list of RD segments plus the explicit selected set is a compact,
+// checkable certificate of the whole RD-set — often exponentially smaller
+// than the RD path list itself.
+type RDSegment struct {
+	// Gates/Pins form the segment from its PI, like paths.Path but ending
+	// at an internal gate.
+	Gates []circuit.GateID
+	Pins  []int
+	// FinalOne is the transition polarity at the segment's PI.
+	FinalOne bool
+	// Covered is the number of logical paths the segment certifies RD:
+	// the number of physical PI-to-PO extensions of the prefix.
+	Covered *big.Int
+}
+
+// String renders the segment with its polarity and coverage.
+func (s RDSegment) String(c *circuit.Circuit) string {
+	var b strings.Builder
+	for i, g := range s.Gates {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(c.Gate(g).Name)
+	}
+	dir := "fall"
+	if s.FinalOne {
+		dir = "rise"
+	}
+	return fmt.Sprintf("%s (%s, covers %v paths)", b.String(), dir, s.Covered)
+}
+
+// Certificate is the outcome of CollectRDSegments.
+type Certificate struct {
+	Result *Result
+	// Segments are the prime RD segments, in DFS discovery order.
+	Segments []RDSegment
+	// CoveredTotal sums Covered over all segments; it equals
+	// Result.RD exactly (every RD path is covered by exactly one prime
+	// segment, the shortest failing prefix).
+	CoveredTotal *big.Int
+}
+
+// CollectRDSegments runs the SigmaPi enumeration and returns the compact
+// RD certificate: the prime segments whose extensions form the RD-set.
+// Serial only (opt.Workers is ignored); opt.OnPath still fires for kept
+// paths.
+func CollectRDSegments(c *circuit.Circuit, sort circuit.InputSort, opt Options) (*Certificate, error) {
+	if opt.Exact {
+		return nil, fmt.Errorf("core: RD certificates require the approximate enumeration (Exact must be off)")
+	}
+	if opt.Limit > 0 {
+		return nil, fmt.Errorf("core: RD certificates require a complete enumeration (no Limit)")
+	}
+	ct := paths.NewCounts(c)
+	cert := &Certificate{CoveredTotal: new(big.Int)}
+	opt.Sort = &sort
+	opt.Workers = 1
+	opt.onPrune = func(gates []circuit.GateID, pins []int, finalOne bool) {
+		last := gates[len(gates)-1]
+		covered := new(big.Int).Set(ct.Down(last))
+		cert.Segments = append(cert.Segments, RDSegment{
+			Gates:    append([]circuit.GateID(nil), gates...),
+			Pins:     append([]int(nil), pins...),
+			FinalOne: finalOne,
+			Covered:  covered,
+		})
+		cert.CoveredTotal.Add(cert.CoveredTotal, covered)
+	}
+	res, err := Enumerate(c, SigmaPi, opt)
+	if err != nil {
+		return nil, err
+	}
+	cert.Result = res
+	return cert, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/pla"
+	"rdfault/internal/synth"
+)
+
+func TestCertificateCoversExactlyRD(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 3}, seed)
+		s := Heuristic1Sort(c)
+		cert, err := CollectRDSegments(c, s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.CoveredTotal.Cmp(cert.Result.RD) != 0 {
+			t.Fatalf("seed %d: segments cover %v paths, RD = %v",
+				seed, cert.CoveredTotal, cert.Result.RD)
+		}
+		if int64(len(cert.Segments)) != cert.Result.Pruned {
+			t.Fatalf("seed %d: %d segments, %d prunes", seed, len(cert.Segments), cert.Result.Pruned)
+		}
+	}
+}
+
+func TestCertificateSegmentsAreRD(t *testing.T) {
+	// Every extension of every certified segment must be outside LP^sup.
+	c := gen.PaperExample()
+	s := circuit.PinOrderSort(c)
+	kept := map[string]bool{}
+	cert, err := CollectRDSegments(c, s, Options{
+		OnPath: func(lp paths.Logical) { kept[lp.Key()] = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Result.RD.Int64() != 3 {
+		t.Fatalf("RD = %v", cert.Result.RD)
+	}
+	// Expand each segment's extensions explicitly and check none is kept.
+	expanded := 0
+	for _, seg := range cert.Segments {
+		var walk func(g circuit.GateID, gates []circuit.GateID, pins []int)
+		walk = func(g circuit.GateID, gates []circuit.GateID, pins []int) {
+			if c.Type(g) == circuit.Output {
+				lp := paths.Logical{
+					Path:     paths.Path{Gates: gates, Pins: pins},
+					FinalOne: seg.FinalOne,
+				}
+				if kept[lp.Key()] {
+					t.Fatalf("certified segment extension %s is in LP^sup", lp.Path.String(c))
+				}
+				expanded++
+				return
+			}
+			for _, e := range c.Fanout(g) {
+				walk(e.To, append(gates[:len(gates):len(gates)], e.To), append(pins[:len(pins):len(pins)], e.Pin))
+			}
+		}
+		walk(seg.Gates[len(seg.Gates)-1], seg.Gates, seg.Pins)
+		if seg.String(c) == "" {
+			t.Fatal("empty segment rendering")
+		}
+	}
+	if int64(expanded) != cert.Result.RD.Int64() {
+		t.Fatalf("expanded %d paths from segments, RD = %v", expanded, cert.Result.RD)
+	}
+}
+
+func TestCertificateCompactness(t *testing.T) {
+	// On redundancy-heavy circuits the certificate is much smaller than
+	// the RD path list.
+	cv := gen.RandomPLA("red", gen.PLAOptions{Inputs: 10, Outputs: 5, Cubes: 30, Redundant: 25}, 3)
+	c := mustSynthFor(t, cv)
+	s := Heuristic1Sort(c)
+	cert, err := CollectRDSegments(c, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Result.RD.Sign() == 0 {
+		t.Skip("no RD paths on this cover")
+	}
+	if big.NewInt(int64(len(cert.Segments))).Cmp(cert.Result.RD) >= 0 {
+		t.Fatalf("certificate (%d segments) not smaller than RD set (%v)",
+			len(cert.Segments), cert.Result.RD)
+	}
+	t.Logf("certificate: %d segments cover %v RD paths", len(cert.Segments), cert.CoveredTotal)
+}
+
+func TestCertificateGuards(t *testing.T) {
+	c := gen.PaperExample()
+	s := circuit.PinOrderSort(c)
+	if _, err := CollectRDSegments(c, s, Options{Exact: true}); err == nil {
+		t.Error("Exact accepted")
+	}
+	if _, err := CollectRDSegments(c, s, Options{Limit: 2}); err == nil {
+		t.Error("Limit accepted")
+	}
+}
+
+func mustSynthFor(t *testing.T, cv *pla.Cover) *circuit.Circuit {
+	t.Helper()
+	c, err := synth.Synthesize(cv, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

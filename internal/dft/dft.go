@@ -1,0 +1,317 @@
+// Package dft proposes and inserts design-for-testability control points
+// for the logical paths that RD identification keeps but no two-pattern
+// test can exercise — the paths Example 3 of the paper says "must be
+// considered for design for testability modifications".
+//
+// For each untestable kept path the local-implication engine is replayed
+// over the non-robust sensitization conditions (Definition 5); the side
+// input whose requirement first contradicts the others is the blocking
+// site, and a control point there lets a tester force the required
+// non-controlling value:
+//
+//   - a side that must be forced to 1 gets s' = OR(s, tp)
+//   - a side that must be forced to 0 gets s' = AND(s, NOT tp)
+//
+// with tp a fresh test-mode primary input that is 0 in normal operation,
+// preserving the original function.
+package dft
+
+import (
+	"fmt"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+	"rdfault/internal/paths"
+)
+
+// Proposal is one control-point suggestion: the lead whose source must
+// become forcible to the given value.
+type Proposal struct {
+	Lead    circuit.Lead
+	ForceTo bool
+	// Blocking reports whether the site was identified from an actual
+	// implication conflict (true) or by the depth fallback for paths the
+	// engine could not localize (false).
+	Blocking bool
+}
+
+// String renders the proposal using gate names.
+func (p Proposal) String(c *circuit.Circuit) string {
+	v := "0"
+	if p.ForceTo {
+		v = "1"
+	}
+	kind := "fallback"
+	if p.Blocking {
+		kind = "conflict"
+	}
+	return fmt.Sprintf("force %s->%s(pin %d) to %s [%s]",
+		c.Gate(c.Source(p.Lead)).Name, c.Gate(p.Lead.To).Name, p.Lead.Pin, v, kind)
+}
+
+// Propose analyses the given untestable logical paths and returns a
+// deduplicated list of control points, one per distinct blocking site.
+func Propose(c *circuit.Circuit, untestable []paths.Logical) []Proposal {
+	e := logic.NewEngine(c)
+	seen := map[circuit.Lead]bool{}
+	var out []Proposal
+	add := func(p Proposal) {
+		if !seen[p.Lead] {
+			seen[p.Lead] = true
+			out = append(out, p)
+		}
+	}
+	for _, lp := range untestable {
+		if p, ok := blockingSite(c, e, lp); ok {
+			add(p)
+			continue
+		}
+		// Fallback: the deepest gate with side inputs.
+		for i := len(lp.Path.Gates) - 1; i >= 1; i-- {
+			g := lp.Path.Gates[i]
+			ctrl, hasCtrl := c.Type(g).Controlling()
+			if !hasCtrl || len(c.Fanin(g)) < 2 {
+				continue
+			}
+			for pin := range c.Fanin(g) {
+				if pin != lp.Path.Pins[i-1] {
+					add(Proposal{Lead: circuit.Lead{To: g, Pin: pin}, ForceTo: !ctrl})
+					break
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+// blockingSite replays Definition 5's conditions and reports the side
+// lead whose requirement first conflicts.
+func blockingSite(c *circuit.Circuit, e *logic.Engine, lp paths.Logical) (Proposal, bool) {
+	mark := e.Mark()
+	defer e.BacktrackTo(mark)
+	if !e.Assign(lp.Path.PI(), lp.FinalOne) {
+		return Proposal{}, false
+	}
+	val := lp.FinalOne
+	for i := 1; i < len(lp.Path.Gates); i++ {
+		g := lp.Path.Gates[i]
+		typ := c.Type(g)
+		nval := val != typ.Inverting()
+		if ctrl, hasCtrl := typ.Controlling(); hasCtrl {
+			for pin, f := range c.Fanin(g) {
+				if pin == lp.Path.Pins[i-1] {
+					continue
+				}
+				if !e.Assign(f, !ctrl) {
+					return Proposal{
+						Lead:     circuit.Lead{To: g, Pin: pin},
+						ForceTo:  !ctrl,
+						Blocking: true,
+					}, true
+				}
+			}
+		}
+		if !e.Assign(g, nval) {
+			// The on-path value itself is contradicted; treat the first
+			// side of this gate as the site.
+			for pin := range c.Fanin(g) {
+				if pin != lp.Path.Pins[i-1] {
+					ctrl, _ := typ.Controlling()
+					return Proposal{
+						Lead:     circuit.Lead{To: g, Pin: pin},
+						ForceTo:  !ctrl,
+						Blocking: true,
+					}, true
+				}
+			}
+			return Proposal{}, false
+		}
+		val = nval
+	}
+	return Proposal{}, false
+}
+
+// Insert applies the proposals to c and returns the modified circuit.
+// Test-point inputs are named "tp0", "tp1", ... in proposal order; gate
+// names of the original circuit are preserved, so paths can be remapped
+// by name with RemapPath.
+func Insert(c *circuit.Circuit, props []Proposal) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(c.Name() + "+dft")
+	newID := make([]circuit.GateID, c.NumGates())
+	// Inputs first (keeping order), then test points, then logic.
+	for _, pi := range c.Inputs() {
+		newID[pi] = b.Input(c.Gate(pi).Name)
+	}
+	tp := make([]circuit.GateID, len(props))
+	for i := range props {
+		tp[i] = b.Input(fmt.Sprintf("tp%d", i))
+	}
+	// Which proposal covers which lead.
+	propAt := map[circuit.Lead]int{}
+	for i, p := range props {
+		if _, dup := propAt[p.Lead]; dup {
+			return nil, fmt.Errorf("dft: duplicate proposal for lead %v", p.Lead)
+		}
+		propAt[p.Lead] = i
+	}
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+			continue
+		case circuit.Output:
+			newID[g] = b.Output(gate.Name, newID[gate.Fanin[0]])
+		default:
+			fanin := make([]circuit.GateID, len(gate.Fanin))
+			for pin, f := range gate.Fanin {
+				src := newID[f]
+				if pi, ok := propAt[circuit.Lead{To: g, Pin: pin}]; ok {
+					if props[pi].ForceTo {
+						src = b.Gate(circuit.Or, fmt.Sprintf("tpor%d", pi), src, tp[pi])
+					} else {
+						ninv := b.Gate(circuit.Not, fmt.Sprintf("tpn%d", pi), tp[pi])
+						src = b.Gate(circuit.And, fmt.Sprintf("tpand%d", pi), src, ninv)
+					}
+				}
+				fanin[pin] = src
+			}
+			newID[g] = b.Gate(gate.Type, gate.Name, fanin...)
+		}
+	}
+	return b.Build()
+}
+
+// RemapPath translates a path of the original circuit into the modified
+// one by gate name. When a control point was inserted on one of the
+// path's own leads, the wrapper gate is spliced into the returned path
+// (the physical wire now runs through it).
+func RemapPath(orig, modified *circuit.Circuit, p paths.Path) (paths.Path, error) {
+	var out paths.Path
+	prev := circuit.None
+	for i, g := range p.Gates {
+		ng, ok := modified.GateByName(orig.Gate(g).Name)
+		if !ok {
+			return paths.Path{}, fmt.Errorf("dft: gate %q missing after insertion", orig.Gate(g).Name)
+		}
+		if i > 0 {
+			pin := p.Pins[i-1]
+			src := modified.Fanin(ng)[pin]
+			if src != prev {
+				// A wrapper sits on this lead; its pin 0 is the original
+				// signal.
+				if modified.Fanin(src)[0] != prev {
+					return paths.Path{}, fmt.Errorf("dft: lead into %q no longer traceable", orig.Gate(g).Name)
+				}
+				out.Gates = append(out.Gates, src)
+				out.Pins = append(out.Pins, 0)
+				prev = src
+			}
+			out.Pins = append(out.Pins, pin)
+		}
+		out.Gates = append(out.Gates, ng)
+		prev = ng
+	}
+	return out, nil
+}
+
+// InsertObservePoints adds observation points: each listed gate's output
+// is tapped by a fresh primary output named "op<i>". Paths that only
+// failed because their downstream propagation was blocked become
+// testable up to the tap; the original function is untouched.
+func InsertObservePoints(c *circuit.Circuit, gates []circuit.GateID) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(c.Name() + "+obs")
+	newID := make([]circuit.GateID, c.NumGates())
+	for _, pi := range c.Inputs() {
+		newID[pi] = b.Input(c.Gate(pi).Name)
+	}
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+			continue
+		case circuit.Output:
+			newID[g] = b.Output(gate.Name, newID[gate.Fanin[0]])
+		default:
+			fanin := make([]circuit.GateID, len(gate.Fanin))
+			for pin, f := range gate.Fanin {
+				fanin[pin] = newID[f]
+			}
+			newID[g] = b.Gate(gate.Type, gate.Name, fanin...)
+		}
+	}
+	seen := map[circuit.GateID]bool{}
+	for i, g := range gates {
+		if seen[g] {
+			return nil, fmt.Errorf("dft: duplicate observation point %q", c.Gate(g).Name)
+		}
+		seen[g] = true
+		switch c.Type(g) {
+		case circuit.Output:
+			return nil, fmt.Errorf("dft: %q is already a PO", c.Gate(g).Name)
+		case circuit.Input:
+			// Tapping a PI is legal (direct observation).
+		}
+		b.Output(fmt.Sprintf("op%d", i), newID[g])
+	}
+	return b.Build()
+}
+
+// ProposeObservePoints suggests observation sites for untestable paths:
+// the deepest on-path gate up to which the path IS non-robustly testable
+// (checked by implication replay of the prefix conditions). Duplicates
+// are merged.
+func ProposeObservePoints(c *circuit.Circuit, untestable []paths.Logical) []circuit.GateID {
+	e := logic.NewEngine(c)
+	seen := map[circuit.GateID]bool{}
+	var out []circuit.GateID
+	for _, lp := range untestable {
+		g, ok := deepestFeasiblePrefix(c, e, lp)
+		if !ok || seen[g] {
+			continue
+		}
+		seen[g] = true
+		out = append(out, g)
+	}
+	return out
+}
+
+// deepestFeasiblePrefix walks the path asserting Definition 5 conditions
+// and returns the last on-path gate before the first conflict (None when
+// even the PI assignment fails or the whole path is feasible locally).
+func deepestFeasiblePrefix(c *circuit.Circuit, e *logic.Engine, lp paths.Logical) (circuit.GateID, bool) {
+	mark := e.Mark()
+	defer e.BacktrackTo(mark)
+	if !e.Assign(lp.Path.PI(), lp.FinalOne) {
+		return circuit.None, false
+	}
+	val := lp.FinalOne
+	last := lp.Path.PI()
+	for i := 1; i < len(lp.Path.Gates); i++ {
+		g := lp.Path.Gates[i]
+		typ := c.Type(g)
+		nval := val != typ.Inverting()
+		if ctrl, hasCtrl := typ.Controlling(); hasCtrl {
+			for pin, f := range c.Fanin(g) {
+				if pin == lp.Path.Pins[i-1] {
+					continue
+				}
+				if !e.Assign(f, !ctrl) {
+					if c.Type(last) == circuit.Input {
+						return circuit.None, false // nothing worth tapping
+					}
+					return last, true
+				}
+			}
+		}
+		if !e.Assign(g, nval) {
+			if c.Type(last) == circuit.Input {
+				return circuit.None, false
+			}
+			return last, true
+		}
+		val = nval
+		last = g
+	}
+	return circuit.None, false // feasible locally; observation won't help
+}

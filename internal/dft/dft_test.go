@@ -1,0 +1,243 @@
+package dft
+
+import (
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/tgen"
+)
+
+// untestableSelected returns the functionally-sensitizable-only paths of
+// the circuit — the DFT candidates of Example 3.
+func untestableSelected(c *circuit.Circuit) []paths.Logical {
+	gn := tgen.NewGenerator(c)
+	var out []paths.Logical
+	paths.ForEachLogical(c, func(lp paths.Logical) bool {
+		cp := paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne}
+		if gn.Classify(cp) == tgen.FuncSensitizable {
+			out = append(out, cp)
+		}
+		return true
+	})
+	return out
+}
+
+func TestProposeOnPaperExample(t *testing.T) {
+	c := gen.PaperExample()
+	un := untestableSelected(c)
+	if len(un) != 3 {
+		t.Fatalf("example has %d FS-only paths, want 3", len(un))
+	}
+	props := Propose(c, un)
+	if len(props) == 0 {
+		t.Fatal("no proposals")
+	}
+	for _, p := range props {
+		if !p.Blocking {
+			t.Errorf("proposal %s not conflict-derived", p.String(c))
+		}
+		if p.String(c) == "" {
+			t.Error("empty proposal string")
+		}
+	}
+}
+
+func TestInsertPreservesFunction(t *testing.T) {
+	c := gen.PaperExample()
+	props := Propose(c, untestableSelected(c))
+	mod, err := Insert(c, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all test points at 0, the modified circuit must compute the
+	// original function.
+	nOrig := len(c.Inputs())
+	nMod := len(mod.Inputs())
+	for v := 0; v < 1<<nOrig; v++ {
+		in := make([]bool, nOrig)
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		modIn := append(append([]bool{}, in...), make([]bool, nMod-nOrig)...)
+		want := c.OutputsOf(c.EvalBool(in))
+		got := mod.OutputsOf(mod.EvalBool(modIn))
+		for o := range want {
+			if want[o] != got[o] {
+				t.Fatalf("function changed at v=%d output %d", v, o)
+			}
+		}
+	}
+}
+
+func TestInsertionMakesPathsTestable(t *testing.T) {
+	c := gen.PaperExample()
+	un := untestableSelected(c)
+	props := Propose(c, un)
+	mod, err := Insert(c, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := tgen.NewGenerator(mod)
+	improved := 0
+	for _, lp := range un {
+		np, err := RemapPath(c, mod, lp.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := gn.Classify(paths.Logical{Path: np, FinalOne: lp.FinalOne})
+		if cl >= tgen.NonRobust {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("no untestable path became testable after insertion")
+	}
+	t.Logf("%d of %d untestable paths became testable with %d control points",
+		improved, len(un), len(props))
+}
+
+func TestInsertionOnRandomCircuits(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 2}, seed)
+		un := untestableSelected(c)
+		if len(un) == 0 {
+			continue
+		}
+		props := Propose(c, un)
+		if len(props) == 0 {
+			continue
+		}
+		mod, err := Insert(c, props)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Function preserved with test points at 0.
+		nOrig := len(c.Inputs())
+		nMod := len(mod.Inputs())
+		for v := 0; v < 1<<nOrig; v++ {
+			in := make([]bool, nOrig)
+			for i := range in {
+				in[i] = v&(1<<i) != 0
+			}
+			modIn := append(append([]bool{}, in...), make([]bool, nMod-nOrig)...)
+			want := c.OutputsOf(c.EvalBool(in))
+			got := mod.OutputsOf(mod.EvalBool(modIn))
+			for o := range want {
+				if want[o] != got[o] {
+					t.Fatalf("seed %d: function changed", seed)
+				}
+			}
+		}
+		// Remapped paths stay structurally valid.
+		for _, lp := range un {
+			np, err := RemapPath(c, mod, lp.Path)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for i := 0; i+1 < len(np.Gates); i++ {
+				if mod.Fanin(np.Gates[i+1])[np.Pins[i]] != np.Gates[i] {
+					t.Fatalf("seed %d: remapped path broken", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestInsertRejectsDuplicates(t *testing.T) {
+	c := gen.PaperExample()
+	g, _ := c.GateByName("g")
+	p := Proposal{Lead: circuit.Lead{To: g, Pin: 0}, ForceTo: true}
+	if _, err := Insert(c, []Proposal{p, p}); err == nil {
+		t.Fatal("duplicate proposals accepted")
+	}
+}
+
+func TestRemapIdentityWithoutInsertion(t *testing.T) {
+	c := gen.PaperExample()
+	mod, err := Insert(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := paths.Collect(c, 0)
+	for _, p := range ps {
+		np, err := RemapPath(c, mod, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np.Len() != p.Len() {
+			t.Fatal("identity remap changed length")
+		}
+	}
+}
+
+func TestObservePoints(t *testing.T) {
+	c := gen.PaperExample()
+	un := untestableSelected(c)
+	sites := ProposeObservePoints(c, un)
+	if len(sites) == 0 {
+		t.Fatal("no observation sites proposed")
+	}
+	mod, err := InsertObservePoints(c, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Outputs()) != len(c.Outputs())+len(sites) {
+		t.Fatal("taps not added")
+	}
+	// Original outputs unchanged.
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		a := c.OutputsOf(c.EvalBool(in))
+		b := mod.OutputsOf(mod.EvalBool(in))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("observation points changed the function")
+			}
+		}
+	}
+	// The tapped prefixes become testable: each untestable path's prefix
+	// up to a tap is now a full path to the new PO; classify it.
+	gn := tgen.NewGenerator(mod)
+	improved := 0
+	for _, lp := range un {
+		np, err := RemapPath(c, mod, lp.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncate at the first tapped gate and redirect to its new PO.
+		for i, g := range np.Gates {
+			name := mod.Gate(g).Name
+			_ = name
+			for oi := len(c.Outputs()); oi < len(mod.Outputs()); oi++ {
+				po := mod.Outputs()[oi]
+				if mod.Fanin(po)[0] != g {
+					continue
+				}
+				short := paths.Path{
+					Gates: append(append([]circuit.GateID{}, np.Gates[:i+1]...), po),
+					Pins:  append(append([]int{}, np.Pins[:i]...), 0),
+				}
+				if gn.Classify(paths.Logical{Path: short, FinalOne: lp.FinalOne}) >= tgen.NonRobust {
+					improved++
+				}
+			}
+		}
+	}
+	if improved == 0 {
+		t.Fatal("no truncated path became testable through a tap")
+	}
+	t.Logf("%d tapped prefixes became testable via %d observation points", improved, len(sites))
+}
+
+func TestInsertObservePointsErrors(t *testing.T) {
+	c := gen.PaperExample()
+	g, _ := c.GateByName("g")
+	if _, err := InsertObservePoints(c, []circuit.GateID{g, g}); err == nil {
+		t.Error("duplicate tap accepted")
+	}
+	if _, err := InsertObservePoints(c, []circuit.GateID{c.Outputs()[0]}); err == nil {
+		t.Error("tapping a PO accepted")
+	}
+}

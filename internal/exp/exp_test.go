@@ -1,0 +1,288 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rdfault/internal/gen"
+	"rdfault/internal/tgen"
+)
+
+// smallSuite is a fast subset standing in for the full ISCAS85 run.
+func smallSuite() []gen.Named {
+	return []gen.Named{
+		{Paper: "c432", C: gen.PriorityInterrupt(9)},
+		{Paper: "c880", C: gen.ALU(4, gen.XorNAND)},
+		{Paper: "c499", C: gen.SECDecoder(6, gen.XorAOI)},
+	}
+}
+
+func TestRunISCAS(t *testing.T) {
+	rows, err := RunISCAS(smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total.Sign() <= 0 {
+			t.Errorf("%s: nonpositive path total", r.Circuit)
+		}
+		// Structural guarantees, independent of circuit shapes:
+		// sigma^pi-based RD never falls below the FUS baseline.
+		for _, v := range []float64{r.Heu1, r.Heu2, r.Inv} {
+			if v < r.FUS-1e-9 {
+				t.Errorf("%s: sort-based RD %.2f%% below FUS %.2f%%", r.Circuit, v, r.FUS)
+			}
+		}
+		if r.FUS < 0 || r.Heu2 > 100 {
+			t.Errorf("%s: RD%% out of range", r.Circuit)
+		}
+	}
+	var buf bytes.Buffer
+	FprintTableI(&buf, rows)
+	FprintTableII(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "TABLE I") || !strings.Contains(out, "TABLE II") {
+		t.Error("table headers missing")
+	}
+	if !strings.Contains(out, "c432") {
+		t.Error("row missing")
+	}
+}
+
+func TestRunMCNC(t *testing.T) {
+	covers := []gen.NamedCover{
+		{Paper: "apex1", Cover: gen.RandomPLA("apex1", gen.PLAOptions{Inputs: 6, Outputs: 3, Cubes: 10}, 3)},
+		{Paper: "bw", Cover: gen.RandomPLA("bw", gen.PLAOptions{Inputs: 5, Outputs: 4, Cubes: 12, DashFrac: 0.2}, 4)},
+	}
+	rows, err := RunMCNC(covers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.LamRD < 0 || r.LamRD > 100 || r.Heu2RD < 0 || r.Heu2RD > 100 {
+			t.Errorf("%s: RD%% out of range", r.Circuit)
+		}
+	}
+	var buf bytes.Buffer
+	FprintTableIII(&buf, rows)
+	if !strings.Contains(buf.String(), "TABLE III") {
+		t.Error("missing header")
+	}
+	_ = QualityGap(rows)
+	if QualityGap(nil) != 0 {
+		t.Error("QualityGap(nil) != 0")
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := RunFigures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SystemsFor111 != 3 {
+		t.Errorf("systems for 111 = %d, want 3 (Figure 1)", rep.SystemsFor111)
+	}
+	if rep.SixPathAssignment != 6 {
+		t.Errorf("worse assignment = %d paths, want 6 (Figure 2)", rep.SixPathAssignment)
+	}
+	if rep.OptimalAssignment != 5 {
+		t.Errorf("optimal assignment = %d paths, want 5 (Figure 4)", rep.OptimalAssignment)
+	}
+	if rep.SigmaPiOptimal != 5 {
+		t.Errorf("sigma^pi = %d paths, want 5 (Figure 5)", rep.SigmaPiOptimal)
+	}
+	if rep.DashedPathClass != tgen.FuncSensitizable {
+		t.Errorf("dashed path class = %v, want functionally sensitizable", rep.DashedPathClass)
+	}
+	if rep.ExactT != 5 || rep.ExactFS != 8 || rep.TotalPaths != 8 {
+		t.Errorf("hierarchy = T%d FS%d LP%d, want 5/8/8", rep.ExactT, rep.ExactFS, rep.TotalPaths)
+	}
+	if rep.CoverageOptimal != "5/5" || rep.CoverageWorse != "5/6" {
+		t.Errorf("coverage = %s vs %s, want 5/5 vs 5/6", rep.CoverageOptimal, rep.CoverageWorse)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSpeedup(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunSpeedup(&buf, []int{4, 5}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.LamCompleted {
+			t.Errorf("%s: unfolding should complete at these sizes", r.Circuit)
+		}
+		if r.Heu2Time <= 0 {
+			t.Errorf("%s: zero Heu2 time", r.Circuit)
+		}
+	}
+	// A tiny cap must produce a did-not-finish row, not an error.
+	rows, err = RunSpeedup(&buf, []int{6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].LamCompleted {
+		t.Error("expected incomplete run under tiny node cap")
+	}
+	if rows[0].Speedup() != 0 {
+		t.Error("incomplete run should report zero speedup")
+	}
+	if !strings.Contains(buf.String(), "did not finish") {
+		t.Error("output missing did-not-finish marker")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunAblations(&buf, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SegmentsFlat < r.SegmentsPruned {
+			t.Errorf("%s: pruning increased segment count", r.Circuit)
+		}
+		if r.Superset < r.Exact {
+			t.Errorf("%s: LP^sup (%d) smaller than exact LP (%d)", r.Circuit, r.Superset, r.Exact)
+		}
+		if r.RDInv > r.RDHeu2+1e-9 && r.RDInv > r.RDPin+1e-9 {
+			t.Logf("%s: inverse sort beat both (possible on random circuits)", r.Circuit)
+		}
+	}
+}
+
+func TestRunOptimalityGap(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunOptimalityGap(&buf, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Optimal <= 0 || int64(r.Optimal) > r.Total {
+			t.Errorf("%s: optimum %d out of range", r.Circuit, r.Optimal)
+		}
+	}
+	if !strings.Contains(buf.String(), "optimum") {
+		t.Error("missing header")
+	}
+}
+
+func TestRunRedundancySweep(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunRedundancySweep(&buf, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Removed > 0 && r.RDAfter > r.RDBefore+1e-9 {
+			t.Logf("%s: sweep increased RD%% (%.2f -> %.2f) — possible but unusual",
+				r.Circuit, r.RDBefore, r.RDAfter)
+		}
+	}
+	if !strings.Contains(buf.String(), "Redundancy-sweep") {
+		t.Error("missing header")
+	}
+}
+
+func TestPaperReferencesComplete(t *testing.T) {
+	for _, nc := range gen.ISCAS85Suite() {
+		if _, ok := PaperTableI[nc.Paper]; !ok {
+			t.Errorf("no Table I reference for %s", nc.Paper)
+		}
+	}
+	for _, nc := range gen.MCNCSuite() {
+		if _, ok := PaperTableIII[nc.Paper]; !ok {
+			t.Errorf("no Table III reference for %s", nc.Paper)
+		}
+	}
+}
+
+func TestRunSortComparison(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunSortComparison(&buf, smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.PinRD, r.SCOAPRD, r.Heu1RD, r.Heu2RD} {
+			if v < 0 || v > 100 {
+				t.Errorf("%s: RD%% out of range", r.Circuit)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "SCOAP") {
+		t.Error("missing header")
+	}
+}
+
+func TestRunPopulation(t *testing.T) {
+	var buf bytes.Buffer
+	stats, err := RunPopulation(&buf, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Circuits != 3 {
+		t.Fatalf("circuits = %d", stats.Circuits)
+	}
+	if stats.StdDev < 0 {
+		t.Fatal("negative stddev")
+	}
+	if !strings.Contains(buf.String(), "Population") {
+		t.Error("missing header")
+	}
+}
+
+func TestRunAllQuickAndReports(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := RunAll(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ISCAS) == 0 || len(s.MCNC) == 0 || s.Figures == nil || s.Population == nil {
+		t.Fatal("summary incomplete")
+	}
+	var html bytes.Buffer
+	if err := s.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<html", "Table I/II", "Speed-up", "SCOAP", "Population"} {
+		if !strings.Contains(html.String(), want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(js.Bytes(), &round); err != nil {
+		t.Fatalf("JSON report invalid: %v", err)
+	}
+	if _, ok := round["iscas"]; !ok {
+		t.Error("JSON missing iscas key")
+	}
+}

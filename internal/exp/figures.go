@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/stabilize"
+	"rdfault/internal/tgen"
+)
+
+// FiguresReport carries the quantities the paper's Figures 1-5 and
+// Examples 1-4 state for the running example circuit.
+type FiguresReport struct {
+	// Figure 1: number of distinct stabilizing systems for input 111.
+	SystemsFor111 int
+	// Example 2 / Figure 2: a complete stabilizing assignment with this
+	// many logical paths exists (6 in the paper), including one that is
+	// functionally sensitizable but not (non-)robustly testable.
+	SixPathAssignment int
+	DashedPathClass   tgen.Class
+	// Example 3 / Figure 4: the optimal assignment's path count (5).
+	OptimalAssignment int
+	// Figure 5: the pin-order sort realizes the optimum via sigma^pi.
+	SigmaPiOptimal int64
+	// Figure 3 hierarchy sizes: |T| <= |LP(sigma)| <= |FS| <= |LP|.
+	ExactT, ExactFS, TotalPaths int
+	// Coverage shape of Example 3: testable / selected for the optimal
+	// and the worse assignment (5/5 vs 5/6 in the paper).
+	CoverageOptimal, CoverageWorse string
+}
+
+// RunFigures reproduces Figures 1-5 on the reconstructed example circuit
+// and writes a textual rendition to w.
+func RunFigures(w io.Writer) (*FiguresReport, error) {
+	c := gen.PaperExample()
+	rep := &FiguresReport{}
+	fmt.Fprintf(w, "Example circuit (reconstruction): y = OR(a, AND(b, OR(b, c)))\n\n")
+
+	// Figure 1: all stabilizing systems for 111.
+	systems := stabilize.AllSystems(c, []bool{true, true, true})
+	rep.SystemsFor111 = len(systems)
+	fmt.Fprintf(w, "Figure 1 — stabilizing systems for input 111 (paper: three):\n")
+	keys := make([]string, 0, len(systems))
+	for _, s := range systems {
+		keys = append(keys, s.String())
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		fmt.Fprintf(w, "  S%d: %s\n", i+1, k)
+	}
+
+	// Figure 2 / Example 2: the six-path assignment.
+	o, _ := c.GateByName("o")
+	worse := stabilize.ComputeAssignment(c, func(_ *circuit.Circuit, g circuit.GateID, ctrl []int) int {
+		if g == o {
+			return ctrl[len(ctrl)-1]
+		}
+		return ctrl[0]
+	})
+	worseLP := worse.LogicalPaths()
+	rep.SixPathAssignment = len(worseLP)
+	gn := tgen.NewGenerator(c)
+	fmt.Fprintf(w, "\nFigure 2 — a complete stabilizing assignment with |LP(sigma)| = %d (paper: 6):\n", len(worseLP))
+	worseTestable := 0
+	for _, k := range sortedKeys(worseLP) {
+		lp := worseLP[k]
+		cl := gn.Classify(lp)
+		if cl >= tgen.NonRobust {
+			worseTestable++
+		}
+		marker := ""
+		if cl < tgen.NonRobust {
+			marker = "   <- the dashed path: functionally sensitizable, not testable"
+			rep.DashedPathClass = cl
+		}
+		fmt.Fprintf(w, "  %-30s %-17s%s\n", pathLabel(c, lp), cl, marker)
+	}
+	rep.CoverageWorse = fmt.Sprintf("%d/%d", worseTestable, len(worseLP))
+
+	// Figure 4 / Example 3: the optimal assignment.
+	opt := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(circuit.PinOrderSort(c)))
+	optLP := opt.LogicalPaths()
+	rep.OptimalAssignment = len(optLP)
+	optTestable := 0
+	fmt.Fprintf(w, "\nFigure 4 / Example 3 — optimal assignment, |LP(sigma')| = %d (paper: 5):\n", len(optLP))
+	for _, k := range sortedKeys(optLP) {
+		lp := optLP[k]
+		cl := gn.Classify(lp)
+		if cl >= tgen.NonRobust {
+			optTestable++
+		}
+		fmt.Fprintf(w, "  %-30s %s\n", pathLabel(c, lp), cl)
+	}
+	rep.CoverageOptimal = fmt.Sprintf("%d/%d", optTestable, len(optLP))
+	fmt.Fprintf(w, "Coverage (testable/selected): optimal %s, worse %s (paper: 5/5 vs 5/6)\n",
+		rep.CoverageOptimal, rep.CoverageWorse)
+
+	// Figure 5: sigma^pi with the pin-order sort realizes the optimum.
+	pin := circuit.PinOrderSort(c)
+	res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &pin})
+	if err != nil {
+		return nil, err
+	}
+	rep.SigmaPiOptimal = res.Selected
+	fmt.Fprintf(w, "\nFigure 5 — input sort realizing the optimum: pin order (a<g at y, b<o at g, b<c at o)\n")
+	fmt.Fprintf(w, "  |LP^sup(sigma^pi)| = %d, RD = %v of %v paths\n", res.Selected, res.RD, res.Total)
+
+	// Figure 3: the hierarchy, with exact sets.
+	var all []paths.Logical
+	paths.ForEachLogical(c, func(lp paths.Logical) bool {
+		all = append(all, paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne})
+		return true
+	})
+	rep.TotalPaths = len(all)
+	for _, lp := range all {
+		cl := gn.Classify(lp)
+		if cl >= tgen.NonRobust {
+			rep.ExactT++
+		}
+		if cl >= tgen.FuncSensitizable {
+			rep.ExactFS++
+		}
+	}
+	fmt.Fprintf(w, "\nFigure 3 — hierarchy: |T| = %d <= |LP(sigma')| = %d <= |FS| = %d <= |LP| = %d\n",
+		rep.ExactT, rep.OptimalAssignment, rep.ExactFS, rep.TotalPaths)
+	return rep, nil
+}
+
+func pathLabel(c *circuit.Circuit, lp paths.Logical) string {
+	dir := "fall"
+	if lp.FinalOne {
+		dir = "rise"
+	}
+	return lp.Path.String(c) + " (" + dir + ")"
+}
+
+func sortedKeys(m map[string]paths.Logical) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+	"rdfault/internal/synth"
+)
+
+// PopulationStats aggregates the Heu2-vs-Heu1 comparison over a
+// population of synthesized circuits — the statistical version of the
+// paper's "average improvement 2.51%" remark.
+type PopulationStats struct {
+	Circuits int
+	// MeanImprovement and StdDev summarize Heu2%% - Heu1%% across the
+	// population; Heu2Wins counts circuits where Heuristic 2 strictly
+	// improved on Heuristic 1, Ties where they agreed.
+	MeanImprovement float64
+	StdDev          float64
+	Heu2Wins        int
+	Ties            int
+	// MeanInverseDrop summarizes Heu2%% - inverse%% (how much the control
+	// experiment loses).
+	MeanInverseDrop float64
+}
+
+// RunPopulation measures Heuristic 1 vs Heuristic 2 vs the inverse
+// control across n seeded synthesized covers.
+func RunPopulation(w io.Writer, n int, baseSeed int64) (*PopulationStats, error) {
+	fmt.Fprintf(w, "Population study over %d synthesized covers (Heu2 vs Heu1 vs inverse)\n", n)
+	var (
+		diffs   []float64
+		invDrop []float64
+		stats   PopulationStats
+	)
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)
+		cv := gen.RandomPLA(fmt.Sprintf("pop%d", seed),
+			gen.PLAOptions{Inputs: 10, Outputs: 5, Cubes: 30, DashFrac: 0.45, Redundant: 12}, seed)
+		c, err := synth.Synthesize(cv, synth.Options{})
+		if err != nil {
+			return nil, err
+		}
+		h1, err := core.Identify(c, core.Heuristic1, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		h2, err := core.Identify(c, core.Heuristic2, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		inv, err := core.Identify(c, core.Heuristic2Inverse, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		d := h2.RDPercent() - h1.RDPercent()
+		diffs = append(diffs, d)
+		invDrop = append(invDrop, h2.RDPercent()-inv.RDPercent())
+		switch {
+		case d > 1e-9:
+			stats.Heu2Wins++
+		case d > -1e-9:
+			stats.Ties++
+		}
+	}
+	stats.Circuits = n
+	mean := 0.0
+	for _, d := range diffs {
+		mean += d
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, d := range diffs {
+		variance += (d - mean) * (d - mean)
+	}
+	stats.MeanImprovement = mean
+	stats.StdDev = math.Sqrt(variance / float64(n))
+	for _, d := range invDrop {
+		stats.MeanInverseDrop += d
+	}
+	stats.MeanInverseDrop /= float64(n)
+	fmt.Fprintf(w, "Heu2 - Heu1: mean %+.2f%% (stddev %.2f), wins %d, ties %d of %d (paper: +2.51%% on ISCAS85)\n",
+		stats.MeanImprovement, stats.StdDev, stats.Heu2Wins, stats.Ties, n)
+	fmt.Fprintf(w, "Heu2 - inverse: mean %+.2f%% (the control experiment's loss)\n", stats.MeanInverseDrop)
+	return &stats, nil
+}

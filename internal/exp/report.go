@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+
+	"rdfault/internal/gen"
+)
+
+// Summary aggregates one full experiment run for machine- and
+// human-readable reporting (cmd/report).
+type Summary struct {
+	GeneratedAt time.Time           `json:"generated_at"`
+	Quick       bool                `json:"quick"`
+	ISCAS       []ISCASRow          `json:"iscas"`
+	MCNC        []MCNCRow           `json:"mcnc"`
+	Figures     *FiguresReport      `json:"figures"`
+	Speedup     []SpeedupRow        `json:"speedup"`
+	Ablations   []AblationRow       `json:"ablations"`
+	Optimality  []OptimalityRow     `json:"optimality"`
+	Redundancy  []RedundancyRow     `json:"redundancy"`
+	Sorts       []SortComparisonRow `json:"sorts"`
+	Population  *PopulationStats    `json:"population"`
+}
+
+// RunAll executes every experiment. quick substitutes scaled-down
+// workloads (seconds instead of minutes) — the full mode regenerates the
+// EXPERIMENTS.md numbers.
+func RunAll(w io.Writer, quick bool) (*Summary, error) {
+	s := &Summary{GeneratedAt: time.Now(), Quick: quick}
+	iscas := gen.ISCAS85Suite()
+	mcnc := gen.MCNCSuite()
+	speedSizes := []int{4, 6, 8, 10, 12, 14, 20}
+	ablSeeds := []int64{1, 2, 3, 4, 5}
+	optSeeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	redSeeds := []int64{1, 2, 3, 4, 5, 6}
+	popN := 20
+	if quick {
+		iscas = []gen.Named{
+			{Paper: "c432", C: gen.PriorityInterruptGrouped(3, 3)},
+			{Paper: "c880", C: gen.ALU(4, gen.XorNAND)},
+			{Paper: "c499", C: gen.SECDecoder(6, gen.XorAOI)},
+		}
+		mcnc = mcnc[:2]
+		speedSizes = []int{4, 6}
+		ablSeeds = ablSeeds[:2]
+		optSeeds = optSeeds[:2]
+		redSeeds = redSeeds[:2]
+		popN = 4
+	}
+	var err error
+	if s.ISCAS, err = RunISCAS(iscas); err != nil {
+		return nil, err
+	}
+	FprintTableI(w, s.ISCAS)
+	FprintTableII(w, s.ISCAS)
+	if s.MCNC, err = RunMCNC(mcnc); err != nil {
+		return nil, err
+	}
+	FprintTableIII(w, s.MCNC)
+	if s.Figures, err = RunFigures(w); err != nil {
+		return nil, err
+	}
+	if s.Speedup, err = RunSpeedup(w, speedSizes, 400_000); err != nil {
+		return nil, err
+	}
+	if s.Ablations, err = RunAblations(w, ablSeeds); err != nil {
+		return nil, err
+	}
+	if s.Optimality, err = RunOptimalityGap(w, optSeeds); err != nil {
+		return nil, err
+	}
+	if s.Redundancy, err = RunRedundancySweep(w, redSeeds); err != nil {
+		return nil, err
+	}
+	if s.Sorts, err = RunSortComparison(w, iscas); err != nil {
+		return nil, err
+	}
+	if s.Population, err = RunPopulation(w, popN, 5000); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteJSON emits the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteHTML renders a self-contained HTML report.
+func (s *Summary) WriteHTML(w io.Writer) error {
+	return reportTemplate.Execute(w, s)
+}
+
+var reportTemplate = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct": func(v float64) string { return fmt.Sprintf("%.2f%%", v) },
+	"dur": func(d time.Duration) string { return d.Round(time.Millisecond).String() },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>rdfault experiment report</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 70em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 0.3em 0.7em; text-align: right; }
+th { background: #eee; }
+td:first-child, th:first-child { text-align: left; }
+h2 { margin-top: 2em; }
+.note { color: #555; font-size: 0.9em; }
+</style></head><body>
+<h1>rdfault — experiment report</h1>
+<p class="note">Generated {{.GeneratedAt.Format "2006-01-02 15:04:05"}}{{if .Quick}} (quick mode — scaled-down workloads){{end}}.
+Reproduction of Sparmann, Luxenburger, Cheng, Reddy, DAC 1995. See EXPERIMENTS.md for paper-vs-measured analysis.</p>
+
+<h2>Table I/II — RD identification on the ISCAS85-analogue suite</h2>
+<table><tr><th>circuit</th><th>paths</th><th>FUS</th><th>Heu1</th><th>Heu2</th><th>inverse</th><th>Heu1 time</th><th>Heu2 time</th></tr>
+{{range .ISCAS}}<tr><td>{{.Circuit}}</td><td>{{.Total}}</td><td>{{pct .FUS}}</td><td>{{pct .Heu1}}</td><td>{{pct .Heu2}}</td><td>{{pct .Inv}}</td><td>{{dur .TimeHeu1}}</td><td>{{dur .TimeHeu2}}</td></tr>
+{{end}}</table>
+
+<h2>Table III — unfolding approach of [1] vs Heuristic 2</h2>
+<table><tr><th>circuit</th><th>paths</th><th>[1] RD</th><th>[1] time</th><th>Heu2 RD</th><th>Heu2 time</th></tr>
+{{range .MCNC}}<tr><td>{{.Circuit}}</td><td>{{.Total}}</td><td>{{pct .LamRD}}</td><td>{{dur .LamTime}}</td><td>{{pct .Heu2RD}}</td><td>{{dur .Heu2Time}}</td></tr>
+{{end}}</table>
+
+<h2>Speed-up (c499 anchor)</h2>
+<table><tr><th>circuit</th><th>paths</th><th>[1] time</th><th>Heu2 time</th><th>factor</th></tr>
+{{range .Speedup}}<tr><td>{{.Circuit}}</td><td>{{.Paths}}</td><td>{{if .LamCompleted}}{{dur .LamTime}}{{else}}did not finish{{end}}</td><td>{{dur .Heu2Time}}</td><td>{{if .LamCompleted}}{{printf "%.0fx" .Speedup}}{{else}}&infin;{{end}}</td></tr>
+{{end}}</table>
+
+<h2>Figures 1–5 (paper example)</h2>
+{{with .Figures}}
+<ul>
+<li>Stabilizing systems for input 111: {{.SystemsFor111}} (paper: 3)</li>
+<li>Worse assignment |LP(σ)| = {{.SixPathAssignment}} (paper: 6); dashed path class: {{.DashedPathClass}}</li>
+<li>Optimal assignment |LP(σ')| = {{.OptimalAssignment}} (paper: 5); σ^π achieves {{.SigmaPiOptimal}}</li>
+<li>Hierarchy |T|={{.ExactT}} ≤ |LP(σ')|={{.OptimalAssignment}} ≤ |FS|={{.ExactFS}} ≤ |LP|={{.TotalPaths}}</li>
+<li>Coverage: optimal {{.CoverageOptimal}}, worse {{.CoverageWorse}} (paper: 5/5 vs 5/6)</li>
+</ul>
+{{end}}
+
+<h2>Ablations</h2>
+<table><tr><th>seed circuit</th><th>segments (pruned)</th><th>segments (flat)</th><th>LP^sup</th><th>LP exact</th><th>Heu2</th><th>pin</th><th>inverse</th></tr>
+{{range .Ablations}}<tr><td>{{.Circuit}}</td><td>{{.SegmentsPruned}}</td><td>{{.SegmentsFlat}}</td><td>{{.Superset}}</td><td>{{.Exact}}</td><td>{{pct .RDHeu2}}</td><td>{{pct .RDPin}}</td><td>{{pct .RDInv}}</td></tr>
+{{end}}</table>
+
+<h2>Optimality gap (unrestricted optimum vs sort-restricted)</h2>
+<table><tr><th>circuit</th><th>paths</th><th>optimum</th><th>sort exact</th><th>sort approx</th></tr>
+{{range .Optimality}}<tr><td>{{.Circuit}}</td><td>{{.Total}}</td><td>{{.Optimal}}{{if not .Exact}}+{{end}}</td><td>{{.BestSortExact}}</td><td>{{.BestSortSup}}</td></tr>
+{{end}}</table>
+
+<h2>Redundancy sweep</h2>
+<table><tr><th>circuit</th><th>gates removed</th><th>RD before</th><th>RD after</th></tr>
+{{range .Redundancy}}<tr><td>{{.Circuit}}</td><td>{{.Removed}}</td><td>{{pct .RDBefore}}</td><td>{{pct .RDAfter}}</td></tr>
+{{end}}</table>
+
+<h2>Input-sort comparison (incl. SCOAP extension)</h2>
+<table><tr><th>circuit</th><th>pin</th><th>SCOAP</th><th>Heu1</th><th>Heu2</th></tr>
+{{range .Sorts}}<tr><td>{{.Circuit}}</td><td>{{pct .PinRD}}</td><td>{{pct .SCOAPRD}}</td><td>{{pct .Heu1RD}}</td><td>{{pct .Heu2RD}}</td></tr>
+{{end}}</table>
+
+<h2>Population study</h2>
+{{with .Population}}
+<p>Over {{.Circuits}} synthesized covers: Heu2−Heu1 mean {{pct .MeanImprovement}}
+(σ {{pct .StdDev}}), {{.Heu2Wins}} wins / {{.Ties}} ties; Heu2−inverse mean {{pct .MeanInverseDrop}}.</p>
+{{end}}
+</body></html>
+`))

@@ -1,0 +1,81 @@
+package fsim
+
+import (
+	"math/big"
+	"testing"
+
+	"rdfault/internal/gen"
+	"rdfault/internal/tgen"
+)
+
+// TestCountMatchesEnumeration cross-checks the non-enumerative counter
+// against explicit detection enumeration.
+func TestCountMatchesEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 3}, seed)
+		sim := New(c)
+		n := len(c.Inputs())
+		for trial := 0; trial < 15; trial++ {
+			tt := randomTest(n, seed*77+int64(trial))
+			res := sim.Detects(tt)
+			cnt := sim.Count(tt)
+			if cnt.NonRobust.Cmp(big.NewInt(int64(len(res.NonRobust)))) != 0 {
+				t.Fatalf("seed %d trial %d: counted %v non-robust, enumerated %d",
+					seed, trial, cnt.NonRobust, len(res.NonRobust))
+			}
+			if cnt.Robust.Cmp(big.NewInt(int64(len(res.Robust)))) != 0 {
+				t.Fatalf("seed %d trial %d: counted %v robust, enumerated %d",
+					seed, trial, cnt.Robust, len(res.Robust))
+			}
+		}
+	}
+}
+
+func TestCountStaticTestIsZero(t *testing.T) {
+	c := gen.PaperExample()
+	sim := New(c)
+	v := []bool{false, true, false}
+	cnt := sim.Count(tgen.Test{V1: v, V2: v})
+	if cnt.NonRobust.Sign() != 0 || cnt.Robust.Sign() != 0 {
+		t.Fatalf("static test counted %v/%v detections", cnt.Robust, cnt.NonRobust)
+	}
+}
+
+// TestCountScalesToMultiplier demonstrates the non-enumerative point: a
+// single all-inputs-toggle test on the 8x8 multiplier detects an
+// astronomically large non-robust set that could never be enumerated.
+func TestCountScalesToMultiplier(t *testing.T) {
+	c := gen.ArrayMultiplier(8, gen.XorNAND)
+	sim := New(c)
+	n := len(c.Inputs())
+	v1 := make([]bool, n)
+	v2 := make([]bool, n)
+	for i := range v2 {
+		v2[i] = true
+	}
+	cnt := sim.Count(tgen.Test{V1: v1, V2: v2})
+	if cnt.NonRobust.Sign() < 0 || cnt.Robust.Sign() < 0 {
+		t.Fatal("negative count")
+	}
+	if cnt.Robust.Cmp(cnt.NonRobust) > 0 {
+		t.Fatalf("robust %v > non-robust %v", cnt.Robust, cnt.NonRobust)
+	}
+	t.Logf("8x8 multiplier, all-rising test: robust %v, non-robust %v detections",
+		cnt.Robust, cnt.NonRobust)
+}
+
+func BenchmarkCount(b *testing.B) {
+	c := gen.ArrayMultiplier(12, gen.XorNAND)
+	sim := New(c)
+	n := len(c.Inputs())
+	v1 := make([]bool, n)
+	v2 := make([]bool, n)
+	for i := range v2 {
+		v2[i] = i%3 != 0
+	}
+	tt := tgen.Test{V1: v1, V2: v2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Count(tt)
+	}
+}

@@ -1,0 +1,340 @@
+// Package fsim is a path delay fault simulator in the spirit of Schulz,
+// Fink and Fuchs (DAC 1989, reference [6] of the paper): given a
+// two-pattern test, it determines every logical path the test detects
+// robustly and non-robustly, enumerating sensitized paths with
+// depth-first pruning over the simulated values.
+//
+// Combined with the test generator (package tgen) it yields the classic
+// ATPG flow with fault dropping: generate a test for one uncovered path,
+// simulate it, and drop every other path it happens to detect — the
+// CompactTests helper. RD identification slots in front of this flow,
+// shrinking the target list (Section VI).
+package fsim
+
+import (
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+	"rdfault/internal/tgen"
+)
+
+// Result lists the logical paths one test detects. Robust detection
+// implies non-robust detection, so Robust is a subset of NonRobust.
+type Result struct {
+	Robust    []paths.Logical
+	NonRobust []paths.Logical
+}
+
+// Simulator fault-simulates two-pattern tests on one circuit. Not safe
+// for concurrent use.
+type Simulator struct {
+	c      *circuit.Circuit
+	v1     []bool
+	v2     []bool
+	stable []bool
+}
+
+// New returns a Simulator for c.
+func New(c *circuit.Circuit) *Simulator {
+	n := c.NumGates()
+	return &Simulator{
+		c:      c,
+		v1:     make([]bool, n),
+		v2:     make([]bool, n),
+		stable: make([]bool, n),
+	}
+}
+
+// prepare simulates both vectors and the conservative hazard-free
+// stability of every gate (a gate is stable when some input is stably
+// controlling or all inputs are stable).
+func (s *Simulator) prepare(t tgen.Test) {
+	c := s.c
+	copyVals := func(dst []bool, in []bool) {
+		full := c.EvalBool(in)
+		copy(dst, full)
+	}
+	copyVals(s.v1, t.V1)
+	copyVals(s.v2, t.V2)
+	for i, pi := range c.Inputs() {
+		s.stable[pi] = t.V1[i] == t.V2[i]
+	}
+	for _, g := range c.TopoOrder() {
+		typ := c.Type(g)
+		fanin := c.Fanin(g)
+		switch typ {
+		case circuit.Input:
+		case circuit.Output, circuit.Buf, circuit.Not:
+			s.stable[g] = s.stable[fanin[0]]
+		default:
+			ctrl, _ := typ.Controlling()
+			anyStCtrl, allSt := false, true
+			for _, f := range fanin {
+				if s.stable[f] && s.v2[f] == ctrl {
+					anyStCtrl = true
+				}
+				if !s.stable[f] {
+					allSt = false
+				}
+			}
+			s.stable[g] = anyStCtrl || allSt
+		}
+	}
+}
+
+// Detects fault-simulates one test and returns the detected paths. The
+// enumeration prunes subtrees as soon as neither robust nor non-robust
+// sensitization can be extended, so the cost is proportional to the
+// sensitized portion of the circuit.
+func (s *Simulator) Detects(t tgen.Test) *Result {
+	s.prepare(t)
+	res := &Result{}
+	c := s.c
+	var (
+		gates []circuit.GateID
+		pins  []int
+	)
+	var dfs func(g circuit.GateID, robust bool)
+	dfs = func(g circuit.GateID, robust bool) {
+		gates = append(gates, g)
+		defer func() { gates = gates[:len(gates)-1] }()
+		if c.Type(g) == circuit.Output {
+			lp := paths.Logical{
+				Path:     paths.Path{Gates: gates, Pins: pins}.Clone(),
+				FinalOne: s.v2[gates[0]],
+			}
+			res.NonRobust = append(res.NonRobust, lp)
+			if robust {
+				res.Robust = append(res.Robust, lp)
+			}
+			return
+		}
+		for _, e := range c.Fanout(g) {
+			next := e.To
+			typ := c.Type(next)
+			rOK, nrOK := robust, true
+			if ctrl, hasCtrl := typ.Controlling(); hasCtrl {
+				onPathCtrl := s.v2[g] == ctrl
+				for p, f := range c.Fanin(next) {
+					if p == e.Pin {
+						continue
+					}
+					if s.v2[f] == ctrl {
+						// A controlling side value blocks all detection.
+						nrOK = false
+						break
+					}
+					if !onPathCtrl && !s.stable[f] {
+						rOK = false
+					}
+				}
+			}
+			if !nrOK {
+				continue
+			}
+			pins = append(pins, e.Pin)
+			dfs(next, rOK)
+			pins = pins[:len(pins)-1]
+		}
+	}
+	for _, pi := range c.Inputs() {
+		if s.v1[pi] == s.v2[pi] {
+			continue // no transition launched
+		}
+		gates = gates[:0]
+		pins = pins[:0]
+		dfs(pi, true)
+	}
+	return res
+}
+
+// Coverage summarizes a compaction run.
+type Coverage struct {
+	Targets int
+	// RobustDetected targets are covered by robust tests; NonRobust-
+	// Detected counts the additional targets only reached by the
+	// non-robust fallback pass (when enabled).
+	RobustDetected    int
+	NonRobustDetected int
+	Tests             int
+	Aborted           int // targets whose generation hit the backtrack limit
+}
+
+// Detected returns the number of covered targets at any strength.
+func (cv Coverage) Detected() int { return cv.RobustDetected + cv.NonRobustDetected }
+
+// Percent returns 100*Detected/Targets.
+func (cv Coverage) Percent() float64 {
+	if cv.Targets == 0 {
+		return 0
+	}
+	return 100 * float64(cv.Detected()) / float64(cv.Targets)
+}
+
+// CompactOptions tunes CompactTests.
+type CompactOptions struct {
+	// AllowNonRobust adds a second pass generating non-robust tests for
+	// targets no robust test covers — the weaker-but-useful test class
+	// the paper's reference [11] advocates.
+	AllowNonRobust bool
+}
+
+// CompactTests builds a compact test set for the target paths: for each
+// still-uncovered target it asks the generator for a robust test,
+// fault-simulates it, and drops every target the test detects robustly
+// (fault dropping). With opt.AllowNonRobust, remaining targets get a
+// second pass of non-robust tests with non-robust dropping. Untestable
+// targets stay uncovered; aborted generations are counted separately.
+func CompactTests(c *circuit.Circuit, targets []paths.Logical, gn *tgen.Generator, opt CompactOptions) ([]tgen.Test, Coverage) {
+	sim := New(c)
+	cov := Coverage{Targets: len(targets)}
+	robustCovered := make(map[string]bool)
+	nrCovered := make(map[string]bool)
+	var tests []tgen.Test
+	for _, target := range targets {
+		key := target.Key()
+		if robustCovered[key] {
+			continue
+		}
+		t, ok, aborted := gn.RobustTest(target)
+		if aborted {
+			cov.Aborted++
+			continue
+		}
+		if !ok {
+			continue // robustly untestable
+		}
+		tests = append(tests, t)
+		res := sim.Detects(t)
+		for _, lp := range res.Robust {
+			robustCovered[lp.Key()] = true
+		}
+		for _, lp := range res.NonRobust {
+			nrCovered[lp.Key()] = true
+		}
+		if !robustCovered[key] {
+			// The generated witness must detect its own target; failing
+			// that indicates an internal inconsistency worth surfacing.
+			panic("fsim: generated robust test does not detect its target")
+		}
+	}
+	if opt.AllowNonRobust {
+		for _, target := range targets {
+			key := target.Key()
+			if robustCovered[key] || nrCovered[key] {
+				continue
+			}
+			t, ok, aborted := gn.NonRobustTest(target)
+			if aborted {
+				cov.Aborted++
+				continue
+			}
+			if !ok {
+				continue
+			}
+			tests = append(tests, t)
+			res := sim.Detects(t)
+			for _, lp := range res.NonRobust {
+				nrCovered[lp.Key()] = true
+			}
+			if !nrCovered[key] {
+				panic("fsim: generated non-robust test does not detect its target")
+			}
+		}
+	}
+	cov.Tests = len(tests)
+	for _, target := range targets {
+		switch {
+		case robustCovered[target.Key()]:
+			cov.RobustDetected++
+		case opt.AllowNonRobust && nrCovered[target.Key()]:
+			cov.NonRobustDetected++
+		}
+	}
+	return tests, cov
+}
+
+// ReduceTests drops tests that are redundant for the given targets: a
+// reverse-order elimination pass (classic static compaction). A test is
+// kept only if it robustly detects at least one target no later-kept test
+// covers; with allowNonRobust, non-robust detection counts for targets
+// nothing detects robustly.
+func ReduceTests(c *circuit.Circuit, tests []tgen.Test, targets []paths.Logical, allowNonRobust bool) []tgen.Test {
+	sim := New(c)
+	targetKeys := make(map[string]bool, len(targets))
+	for _, lp := range targets {
+		targetKeys[lp.Key()] = true
+	}
+	// Detection sets per test, restricted to targets.
+	robustOf := make([][]string, len(tests))
+	nrOf := make([][]string, len(tests))
+	for i, t := range tests {
+		res := sim.Detects(t)
+		for _, lp := range res.Robust {
+			if k := lp.Key(); targetKeys[k] {
+				robustOf[i] = append(robustOf[i], k)
+			}
+		}
+		if allowNonRobust {
+			for _, lp := range res.NonRobust {
+				if k := lp.Key(); targetKeys[k] {
+					nrOf[i] = append(nrOf[i], k)
+				}
+			}
+		}
+	}
+	// Which targets are robustly coverable at all by this set?
+	robustCoverable := map[string]bool{}
+	for i := range tests {
+		for _, k := range robustOf[i] {
+			robustCoverable[k] = true
+		}
+	}
+	coveredR := map[string]int{}
+	coveredNR := map[string]int{}
+	keep := make([]bool, len(tests))
+	for i := range tests {
+		keep[i] = true
+		for _, k := range robustOf[i] {
+			coveredR[k]++
+		}
+		for _, k := range nrOf[i] {
+			coveredNR[k]++
+		}
+	}
+	// Reverse elimination: drop a test if every contribution it makes is
+	// covered by another kept test.
+	for i := len(tests) - 1; i >= 0; i-- {
+		needed := false
+		for _, k := range robustOf[i] {
+			if coveredR[k] == 1 {
+				needed = true
+				break
+			}
+		}
+		if !needed && allowNonRobust {
+			for _, k := range nrOf[i] {
+				if !robustCoverable[k] && coveredNR[k] == 1 {
+					needed = true
+					break
+				}
+			}
+		}
+		if needed {
+			continue
+		}
+		keep[i] = false
+		for _, k := range robustOf[i] {
+			coveredR[k]--
+		}
+		for _, k := range nrOf[i] {
+			coveredNR[k]--
+		}
+	}
+	var out []tgen.Test
+	for i, t := range tests {
+		if keep[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

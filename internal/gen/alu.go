@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"fmt"
+
+	"rdfault/internal/circuit"
+)
+
+// mux4 builds a 4-way mux from simple gates: out = x[op] with op given by
+// two select lines (s1 s0).
+func mux4(b *circuit.Builder, name string, s0, s1 circuit.GateID, x [4]circuit.GateID) circuit.GateID {
+	n0 := b.Gate(circuit.Not, name+"_n0", s0)
+	n1 := b.Gate(circuit.Not, name+"_n1", s1)
+	t0 := b.Gate(circuit.And, name+"_t0", n1, n0, x[0])
+	t1 := b.Gate(circuit.And, name+"_t1", n1, s0, x[1])
+	t2 := b.Gate(circuit.And, name+"_t2", s1, n0, x[2])
+	t3 := b.Gate(circuit.And, name+"_t3", s1, s0, x[3])
+	return b.Gate(circuit.Or, name, t0, t1, t2, t3)
+}
+
+// ALU builds a w-bit four-function ALU (AND, OR, XOR, ADD) with zero and
+// carry flags — the c880/c5315-style control-plus-datapath shape: wide
+// muxes give every gate many controlling-value side inputs, which is
+// where the input-sort heuristics have room to work.
+func ALU(w int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("alu%d", w))
+	as := make([]circuit.GateID, w)
+	bs := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	s0 := b.Input("op0")
+	s1 := b.Input("op1")
+	cin := b.Input("cin")
+
+	carry := cin
+	outs := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		andB := b.Gate(circuit.And, fmt.Sprintf("and%d", i), as[i], bs[i])
+		orB := b.Gate(circuit.Or, fmt.Sprintf("or%d", i), as[i], bs[i])
+		xorB := addXor(b, style, fmt.Sprintf("xor%d", i), as[i], bs[i])
+		var sum circuit.GateID
+		sum, carry = fullAdder(b, style, fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		outs[i] = mux4(b, fmt.Sprintf("f%d", i), s0, s1, [4]circuit.GateID{andB, orB, xorB, sum})
+		b.Output(fmt.Sprintf("f%d$o", i), outs[i])
+	}
+	b.Output("cout", carry)
+	// Zero flag: NOR over all result bits (as a tree).
+	z := outs[0]
+	if w > 1 {
+		level := outs
+		round := 0
+		for len(level) > 1 {
+			var next []circuit.GateID
+			for i := 0; i+1 < len(level); i += 2 {
+				next = append(next, b.Gate(circuit.Or, fmt.Sprintf("zt%d_%d", round, i/2), level[i], level[i+1]))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+			round++
+		}
+		z = level[0]
+	}
+	b.Output("zero", b.Gate(circuit.Not, "zflag", z))
+	return b.MustBuild()
+}
+
+// ALUPipeline cascades two stages — an adder computing a+b and a
+// four-function ALU combining that sum with a third operand c — giving
+// the deep, multiplicative path structure of larger ALUs like c5315.
+func ALUPipeline(w int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("alupipe%d", w))
+	as := make([]circuit.GateID, w)
+	bs := make([]circuit.GateID, w)
+	cs := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	for i := 0; i < w; i++ {
+		cs[i] = b.Input(fmt.Sprintf("c%d", i))
+	}
+	s0 := b.Input("op0")
+	s1 := b.Input("op1")
+	cin := b.Input("cin")
+
+	// Stage 1: s = a + b.
+	carry := cin
+	sums := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		sums[i], carry = fullAdder(b, style, fmt.Sprintf("st1_%d", i), as[i], bs[i], carry)
+	}
+	b.Output("c1out", carry)
+
+	// Stage 2: four-function ALU between s and c.
+	carry2 := b.Gate(circuit.Buf, "c2in", carry)
+	for i := 0; i < w; i++ {
+		andB := b.Gate(circuit.And, fmt.Sprintf("and%d", i), sums[i], cs[i])
+		orB := b.Gate(circuit.Or, fmt.Sprintf("or%d", i), sums[i], cs[i])
+		xorB := addXor(b, style, fmt.Sprintf("xor%d", i), sums[i], cs[i])
+		var sum circuit.GateID
+		sum, carry2 = fullAdder(b, style, fmt.Sprintf("st2_%d", i), sums[i], cs[i], carry2)
+		b.Output(fmt.Sprintf("f%d$o", i), mux4(b, fmt.Sprintf("f%d", i), s0, s1,
+			[4]circuit.GateID{andB, orB, xorB, sum}))
+	}
+	b.Output("c2out", carry2)
+	return b.MustBuild()
+}
+
+// ALUComparator couples an ALU with a magnitude comparator and a parity
+// tree over the result — the c2670/c7552-ish mixed datapath.
+func ALUComparator(w int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("alucmp%d", w))
+	as := make([]circuit.GateID, w)
+	bs := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	cin := b.Input("cin")
+
+	// Adder datapath.
+	carry := cin
+	sums := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		sums[i], carry = fullAdder(b, style, fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		b.Output(fmt.Sprintf("s%d", i), sums[i])
+	}
+	b.Output("cout", carry)
+
+	// Comparator (MSB-first chain).
+	var eq, gt circuit.GateID = circuit.None, circuit.None
+	for i := w - 1; i >= 0; i-- {
+		nb := b.Gate(circuit.Not, fmt.Sprintf("nb%d", i), bs[i])
+		na := b.Gate(circuit.Not, fmt.Sprintf("na%d", i), as[i])
+		eqBit := b.Gate(circuit.Or, fmt.Sprintf("eqb%d", i),
+			b.Gate(circuit.And, fmt.Sprintf("eqp%d", i), as[i], bs[i]),
+			b.Gate(circuit.And, fmt.Sprintf("eqn%d", i), na, nb))
+		gtBit := b.Gate(circuit.And, fmt.Sprintf("gtb%d", i), as[i], nb)
+		if eq == circuit.None {
+			eq, gt = eqBit, gtBit
+			continue
+		}
+		gt = b.Gate(circuit.Or, fmt.Sprintf("gt%d", i), gt,
+			b.Gate(circuit.And, fmt.Sprintf("gte%d", i), eq, gtBit))
+		eq = b.Gate(circuit.And, fmt.Sprintf("eq%d", i), eq, eqBit)
+	}
+	b.Output("eq", eq)
+	b.Output("gt", gt)
+
+	// Parity over the sum.
+	p := sums[0]
+	for i := 1; i < w; i++ {
+		p = addXor(b, style, fmt.Sprintf("par%d", i), p, sums[i])
+	}
+	b.Output("parity", p)
+	return b.MustBuild()
+}
+
+// BCDALU is the c3540-ish shape: a binary adder with a BCD
+// decimal-adjust stage per nibble (add 6 when the nibble exceeds 9),
+// driven by a mode input.
+func BCDALU(nibbles int, style XorStyle) *circuit.Circuit {
+	w := 4 * nibbles
+	b := circuit.NewBuilder(fmt.Sprintf("bcdalu%d", w))
+	as := make([]circuit.GateID, w)
+	bs := make([]circuit.GateID, w)
+	for i := 0; i < w; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	mode := b.Input("dec") // 1 = decimal adjust enabled
+	carry := b.Input("cin")
+
+	for nb := 0; nb < nibbles; nb++ {
+		sums := make([]circuit.GateID, 4)
+		for i := 0; i < 4; i++ {
+			bit := 4*nb + i
+			sums[i], carry = fullAdder(b, style, fmt.Sprintf("fa%d", bit), as[bit], bs[bit], carry)
+		}
+		// Nibble > 9: s3&s2 | s3&s1 (binary value >= 10), or carry out.
+		gt9 := b.Gate(circuit.Or, fmt.Sprintf("gt9_%d", nb),
+			b.Gate(circuit.And, fmt.Sprintf("g1_%d", nb), sums[3], sums[2]),
+			b.Gate(circuit.And, fmt.Sprintf("g2_%d", nb), sums[3], sums[1]),
+			carry)
+		adj := b.Gate(circuit.And, fmt.Sprintf("adj%d", nb), gt9, mode)
+		// Add 6 (0110) to the nibble when adjusting: half adder at bit 1,
+		// full adder at bit 2, carry into bit 3.
+		s1 := addXor(b, style, fmt.Sprintf("da%d_1", nb), sums[1], adj)
+		c1 := b.Gate(circuit.And, fmt.Sprintf("dc%d_1", nb), sums[1], adj)
+		s2, c2 := fullAdder(b, style, fmt.Sprintf("da%d_2", nb), sums[2], adj, c1)
+		s3 := addXor(b, style, fmt.Sprintf("da%d_3", nb), sums[3], c2)
+		outBits := []circuit.GateID{sums[0], s1, s2, s3}
+		for i, ob := range outBits {
+			b.Output(fmt.Sprintf("q%d", 4*nb+i), ob)
+		}
+		// Decimal carry joins the binary carry for the next nibble.
+		carry = b.Gate(circuit.Or, fmt.Sprintf("nc%d", nb), carry, adj)
+	}
+	b.Output("cout", carry)
+	return b.MustBuild()
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"fmt"
+
+	"rdfault/internal/circuit"
+)
+
+// xorAOI adds a 2-input XOR in AND-OR-inverter form:
+// OR(AND(a, NOT b), AND(NOT a, b)). This is the "primitive XOR" shape of
+// c499-style circuits, in contrast with Builder.Xor's 4-NAND expansion
+// (the c1355 shape).
+func xorAOI(b *circuit.Builder, name string, x, y circuit.GateID) circuit.GateID {
+	nx := b.Gate(circuit.Not, name+"_nx", x)
+	ny := b.Gate(circuit.Not, name+"_ny", y)
+	t1 := b.Gate(circuit.And, name+"_t1", x, ny)
+	t2 := b.Gate(circuit.And, name+"_t2", nx, y)
+	return b.Gate(circuit.Or, name, t1, t2)
+}
+
+// XorStyle selects how generators expand XOR functions.
+type XorStyle uint8
+
+const (
+	// XorNAND is the 4-NAND expansion (the c499 -> c1355 rewrite).
+	XorNAND XorStyle = iota
+	// XorAOI is the AND-OR-inverter form.
+	XorAOI
+)
+
+func addXor(b *circuit.Builder, style XorStyle, name string, x, y circuit.GateID) circuit.GateID {
+	if style == XorAOI {
+		return xorAOI(b, name, x, y)
+	}
+	return b.Xor(name, x, y)
+}
+
+// fullAdder adds a 1-bit full adder; returns (sum, carry).
+func fullAdder(b *circuit.Builder, style XorStyle, name string, a, x, cin circuit.GateID) (sum, cout circuit.GateID) {
+	axb := addXor(b, style, name+"_x1", a, x)
+	sum = addXor(b, style, name+"_s", axb, cin)
+	t1 := b.Gate(circuit.And, name+"_c1", a, x)
+	t2 := b.Gate(circuit.And, name+"_c2", cin, axb)
+	cout = b.Gate(circuit.Or, name+"_co", t1, t2)
+	return sum, cout
+}
+
+// RippleAdder builds an n-bit ripple-carry adder with carry-in: inputs
+// a0..a(n-1), b0..b(n-1), cin; outputs s0..s(n-1), cout.
+func RippleAdder(n int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("radd%d", n))
+	as := make([]circuit.GateID, n)
+	bs := make([]circuit.GateID, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < n; i++ {
+		var s circuit.GateID
+		s, carry = fullAdder(b, style, fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		b.Output(fmt.Sprintf("s%d", i), s)
+	}
+	b.Output("cout", carry)
+	return b.MustBuild()
+}
+
+// CLAAdder builds an n-bit carry-lookahead adder: per-bit generate and
+// propagate terms feed explicit lookahead logic
+// (c_{i+1} = g_i | p_i&g_{i-1} | ... | p_i&...&p_0&cin), giving the wide
+// AND-OR structures whose controlling-input choices the sort heuristics
+// exploit. Outputs s0..s(n-1), cout.
+func CLAAdder(n int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("cla%d", n))
+	as := make([]circuit.GateID, n)
+	bs := make([]circuit.GateID, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	cin := b.Input("cin")
+	gTerm := make([]circuit.GateID, n)
+	pTerm := make([]circuit.GateID, n)
+	for i := 0; i < n; i++ {
+		gTerm[i] = b.Gate(circuit.And, fmt.Sprintf("gen%d", i), as[i], bs[i])
+		pTerm[i] = addXor(b, style, fmt.Sprintf("prop%d", i), as[i], bs[i])
+	}
+	carry := make([]circuit.GateID, n+1)
+	carry[0] = cin
+	for i := 0; i < n; i++ {
+		// c_{i+1} = g_i | p_i&g_{i-1} | ... | p_i&...&p_0&c_0.
+		terms := []circuit.GateID{gTerm[i]}
+		for j := i - 1; j >= -1; j-- {
+			lits := make([]circuit.GateID, 0, i-j+1)
+			for k := i; k > j; k-- {
+				lits = append(lits, pTerm[k])
+			}
+			if j >= 0 {
+				lits = append(lits, gTerm[j])
+			} else {
+				lits = append(lits, cin)
+			}
+			terms = append(terms, b.Gate(circuit.And, fmt.Sprintf("cla%d_%d", i, j+1), lits...))
+		}
+		if len(terms) == 1 {
+			carry[i+1] = terms[0]
+		} else {
+			carry[i+1] = b.Gate(circuit.Or, fmt.Sprintf("c%d", i+1), terms...)
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Output(fmt.Sprintf("s%d", i), addXor(b, style, fmt.Sprintf("sum%d", i), pTerm[i], carry[i]))
+	}
+	b.Output("cout", carry[n])
+	return b.MustBuild()
+}
+
+// Comparator builds an n-bit magnitude comparator: outputs eq, gt, lt.
+func Comparator(n int) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("cmp%d", n))
+	as := make([]circuit.GateID, n)
+	bs := make([]circuit.GateID, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	// MSB-first chains.
+	var eq, gt circuit.GateID = circuit.None, circuit.None
+	for i := n - 1; i >= 0; i-- {
+		nb := b.Gate(circuit.Not, fmt.Sprintf("nb%d", i), bs[i])
+		na := b.Gate(circuit.Not, fmt.Sprintf("na%d", i), as[i])
+		eqBit := b.Gate(circuit.Or, fmt.Sprintf("eqb%d", i),
+			b.Gate(circuit.And, fmt.Sprintf("eqp%d", i), as[i], bs[i]),
+			b.Gate(circuit.And, fmt.Sprintf("eqn%d", i), na, nb))
+		gtBit := b.Gate(circuit.And, fmt.Sprintf("gtb%d", i), as[i], nb)
+		if eq == circuit.None {
+			eq, gt = eqBit, gtBit
+			continue
+		}
+		gt = b.Gate(circuit.Or, fmt.Sprintf("gt%d", i), gt,
+			b.Gate(circuit.And, fmt.Sprintf("gte%d", i), eq, gtBit))
+		eq = b.Gate(circuit.And, fmt.Sprintf("eq%d", i), eq, eqBit)
+	}
+	lt := b.Gate(circuit.Nor, "ltg", eq, gt)
+	b.Output("eq", eq)
+	b.Output("gt", gt)
+	b.Output("lt", lt)
+	return b.MustBuild()
+}
+
+// ArrayMultiplier builds an n x n array multiplier in the style of
+// c6288 (which is 16x16): an AND partial-product matrix reduced by rows
+// of full adders. Its path count grows astronomically with n — the
+// reproduction of the "more than 1.9e20 logical paths" remark.
+func ArrayMultiplier(n int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("mul%dx%d", n, n))
+	as := make([]circuit.GateID, n)
+	bs := make([]circuit.GateID, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	// Partial-product matrix: bit (i,j) has weight i+j.
+	cols := make([][]circuit.GateID, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cols[i+j] = append(cols[i+j],
+				b.Gate(circuit.And, fmt.Sprintf("pp%d_%d", i, j), as[i], bs[j]))
+		}
+	}
+	// Column compression with full/half adders, carries rippling into the
+	// next column — the adder-array structure of c6288.
+	cell := 0
+	for w := 0; w < len(cols); w++ {
+		for len(cols[w]) > 1 {
+			nm := fmt.Sprintf("cell%d", cell)
+			cell++
+			if len(cols[w]) >= 3 {
+				s, c := fullAdder(b, style, nm, cols[w][0], cols[w][1], cols[w][2])
+				cols[w] = append([]circuit.GateID{s}, cols[w][3:]...)
+				if w+1 < len(cols) {
+					cols[w+1] = append(cols[w+1], c)
+				} else {
+					cols = append(cols, []circuit.GateID{c})
+				}
+			} else {
+				s := addXor(b, style, nm+"_s", cols[w][0], cols[w][1])
+				c := b.Gate(circuit.And, nm+"_c", cols[w][0], cols[w][1])
+				cols[w] = []circuit.GateID{s}
+				if w+1 < len(cols) {
+					cols[w+1] = append(cols[w+1], c)
+				} else {
+					cols = append(cols, []circuit.GateID{c})
+				}
+			}
+		}
+	}
+	for w := 0; w < len(cols); w++ {
+		if len(cols[w]) == 1 {
+			b.Output(fmt.Sprintf("p%d", w), cols[w][0])
+		}
+	}
+	return b.MustBuild()
+}

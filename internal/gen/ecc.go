@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"fmt"
+
+	"rdfault/internal/circuit"
+)
+
+// ParityTree builds an n-input parity circuit with the given XOR style.
+func ParityTree(n int, style XorStyle) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("parity%d", n))
+	level := make([]circuit.GateID, n)
+	for i := range level {
+		level[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+	round := 0
+	for len(level) > 1 {
+		var next []circuit.GateID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, addXor(b, style, fmt.Sprintf("x%d_%d", round, i/2), level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		round++
+	}
+	b.Output("par", level[0])
+	return b.MustBuild()
+}
+
+// eccCode returns the nonzero codeword assigned to data bit i.
+func eccCode(i int) int { return i + 1 }
+
+// SECDecoder builds a single-error-correcting decoder in the spirit of
+// c499/c1355: inputs are d received data bits plus k received check bits
+// (k = bits of d); the circuit recomputes the check bits, forms the
+// syndrome, decodes it one AND per data bit and corrects the data by
+// XOR. Outputs are the d corrected bits. With XorAOI the structure
+// mirrors c499's primitive-XOR netlist, with XorNAND the expanded c1355
+// form.
+func SECDecoder(d int, style XorStyle) *circuit.Circuit {
+	k := 0
+	for 1<<k < d+1 {
+		k++
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("sec%d_%d", d, k))
+	data := make([]circuit.GateID, d)
+	for i := range data {
+		data[i] = b.Input(fmt.Sprintf("d%d", i))
+	}
+	check := make([]circuit.GateID, k)
+	for j := range check {
+		check[j] = b.Input(fmt.Sprintf("c%d", j))
+	}
+	// Syndrome bit j = check_j XOR parity of data bits whose code has bit
+	// j set.
+	syn := make([]circuit.GateID, k)
+	synNot := make([]circuit.GateID, k)
+	for j := 0; j < k; j++ {
+		bits := []circuit.GateID{check[j]}
+		for i := 0; i < d; i++ {
+			if eccCode(i)&(1<<j) != 0 {
+				bits = append(bits, data[i])
+			}
+		}
+		s := bits[0]
+		for t := 1; t < len(bits); t++ {
+			nm := fmt.Sprintf("syn%d_%d", j, t)
+			if t == len(bits)-1 {
+				nm = fmt.Sprintf("syn%d", j)
+			}
+			s = addXor(b, style, nm, s, bits[t])
+		}
+		syn[j] = s
+		synNot[j] = b.Gate(circuit.Not, fmt.Sprintf("nsyn%d", j), s)
+	}
+	// Correction term per data bit: AND over syndrome literals matching
+	// its code.
+	for i := 0; i < d; i++ {
+		lits := make([]circuit.GateID, k)
+		for j := 0; j < k; j++ {
+			if eccCode(i)&(1<<j) != 0 {
+				lits[j] = syn[j]
+			} else {
+				lits[j] = synNot[j]
+			}
+		}
+		var corr circuit.GateID
+		if k == 1 {
+			corr = lits[0]
+		} else {
+			corr = b.Gate(circuit.And, fmt.Sprintf("corr%d", i), lits...)
+		}
+		out := addXor(b, style, fmt.Sprintf("out%d", i), data[i], corr)
+		b.Output(fmt.Sprintf("q%d", i), out)
+	}
+	return b.MustBuild()
+}
+
+// SECDEDDecoder extends SECDecoder with an overall parity input and a
+// double-error flag, the c1908-ish shape: SEC/DED decoding of d data
+// bits.
+func SECDEDDecoder(d int, style XorStyle) *circuit.Circuit {
+	k := 0
+	for 1<<k < d+1 {
+		k++
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("secded%d_%d", d, k))
+	data := make([]circuit.GateID, d)
+	for i := range data {
+		data[i] = b.Input(fmt.Sprintf("d%d", i))
+	}
+	check := make([]circuit.GateID, k)
+	for j := range check {
+		check[j] = b.Input(fmt.Sprintf("c%d", j))
+	}
+	pin := b.Input("p")
+	syn := make([]circuit.GateID, k)
+	synNot := make([]circuit.GateID, k)
+	for j := 0; j < k; j++ {
+		bits := []circuit.GateID{check[j]}
+		for i := 0; i < d; i++ {
+			if eccCode(i)&(1<<j) != 0 {
+				bits = append(bits, data[i])
+			}
+		}
+		s := bits[0]
+		for t := 1; t < len(bits); t++ {
+			s = addXor(b, style, fmt.Sprintf("syn%d_%d", j, t), s, bits[t])
+		}
+		syn[j] = s
+		synNot[j] = b.Gate(circuit.Not, fmt.Sprintf("nsyn%d", j), s)
+	}
+	// Overall parity over data, check and p.
+	bits := append(append([]circuit.GateID{}, data...), check...)
+	bits = append(bits, pin)
+	overall := bits[0]
+	for t := 1; t < len(bits); t++ {
+		overall = addXor(b, style, fmt.Sprintf("ov%d", t), overall, bits[t])
+	}
+	// Syndrome nonzero?
+	nz := syn[0]
+	if k > 1 {
+		nz = b.Gate(circuit.Or, "snz", syn...)
+	}
+	// Double error: syndrome nonzero but overall parity clean.
+	nov := b.Gate(circuit.Not, "nov", overall)
+	ded := b.Gate(circuit.And, "ded", nz, nov)
+	b.Output("double_err", ded)
+	// Correct only when overall parity indicates a single error.
+	for i := 0; i < d; i++ {
+		lits := make([]circuit.GateID, 0, k+1)
+		for j := 0; j < k; j++ {
+			if eccCode(i)&(1<<j) != 0 {
+				lits = append(lits, syn[j])
+			} else {
+				lits = append(lits, synNot[j])
+			}
+		}
+		lits = append(lits, overall)
+		corr := b.Gate(circuit.And, fmt.Sprintf("corr%d", i), lits...)
+		out := addXor(b, style, fmt.Sprintf("out%d", i), data[i], corr)
+		b.Output(fmt.Sprintf("q%d", i), out)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,41 @@
+package gen
+
+import "rdfault/internal/circuit"
+
+// PaperExample returns the reconstruction of the paper's running example
+// circuit (Figures 1-5, originally from Lam et al. DAC 1993; the paper
+// only draws it):
+//
+//	y = OR(a, AND(b, OR(b, c)))
+//
+// The netlist is not listed in the paper; this reconstruction matches
+// every count the text states:
+//
+//   - 3 PIs, 4 physical and 8 logical paths (Example 2);
+//   - exactly three possible stabilizing systems for input 111 (Figure 1);
+//   - an optimal complete stabilizing assignment selecting exactly the 5
+//     testable logical paths (Figure 4 / Example 3), realized by the
+//     pin-order input sort (Figure 5);
+//   - a worse assignment selecting 6 logical paths of which the extra one
+//     ((c -> o -> g -> y), rising) is functionally sensitizable but not
+//     non-robustly testable — the dashed path of Figure 2;
+//   - an inverse sort degrades to selecting all 8 paths (no RD paths),
+//     mirroring the Heu2-bar column of Table I.
+//
+// Known divergences from the drawing: the choice that separates the
+// 6-path assignment from the 5-path one arises at input 011 here, where
+// the paper shows it at input 000; and of the 5 testable paths, 4 are
+// robustly and 1 only non-robustly testable (the paper's circuit has all
+// 5 robust), so "100% coverage" for the optimal assignment holds at the
+// testable (T-class) level.
+func PaperExample() *circuit.Circuit {
+	b := circuit.NewBuilder("paper-example")
+	a := b.Input("a")
+	bb := b.Input("b")
+	cc := b.Input("c")
+	o := b.Gate(circuit.Or, "o", bb, cc)
+	g := b.Gate(circuit.And, "g", bb, o)
+	y := b.Gate(circuit.Or, "y", a, g)
+	b.Output("y$po", y)
+	return b.MustBuild()
+}

@@ -1,0 +1,577 @@
+package gen
+
+import (
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+)
+
+func boolsOf(v, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = v&(1<<i) != 0
+	}
+	return out
+}
+
+func intOf(bits []bool) int {
+	v := 0
+	for i, b := range bits {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+func TestRippleAdder(t *testing.T) {
+	for _, style := range []XorStyle{XorNAND, XorAOI} {
+		c := RippleAdder(4, style)
+		for a := 0; a < 16; a++ {
+			for x := 0; x < 16; x++ {
+				for cin := 0; cin < 2; cin++ {
+					in := append(append(boolsOf(a, 4), boolsOf(x, 4)...), cin == 1)
+					out := c.OutputsOf(c.EvalBool(in))
+					got := intOf(out) // s0..s3, cout as bit 4
+					if want := a + x + cin; got != want {
+						t.Fatalf("style %d: %d+%d+%d = %d, want %d", style, a, x, cin, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestComparator(t *testing.T) {
+	c := Comparator(4)
+	for a := 0; a < 16; a++ {
+		for x := 0; x < 16; x++ {
+			in := append(boolsOf(a, 4), boolsOf(x, 4)...)
+			out := c.OutputsOf(c.EvalBool(in))
+			eq, gt, lt := out[0], out[1], out[2]
+			if eq != (a == x) || gt != (a > x) || lt != (a < x) {
+				t.Fatalf("cmp(%d,%d) = eq%v gt%v lt%v", a, x, eq, gt, lt)
+			}
+		}
+	}
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, style := range []XorStyle{XorNAND, XorAOI} {
+			c := ArrayMultiplier(n, style)
+			for a := 0; a < 1<<n; a++ {
+				for x := 0; x < 1<<n; x++ {
+					in := append(boolsOf(a, n), boolsOf(x, n)...)
+					out := c.OutputsOf(c.EvalBool(in))
+					if got, want := intOf(out), a*x; got != want {
+						t.Fatalf("n=%d style=%d: %d*%d = %d, want %d", n, style, a, x, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParityTree(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		c := ParityTree(n, XorNAND)
+		for v := 0; v < 1<<n; v++ {
+			in := boolsOf(v, n)
+			want := false
+			for _, b := range in {
+				want = want != b
+			}
+			out := c.OutputsOf(c.EvalBool(in))
+			if out[0] != want {
+				t.Fatalf("n=%d v=%d: parity %v, want %v", n, v, out[0], want)
+			}
+		}
+	}
+}
+
+func TestSECDecoderCorrectsSingleErrors(t *testing.T) {
+	const d = 6
+	for _, style := range []XorStyle{XorNAND, XorAOI} {
+		c := SECDecoder(d, style)
+		k := len(c.Inputs()) - d
+		for data := 0; data < 1<<d; data++ {
+			// Compute the check bits the encoder would produce: check_j =
+			// parity of data bits with code bit j set.
+			check := 0
+			for j := 0; j < k; j++ {
+				p := false
+				for i := 0; i < d; i++ {
+					if eccCode(i)&(1<<j) != 0 && data&(1<<i) != 0 {
+						p = !p
+					}
+				}
+				if p {
+					check |= 1 << j
+				}
+			}
+			// No error: decoder must return the data unchanged.
+			in := append(boolsOf(data, d), boolsOf(check, k)...)
+			out := c.OutputsOf(c.EvalBool(in))
+			if got := intOf(out); got != data {
+				t.Fatalf("style %d clean: decode(%0*b) = %0*b", style, d, data, d, got)
+			}
+			// Each single data-bit error must be corrected.
+			for e := 0; e < d; e++ {
+				bad := data ^ (1 << e)
+				in := append(boolsOf(bad, d), boolsOf(check, k)...)
+				out := c.OutputsOf(c.EvalBool(in))
+				if got := intOf(out); got != data {
+					t.Fatalf("style %d: flip bit %d of %0*b not corrected: got %0*b",
+						style, e, d, data, d, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleErrors(t *testing.T) {
+	const d = 5
+	c := SECDEDDecoder(d, XorNAND)
+	k := len(c.Inputs()) - d - 1
+	for data := 0; data < 1<<d; data++ {
+		check := 0
+		for j := 0; j < k; j++ {
+			p := false
+			for i := 0; i < d; i++ {
+				if eccCode(i)&(1<<j) != 0 && data&(1<<i) != 0 {
+					p = !p
+				}
+			}
+			if p {
+				check |= 1 << j
+			}
+		}
+		// Overall parity over data+check bits.
+		par := false
+		for i := 0; i < d; i++ {
+			if data&(1<<i) != 0 {
+				par = !par
+			}
+		}
+		for j := 0; j < k; j++ {
+			if check&(1<<j) != 0 {
+				par = !par
+			}
+		}
+		in := append(append(boolsOf(data, d), boolsOf(check, k)...), par)
+		out := c.OutputsOf(c.EvalBool(in))
+		if out[0] {
+			t.Fatalf("clean word flagged double error (data %0*b)", d, data)
+		}
+		if got := intOf(out[1:]); got != data {
+			t.Fatalf("clean decode(%0*b) = %0*b", d, data, d, got)
+		}
+		// Two data-bit errors: double_err must rise.
+		bad := data ^ 0b11
+		in = append(append(boolsOf(bad, d), boolsOf(check, k)...), par)
+		out = c.OutputsOf(c.EvalBool(in))
+		if !out[0] {
+			t.Fatalf("double error not flagged (data %0*b)", d, data)
+		}
+		// Single data-bit error: corrected, not flagged (p arrives
+		// unchanged; the received word's overall parity goes odd).
+		bad = data ^ 0b100
+		in = append(append(boolsOf(bad, d), boolsOf(check, k)...), par)
+		out = c.OutputsOf(c.EvalBool(in))
+		if out[0] {
+			t.Fatalf("single error flagged as double (data %0*b)", d, data)
+		}
+		if got := intOf(out[1:]); got != data {
+			t.Fatalf("single error decode(%0*b) = %0*b", d, data, d, got)
+		}
+	}
+}
+
+func TestALU(t *testing.T) {
+	const w = 4
+	c := ALU(w, XorNAND)
+	mask := 1<<w - 1
+	for a := 0; a < 1<<w; a++ {
+		for x := 0; x < 1<<w; x++ {
+			for op := 0; op < 4; op++ {
+				in := append(boolsOf(a, w), boolsOf(x, w)...)
+				in = append(in, op&1 != 0, op&2 != 0, false)
+				out := c.OutputsOf(c.EvalBool(in))
+				res := intOf(out[:w])
+				cout := out[w]
+				zero := out[w+1]
+				var want int
+				switch op {
+				case 0:
+					want = a & x
+				case 1:
+					want = a | x
+				case 2:
+					want = a ^ x
+				case 3:
+					want = (a + x) & mask
+				}
+				if res != want {
+					t.Fatalf("op%d(%d,%d) = %d, want %d", op, a, x, res, want)
+				}
+				if op == 3 && cout != (a+x > mask) {
+					t.Fatalf("cout wrong for %d+%d", a, x)
+				}
+				if zero != (res == 0) {
+					t.Fatalf("zero flag wrong for op%d(%d,%d)", op, a, x)
+				}
+			}
+		}
+	}
+}
+
+func TestALUComparator(t *testing.T) {
+	const w = 3
+	c := ALUComparator(w, XorNAND)
+	for a := 0; a < 1<<w; a++ {
+		for x := 0; x < 1<<w; x++ {
+			in := append(boolsOf(a, w), boolsOf(x, w)...)
+			in = append(in, false)
+			out := c.OutputsOf(c.EvalBool(in))
+			sum := intOf(out[:w+1]) // s bits + cout
+			if sum != a+x {
+				t.Fatalf("%d+%d = %d", a, x, sum)
+			}
+			eq, gt := out[w+1], out[w+2]
+			if eq != (a == x) || gt != (a > x) {
+				t.Fatalf("cmp(%d,%d) eq=%v gt=%v", a, x, eq, gt)
+			}
+			par := false
+			for i := 0; i < w; i++ {
+				if (a+x)&(1<<i) != 0 {
+					par = !par
+				}
+			}
+			if out[w+3] != par {
+				t.Fatalf("parity(%d+%d) = %v", a, x, out[w+3])
+			}
+		}
+	}
+}
+
+func TestBCDALUAddsDecimal(t *testing.T) {
+	c := BCDALU(1, XorNAND)
+	for a := 0; a <= 9; a++ {
+		for x := 0; x <= 9; x++ {
+			in := append(boolsOf(a, 4), boolsOf(x, 4)...)
+			in = append(in, true, false) // dec mode, cin=0
+			out := c.OutputsOf(c.EvalBool(in))
+			digit := intOf(out[:4])
+			carry := out[4]
+			want := a + x
+			wantDigit, wantCarry := want%10, want >= 10
+			if digit != wantDigit || carry != wantCarry {
+				t.Fatalf("BCD %d+%d = %d carry %v, want %d carry %v",
+					a, x, digit, carry, wantDigit, wantCarry)
+			}
+		}
+	}
+}
+
+func TestBCDALUBinaryMode(t *testing.T) {
+	c := BCDALU(1, XorNAND)
+	for a := 0; a < 16; a++ {
+		for x := 0; x < 16; x++ {
+			in := append(boolsOf(a, 4), boolsOf(x, 4)...)
+			in = append(in, false, false) // binary mode
+			out := c.OutputsOf(c.EvalBool(in))
+			got := intOf(out[:5])
+			if got != a+x {
+				t.Fatalf("binary %d+%d = %d", a, x, got)
+			}
+		}
+	}
+}
+
+func TestPriorityInterrupt(t *testing.T) {
+	const ch = 5
+	c := PriorityInterrupt(ch)
+	for r := 0; r < 1<<ch; r++ {
+		for e := 0; e < 1<<ch; e++ {
+			in := append(boolsOf(r, ch), boolsOf(e, ch)...)
+			out := c.OutputsOf(c.EvalBool(in))
+			act := r & e
+			wantIRQ := act != 0
+			grant := 0
+			for i := 0; i < ch; i++ {
+				if act&(1<<i) != 0 {
+					grant = i + 1
+					break
+				}
+			}
+			if out[0] != wantIRQ {
+				t.Fatalf("irq(r=%05b,e=%05b) = %v", r, e, out[0])
+			}
+			if got := intOf(out[1:]); got != grant {
+				t.Fatalf("vector(r=%05b,e=%05b) = %d, want %d", r, e, got, grant)
+			}
+		}
+	}
+}
+
+func TestPriorityInterruptGrouped(t *testing.T) {
+	const groups, per = 3, 3
+	c := PriorityInterruptGrouped(groups, per)
+	nreq := groups * per
+	for r := 0; r < 1<<nreq; r++ {
+		for e := 0; e < 1<<groups; e++ {
+			in := append(boolsOf(r, nreq), boolsOf(e, groups)...)
+			out := c.OutputsOf(c.EvalBool(in))
+			// Reference model.
+			wantGroup, wantChan := 0, 0
+			for g := 0; g < groups; g++ {
+				if e&(1<<g) == 0 {
+					continue
+				}
+				sub := (r >> (per * g)) & (1<<per - 1)
+				if sub == 0 {
+					continue
+				}
+				wantGroup = g + 1
+				for ch := 0; ch < per; ch++ {
+					if sub&(1<<ch) != 0 {
+						wantChan = ch
+						break
+					}
+				}
+				break
+			}
+			irq := out[0]
+			if irq != (wantGroup != 0) {
+				t.Fatalf("irq(r=%b,e=%b) = %v", r, e, irq)
+			}
+			// Outputs: irq, ch0, ch1, v0, v1.
+			gotChan := intOf(out[1:3])
+			gotGroup := intOf(out[3:])
+			if wantGroup == 0 {
+				wantChan = 0
+			}
+			if gotChan != wantChan || gotGroup != wantGroup {
+				t.Fatalf("r=%b e=%b: got chan %d group %d, want %d %d",
+					r, e, gotChan, gotGroup, wantChan, wantGroup)
+			}
+		}
+	}
+}
+
+func TestSuitesDeterministic(t *testing.T) {
+	a := ISCAS85Suite()
+	b := ISCAS85Suite()
+	if len(a) != 9 {
+		t.Fatalf("suite has %d circuits", len(a))
+	}
+	for i := range a {
+		if a[i].Paper != b[i].Paper || a[i].C.NumGates() != b[i].C.NumGates() {
+			t.Fatalf("suite not deterministic at %d", i)
+		}
+	}
+	ms := MCNCSuite()
+	if len(ms) != 8 {
+		t.Fatalf("MCNC suite has %d covers", len(ms))
+	}
+	ms2 := MCNCSuite()
+	for i := range ms {
+		if len(ms[i].Cover.Cubes) != len(ms2[i].Cover.Cubes) {
+			t.Fatal("MCNC suite not deterministic")
+		}
+	}
+}
+
+func TestRandomCircuitDeterministic(t *testing.T) {
+	a := RandomCircuit("d", RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, 42)
+	b := RandomCircuit("d", RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, 42)
+	if a.NumGates() != b.NumGates() || a.NumLeads() != b.NumLeads() {
+		t.Fatal("RandomCircuit not deterministic")
+	}
+	c := RandomCircuit("d", RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, 43)
+	if a.NumGates() == c.NumGates() && a.NumLeads() == c.NumLeads() && a.Depth() == c.Depth() {
+		t.Log("different seeds produced structurally identical circuits (possible but unlikely)")
+	}
+}
+
+func TestRandomCircuitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero inputs")
+		}
+	}()
+	RandomCircuit("bad", RandomOptions{}, 1)
+}
+
+func TestRandomPLAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero dimensions")
+		}
+	}()
+	RandomPLA("bad", PLAOptions{}, 1)
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	c := PaperExample()
+	if len(c.Inputs()) != 3 || len(c.Outputs()) != 1 {
+		t.Fatal("example shape wrong")
+	}
+	// f = a | (b & (b|c)) = a | b.
+	for v := 0; v < 8; v++ {
+		in := boolsOf(v, 3)
+		out := c.OutputsOf(c.EvalBool(in))
+		if out[0] != (in[0] || in[1]) {
+			t.Fatalf("example function wrong at %v", in)
+		}
+	}
+}
+
+func TestXorStyleStructures(t *testing.T) {
+	nand := ParityTree(4, XorNAND)
+	aoi := ParityTree(4, XorAOI)
+	if nand.Stats().ByType[circuit.Nand] == 0 {
+		t.Error("XorNAND produced no NANDs")
+	}
+	if aoi.Stats().ByType[circuit.And] == 0 || aoi.Stats().ByType[circuit.Or] == 0 {
+		t.Error("XorAOI produced no AND/OR structure")
+	}
+}
+
+func TestCLAAdder(t *testing.T) {
+	for _, style := range []XorStyle{XorNAND, XorAOI} {
+		c := CLAAdder(4, style)
+		for a := 0; a < 16; a++ {
+			for x := 0; x < 16; x++ {
+				for cin := 0; cin < 2; cin++ {
+					in := append(append(boolsOf(a, 4), boolsOf(x, 4)...), cin == 1)
+					out := c.OutputsOf(c.EvalBool(in))
+					if got, want := intOf(out), a+x+cin; got != want {
+						t.Fatalf("style %d: %d+%d+%d = %d, want %d", style, a, x, cin, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCLAMatchesRipple(t *testing.T) {
+	cla := CLAAdder(5, XorNAND)
+	rip := RippleAdder(5, XorNAND)
+	for v := 0; v < 1<<11; v++ {
+		in := boolsOf(v, 11)
+		a := cla.OutputsOf(cla.EvalBool(in))
+		b := rip.OutputsOf(rip.EvalBool(in))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("CLA and ripple differ at v=%d output %d", v, i)
+			}
+		}
+	}
+}
+
+func TestALUPipeline(t *testing.T) {
+	const w = 3
+	c := ALUPipeline(w, XorNAND)
+	mask := 1<<w - 1
+	for a := 0; a < 1<<w; a++ {
+		for x := 0; x < 1<<w; x++ {
+			for cc := 0; cc < 1<<w; cc++ {
+				for op := 0; op < 4; op++ {
+					in := append(append(boolsOf(a, w), boolsOf(x, w)...), boolsOf(cc, w)...)
+					in = append(in, op&1 != 0, op&2 != 0, false)
+					out := c.OutputsOf(c.EvalBool(in))
+					// Outputs: c1out, then f0..f(w-1) interleaved with
+					// creation order: c1out first, then per-bit f$o, then
+					// c2out.
+					c1 := out[0]
+					res := intOf(out[1 : 1+w])
+					c2 := out[1+w]
+					s := (a + x) & mask
+					carry1 := a+x > mask
+					if c1 != carry1 {
+						t.Fatalf("c1out wrong for %d+%d", a, x)
+					}
+					var want int
+					switch op {
+					case 0:
+						want = s & cc
+					case 1:
+						want = s | cc
+					case 2:
+						want = s ^ cc
+					case 3:
+						want = (s + cc + b2i(carry1)) & mask
+					}
+					if res != want {
+						t.Fatalf("op%d(%d,%d,%d) = %d, want %d", op, a, x, cc, res, want)
+					}
+					if op == 3 {
+						if c2 != (s+cc+b2i(carry1) > mask) {
+							t.Fatalf("c2out wrong for s=%d c=%d", s, cc)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSuiteFingerprints pins the exact structural fingerprints of the
+// generated suites: any accidental generator change that would silently
+// alter the published experiment numbers fails here first.
+func TestSuiteFingerprints(t *testing.T) {
+	want := map[string]struct {
+		gates int
+		paths string
+	}{
+		"c432":  {136, "1538"},
+		"c499":  {380, "682800"},
+		"c880":  {229, "4066"},
+		"c1355": {254, "6298656"},
+		"c1908": {169, "66460548"},
+		"c2670": {322, "37735886"},
+		"c3540": {327, "84013142"},
+		"c5315": {534, "64708"},
+		"c7552": {477, "5115498"},
+	}
+	for _, nc := range ISCAS85Suite() {
+		w, ok := want[nc.Paper]
+		if !ok {
+			t.Errorf("unexpected suite member %s", nc.Paper)
+			continue
+		}
+		if nc.C.NumGates() != w.gates {
+			t.Errorf("%s: %d gates, fingerprint %d", nc.Paper, nc.C.NumGates(), w.gates)
+		}
+		if got := paths.NewCounts(nc.C).Logical().String(); got != w.paths {
+			t.Errorf("%s: %s logical paths, fingerprint %s", nc.Paper, got, w.paths)
+		}
+	}
+	if got := paths.NewCounts(C6288Analogue()).Logical().String(); got != "121388628126926032" {
+		t.Errorf("c6288 analogue fingerprint changed: %s", got)
+	}
+	// MCNC covers: cube counts are the cheap fingerprint.
+	cubes := map[string]int{}
+	for _, nc := range MCNCSuite() {
+		cubes[nc.Paper] = len(nc.Cover.Cubes)
+	}
+	wantCubes := map[string]int{
+		"apex1": 52, "Z5xp1": 130, "apex5": 65, "bw": 97,
+		"apex3": 79, "misex3": 110, "seq": 134, "misex3c": 192,
+	}
+	for k, w := range wantCubes {
+		if cubes[k] != w {
+			t.Errorf("%s: %d cubes, fingerprint %d", k, cubes[k], w)
+		}
+	}
+}

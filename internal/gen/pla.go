@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfault/internal/pla"
+)
+
+// PLAOptions parameterizes RandomPLA.
+type PLAOptions struct {
+	Inputs  int
+	Outputs int
+	Cubes   int
+	// DashFrac is the probability of a don't-care literal (default 0.4).
+	DashFrac float64
+	// OutFrac is the probability a cube belongs to an output's ON-set
+	// (default 0.5; every cube gets at least one output and every output
+	// at least one cube).
+	OutFrac float64
+	// Redundant appends this many extra cubes that are strict
+	// specializations of existing ones (absorbed by the cover). They do
+	// not change the function but survive structural synthesis, which is
+	// the main source of robust dependent paths in real two-level
+	// benchmarks.
+	Redundant int
+}
+
+// RandomPLA generates a deterministic random two-level cover — the
+// synthetic stand-in for the MCNC two-level benchmarks of Table III.
+func RandomPLA(name string, opt PLAOptions, seed int64) *pla.Cover {
+	if opt.Inputs < 1 || opt.Outputs < 1 || opt.Cubes < 1 {
+		panic("gen: RandomPLA needs positive dimensions")
+	}
+	if opt.DashFrac == 0 {
+		opt.DashFrac = 0.4
+	}
+	if opt.OutFrac == 0 {
+		opt.OutFrac = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cv := &pla.Cover{Name: name, NumIn: opt.Inputs, NumOut: opt.Outputs}
+	for ci := 0; ci < opt.Cubes; ci++ {
+		cb := pla.Cube{In: make([]pla.Trit, opt.Inputs), Out: make([]bool, opt.Outputs)}
+		nonDash := 0
+		for i := range cb.In {
+			r := rng.Float64()
+			switch {
+			case r < opt.DashFrac:
+				cb.In[i] = pla.TDash
+			case r < opt.DashFrac+(1-opt.DashFrac)/2:
+				cb.In[i] = pla.T0
+				nonDash++
+			default:
+				cb.In[i] = pla.T1
+				nonDash++
+			}
+		}
+		if nonDash == 0 {
+			// Avoid constant-true cubes; pin one literal.
+			i := rng.Intn(opt.Inputs)
+			cb.In[i] = pla.Trit(rng.Intn(2))
+		}
+		any := false
+		for o := range cb.Out {
+			if rng.Float64() < opt.OutFrac {
+				cb.Out[o] = true
+				any = true
+			}
+		}
+		if !any {
+			cb.Out[rng.Intn(opt.Outputs)] = true
+		}
+		cv.Cubes = append(cv.Cubes, cb)
+	}
+	// Redundant cubes: specialize a random base cube by pinning one or
+	// more of its don't-cares; the original cube absorbs the new one.
+	for r := 0; r < opt.Redundant; r++ {
+		base := cv.Cubes[rng.Intn(len(cv.Cubes))]
+		cb := pla.Cube{
+			In:  append([]pla.Trit(nil), base.In...),
+			Out: append([]bool(nil), base.Out...),
+		}
+		var dashes []int
+		for i, t := range cb.In {
+			if t == pla.TDash {
+				dashes = append(dashes, i)
+			}
+		}
+		if len(dashes) == 0 {
+			continue
+		}
+		pin := 1 + rng.Intn(len(dashes))
+		for _, di := range rng.Perm(len(dashes))[:pin] {
+			cb.In[dashes[di]] = pla.Trit(rng.Intn(2))
+		}
+		cv.Cubes = append(cv.Cubes, cb)
+	}
+	// Every output needs a non-empty ON-set.
+	for o := 0; o < opt.Outputs; o++ {
+		has := false
+		for _, cb := range cv.Cubes {
+			if cb.Out[o] {
+				has = true
+				break
+			}
+		}
+		if !has {
+			cv.Cubes[rng.Intn(len(cv.Cubes))].Out[o] = true
+		}
+	}
+	if err := cv.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: RandomPLA produced invalid cover: %v", err))
+	}
+	return cv
+}

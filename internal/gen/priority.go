@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"fmt"
+
+	"rdfault/internal/circuit"
+)
+
+// PriorityInterruptGrouped builds the closer c432 analogue: groups*per
+// request lines in groups sharing one enable each (c432 itself arbitrates
+// 27 channels in 9 groups and has 36 inputs and 7 outputs, matching
+// PriorityInterruptGrouped(9, 3)). Output are an any-request flag, the
+// in-group channel index (two bits for per=3) and the granted group's
+// one-based binary vector.
+func PriorityInterruptGrouped(groups, per int) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("prio%dx%d", groups, per))
+	req := make([]circuit.GateID, groups*per)
+	en := make([]circuit.GateID, groups)
+	for i := range req {
+		req[i] = b.Input(fmt.Sprintf("r%d", i))
+	}
+	for g := range en {
+		en[g] = b.Input(fmt.Sprintf("e%d", g))
+	}
+	gact := make([]circuit.GateID, groups)
+	ggrant := make([]circuit.GateID, groups)
+	for g := 0; g < groups; g++ {
+		reqs := make([]circuit.GateID, per)
+		copy(reqs, req[per*g:per*g+per])
+		anyReq := reqs[0]
+		if per > 1 {
+			anyReq = b.Gate(circuit.Or, fmt.Sprintf("any%d", g), reqs...)
+		}
+		gact[g] = b.Gate(circuit.And, fmt.Sprintf("gact%d", g), anyReq, en[g])
+	}
+	higher := gact[0]
+	ggrant[0] = gact[0]
+	for g := 1; g < groups; g++ {
+		nh := b.Gate(circuit.Not, fmt.Sprintf("nh%d", g), higher)
+		ggrant[g] = b.Gate(circuit.And, fmt.Sprintf("ggr%d", g), gact[g], nh)
+		higher = b.Gate(circuit.Or, fmt.Sprintf("hi%d", g), higher, gact[g])
+	}
+	b.Output("irq", higher)
+	// In-group channel priority (channel 0 wins), encoded in binary and
+	// gated by the group grant.
+	chanBits := 0
+	for 1<<chanBits < per {
+		chanBits++
+	}
+	for k := 0; k < chanBits; k++ {
+		var terms []circuit.GateID
+		for g := 0; g < groups; g++ {
+			for ch := 0; ch < per; ch++ {
+				if ch&(1<<k) == 0 {
+					continue
+				}
+				// Channel ch selected: its request is active and all
+				// lower channels of the group are idle.
+				lits := []circuit.GateID{ggrant[g], req[per*g+ch]}
+				for lo := 0; lo < ch; lo++ {
+					lits = append(lits, b.Gate(circuit.Not, fmt.Sprintf("nr%d_%d_%d_%d", k, g, ch, lo), req[per*g+lo]))
+				}
+				terms = append(terms, b.Gate(circuit.And, fmt.Sprintf("sel%d_%d_%d", k, g, ch), lits...))
+			}
+		}
+		if len(terms) == 1 {
+			b.Output(fmt.Sprintf("ch%d", k), terms[0])
+			continue
+		}
+		b.Output(fmt.Sprintf("ch%d", k), b.Gate(circuit.Or, fmt.Sprintf("och%d", k), terms...))
+	}
+	// Group vector bits, one-based.
+	vecBits := 0
+	for 1<<vecBits < groups+1 {
+		vecBits++
+	}
+	for k := 0; k < vecBits; k++ {
+		var terms []circuit.GateID
+		for g := 0; g < groups; g++ {
+			if (g+1)&(1<<k) != 0 {
+				terms = append(terms, ggrant[g])
+			}
+		}
+		switch len(terms) {
+		case 0:
+		case 1:
+			b.Output(fmt.Sprintf("v%d", k), terms[0])
+		default:
+			b.Output(fmt.Sprintf("v%d", k), b.Gate(circuit.Or, fmt.Sprintf("ov%d", k), terms...))
+		}
+	}
+	return b.MustBuild()
+}
+
+// PriorityInterrupt builds a c432-style interrupt controller: ch request
+// lines gated by ch enable lines feed a priority chain (channel 0 wins);
+// outputs are an any-request flag and a one-hot-encoded binary vector of
+// the granted channel, offset by one so channel 0 maps to vector 1.
+func PriorityInterrupt(ch int) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("prio%d", ch))
+	req := make([]circuit.GateID, ch)
+	en := make([]circuit.GateID, ch)
+	for i := 0; i < ch; i++ {
+		req[i] = b.Input(fmt.Sprintf("r%d", i))
+	}
+	for i := 0; i < ch; i++ {
+		en[i] = b.Input(fmt.Sprintf("e%d", i))
+	}
+	act := make([]circuit.GateID, ch)
+	for i := 0; i < ch; i++ {
+		act[i] = b.Gate(circuit.And, fmt.Sprintf("act%d", i), req[i], en[i])
+	}
+	grant := make([]circuit.GateID, ch)
+	grant[0] = act[0]
+	higher := act[0]
+	for i := 1; i < ch; i++ {
+		nh := b.Gate(circuit.Not, fmt.Sprintf("nh%d", i), higher)
+		grant[i] = b.Gate(circuit.And, fmt.Sprintf("grant%d", i), act[i], nh)
+		higher = b.Gate(circuit.Or, fmt.Sprintf("hi%d", i), higher, act[i])
+	}
+	b.Output("irq", higher)
+	// Vector bits: OR of grants whose (index+1) has the bit set.
+	bits := 0
+	for 1<<bits < ch+1 {
+		bits++
+	}
+	for k := 0; k < bits; k++ {
+		var terms []circuit.GateID
+		for i := 0; i < ch; i++ {
+			if (i+1)&(1<<k) != 0 {
+				terms = append(terms, grant[i])
+			}
+		}
+		var v circuit.GateID
+		switch len(terms) {
+		case 0:
+			continue
+		case 1:
+			v = terms[0]
+		default:
+			v = b.Gate(circuit.Or, fmt.Sprintf("vec%d", k), terms...)
+		}
+		b.Output(fmt.Sprintf("v%d", k), v)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,112 @@
+// Package gen produces deterministic benchmark circuits: seeded random
+// DAGs and structural analogues of the ISCAS85 netlists evaluated in the
+// paper (adders, ALUs, ECC trees, priority logic, an array multiplier),
+// plus seeded random PLAs standing in for the MCNC two-level benchmarks.
+//
+// All generators are deterministic functions of their parameters, so
+// experiments are exactly reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfault/internal/circuit"
+)
+
+// RandomOptions parameterizes RandomCircuit.
+type RandomOptions struct {
+	Inputs   int     // number of primary inputs (>=1)
+	Gates    int     // number of internal simple gates (>=1)
+	Outputs  int     // number of primary outputs (>=1, <= Inputs+Gates)
+	MaxArity int     // maximum gate fanin; 0 means 3
+	NotFrac  float64 // fraction of gates that are inverters (default 0.15 when 0)
+}
+
+// RandomCircuit generates a random combinational DAG from a seed. Gate
+// fanins are drawn from all previously created gates with a bias toward
+// recent ones, which produces deep, reconvergent structures similar to
+// technology-mapped logic. Outputs are taken from the last gates, with
+// dangling gates wired into extra outputs so the result always validates.
+func RandomCircuit(name string, opt RandomOptions, seed int64) *circuit.Circuit {
+	if opt.Inputs < 1 || opt.Gates < 1 {
+		panic("gen: RandomCircuit needs at least 1 input and 1 gate")
+	}
+	if opt.MaxArity == 0 {
+		opt.MaxArity = 3
+	}
+	if opt.MaxArity < 2 {
+		opt.MaxArity = 2
+	}
+	if opt.NotFrac == 0 {
+		opt.NotFrac = 0.15
+	}
+	if opt.Outputs < 1 {
+		opt.Outputs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(name)
+	var pool []circuit.GateID
+	fanout := make(map[circuit.GateID]int)
+	for i := 0; i < opt.Inputs; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	pick := func() circuit.GateID {
+		u := rng.Float64()
+		idx := int(u * u * float64(len(pool)))
+		g := pool[len(pool)-1-idx%len(pool)]
+		fanout[g]++
+		return g
+	}
+	simple := []circuit.GateType{circuit.And, circuit.Or, circuit.Nand, circuit.Nor}
+	firstGate := len(pool)
+	for i := 0; i < opt.Gates; i++ {
+		nm := fmt.Sprintf("g%d", i)
+		if rng.Float64() < opt.NotFrac {
+			pool = append(pool, b.Gate(circuit.Not, nm, pick()))
+			continue
+		}
+		t := simple[rng.Intn(len(simple))]
+		arity := 2
+		if opt.MaxArity > 2 {
+			arity += rng.Intn(opt.MaxArity - 1)
+		}
+		fanin := make([]circuit.GateID, arity)
+		for k := range fanin {
+			fanin[k] = pick()
+		}
+		pool = append(pool, b.Gate(t, nm, fanin...))
+	}
+	used := make(map[circuit.GateID]bool)
+	outN := 0
+	addOut := func(g circuit.GateID) {
+		if used[g] {
+			return
+		}
+		used[g] = true
+		b.Output(fmt.Sprintf("o%d", outN), g)
+		outN++
+	}
+	for i := 0; i < opt.Outputs && i < len(pool); i++ {
+		addOut(pool[len(pool)-1-i])
+	}
+	for i := len(pool) - 1; i >= firstGate; i-- {
+		if fanout[pool[i]] == 0 {
+			addOut(pool[i])
+		}
+	}
+	// Dangling PIs feed an extra OR collector so every PI matters
+	// structurally (unused PIs would otherwise fail validation).
+	var danglingPIs []circuit.GateID
+	for i := 0; i < firstGate; i++ {
+		if fanout[pool[i]] == 0 && !used[pool[i]] {
+			danglingPIs = append(danglingPIs, pool[i])
+		}
+	}
+	if len(danglingPIs) == 1 {
+		addOut(danglingPIs[0])
+	} else if len(danglingPIs) > 1 {
+		addOut(b.Gate(circuit.Or, "collect", danglingPIs...))
+	}
+	return b.MustBuild()
+}

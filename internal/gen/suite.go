@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"rdfault/internal/circuit"
+	"rdfault/internal/pla"
+)
+
+// Named pairs a generated circuit with the paper benchmark it stands in
+// for.
+type Named struct {
+	// Paper is the benchmark name in the paper's tables (e.g. "c432").
+	Paper string
+	// C is the generated structural analogue.
+	C *circuit.Circuit
+}
+
+// ISCAS85Suite generates the stand-ins for the ISCAS85 benchmarks of
+// Tables I and II. The circuits reproduce the structural regimes of the
+// originals (see DESIGN.md §4) at sizes chosen so that the full Table I
+// experiment runs in minutes rather than the paper's hours:
+//
+//	c432  -> 27-channel grouped priority interrupt logic (36 in, 7 out)
+//	c499  -> SEC decoder with primitive-style (AOI) XORs
+//	c880  -> 8-bit four-function ALU
+//	c1355 -> the c499 analogue with XORs in 4-NAND form
+//	c1908 -> SEC/DED decoder
+//	c2670 -> ALU + comparator + parity datapath
+//	c3540 -> BCD-adjusting ALU
+//	c5315 -> two-stage ALU pipeline
+//	c7552 -> wide adder/comparator/parity datapath
+//
+// c6288 (the 16x16 multiplier) is exposed separately via C6288Analogue:
+// as in the paper, its path count (>1.9e20 in the original) rules out
+// enumeration and it appears only in path-counting experiments.
+func ISCAS85Suite() []Named {
+	return []Named{
+		{"c432", PriorityInterruptGrouped(9, 3)}, // 27 channels in 9 groups; 36 in, 7 out like c432
+		{"c499", SECDecoder(20, XorAOI)},         // 682,800 (paper: 795,776)
+		{"c880", ALU(8, XorNAND)},                // 4,066 (paper: 17,284)
+		{"c1355", SECDecoder(16, XorNAND)},       // 6,298,656 (paper: 8,346,432)
+		{"c1908", SECDEDDecoder(8, XorNAND)},     // 66,460,548
+		{"c2670", ALUComparator(12, XorNAND)},    // 37,735,886
+		{"c3540", BCDALU(4, XorNAND)},            // 84,013,142 (paper: 57,353,342)
+		{"c5315", ALUPipeline(12, XorAOI)},       // 64,708
+		{"c7552", ALUComparator(16, XorAOI)},     // 5,115,498
+	}
+}
+
+// C6288Analogue returns the 16x16 array multiplier stand-in for c6288.
+func C6288Analogue() *circuit.Circuit {
+	return ArrayMultiplier(16, XorNAND)
+}
+
+// NamedCover pairs a generated two-level cover with the MCNC benchmark it
+// stands in for.
+type NamedCover struct {
+	Paper string
+	Cover *pla.Cover
+}
+
+// MCNCSuite generates the stand-ins for the synthesized MCNC two-level
+// benchmarks of Table III. Sizes grow roughly like the paper's lineup
+// (apex1 smallest to misex3c largest by path count) while staying small
+// enough for the leaf-dag approach of [1] to finish — which is the point
+// of that comparison.
+func MCNCSuite() []NamedCover {
+	return []NamedCover{
+		{"apex1", RandomPLA("apex1", PLAOptions{Inputs: 12, Outputs: 6, Cubes: 40, DashFrac: 0.55, Redundant: 12}, 1001)},
+		{"Z5xp1", RandomPLA("Z5xp1", PLAOptions{Inputs: 7, Outputs: 6, Cubes: 45, DashFrac: 0.2, Redundant: 140}, 1002)},
+		{"apex5", RandomPLA("apex5", PLAOptions{Inputs: 14, Outputs: 8, Cubes: 50, DashFrac: 0.6, Redundant: 15}, 1003)},
+		{"bw", RandomPLA("bw", PLAOptions{Inputs: 5, Outputs: 12, Cubes: 40, DashFrac: 0.15, Redundant: 120}, 1004)},
+		{"apex3", RandomPLA("apex3", PLAOptions{Inputs: 14, Outputs: 8, Cubes: 60, DashFrac: 0.55, Redundant: 20}, 1005)},
+		{"misex3", RandomPLA("misex3", PLAOptions{Inputs: 14, Outputs: 10, Cubes: 80, DashFrac: 0.5, Redundant: 30}, 1006)},
+		{"seq", RandomPLA("seq", PLAOptions{Inputs: 16, Outputs: 10, Cubes: 100, DashFrac: 0.55, Redundant: 35}, 1007)},
+		{"misex3c", RandomPLA("misex3c", PLAOptions{Inputs: 16, Outputs: 12, Cubes: 140, DashFrac: 0.55, Redundant: 60}, 1008)},
+	}
+}

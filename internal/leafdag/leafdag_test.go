@@ -1,0 +1,330 @@
+package leafdag
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+)
+
+func TestBuildExample(t *testing.T) {
+	c := gen.PaperExample()
+	tree, err := Build(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 4 {
+		t.Fatalf("leaves = %d, want 4 (one per physical path)", tree.NumLeaves())
+	}
+	// Leaf paths are exactly the circuit's physical paths.
+	want := map[string]bool{}
+	paths.ForEachPath(c, func(p paths.Path) bool {
+		want[p.Key()] = true
+		return true
+	})
+	for i := 0; i < tree.NumLeaves(); i++ {
+		p := tree.LeafPath(i)
+		if !want[p.Key()] {
+			t.Errorf("leaf %d reconstructs unknown path %s", i, p.String(c))
+		}
+		delete(want, p.Key())
+	}
+	if len(want) != 0 {
+		t.Errorf("paths not covered by leaves: %v", want)
+	}
+}
+
+func TestBuildLeafCountEqualsPathCount(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 1}, seed)
+		cones, err := c.Cones()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cone := range cones {
+			tree, err := Build(cone, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := paths.NewCounts(cone).Physical()
+			if n.Int64() != int64(tree.NumLeaves()) {
+				t.Fatalf("seed %d: %d leaves, %v paths", seed, tree.NumLeaves(), n)
+			}
+		}
+	}
+}
+
+func TestBuildCap(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 40, Outputs: 1}, 3)
+	cones, _ := c.Cones()
+	_, err := Build(cones[0], 3)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBuildRejectsMultiOutput(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 4, Gates: 10, Outputs: 2}, 1)
+	if _, err := Build(c, 0); err == nil {
+		t.Fatal("expected error for multi-output circuit")
+	}
+}
+
+func TestTreeEval(t *testing.T) {
+	c := gen.PaperExample()
+	tree, err := Build(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		want := c.OutputsOf(c.EvalBool(in))[0]
+		if got := tree.Eval(in, nil); got != want {
+			t.Errorf("v=%d: tree eval %v, circuit %v", v, got, want)
+		}
+	}
+}
+
+func TestIdentifyRDExample(t *testing.T) {
+	// Worked out by hand for the reconstruction y = OR(a, AND(b, OR(b,c))):
+	// the redundant-fault heuristic finds exactly the 3 RD paths the
+	// optimal stabilizing assignment yields: (b->o->g->y, falling),
+	// (c->o->g->y, falling) and (c->o->g->y, rising).
+	c := gen.PaperExample()
+	var rdKeys []string
+	rep, err := IdentifyRD(c, Options{OnRD: func(lp paths.Logical) {
+		rdKeys = append(rdKeys, lp.Path.String(c)+"/"+map[bool]string{true: "rise", false: "fall"}[lp.FinalOne])
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RD != 3 {
+		t.Fatalf("RD = %d, want 3 (keys: %v)", rep.RD, rdKeys)
+	}
+	if rep.TotalLogicalPaths.Int64() != 8 {
+		t.Fatalf("total = %v, want 8", rep.TotalLogicalPaths)
+	}
+	if got := rep.RDPercent(); got < 37.4 || got > 37.6 {
+		t.Errorf("RD%% = %v, want 37.5", got)
+	}
+	want := map[string]bool{
+		"b -> o -> g -> y -> y$po/fall": true,
+		"c -> o -> g -> y -> y$po/fall": true,
+		"c -> o -> g -> y -> y$po/rise": true,
+	}
+	for _, k := range rdKeys {
+		if !want[k] {
+			t.Errorf("unexpected RD path %s", k)
+		}
+		delete(want, k)
+	}
+	for k := range want {
+		t.Errorf("missing RD path %s", k)
+	}
+}
+
+// exactNonRobust checks, by exhaustive input enumeration, whether the
+// logical path is non-robustly testable (Definition 5). RD paths must
+// never be non-robustly testable (Lemma 1: T ⊆ LP(σ) for every σ).
+func exactNonRobust(c *circuit.Circuit, lp paths.Logical) bool {
+	n := len(c.Inputs())
+	in := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		val := c.EvalBool(in)
+		if val[lp.Path.PI()] != lp.FinalOne {
+			continue
+		}
+		ok := true
+		for i := 1; i < len(lp.Path.Gates) && ok; i++ {
+			g := lp.Path.Gates[i]
+			ctrl, hasCtrl := c.Type(g).Controlling()
+			if !hasCtrl {
+				continue
+			}
+			for p := range c.Fanin(g) {
+				if p != lp.Path.Pins[i-1] && val[c.Fanin(g)[p]] == ctrl {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIdentifiedRDNeverTestable(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 12, Outputs: 2}, seed)
+		var rd []paths.Logical
+		_, err := IdentifyRD(c, Options{OnRD: func(lp paths.Logical) {
+			rd = append(rd, paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne})
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lp := range rd {
+			if exactNonRobust(c, lp) {
+				t.Fatalf("seed %d: identified RD path %s is non-robustly testable", seed, lp.Path.String(c))
+			}
+		}
+	}
+}
+
+// TestMultipleFaultRedundant re-validates the core guarantee: per cone and
+// polarity, forcing all committed leaves simultaneously leaves the cone's
+// function unchanged (the accumulated multiple stuck-at fault is
+// redundant).
+func TestMultipleFaultRedundant(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 12, Outputs: 1}, seed)
+		cones, err := c.Cones()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cone := cones[0]
+		var rd []paths.Logical
+		_, err = IdentifyRD(cone, Options{OnRD: func(lp paths.Logical) {
+			rd = append(rd, paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne})
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := Build(cone, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map path keys to leaf indices.
+		leafByKey := map[string]int{}
+		for i := 0; i < tree.NumLeaves(); i++ {
+			leafByKey[tree.LeafPath(i).Key()] = i
+		}
+		for _, polarity := range [2]bool{false, true} {
+			forced := map[int]bool{}
+			for _, lp := range rd {
+				if lp.FinalOne == !polarity { // stuckAt == polarity
+					li, ok := leafByKey[lp.Path.Key()]
+					if !ok {
+						t.Fatalf("seed %d: RD path has no leaf", seed)
+					}
+					forced[li] = polarity
+				}
+			}
+			if len(forced) == 0 {
+				continue
+			}
+			n := len(cone.Inputs())
+			in := make([]bool, n)
+			for v := 0; v < 1<<n; v++ {
+				for i := range in {
+					in[i] = v&(1<<i) != 0
+				}
+				if tree.Eval(in, forced) != tree.Eval(in, nil) {
+					t.Fatalf("seed %d polarity %v: multiple fault changes function at v=%d",
+						seed, polarity, v)
+				}
+			}
+		}
+	}
+}
+
+func TestIrredundantCircuitHasNoRD(t *testing.T) {
+	// A fanout-free circuit of distinct inputs: every path is robustly
+	// testable, so RD must be empty.
+	b := circuit.NewBuilder("ff")
+	a := b.Input("a")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	g1 := b.Gate(circuit.And, "g1", a, x)
+	g2 := b.Gate(circuit.Or, "g2", y, z)
+	g3 := b.Gate(circuit.Nand, "g3", g1, g2)
+	b.Output("po", g3)
+	c := b.MustBuild()
+	rep, err := IdentifyRD(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RD != 0 {
+		t.Fatalf("fanout-free circuit has RD=%d, want 0", rep.RD)
+	}
+	if rep.Queries != 0 {
+		t.Errorf("queries = %d, want 0 (all paths in T^sup are pre-filtered)", rep.Queries)
+	}
+	// The raw greedy mode queries every fault and still finds nothing.
+	raw, err := IdentifyRD(c, Options{AllowTestablePaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.RD != 0 {
+		t.Fatalf("raw greedy RD=%d, want 0", raw.RD)
+	}
+	if raw.Queries != 8 {
+		t.Errorf("raw queries = %d, want 8 (4 leaves x 2 polarities)", raw.Queries)
+	}
+}
+
+// TestRawGreedyFindsAtLeastFiltered: dropping the T^sup filter can only
+// grow the committed set's size on circuits where order effects do not
+// interfere; on the paper example both modes find the same 3 paths.
+func TestRawGreedyOnExample(t *testing.T) {
+	c := gen.PaperExample()
+	raw, err := IdentifyRD(c, Options{AllowTestablePaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.RD != 3 {
+		t.Fatalf("raw greedy RD = %d, want 3", raw.RD)
+	}
+}
+
+func BenchmarkIdentifyRD(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 8, Gates: 40, Outputs: 2}, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IdentifyRD(c, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTotalTreeNodesMatchesBuild(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 3}, seed)
+		want := int64(0)
+		cones, err := c.Cones()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cone := range cones {
+			tree, err := Build(cone, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += int64(tree.NumNodes())
+		}
+		if got := TotalTreeNodes(c); got.Int64() != want {
+			t.Fatalf("seed %d: formula %v, built %d", seed, got, want)
+		}
+	}
+}
+
+func TestIdentifyRDFastAbortOnHugeUnfolding(t *testing.T) {
+	c := gen.SECDecoder(20, gen.XorAOI)
+	start := time.Now()
+	_, err := IdentifyRD(c, Options{NodeCap: 400_000})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v; the precheck should be immediate", elapsed)
+	}
+}

@@ -1,0 +1,41 @@
+// Package loader reads circuits from any supported on-disk format,
+// dispatching on the file extension: ".bench" (ISCAS), ".v"/".verilog"
+// (structural Verilog) and ".pla" (Espresso two-level, synthesized to
+// multi-level gates on load). All command-line tools share it.
+package loader
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/pla"
+	"rdfault/internal/synth"
+	"rdfault/internal/verilog"
+)
+
+// Load reads the circuit stored at path.
+func Load(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return circuit.ParseBench(name, f)
+	case ".v", ".verilog":
+		return verilog.Parse(name, f)
+	case ".pla":
+		cv, err := pla.Parse(name, f)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Synthesize(cv, synth.Options{})
+	default:
+		return nil, fmt.Errorf("loader: unsupported extension %q (want .bench, .v or .pla)", filepath.Ext(path))
+	}
+}

@@ -1,0 +1,87 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfault/internal/bdd"
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/pla"
+	"rdfault/internal/verilog"
+)
+
+func write(t *testing.T, path string, emit func(f *os.File) error) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	c := gen.PaperExample()
+
+	benchPath := filepath.Join(dir, "x.bench")
+	write(t, benchPath, func(f *os.File) error { return circuit.WriteBench(f, c) })
+	vPath := filepath.Join(dir, "x.v")
+	write(t, vPath, func(f *os.File) error { return verilog.Write(f, c) })
+	plaPath := filepath.Join(dir, "x.pla")
+	cv := gen.RandomPLA("x", gen.PLAOptions{Inputs: 4, Outputs: 2, Cubes: 6}, 1)
+	write(t, plaPath, func(f *os.File) error { return pla.Write(f, cv) })
+
+	for _, p := range []string{benchPath, vPath} {
+		got, err := Load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		eq, err := bdd.Equivalent(c, got)
+		if err != nil || !eq {
+			t.Fatalf("%s: loaded circuit not equivalent (%v)", p, err)
+		}
+	}
+	got, err := Load(plaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PLA loads synthesize; check against cover semantics.
+	for v := 0; v < 16; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+		want := cv.Eval(in)
+		have := got.OutputsOf(got.EvalBool(in))
+		for o := range want {
+			if want[o] != have[o] {
+				t.Fatalf("pla load differs at %v", in)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("no-such-file.bench"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "x.xyz")
+	if err := os.WriteFile(bad, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	garbage := filepath.Join(dir, "g.bench")
+	if err := os.WriteFile(garbage, []byte("not a netlist"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(garbage); err == nil {
+		t.Error("garbage bench accepted")
+	}
+}

@@ -1,0 +1,380 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+func TestValueBasics(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool broken")
+	}
+	if One.Not() != Zero || Zero.Not() != One || X.Not() != X {
+		t.Fatal("Not broken")
+	}
+	if !One.Known() || !Zero.Known() || X.Known() {
+		t.Fatal("Known broken")
+	}
+	if One.String() != "1" || Zero.String() != "0" || X.String() != "X" {
+		t.Fatal("String broken")
+	}
+	if b, ok := One.Bool(); !ok || !b {
+		t.Fatal("Bool(One)")
+	}
+	if b, ok := Zero.Bool(); !ok || b {
+		t.Fatal("Bool(Zero)")
+	}
+	if _, ok := X.Bool(); ok {
+		t.Fatal("Bool(X)")
+	}
+}
+
+// chain builds y = NOT(AND(a, OR(b, c))).
+func chain(t *testing.T) (*circuit.Circuit, map[string]circuit.GateID) {
+	t.Helper()
+	b := circuit.NewBuilder("chain")
+	ids := map[string]circuit.GateID{}
+	ids["a"] = b.Input("a")
+	ids["b"] = b.Input("b")
+	ids["c"] = b.Input("c")
+	ids["or"] = b.Gate(circuit.Or, "or", ids["b"], ids["c"])
+	ids["and"] = b.Gate(circuit.And, "and", ids["a"], ids["or"])
+	ids["not"] = b.Gate(circuit.Not, "not", ids["and"])
+	ids["po"] = b.Output("po", ids["not"])
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ids
+}
+
+func TestForwardImplications(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	// a=0 forces and=0, not=1, po=1; or stays X.
+	if !e.Assign(ids["a"], false) {
+		t.Fatal("conflict on single assignment")
+	}
+	if e.Value(ids["and"]) != Zero {
+		t.Errorf("and = %v, want 0", e.Value(ids["and"]))
+	}
+	if e.Value(ids["not"]) != One || e.Value(ids["po"]) != One {
+		t.Error("NOT/PO not forward-implied")
+	}
+	if e.Value(ids["or"]) != X {
+		t.Errorf("or = %v, want X", e.Value(ids["or"]))
+	}
+}
+
+func TestForwardAllNonControlling(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	if !e.Assign(ids["b"], false) || !e.Assign(ids["c"], false) {
+		t.Fatal("unexpected conflict")
+	}
+	if e.Value(ids["or"]) != Zero {
+		t.Errorf("or = %v, want 0 (all inputs non-controlling)", e.Value(ids["or"]))
+	}
+	if e.Value(ids["and"]) != Zero {
+		t.Errorf("and = %v, want 0 (controlled by or=0)", e.Value(ids["and"]))
+	}
+}
+
+func TestBackwardImplications(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	// po=0 -> not=0 -> and=1 -> a=1 and or=1.
+	if !e.Assign(ids["po"], false) {
+		t.Fatal("conflict")
+	}
+	if e.Value(ids["and"]) != One {
+		t.Errorf("and = %v, want 1", e.Value(ids["and"]))
+	}
+	if e.Value(ids["a"]) != One {
+		t.Errorf("a = %v, want 1 (AND output 1 forces inputs)", e.Value(ids["a"]))
+	}
+	if e.Value(ids["or"]) != One {
+		t.Errorf("or = %v, want 1", e.Value(ids["or"]))
+	}
+	// or=1 does not force b or c individually.
+	if e.Value(ids["b"]) != X || e.Value(ids["c"]) != X {
+		t.Error("OR over-implied its inputs")
+	}
+}
+
+func TestUnitPropagation(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	// or=1 with b=0 forces c=1.
+	if !e.Assign(ids["or"], true) || !e.Assign(ids["b"], false) {
+		t.Fatal("conflict")
+	}
+	if e.Value(ids["c"]) != One {
+		t.Errorf("c = %v, want 1 by unit propagation", e.Value(ids["c"]))
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	mark := e.Mark()
+	if !e.Assign(ids["a"], false) {
+		t.Fatal("first assignment conflicted")
+	}
+	// and is now 0; requiring and=1 must conflict.
+	if e.Assign(ids["and"], true) {
+		t.Fatal("expected conflict")
+	}
+	e.BacktrackTo(mark)
+	for name, g := range ids {
+		if e.Value(g) != X {
+			t.Errorf("%s = %v after backtrack, want X", name, e.Value(g))
+		}
+	}
+	// Engine is reusable after backtracking.
+	if !e.Assign(ids["a"], true) {
+		t.Fatal("engine unusable after backtrack")
+	}
+}
+
+func TestConflictAllNonControllingButControlledOutput(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	// or=1 (controlled output) while both inputs are 0 must conflict.
+	if !e.Assign(ids["b"], false) || !e.Assign(ids["c"], false) {
+		t.Fatal("setup conflict")
+	}
+	if e.Assign(ids["or"], true) {
+		t.Fatal("expected conflict: OR(0,0)=1")
+	}
+}
+
+func TestMarkBacktrackNesting(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	m0 := e.Mark()
+	e.Assign(ids["a"], true)
+	m1 := e.Mark()
+	e.Assign(ids["b"], true)
+	if e.Value(ids["or"]) != One {
+		t.Fatal("or should be 1")
+	}
+	e.BacktrackTo(m1)
+	if e.Value(ids["b"]) != X || e.Value(ids["or"]) != X {
+		t.Error("inner backtrack incomplete")
+	}
+	if e.Value(ids["a"]) != One {
+		t.Error("inner backtrack removed outer assignment")
+	}
+	e.BacktrackTo(m0)
+	if e.Value(ids["a"]) != X {
+		t.Error("outer backtrack incomplete")
+	}
+}
+
+func TestAssignXNoOp(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	if !e.AssignValue(ids["a"], X) {
+		t.Fatal("AssignValue(X) reported conflict")
+	}
+	if e.Mark() != 0 {
+		t.Fatal("AssignValue(X) touched the trail")
+	}
+}
+
+func TestAssignAll(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	ok := e.AssignAll(
+		[]circuit.GateID{ids["a"], ids["b"]},
+		[]Value{One, One},
+	)
+	if !ok {
+		t.Fatal("AssignAll conflicted")
+	}
+	if e.Value(ids["po"]) != Zero {
+		t.Errorf("po = %v, want 0", e.Value(ids["po"]))
+	}
+	e.Reset()
+	ok = e.AssignAll(
+		[]circuit.GateID{ids["a"], ids["and"]},
+		[]Value{Zero, One},
+	)
+	if ok {
+		t.Fatal("AssignAll should conflict")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c, ids := chain(t)
+	e := NewEngine(c)
+	e.Assign(ids["po"], false)
+	total, implied := e.Stats()
+	if total < 4 {
+		t.Errorf("total assignments = %d, want >= 4", total)
+	}
+	if implied < 3 {
+		t.Errorf("implied assignments = %d, want >= 3", implied)
+	}
+}
+
+// TestSoundnessExhaustive verifies the core guarantee of the local
+// implication engine: if it reports a conflict for a requirement set, then
+// no input vector satisfies that set. (The converse need not hold — the
+// engine is an approximation.) Verified exhaustively on seeded random
+// circuits.
+func TestSoundnessExhaustive(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 12, Outputs: 2}, seed)
+		rng := rand.New(rand.NewSource(seed * 977))
+		e := NewEngine(c)
+		// Precompute all reachable full valuations.
+		n := len(c.Inputs())
+		var valuations [][]bool
+		for v := 0; v < 1<<n; v++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = v&(1<<i) != 0
+			}
+			valuations = append(valuations, c.EvalBool(in))
+		}
+		for trial := 0; trial < 60; trial++ {
+			// Random requirement set over random gates.
+			k := 1 + rng.Intn(4)
+			gates := make([]circuit.GateID, k)
+			vals := make([]Value, k)
+			for i := 0; i < k; i++ {
+				gates[i] = circuit.GateID(rng.Intn(c.NumGates()))
+				vals[i] = FromBool(rng.Intn(2) == 0)
+			}
+			mark := e.Mark()
+			engineOK := e.AssignAll(gates, vals)
+			e.BacktrackTo(mark)
+
+			satisfiable := false
+			for _, val := range valuations {
+				good := true
+				for i, g := range gates {
+					want, _ := vals[i].Bool()
+					if val[g] != want {
+						good = false
+						break
+					}
+				}
+				if good {
+					satisfiable = true
+					break
+				}
+			}
+			if satisfiable && !engineOK {
+				t.Fatalf("seed %d trial %d: engine reported conflict for satisfiable requirements %v=%v",
+					seed, trial, gates, vals)
+			}
+		}
+	}
+}
+
+// TestImplicationCompletenessForced checks that values that are forced at
+// every satisfying valuation AND derivable by a single direct rule are
+// actually derived (a regression guard for the rule set, not a complete-
+// ness claim).
+func TestImplicationCompletenessForced(t *testing.T) {
+	b := circuit.NewBuilder("forced")
+	a := b.Input("a")
+	x := b.Input("x")
+	g := b.Gate(Nand2(), "g", a, x)
+	b.Output("po", g)
+	c := b.MustBuild()
+	e := NewEngine(c)
+	// NAND output 0 forces both inputs to 1.
+	if !e.Assign(g, false) {
+		t.Fatal("conflict")
+	}
+	if e.Value(a) != One || e.Value(x) != One {
+		t.Error("NAND=0 did not force inputs to 1")
+	}
+}
+
+// Nand2 returns the NAND gate type (helper keeping the test body terse).
+func Nand2() circuit.GateType { return circuit.Nand }
+
+func BenchmarkImplicationEngine(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 64, Gates: 2000, Outputs: 32}, 42)
+	e := NewEngine(c)
+	ins := c.Inputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := e.Mark()
+		for j, g := range ins {
+			if !e.Assign(g, (i+j)%3 == 0) {
+				break
+			}
+		}
+		e.BacktrackTo(mark)
+	}
+}
+
+// Property (testing/quick): any assignment sequence fully unwinds — after
+// BacktrackTo(0) every gate is X again and the engine accepts new work.
+func TestQuickBacktrackRestoresAll(t *testing.T) {
+	c := gen.RandomCircuit("q", gen.RandomOptions{Inputs: 6, Gates: 20, Outputs: 2}, 11)
+	e := NewEngine(c)
+	f := func(picks []uint16) bool {
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		for _, p := range picks {
+			g := circuit.GateID(int(p) % c.NumGates())
+			if !e.Assign(g, p&1 == 0) {
+				break
+			}
+		}
+		e.BacktrackTo(0)
+		for g := 0; g < c.NumGates(); g++ {
+			if e.Value(circuit.GateID(g)) != X {
+				return false
+			}
+		}
+		return e.Assign(c.Inputs()[0], true) && func() bool { e.BacktrackTo(0); return true }()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the engine is monotone — assigning a subset of requirements
+// never conflicts if the full set does not.
+func TestQuickMonotonicity(t *testing.T) {
+	c := gen.RandomCircuit("q", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 2}, 13)
+	e := NewEngine(c)
+	f := func(picks []uint16, cut uint8) bool {
+		if len(picks) > 8 {
+			picks = picks[:8]
+		}
+		apply := func(ps []uint16) bool {
+			mark := e.Mark()
+			defer e.BacktrackTo(mark)
+			for _, p := range ps {
+				g := circuit.GateID(int(p) % c.NumGates())
+				if !e.Assign(g, p&1 == 0) {
+					return false
+				}
+			}
+			return true
+		}
+		fullOK := apply(picks)
+		if !fullOK {
+			return true // nothing claimed about supersets of conflicts
+		}
+		k := int(cut) % (len(picks) + 1)
+		return apply(picks[:k])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

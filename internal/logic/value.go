@@ -1,0 +1,66 @@
+// Package logic provides the three-valued stable-value domain {0, 1, X}
+// and an incremental direct-implication engine over a circuit.
+//
+// The engine implements exactly the approximation used by Algorithm 2 of
+// Sparmann et al. (DAC 1995), following Cheng/Chen (ITC 1993): a set of
+// stable-value requirements is declared unsatisfiable only if *local*
+// implications (forward gate evaluation and backward justification of
+// forced values) derive a contradiction. No search is performed, so "no
+// conflict" does not guarantee satisfiability — the callers obtain
+// supersets of the exactly-sensitizable path sets, which keeps the derived
+// RD-sets sound.
+package logic
+
+// Value is a three-valued stable logic value.
+type Value uint8
+
+// The three stable values. X means "unconstrained / unknown".
+const (
+	X Value = iota
+	Zero
+	One
+)
+
+// FromBool converts a boolean to Zero or One.
+func FromBool(b bool) Value {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Bool returns the boolean for Zero or One; ok is false for X.
+func (v Value) Bool() (b, ok bool) {
+	switch v {
+	case Zero:
+		return false, true
+	case One:
+		return true, true
+	}
+	return false, false
+}
+
+// Not returns the complement; X stays X.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// Known reports whether v is Zero or One.
+func (v Value) Known() bool { return v != X }
+
+// String returns "0", "1" or "X".
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	}
+	return "X"
+}

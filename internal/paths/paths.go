@@ -1,0 +1,244 @@
+// Package paths provides physical/logical path machinery: exact path
+// counting with arbitrary precision (ISCAS85 c6288 has 1.9e20 paths, far
+// beyond int64 in general), per-lead path counts for the input-sort
+// heuristics, and explicit path enumeration for small circuits.
+//
+// Terminology follows Section II of the paper: a physical path is an
+// alternating gate/lead sequence from a PI to a PO; each physical path
+// carries two logical paths (P, x̄→x) distinguished by the final value x of
+// the transition at its primary input PI(P).
+package paths
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"rdfault/internal/circuit"
+)
+
+// Path is a physical path. Gates[0] is a PI and Gates[len-1] a PO;
+// Pins[i] is the input pin of Gates[i+1] driven by Gates[i], so a path is
+// a lead sequence as well as a gate sequence.
+type Path struct {
+	Gates []circuit.GateID
+	Pins  []int
+}
+
+// Clone returns a deep copy; enumeration callbacks receive shared buffers
+// and must Clone paths they retain.
+func (p Path) Clone() Path {
+	return Path{
+		Gates: append([]circuit.GateID(nil), p.Gates...),
+		Pins:  append([]int(nil), p.Pins...),
+	}
+}
+
+// PI returns the primary input of the path.
+func (p Path) PI() circuit.GateID { return p.Gates[0] }
+
+// PO returns the primary output of the path.
+func (p Path) PO() circuit.GateID { return p.Gates[len(p.Gates)-1] }
+
+// Len returns the number of gates on the path.
+func (p Path) Len() int { return len(p.Gates) }
+
+// String renders the path as "a -> g1 -> ... -> po" using gate names.
+func (p Path) String(c *circuit.Circuit) string {
+	var b strings.Builder
+	for i, g := range p.Gates {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(c.Gate(g).Name)
+	}
+	return b.String()
+}
+
+// Key returns a canonical map key for the physical path.
+func (p Path) Key() string {
+	var b strings.Builder
+	for i, g := range p.Gates {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", g)
+		if i < len(p.Pins) {
+			fmt.Fprintf(&b, ":%d", p.Pins[i])
+		}
+	}
+	return b.String()
+}
+
+// Logical is a logical path (P, x̄→x): a physical path plus the final
+// value x of the transition at its primary input. FinalOne means x = 1
+// (a rising transition at the PI).
+type Logical struct {
+	Path     Path
+	FinalOne bool
+}
+
+// Key returns a canonical map key for the logical path.
+func (lp Logical) Key() string {
+	k := lp.Path.Key()
+	if lp.FinalOne {
+		return k + "/1"
+	}
+	return k + "/0"
+}
+
+// FinalValueAt returns the stable (final) value the transition assumes at
+// the output of the i-th gate on the path, assuming the path propagates:
+// x XOR the parity of inversions among gates 1..i.
+func (lp Logical) FinalValueAt(c *circuit.Circuit, i int) bool {
+	v := lp.FinalOne
+	for k := 1; k <= i; k++ {
+		if c.Type(lp.Path.Gates[k]).Inverting() {
+			v = !v
+		}
+	}
+	return v
+}
+
+// Counts holds exact per-gate path counts for one circuit.
+type Counts struct {
+	c *circuit.Circuit
+	// up[g] = number of PI-to-g physical path prefixes ending at g.
+	up []*big.Int
+	// down[g] = number of g-to-PO physical path suffixes starting at g.
+	down []*big.Int
+}
+
+// NewCounts computes path counts for c in O(gates + leads) big-integer
+// additions.
+func NewCounts(c *circuit.Circuit) *Counts {
+	n := c.NumGates()
+	ct := &Counts{
+		c:    c,
+		up:   make([]*big.Int, n),
+		down: make([]*big.Int, n),
+	}
+	topo := c.TopoOrder()
+	for _, g := range topo {
+		if c.Type(g) == circuit.Input {
+			ct.up[g] = big.NewInt(1)
+			continue
+		}
+		s := new(big.Int)
+		for _, f := range c.Fanin(g) {
+			s.Add(s, ct.up[f])
+		}
+		ct.up[g] = s
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		if c.Type(g) == circuit.Output {
+			ct.down[g] = big.NewInt(1)
+			continue
+		}
+		s := new(big.Int)
+		for _, e := range c.Fanout(g) {
+			s.Add(s, ct.down[e.To])
+		}
+		ct.down[g] = s
+	}
+	return ct
+}
+
+// Up returns the number of PI-to-g path prefixes.
+func (ct *Counts) Up(g circuit.GateID) *big.Int { return ct.up[g] }
+
+// Down returns the number of g-to-PO path suffixes.
+func (ct *Counts) Down(g circuit.GateID) *big.Int { return ct.down[g] }
+
+// Physical returns the total number of physical paths in the circuit.
+func (ct *Counts) Physical() *big.Int {
+	s := new(big.Int)
+	for _, pi := range ct.c.Inputs() {
+		s.Add(s, ct.down[pi])
+	}
+	return s
+}
+
+// Logical returns the total number of logical paths (twice Physical).
+func (ct *Counts) Logical() *big.Int {
+	return new(big.Int).Lsh(ct.Physical(), 1)
+}
+
+// ThroughLead returns the number of physical paths running through the
+// given lead. By Remark 4 of the paper this also equals |LP_c(l)|, the
+// number of logical paths whose transition at l ends on the controlling
+// value of the gate the lead feeds.
+func (ct *Counts) ThroughLead(l circuit.Lead) *big.Int {
+	src := ct.c.Source(l)
+	return new(big.Int).Mul(ct.up[src], ct.down[l.To])
+}
+
+// LeadCounts returns |P(l)| for every lead, indexed by
+// Circuit.LeadIndex.
+func (ct *Counts) LeadCounts() []*big.Int {
+	out := make([]*big.Int, ct.c.NumLeads())
+	for g := circuit.GateID(0); int(g) < ct.c.NumGates(); g++ {
+		for pin := range ct.c.Fanin(g) {
+			l := circuit.Lead{To: g, Pin: pin}
+			out[ct.c.LeadIndex(g, pin)] = ct.ThroughLead(l)
+		}
+	}
+	return out
+}
+
+// ForEachPath enumerates every physical path of c in depth-first order,
+// calling fn with a shared Path buffer (Clone to retain). Enumeration
+// stops early if fn returns false; ForEachPath reports whether the walk
+// ran to completion.
+func ForEachPath(c *circuit.Circuit, fn func(Path) bool) bool {
+	var (
+		gates []circuit.GateID
+		pins  []int
+	)
+	var dfs func(g circuit.GateID) bool
+	dfs = func(g circuit.GateID) bool {
+		gates = append(gates, g)
+		defer func() { gates = gates[:len(gates)-1] }()
+		if c.Type(g) == circuit.Output {
+			return fn(Path{Gates: gates, Pins: pins})
+		}
+		for _, e := range c.Fanout(g) {
+			pins = append(pins, e.Pin)
+			ok := dfs(e.To)
+			pins = pins[:len(pins)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, pi := range c.Inputs() {
+		if !dfs(pi) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachLogical enumerates all logical paths (each physical path with
+// both transitions). The Path buffer is shared; Clone to retain.
+func ForEachLogical(c *circuit.Circuit, fn func(Logical) bool) bool {
+	return ForEachPath(c, func(p Path) bool {
+		if !fn(Logical{Path: p, FinalOne: false}) {
+			return false
+		}
+		return fn(Logical{Path: p, FinalOne: true})
+	})
+}
+
+// Collect returns all physical paths of c, up to limit (limit <= 0 means
+// no limit). Intended for small circuits and tests.
+func Collect(c *circuit.Circuit, limit int) []Path {
+	var out []Path
+	ForEachPath(c, func(p Path) bool {
+		out = append(out, p.Clone())
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}

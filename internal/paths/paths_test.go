@@ -1,0 +1,272 @@
+package paths
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+// example is the paper's running example: y = AND(OR(a,b), OR(b,c)).
+func example(t testing.TB) *circuit.Circuit {
+	b := circuit.NewBuilder("example")
+	a := b.Input("a")
+	bb := b.Input("b")
+	cc := b.Input("c")
+	o1 := b.Gate(circuit.Or, "o1", a, bb)
+	o2 := b.Gate(circuit.Or, "o2", bb, cc)
+	y := b.Gate(circuit.And, "y", o1, o2)
+	b.Output("y$po", y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExampleCounts(t *testing.T) {
+	c := example(t)
+	ct := NewCounts(c)
+	if got := ct.Physical().Int64(); got != 4 {
+		t.Errorf("physical paths = %d, want 4", got)
+	}
+	if got := ct.Logical().Int64(); got != 8 {
+		t.Errorf("logical paths = %d, want 8 (as stated in Example 2)", got)
+	}
+	bID, _ := c.GateByName("b")
+	if got := ct.Down(bID).Int64(); got != 2 {
+		t.Errorf("down(b) = %d, want 2", got)
+	}
+	yID, _ := c.GateByName("y")
+	if got := ct.Up(yID).Int64(); got != 4 {
+		t.Errorf("up(y) = %d, want 4", got)
+	}
+}
+
+func TestThroughLead(t *testing.T) {
+	c := example(t)
+	ct := NewCounts(c)
+	yID, _ := c.GateByName("y")
+	// Each input lead of y carries 2 physical paths.
+	for pin := range c.Fanin(yID) {
+		got := ct.ThroughLead(circuit.Lead{To: yID, Pin: pin})
+		if got.Int64() != 2 {
+			t.Errorf("through y pin %d = %v, want 2", pin, got)
+		}
+	}
+	// The PO lead carries all 4.
+	po := c.Outputs()[0]
+	if got := ct.ThroughLead(circuit.Lead{To: po, Pin: 0}); got.Int64() != 4 {
+		t.Errorf("through PO lead = %v, want 4", got)
+	}
+}
+
+func TestLeadCounts(t *testing.T) {
+	c := example(t)
+	ct := NewCounts(c)
+	lc := ct.LeadCounts()
+	if len(lc) != c.NumLeads() {
+		t.Fatalf("got %d lead counts, want %d", len(lc), c.NumLeads())
+	}
+	// Sum over PO input leads = total physical paths.
+	sum := new(big.Int)
+	for _, po := range c.Outputs() {
+		sum.Add(sum, lc[c.LeadIndex(po, 0)])
+	}
+	if sum.Cmp(ct.Physical()) != 0 {
+		t.Errorf("sum over PO leads %v != physical %v", sum, ct.Physical())
+	}
+}
+
+func TestEnumerationMatchesCounts(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 3}, seed)
+		ct := NewCounts(c)
+		var n int64
+		ForEachPath(c, func(p Path) bool {
+			n++
+			// Structural sanity of each enumerated path.
+			if c.Type(p.PI()) != circuit.Input || c.Type(p.PO()) != circuit.Output {
+				t.Fatalf("seed %d: bad endpoints in %s", seed, p.String(c))
+			}
+			for i := 0; i+1 < len(p.Gates); i++ {
+				if c.Fanin(p.Gates[i+1])[p.Pins[i]] != p.Gates[i] {
+					t.Fatalf("seed %d: pin mismatch in %s", seed, p.String(c))
+				}
+			}
+			return true
+		})
+		if ct.Physical().Int64() != n {
+			t.Errorf("seed %d: counted %v, enumerated %d", seed, ct.Physical(), n)
+		}
+	}
+}
+
+func TestPerLeadCountMatchesEnumeration(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 4, Gates: 15, Outputs: 2}, 7)
+	ct := NewCounts(c)
+	got := make([]int64, c.NumLeads())
+	ForEachPath(c, func(p Path) bool {
+		for i := 0; i+1 < len(p.Gates); i++ {
+			got[c.LeadIndex(p.Gates[i+1], p.Pins[i])]++
+		}
+		return true
+	})
+	for i, want := range ct.LeadCounts() {
+		if want.Int64() != got[i] {
+			t.Errorf("lead %d: count %v, enumerated %d", i, want, got[i])
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	c := example(t)
+	calls := 0
+	done := ForEachPath(c, func(Path) bool {
+		calls++
+		return false
+	})
+	if done || calls != 1 {
+		t.Errorf("early stop: done=%v calls=%d", done, calls)
+	}
+	calls = 0
+	done = ForEachLogical(c, func(Logical) bool {
+		calls++
+		return calls < 3
+	})
+	if done || calls != 3 {
+		t.Errorf("logical early stop: done=%v calls=%d", done, calls)
+	}
+}
+
+func TestForEachLogicalPairs(t *testing.T) {
+	c := example(t)
+	seen := map[string]bool{}
+	ForEachLogical(c, func(lp Logical) bool {
+		k := lp.Key()
+		if seen[k] {
+			t.Fatalf("duplicate logical path %s", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d logical paths, want 8", len(seen))
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	c := example(t)
+	if got := len(Collect(c, 2)); got != 2 {
+		t.Errorf("Collect limit 2 returned %d", got)
+	}
+	all := Collect(c, 0)
+	if len(all) != 4 {
+		t.Errorf("Collect all returned %d, want 4", len(all))
+	}
+	// Collected paths are independent copies.
+	all[0].Gates[0] = circuit.None
+	if all[1].Gates[0] == circuit.None {
+		t.Error("Collect returned aliased paths")
+	}
+}
+
+func TestFinalValueAt(t *testing.T) {
+	// Path through NOT and NAND should flip the final value at each
+	// inverting gate.
+	b := circuit.NewBuilder("inv")
+	a := b.Input("a")
+	x := b.Input("x")
+	n1 := b.Gate(circuit.Not, "n1", a)
+	n2 := b.Gate(circuit.Nand, "n2", n1, x)
+	b.Output("po", n2)
+	c := b.MustBuild()
+	ps := Collect(c, 0)
+	var through *Path
+	for i := range ps {
+		if ps[i].PI() == a {
+			through = &ps[i]
+		}
+	}
+	if through == nil || through.Len() != 4 {
+		t.Fatalf("path through a not found: %v", ps)
+	}
+	lp := Logical{Path: *through, FinalOne: true}
+	wants := []bool{true, false, true, true} // a=1, n1=0, n2=1, po=1
+	for i, w := range wants {
+		if got := lp.FinalValueAt(c, i); got != w {
+			t.Errorf("FinalValueAt(%d) = %v, want %v", i, got, w)
+		}
+	}
+	lp0 := Logical{Path: *through, FinalOne: false}
+	for i, w := range wants {
+		if got := lp0.FinalValueAt(c, i); got == w {
+			t.Errorf("falling FinalValueAt(%d) = %v, want %v", i, got, !w)
+		}
+	}
+}
+
+func TestPathKeyDistinguishesPins(t *testing.T) {
+	// AND(a, a): the two paths differ only in pin.
+	b := circuit.NewBuilder("dup")
+	a := b.Input("a")
+	g := b.Gate(circuit.And, "g", a, a)
+	b.Output("po", g)
+	c := b.MustBuild()
+	ps := Collect(c, 0)
+	if len(ps) != 2 {
+		t.Fatalf("got %d paths, want 2", len(ps))
+	}
+	if ps[0].Key() == ps[1].Key() {
+		t.Error("pin-distinct paths share a key")
+	}
+}
+
+func TestLogicalKey(t *testing.T) {
+	c := example(t)
+	ps := Collect(c, 1)
+	k0 := Logical{Path: ps[0], FinalOne: false}.Key()
+	k1 := Logical{Path: ps[0], FinalOne: true}.Key()
+	if k0 == k1 {
+		t.Error("transitions share a key")
+	}
+}
+
+// Property: counts are invariant under enumeration order and always
+// nonnegative; up(po) summed over POs equals physical count.
+func TestQuickCountConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		c := gen.RandomCircuit("q", gen.RandomOptions{Inputs: 3, Gates: 10, Outputs: 2}, seed%1000)
+		ct := NewCounts(c)
+		sum := new(big.Int)
+		for _, po := range c.Outputs() {
+			sum.Add(sum, ct.Up(po))
+		}
+		return sum.Cmp(ct.Physical()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNewCounts(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 64, Gates: 4000, Outputs: 32}, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCounts(c)
+	}
+}
+
+func BenchmarkForEachPath(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 10, Gates: 60, Outputs: 4}, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ForEachPath(c, func(Path) bool { n++; return true })
+	}
+}

@@ -1,0 +1,190 @@
+// Package pathsel implements the path selection strategies discussed at
+// the end of Section VI: for circuits where even the non-RD path count is
+// too large to test exhaustively, select (a) only paths with expected
+// delay above a threshold, or (b) for each lead a limited number of
+// logical paths through it — in both cases restricted to non-RD paths,
+// which is precisely the adaptation the paper (and [2]) advocate.
+package pathsel
+
+import (
+	"fmt"
+	"math/big"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/paths"
+	"rdfault/internal/sim"
+	"rdfault/internal/timing"
+)
+
+// Selection is the outcome of a strategy run.
+type Selection struct {
+	// Selected are the chosen logical paths.
+	Selected []paths.Logical
+	// CandidatesTotal counts the strategy's candidates before RD
+	// filtering (both transitions of qualifying physical paths).
+	CandidatesTotal int64
+	// SkippedRD counts candidates excluded because RD identification
+	// proved them robust dependent.
+	SkippedRD int64
+}
+
+// Options configures the strategies.
+type Options struct {
+	// Sort is the input sort defining sigma^pi for RD filtering; nil
+	// selects Heuristic 1's sort (cheap and effective).
+	Sort *circuit.InputSort
+	// NoRDFilter disables RD identification — the ablation showing how
+	// many unnecessary paths a selection strategy keeps without the
+	// paper's technique.
+	NoRDFilter bool
+	// Limit caps the number of selected logical paths (0 = unlimited).
+	Limit int
+}
+
+// Selector runs selection strategies over one circuit.
+type Selector struct {
+	c     *circuit.Circuit
+	d     sim.Delays
+	an    *timing.Analysis
+	sort  circuit.InputSort
+	keep  map[string]bool // logical path key -> survives sigma^pi (nil when unfiltered)
+	total *big.Int
+}
+
+// NewSelector prepares RD identification and timing analysis for c under
+// the given delays.
+func NewSelector(c *circuit.Circuit, d sim.Delays, opt Options) (*Selector, error) {
+	s := &Selector{c: c, d: d, an: timing.New(c, d)}
+	s.total = paths.NewCounts(c).Logical()
+	if opt.NoRDFilter {
+		return s, nil
+	}
+	if opt.Sort != nil {
+		s.sort = *opt.Sort
+	} else {
+		s.sort = core.Heuristic1Sort(c)
+	}
+	s.keep = make(map[string]bool)
+	_, err := core.Enumerate(c, core.SigmaPi, core.Options{
+		Sort: &s.sort,
+		OnPath: func(lp paths.Logical) {
+			s.keep[lp.Key()] = true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Analysis exposes the timing analysis used for thresholds.
+func (s *Selector) Analysis() *timing.Analysis { return s.an }
+
+// TotalLogicalPaths returns |LP(C)|.
+func (s *Selector) TotalLogicalPaths() *big.Int { return s.total }
+
+// NonRD returns how many logical paths survive RD filtering (the whole
+// path set when filtering is disabled).
+func (s *Selector) NonRD() int64 {
+	if s.keep == nil {
+		return s.total.Int64()
+	}
+	return int64(len(s.keep))
+}
+
+func (s *Selector) admit(sel *Selection, lp paths.Logical, limit int) bool {
+	sel.CandidatesTotal++
+	if s.keep != nil && !s.keep[lp.Key()] {
+		sel.SkippedRD++
+		return true
+	}
+	sel.Selected = append(sel.Selected, paths.Logical{
+		Path:     lp.Path.Clone(),
+		FinalOne: lp.FinalOne,
+	})
+	return limit <= 0 || len(sel.Selected) < limit
+}
+
+// ByThreshold selects both transitions of every physical path whose delay
+// is at least threshold, excluding RD paths ("if we restrict to only
+// checking paths with expected delay greater than a given threshold, then
+// among these paths only those which are non-RD should be considered").
+func (s *Selector) ByThreshold(threshold float64, opt Options) *Selection {
+	sel := &Selection{}
+	s.an.ForEachPathAtLeast(threshold, func(p paths.Path, _ float64) bool {
+		for _, one := range [2]bool{false, true} {
+			if !s.admit(sel, paths.Logical{Path: p, FinalOne: one}, opt.Limit) {
+				return false
+			}
+		}
+		return true
+	})
+	return sel
+}
+
+// PerLead selects, for every lead, up to k of the slowest logical paths
+// through it, excluding RD paths ("if for each line of the circuit we
+// choose to only test a limited number of logical paths going through it,
+// then it is sufficient to only consider non-RD paths for this selection
+// process"). Paths chosen for several leads are reported once.
+func (s *Selector) PerLead(k int, opt Options) *Selection {
+	sel := &Selection{}
+	type cand struct {
+		lp    paths.Logical
+		delay float64
+	}
+	perLead := make([][]cand, s.c.NumLeads())
+	seen := make(map[string]bool)
+
+	// Enumerate every non-RD logical path once, scoring it against each
+	// lead it runs through; keep the k slowest per lead.
+	paths.ForEachLogical(s.c, func(lp paths.Logical) bool {
+		sel.CandidatesTotal++
+		if s.keep != nil && !s.keep[lp.Key()] {
+			sel.SkippedRD++
+			return true
+		}
+		delay := s.d.PathDelay(lp.Path)
+		clone := paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne}
+		for i := 1; i < len(lp.Path.Gates); i++ {
+			li := s.c.LeadIndex(lp.Path.Gates[i], lp.Path.Pins[i-1])
+			lc := perLead[li]
+			if len(lc) < k {
+				perLead[li] = append(lc, cand{clone, delay})
+				continue
+			}
+			// Replace the fastest kept candidate if slower.
+			minI := 0
+			for j := 1; j < len(lc); j++ {
+				if lc[j].delay < lc[minI].delay {
+					minI = j
+				}
+			}
+			if delay > lc[minI].delay {
+				lc[minI] = cand{clone, delay}
+			}
+		}
+		return true
+	})
+	for _, lc := range perLead {
+		for _, cd := range lc {
+			key := cd.lp.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sel.Selected = append(sel.Selected, cd.lp)
+			if opt.Limit > 0 && len(sel.Selected) >= opt.Limit {
+				return sel
+			}
+		}
+	}
+	return sel
+}
+
+// Summary renders headline statistics.
+func (sel *Selection) Summary() string {
+	return fmt.Sprintf("selected=%d candidates=%d skipped-RD=%d",
+		len(sel.Selected), sel.CandidatesTotal, sel.SkippedRD)
+}

@@ -1,0 +1,194 @@
+package pathsel
+
+import (
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/pla"
+	"rdfault/internal/sim"
+	"rdfault/internal/synth"
+)
+
+func selector(t *testing.T, seed int64, opt Options) (*Selector, int64) {
+	t.Helper()
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 30, Outputs: 3}, seed)
+	d := sim.RandomDelays(c, seed*3, 0.5, 2)
+	s, err := NewSelector(c, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, s.TotalLogicalPaths().Int64()
+}
+
+func TestByThresholdFiltersRD(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s, _ := selector(t, seed, Options{})
+		unfiltered, _ := selector(t, seed, Options{NoRDFilter: true})
+		threshold := s.Analysis().CriticalDelay() * 0.5
+		with := s.ByThreshold(threshold, Options{})
+		without := unfiltered.ByThreshold(threshold, Options{})
+		if with.CandidatesTotal != without.CandidatesTotal {
+			t.Fatalf("seed %d: candidate sets differ (%d vs %d)",
+				seed, with.CandidatesTotal, without.CandidatesTotal)
+		}
+		if int64(len(with.Selected))+with.SkippedRD != with.CandidatesTotal {
+			t.Fatalf("seed %d: selection accounting broken", seed)
+		}
+		if len(with.Selected) > len(without.Selected) {
+			t.Fatalf("seed %d: RD filter increased selection", seed)
+		}
+		if without.SkippedRD != 0 {
+			t.Fatalf("seed %d: unfiltered run skipped paths", seed)
+		}
+		// Every selected path meets the threshold.
+		for _, lp := range with.Selected {
+			if s.Analysis().CriticalDelay() > 0 && s.d.PathDelay(lp.Path) < threshold-1e-9 {
+				t.Fatalf("seed %d: selected path below threshold", seed)
+			}
+		}
+	}
+}
+
+func TestByThresholdSkipsOnlyRDPaths(t *testing.T) {
+	// Cross-check the filter against an explicit LP^sup computation.
+	s, _ := selector(t, 5, Options{})
+	keep := map[string]bool{}
+	_, err := core.Enumerate(s.c, core.SigmaPi, core.Options{
+		Sort: &s.sort,
+		OnPath: func(lp paths.Logical) {
+			keep[lp.Key()] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.ByThreshold(0, Options{})
+	if int64(len(sel.Selected)) != int64(len(keep)) {
+		t.Fatalf("threshold 0 selected %d, want all %d non-RD paths", len(sel.Selected), len(keep))
+	}
+	for _, lp := range sel.Selected {
+		if !keep[lp.Key()] {
+			t.Fatalf("selected path %s not in LP^sup", lp.Key())
+		}
+	}
+}
+
+func TestPerLeadCoverage(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s, _ := selector(t, seed, Options{})
+		sel := s.PerLead(2, Options{})
+		// Every lead carried by at least one surviving path must be
+		// covered by the selection.
+		covered := make([]int, s.c.NumLeads())
+		for _, lp := range sel.Selected {
+			for i := 1; i < len(lp.Path.Gates); i++ {
+				covered[s.c.LeadIndex(lp.Path.Gates[i], lp.Path.Pins[i-1])]++
+			}
+		}
+		// Recompute which leads have any non-RD path.
+		hasPath := make([]bool, s.c.NumLeads())
+		paths.ForEachLogical(s.c, func(lp paths.Logical) bool {
+			if s.keep != nil && !s.keep[lp.Key()] {
+				return true
+			}
+			for i := 1; i < len(lp.Path.Gates); i++ {
+				hasPath[s.c.LeadIndex(lp.Path.Gates[i], lp.Path.Pins[i-1])] = true
+			}
+			return true
+		})
+		for i := range hasPath {
+			if hasPath[i] && covered[i] == 0 {
+				t.Fatalf("seed %d: lead %d has non-RD paths but none selected", seed, i)
+			}
+		}
+		// Selection should be far smaller than the full non-RD set on
+		// circuits with enough paths.
+		if s.NonRD() > 50 && int64(len(sel.Selected)) >= s.NonRD() {
+			t.Logf("seed %d: per-lead selection did not compress (%d of %d)",
+				seed, len(sel.Selected), s.NonRD())
+		}
+	}
+}
+
+func TestPerLeadKeepsSlowest(t *testing.T) {
+	s, _ := selector(t, 3, Options{NoRDFilter: true})
+	sel := s.PerLead(1, Options{})
+	// For each lead, the selected set must contain a path through it at
+	// least as slow as every other path through it... with k=1 the single
+	// chosen one must be the slowest.
+	slowest := make(map[int]float64)
+	paths.ForEachLogical(s.c, func(lp paths.Logical) bool {
+		d := s.d.PathDelay(lp.Path)
+		for i := 1; i < len(lp.Path.Gates); i++ {
+			li := s.c.LeadIndex(lp.Path.Gates[i], lp.Path.Pins[i-1])
+			if d > slowest[li] {
+				slowest[li] = d
+			}
+		}
+		return true
+	})
+	// Build per-lead max over the selection.
+	got := make(map[int]float64)
+	for _, lp := range sel.Selected {
+		d := s.d.PathDelay(lp.Path)
+		for i := 1; i < len(lp.Path.Gates); i++ {
+			li := s.c.LeadIndex(lp.Path.Gates[i], lp.Path.Pins[i-1])
+			if d > got[li] {
+				got[li] = d
+			}
+		}
+	}
+	for li, want := range slowest {
+		if got[li] < want-1e-9 {
+			t.Fatalf("lead %d: selected max %v < slowest %v", li, got[li], want)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s, _ := selector(t, 2, Options{})
+	sel := s.ByThreshold(0, Options{Limit: 3})
+	if len(sel.Selected) != 3 {
+		t.Fatalf("limit ignored: %d", len(sel.Selected))
+	}
+	sel = s.PerLead(3, Options{Limit: 2})
+	if len(sel.Selected) != 2 {
+		t.Fatalf("per-lead limit ignored: %d", len(sel.Selected))
+	}
+	if sel.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRDFilterReducesSelection(t *testing.T) {
+	// The paper's point: on circuits with a sizable RD fraction, the
+	// threshold strategy keeps visibly fewer paths with RD filtering.
+	cv := gen.RandomPLA("red", gen.PLAOptions{Inputs: 8, Outputs: 4, Cubes: 20, Redundant: 15}, 9)
+	c := mustSynth(t, cv)
+	d := sim.UnitDelays(c)
+	with, err := NewSelector(c, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewSelector(c, d, Options{NoRDFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := with.ByThreshold(0, Options{})
+	b := without.ByThreshold(0, Options{})
+	if len(a.Selected) >= len(b.Selected) {
+		t.Fatalf("RD filter saved nothing: %d vs %d", len(a.Selected), len(b.Selected))
+	}
+}
+
+func mustSynth(t *testing.T, cv *pla.Cover) *circuit.Circuit {
+	t.Helper()
+	c, err := synth.Synthesize(cv, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,33 @@
+package pla
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the Espresso reader never panics and accepted covers
+// round trip through Write.
+func FuzzParse(f *testing.F) {
+	f.Add(".i 2\n.o 1\n11 1\n-0 1\n.e\n")
+	f.Add(".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n")
+	f.Add(".i 1\n.o 1\n.p 1\n1 1\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, src string) {
+		cv, err := Parse("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, cv); err != nil {
+			t.Fatalf("accepted cover failed to write: %v", err)
+		}
+		cv2, err := Parse("fuzz2", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("writer output rejected: %v\n%s", err, buf.String())
+		}
+		if len(cv2.Cubes) != len(cv.Cubes) || cv2.NumIn != cv.NumIn || cv2.NumOut != cv.NumOut {
+			t.Fatal("round trip changed dimensions")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package pla models two-level covers and reads/writes the Espresso
+// ".pla" format used by the MCNC benchmarks of Table III. Only the
+// default fr-type semantics are supported: a '1' in the output part puts
+// the cube in that output's ON-set, '0' and '~' leave it out.
+package pla
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trit is one input literal position of a cube.
+type Trit uint8
+
+// Input literal values: the input must be 0, must be 1, or is absent from
+// the cube (don't care).
+const (
+	T0 Trit = iota
+	T1
+	TDash
+)
+
+// String returns "0", "1" or "-".
+func (t Trit) String() string {
+	switch t {
+	case T0:
+		return "0"
+	case T1:
+		return "1"
+	}
+	return "-"
+}
+
+// Cube is one product term: an input part and the set of outputs whose
+// ON-set it belongs to.
+type Cube struct {
+	In  []Trit
+	Out []bool
+}
+
+// Covers reports whether the cube contains the input vector.
+func (cb Cube) Covers(in []bool) bool {
+	for i, t := range cb.In {
+		if t == T0 && in[i] || t == T1 && !in[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cover is a multi-output two-level cover.
+type Cover struct {
+	Name     string
+	NumIn    int
+	NumOut   int
+	InNames  []string // optional; generated when absent
+	OutNames []string
+	Cubes    []Cube
+}
+
+// Eval computes all outputs for one input vector.
+func (cv *Cover) Eval(in []bool) []bool {
+	if len(in) != cv.NumIn {
+		panic(fmt.Sprintf("pla: Eval got %d values for %d inputs", len(in), cv.NumIn))
+	}
+	out := make([]bool, cv.NumOut)
+	for _, cb := range cv.Cubes {
+		if !cb.Covers(in) {
+			continue
+		}
+		for o, b := range cb.Out {
+			if b {
+				out[o] = true
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural consistency.
+func (cv *Cover) Validate() error {
+	if cv.NumIn <= 0 || cv.NumOut <= 0 {
+		return fmt.Errorf("pla %s: needs positive .i and .o", cv.Name)
+	}
+	if cv.InNames != nil && len(cv.InNames) != cv.NumIn {
+		return fmt.Errorf("pla %s: %d input names for %d inputs", cv.Name, len(cv.InNames), cv.NumIn)
+	}
+	if cv.OutNames != nil && len(cv.OutNames) != cv.NumOut {
+		return fmt.Errorf("pla %s: %d output names for %d outputs", cv.Name, len(cv.OutNames), cv.NumOut)
+	}
+	for i, cb := range cv.Cubes {
+		if len(cb.In) != cv.NumIn || len(cb.Out) != cv.NumOut {
+			return fmt.Errorf("pla %s: cube %d has wrong arity", cv.Name, i)
+		}
+	}
+	return nil
+}
+
+// InName returns the name of input i ("x<i>" when unnamed).
+func (cv *Cover) InName(i int) string {
+	if cv.InNames != nil {
+		return cv.InNames[i]
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+// OutName returns the name of output o ("f<o>" when unnamed).
+func (cv *Cover) OutName(o int) string {
+	if cv.OutNames != nil {
+		return cv.OutNames[o]
+	}
+	return fmt.Sprintf("f%d", o)
+}
+
+// Parse reads a cover in Espresso format.
+func Parse(name string, r io.Reader) (*Cover, error) {
+	cv := &Cover{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	declared := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".i", ".o", ".p":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("pla %s:%d: %s needs an argument", name, lineNo, fields[0])
+			}
+		}
+		switch fields[0] {
+		case ".i":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("pla %s:%d: bad .i", name, lineNo)
+			}
+			cv.NumIn = n
+		case ".o":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("pla %s:%d: bad .o", name, lineNo)
+			}
+			cv.NumOut = n
+		case ".p":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("pla %s:%d: bad .p", name, lineNo)
+			}
+			declared = n
+		case ".ilb":
+			cv.InNames = append([]string(nil), fields[1:]...)
+		case ".ob":
+			cv.OutNames = append([]string(nil), fields[1:]...)
+		case ".e", ".end":
+			// done
+		case ".type":
+			if len(fields) > 1 && fields[1] != "fr" {
+				return nil, fmt.Errorf("pla %s:%d: unsupported .type %s (only fr)", name, lineNo, fields[1])
+			}
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("pla %s:%d: unsupported directive %s", name, lineNo, fields[0])
+			}
+			if cv.NumIn == 0 || cv.NumOut == 0 {
+				return nil, fmt.Errorf("pla %s:%d: cube before .i/.o", name, lineNo)
+			}
+			// Cube line: input part then output part, possibly joined.
+			joined := strings.Join(fields, "")
+			if len(joined) != cv.NumIn+cv.NumOut {
+				return nil, fmt.Errorf("pla %s:%d: cube %q has %d characters, want %d",
+					name, lineNo, joined, len(joined), cv.NumIn+cv.NumOut)
+			}
+			cb := Cube{In: make([]Trit, cv.NumIn), Out: make([]bool, cv.NumOut)}
+			for i := 0; i < cv.NumIn; i++ {
+				switch joined[i] {
+				case '0':
+					cb.In[i] = T0
+				case '1':
+					cb.In[i] = T1
+				case '-', '2':
+					cb.In[i] = TDash
+				default:
+					return nil, fmt.Errorf("pla %s:%d: bad input literal %q", name, lineNo, joined[i])
+				}
+			}
+			for o := 0; o < cv.NumOut; o++ {
+				switch joined[cv.NumIn+o] {
+				case '1', '4':
+					cb.Out[o] = true
+				case '0', '~', '2', '-':
+					cb.Out[o] = false
+				default:
+					return nil, fmt.Errorf("pla %s:%d: bad output literal %q", name, lineNo, joined[cv.NumIn+o])
+				}
+			}
+			cv.Cubes = append(cv.Cubes, cb)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pla %s: %v", name, err)
+	}
+	if declared >= 0 && declared != len(cv.Cubes) {
+		return nil, fmt.Errorf("pla %s: .p declares %d cubes, found %d", name, declared, len(cv.Cubes))
+	}
+	if err := cv.Validate(); err != nil {
+		return nil, err
+	}
+	return cv, nil
+}
+
+// Write emits the cover in Espresso format.
+func Write(w io.Writer, cv *Cover) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n.i %d\n.o %d\n", cv.Name, cv.NumIn, cv.NumOut)
+	if cv.InNames != nil {
+		fmt.Fprintf(bw, ".ilb %s\n", strings.Join(cv.InNames, " "))
+	}
+	if cv.OutNames != nil {
+		fmt.Fprintf(bw, ".ob %s\n", strings.Join(cv.OutNames, " "))
+	}
+	fmt.Fprintf(bw, ".p %d\n", len(cv.Cubes))
+	for _, cb := range cv.Cubes {
+		for _, t := range cb.In {
+			bw.WriteString(t.String())
+		}
+		bw.WriteByte(' ')
+		for _, b := range cb.Out {
+			if b {
+				bw.WriteByte('1')
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(".e\n")
+	return bw.Flush()
+}

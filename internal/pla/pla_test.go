@@ -1,0 +1,153 @@
+package pla
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# two-output sample
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 4
+1-0 10
+01- 11
+--1 01
+111 10
+.e
+`
+
+func TestParseSample(t *testing.T) {
+	cv, err := Parse("sample", strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.NumIn != 3 || cv.NumOut != 2 || len(cv.Cubes) != 4 {
+		t.Fatalf("parsed %d/%d/%d", cv.NumIn, cv.NumOut, len(cv.Cubes))
+	}
+	if cv.InName(0) != "a" || cv.OutName(1) != "g" {
+		t.Error("names not parsed")
+	}
+	if cv.Cubes[0].In[0] != T1 || cv.Cubes[0].In[1] != TDash || cv.Cubes[0].In[2] != T0 {
+		t.Errorf("cube 0 input = %v", cv.Cubes[0].In)
+	}
+	if !cv.Cubes[0].Out[0] || cv.Cubes[0].Out[1] {
+		t.Errorf("cube 0 output = %v", cv.Cubes[0].Out)
+	}
+}
+
+func TestEval(t *testing.T) {
+	cv, err := Parse("sample", strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = a&!c | !a&b | a&b&c ; g = !a&b | c
+	for v := 0; v < 8; v++ {
+		a, b, c := v&1 != 0, v&2 != 0, v&4 != 0
+		wantF := (a && !c) || (!a && b) || (a && b && c)
+		wantG := (!a && b) || c
+		got := cv.Eval([]bool{a, b, c})
+		if got[0] != wantF || got[1] != wantG {
+			t.Errorf("v=%d: got %v, want [%v %v]", v, got, wantF, wantG)
+		}
+	}
+}
+
+func TestEvalArityPanic(t *testing.T) {
+	cv, _ := Parse("sample", strings.NewReader(sample))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	cv.Eval([]bool{true})
+}
+
+func TestRoundTrip(t *testing.T) {
+	cv, err := Parse("sample", strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cv); err != nil {
+		t.Fatal(err)
+	}
+	cv2, err := Parse("rt", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		a := cv.Eval(in)
+		b := cv2.Eval(in)
+		for o := range a {
+			if a[o] != b[o] {
+				t.Fatalf("round trip differs at %v output %d", in, o)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad .i":        ".i x\n.o 1\n1 1\n",
+		"neg .o":        ".i 1\n.o -2\n",
+		"cube early":    "1 1\n.i 1\n.o 1\n",
+		"cube length":   ".i 2\n.o 1\n1 1\n",
+		"bad inlit":     ".i 1\n.o 1\nz 1\n",
+		"bad outlit":    ".i 1\n.o 1\n1 z\n",
+		"bad directive": ".i 1\n.o 1\n.frob\n1 1\n",
+		"p mismatch":    ".i 1\n.o 1\n.p 2\n1 1\n.e\n",
+		"bad type":      ".i 1\n.o 1\n.type fd\n1 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(name, strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseEsoterics(t *testing.T) {
+	// '2' as dash, '~'/'-' as output zero, fr type accepted.
+	src := ".i 2\n.o 2\n.type fr\n12 1~\n01 -1\n"
+	cv, err := Parse("eso", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Cubes[0].In[1] != TDash {
+		t.Error("'2' not treated as dash")
+	}
+	if cv.Cubes[0].Out[1] || cv.Cubes[1].Out[0] {
+		t.Error("output zeros misparsed")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Cover{Name: "b", NumIn: 2, NumOut: 1, Cubes: []Cube{{In: []Trit{T1}, Out: []bool{true}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("arity mismatch not caught")
+	}
+	bad2 := &Cover{Name: "b2", NumIn: 2, NumOut: 1, InNames: []string{"a"}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("name count mismatch not caught")
+	}
+	if (&Cover{Name: "z"}).Validate() == nil {
+		t.Error("zero cover not caught")
+	}
+}
+
+func TestTritString(t *testing.T) {
+	if T0.String() != "0" || T1.String() != "1" || TDash.String() != "-" {
+		t.Error("trit strings")
+	}
+}
+
+func TestDefaultNames(t *testing.T) {
+	cv := &Cover{Name: "n", NumIn: 2, NumOut: 1}
+	if cv.InName(1) != "x1" || cv.OutName(0) != "f0" {
+		t.Error("default names")
+	}
+}

@@ -1,0 +1,65 @@
+package satsolver
+
+import (
+	"rdfault/internal/circuit"
+)
+
+// CircuitVars maps each gate of an encoded circuit to its CNF variable.
+type CircuitVars struct {
+	Var []int // indexed by GateID
+}
+
+// Lit returns the literal asserting gate g has value v.
+func (cv CircuitVars) Lit(g circuit.GateID, v bool) Lit {
+	return MkLit(cv.Var[g], !v)
+}
+
+// AddCircuit Tseitin-encodes c into s: one variable per gate, with
+// consistency clauses tying every gate variable to its fanins. PO marker
+// gates are encoded as equalities with their driver.
+func AddCircuit(s *Solver, c *circuit.Circuit) CircuitVars {
+	cv := CircuitVars{Var: make([]int, c.NumGates())}
+	for g := range cv.Var {
+		cv.Var[g] = s.NewVar()
+	}
+	for _, g := range c.TopoOrder() {
+		t := c.Type(g)
+		y := cv.Var[g]
+		fanin := c.Fanin(g)
+		switch t {
+		case circuit.Input:
+			// Free variable.
+		case circuit.Output, circuit.Buf:
+			x := cv.Var[fanin[0]]
+			mustAdd(s, MkLit(y, true), MkLit(x, false))
+			mustAdd(s, MkLit(y, false), MkLit(x, true))
+		case circuit.Not:
+			x := cv.Var[fanin[0]]
+			mustAdd(s, MkLit(y, true), MkLit(x, true))
+			mustAdd(s, MkLit(y, false), MkLit(x, false))
+		case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+			// Treat all four via the controlling value: let cv be the
+			// controlling input value and ov the output when controlled.
+			ctrl, _ := t.Controlling()
+			outWhenCtrl := ctrl != t.Inverting() // ctrl XOR inverting
+			// Clause set: for each input i: (y = outWhenCtrl) OR (x_i !=
+			// ctrl), i.e. x_i = ctrl -> y = outWhenCtrl.
+			big := make([]Lit, 0, len(fanin)+1)
+			for _, f := range fanin {
+				x := cv.Var[f]
+				mustAdd(s, MkLit(y, !outWhenCtrl), MkLit(x, ctrl))
+				big = append(big, MkLit(x, !ctrl))
+			}
+			// All inputs non-controlling -> y = NOT outWhenCtrl.
+			big = append(big, MkLit(y, outWhenCtrl))
+			mustAdd(s, big...)
+		}
+	}
+	return cv
+}
+
+func mustAdd(s *Solver, lits ...Lit) {
+	if err := s.AddClause(lits...); err != nil {
+		panic(err) // variables are created in this package; cannot happen
+	}
+}

@@ -1,0 +1,533 @@
+// Package satsolver provides a small conflict-driven (CDCL) SAT solver —
+// watched literals, first-UIP learning, VSIDS-style activities, phase
+// saving and geometric restarts — plus a Tseitin encoder for circuits.
+//
+// It is the exactness substrate of the library: the leaf-dag RD
+// identification of Lam et al. [1] reduces to stuck-at redundancy checks,
+// which are SAT calls on a miter, and the test generator uses it for
+// exact sensitization checks that cross-validate the local-implication
+// approximation.
+package satsolver
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Lit is a literal: variable index shifted left once, low bit set for
+// negated literals.
+type Lit int32
+
+// MkLit builds a literal for variable v (0-based); neg selects ¬v.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 != 0 }
+
+// String renders the literal as "v3" or "~v3".
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause // literal index -> watching clauses
+
+	assign   []lbool
+	level    []int32
+	reason   []*clause
+	activity []float64
+	polarity []bool // saved phase
+	order    *varHeap
+
+	trail    []Lit
+	trailLim []int
+	propHead int
+
+	varInc    float64
+	claInc    float64
+	model     []bool
+	okay      bool // false once an empty clause was added
+	conflicts int64
+	decisions int64
+	props     int64
+
+	seen    []bool
+	analyze []Lit
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, okay: true}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// Stats returns (conflicts, decisions, propagations).
+func (s *Solver) Stats() (int64, int64, int64) {
+	return s.conflicts, s.decisions, s.props
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over existing variables. It returns an error if
+// a literal references an unknown variable. Adding the empty clause (or a
+// clause false under unit propagation at level 0) makes the formula
+// trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if !s.okay {
+		return nil
+	}
+	if s.decisionLevel() != 0 {
+		return errors.New("satsolver: AddClause above decision level 0")
+	}
+	// Normalize: drop duplicate and false literals, detect tautologies.
+	norm := make([]Lit, 0, len(lits))
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l.Var() < 0 || l.Var() >= s.NumVars() {
+			return fmt.Errorf("satsolver: literal %v references unknown variable", l)
+		}
+		switch s.value(l) {
+		case lTrue:
+			return nil // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		if seen[l.Neg()] {
+			return nil // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			norm = append(norm, l)
+		}
+	}
+	switch len(norm) {
+	case 0:
+		s.okay = false
+		return nil
+	case 1:
+		s.uncheckedEnqueue(norm[0], nil)
+		if s.propagate() != nil {
+			s.okay = false
+		}
+		return nil
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return nil
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assign[v] = boolToLbool(!l.Sign())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.propHead < len(s.trail) {
+		p := s.trail[s.propHead]
+		s.propHead++
+		s.props++
+		ws := s.watches[p]
+		n := 0
+	nextClause:
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure lits[1] is the false literal (p.Neg()).
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the first watch is true, the clause is satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				ws[n] = c
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+					continue nextClause
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = c
+			n++
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: keep remaining watchers.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.propHead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+// analyzeConflict derives a 1-UIP learned clause and the backtrack level.
+func (s *Solver) analyzeConflict(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) == s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Compute backtrack level: max level among learnt[1:].
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.propHead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	for s.order.len() > 0 {
+		v := s.order.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// Solve determines satisfiability under the given assumption literals. It
+// returns true and exposes a model via Model/ValueOf, or false if the
+// formula is unsatisfiable under the assumptions. Solve may be called
+// repeatedly with different assumptions; learned clauses persist.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	if !s.okay {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.okay = false
+		return false
+	}
+
+	restartLimit := int64(100)
+	conflictsAtStart := s.conflicts
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				return false
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// Conflict within assumption levels: unsat under them.
+				s.cancelUntil(0)
+				return false
+			}
+			learnt, bt := s.analyzeConflict(confl)
+			if bt < len(assumptions) {
+				bt = len(assumptions)
+				// Clause may still be asserting below; simplest safe
+				// behaviour: backtrack to assumption boundary and only
+				// enqueue when the clause is unit there.
+			}
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.cancelUntil(0)
+				s.uncheckedEnqueue(learnt[0], nil)
+				if s.propagate() != nil {
+					s.okay = false
+					return false
+				}
+				// Re-establish assumptions on the next iterations.
+				continue
+			}
+			c := &clause{lits: learnt, learned: true}
+			s.learnts = append(s.learnts, c)
+			s.watch(c)
+			if s.value(c.lits[0]) == lUndef {
+				s.uncheckedEnqueue(c.lits[0], c)
+			}
+			s.varInc /= 0.95
+			if s.conflicts-conflictsAtStart > restartLimit {
+				restartLimit = restartLimit * 3 / 2
+				s.cancelUntil(0)
+			}
+			continue
+		}
+
+		// No conflict: extend assignment.
+		if s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+				continue
+			case lFalse:
+				s.cancelUntil(0)
+				return false
+			default:
+				s.decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(p, nil)
+				continue
+			}
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			// All variables assigned: snapshot the model and release the
+			// trail so clauses can be added and Solve re-run.
+			if cap(s.model) < s.NumVars() {
+				s.model = make([]bool, s.NumVars())
+			}
+			s.model = s.model[:s.NumVars()]
+			for i := range s.model {
+				s.model[i] = s.assign[i] == lTrue
+			}
+			s.cancelUntil(0)
+			return true
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, !s.polarity[v]), nil)
+	}
+}
+
+// ValueOf returns the model value of variable v after a successful Solve.
+// It is only meaningful when the last Solve returned true.
+func (s *Solver) ValueOf(v int) bool { return s.model[v] }
+
+// Model returns a copy of the model found by the last successful Solve.
+func (s *Solver) Model() []bool {
+	return append([]bool(nil), s.model...)
+}
+
+// varHeap is a max-heap on variable activity.
+type varHeap struct {
+	act   *[]float64
+	heap  []int
+	index []int // var -> heap position, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap { return &varHeap{act: act} }
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[h.heap[a]] > (*h.act)[h.heap[b]] }
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.index[h.heap[a]] = a
+	h.index[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.index) <= v {
+		h.index = append(h.index, -1)
+	}
+	if h.index[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.index[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if h.index[v] >= 0 {
+		h.up(h.index[v])
+	}
+}

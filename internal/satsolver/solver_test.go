@@ -1,0 +1,339 @@
+package satsolver
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+func TestLitBasics(t *testing.T) {
+	p := MkLit(3, false)
+	n := MkLit(3, true)
+	if p.Var() != 3 || n.Var() != 3 {
+		t.Fatal("Var")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatal("Sign")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatal("Neg")
+	}
+	if p.String() != "v3" || n.String() != "~v3" {
+		t.Fatalf("String: %s %s", p, n)
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.Solve() {
+		t.Fatal("empty formula unsat")
+	}
+	if err := s.AddClause(MkLit(a, false)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Solve() {
+		t.Fatal("unit formula unsat")
+	}
+	if !s.ValueOf(a) {
+		t.Fatal("unit not respected")
+	}
+	if err := s.AddClause(MkLit(a, true)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() {
+		t.Fatal("a AND ~a is sat")
+	}
+	// Solver stays unsat.
+	if s.Solve() {
+		t.Fatal("solver recovered from empty clause")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if err := s.AddClause(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() {
+		t.Fatal("empty clause is sat")
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	if err := s.AddClause(MkLit(a, false), MkLit(a, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(MkLit(b, false), MkLit(b, false), MkLit(a, false)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Solve() {
+		t.Fatal("unsat")
+	}
+}
+
+func TestUnknownVariable(t *testing.T) {
+	s := New()
+	if err := s.AddClause(MkLit(5, false)); err == nil {
+		t.Fatal("expected error for unknown variable")
+	}
+}
+
+func TestXorChainSAT(t *testing.T) {
+	// x1 xor x2 xor x3 = 1 encoded clausally; satisfiable.
+	s := New()
+	v := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	// Odd parity clauses.
+	add := func(a, b, c bool) {
+		s.AddClause(MkLit(v[0], a), MkLit(v[1], b), MkLit(v[2], c))
+	}
+	add(false, false, false)
+	add(false, true, true)
+	add(true, false, true)
+	add(true, true, false)
+	if !s.Solve() {
+		t.Fatal("parity formula unsat")
+	}
+	m := s.Model()
+	if (m[0] != m[1]) != m[2] == false {
+		// parity(m) must be odd
+		if !(m[0] != m[1] != m[2]) {
+			t.Fatalf("model %v has even parity", m)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons in 3 holes — classic small UNSAT instance that
+	// requires real conflict analysis.
+	s := New()
+	const P, H = 4, 3
+	v := [P][H]int{}
+	for p := 0; p < P; p++ {
+		for h := 0; h < H; h++ {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < P; p++ {
+		lits := []Lit{}
+		for h := 0; h < H; h++ {
+			lits = append(lits, MkLit(v[p][h], false))
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("PHP(4,3) reported satisfiable")
+	}
+	conflicts, decisions, props := s.Stats()
+	if conflicts == 0 || decisions == 0 || props == 0 {
+		t.Errorf("stats look wrong: %d %d %d", conflicts, decisions, props)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a -> b
+	if !s.Solve(MkLit(a, false)) {
+		t.Fatal("sat under a")
+	}
+	if !s.ValueOf(b) {
+		t.Fatal("a assumed but b false")
+	}
+	if !s.Solve(MkLit(a, false), MkLit(b, false)) {
+		t.Fatal("sat under a,b")
+	}
+	if s.Solve(MkLit(a, false), MkLit(b, true)) {
+		t.Fatal("a & ~b should be unsat")
+	}
+	// Solver reusable after assumption-unsat.
+	if !s.Solve() {
+		t.Fatal("solver unusable after assumption conflict")
+	}
+	// Contradictory assumptions.
+	if s.Solve(MkLit(a, false), MkLit(a, true)) {
+		t.Fatal("contradictory assumptions sat")
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver against
+// exhaustive enumeration on many random formulas.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for inst := 0; inst < 300; inst++ {
+		nv := 4 + rng.Intn(6)
+		nc := 3 + rng.Intn(30)
+		type cls []int // positive/negative var encoding: +v+1 / -(v+1)
+		formula := make([]cls, nc)
+		for i := range formula {
+			k := 1 + rng.Intn(3)
+			c := make(cls, k)
+			for j := range c {
+				v := rng.Intn(nv) + 1
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			formula[i] = c
+		}
+		// Brute force.
+		bruteSat := false
+		for m := 0; m < 1<<nv && !bruteSat; m++ {
+			ok := true
+			for _, c := range formula {
+				cok := false
+				for _, l := range c {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					val := m&(1<<(v-1)) != 0
+					if (l > 0) == val {
+						cok = true
+						break
+					}
+				}
+				if !cok {
+					ok = false
+					break
+				}
+			}
+			bruteSat = ok
+		}
+		// Solver.
+		s := New()
+		vars := make([]int, nv)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		for _, c := range formula {
+			lits := make([]Lit, len(c))
+			for j, l := range c {
+				if l > 0 {
+					lits[j] = MkLit(vars[l-1], false)
+				} else {
+					lits[j] = MkLit(vars[-l-1], true)
+				}
+			}
+			s.AddClause(lits...)
+		}
+		got := s.Solve()
+		if got != bruteSat {
+			t.Fatalf("instance %d: solver=%v brute=%v formula=%v", inst, got, bruteSat, formula)
+		}
+		if got {
+			// Verify the model satisfies the formula.
+			m := s.Model()
+			for _, c := range formula {
+				ok := false
+				for _, l := range c {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == m[vars[v-1]] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("instance %d: model does not satisfy clause %v", inst, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCircuitEncoding checks Tseitin consistency: under input assumptions
+// the model reproduces circuit simulation for every gate.
+func TestCircuitEncoding(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 20, Outputs: 2}, seed)
+		s := New()
+		cv := AddCircuit(s, c)
+		n := len(c.Inputs())
+		for v := 0; v < 1<<n; v++ {
+			in := make([]bool, n)
+			assumptions := make([]Lit, n)
+			for i, pi := range c.Inputs() {
+				in[i] = v&(1<<i) != 0
+				assumptions[i] = cv.Lit(pi, in[i])
+			}
+			if !s.Solve(assumptions...) {
+				t.Fatalf("seed %d v=%d: consistent circuit unsat", seed, v)
+			}
+			want := c.EvalBool(in)
+			for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+				if s.ValueOf(cv.Var[g]) != want[g] {
+					t.Fatalf("seed %d v=%d: gate %q model %v, sim %v",
+						seed, v, c.Gate(g).Name, s.ValueOf(cv.Var[g]), want[g])
+				}
+			}
+		}
+	}
+}
+
+// TestMiterEquivalence: two structurally different but functionally equal
+// circuits produce an UNSAT miter; a differing pair produces SAT.
+func TestMiterEquivalence(t *testing.T) {
+	// c1: y = a AND b; c2: y = NOT(NAND(a,b)).
+	b1 := circuit.NewBuilder("c1")
+	a1 := b1.Input("a")
+	x1 := b1.Input("b")
+	g1 := b1.Gate(circuit.And, "g", a1, x1)
+	b1.Output("y", g1)
+	c1 := b1.MustBuild()
+
+	b2 := circuit.NewBuilder("c2")
+	a2 := b2.Input("a")
+	x2 := b2.Input("b")
+	n2 := b2.Gate(circuit.Nand, "n", a2, x2)
+	g2 := b2.Gate(circuit.Not, "g", n2)
+	b2.Output("y", g2)
+	c2 := b2.MustBuild()
+
+	s := New()
+	v1 := AddCircuit(s, c1)
+	v2 := AddCircuit(s, c2)
+	// Tie inputs together.
+	for i := range c1.Inputs() {
+		p1, p2 := v1.Var[c1.Inputs()[i]], v2.Var[c2.Inputs()[i]]
+		s.AddClause(MkLit(p1, true), MkLit(p2, false))
+		s.AddClause(MkLit(p1, false), MkLit(p2, true))
+	}
+	// Miter: outputs differ — xor via 4 clauses on a fresh variable d=1.
+	o1, o2 := v1.Var[c1.Outputs()[0]], v2.Var[c2.Outputs()[0]]
+	d := s.NewVar()
+	s.AddClause(MkLit(d, true), MkLit(o1, false), MkLit(o2, false))
+	s.AddClause(MkLit(d, true), MkLit(o1, true), MkLit(o2, true))
+	s.AddClause(MkLit(d, false))
+	if s.Solve() {
+		t.Fatal("equivalent circuits: miter satisfiable")
+	}
+}
+
+func BenchmarkSolverCircuitQueries(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 32, Gates: 600, Outputs: 8}, 11)
+	s := New()
+	cv := AddCircuit(s, c)
+	po := c.Outputs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(cv.Lit(po, i%2 == 0))
+	}
+}

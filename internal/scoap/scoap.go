@@ -1,0 +1,171 @@
+// Package scoap computes the classic SCOAP testability measures
+// (Goldstein 1979): combinational 0/1-controllability per gate and
+// observability per gate output. They are the standard quick estimate of
+// how hard a node is to control and observe, and this library also uses
+// them as an alternative input-sort heuristic for RD identification — an
+// extension experiment comparing a testability-driven sort against the
+// paper's path-count-driven ones.
+package scoap
+
+import (
+	"math"
+	"sort"
+
+	"rdfault/internal/circuit"
+)
+
+// Measures holds the SCOAP values for one circuit. All values use the
+// standard convention: PIs have controllability 1; every gate adds 1 on
+// the way through; POs have observability 0.
+type Measures struct {
+	c *circuit.Circuit
+	// CC0[g], CC1[g]: effort to set gate g's output to 0 / 1.
+	CC0, CC1 []float64
+	// CO[g]: effort to observe gate g's output at some PO.
+	CO []float64
+}
+
+// Compute derives all measures in two sweeps (controllability forward,
+// observability backward).
+func Compute(c *circuit.Circuit) *Measures {
+	n := c.NumGates()
+	m := &Measures{
+		c:   c,
+		CC0: make([]float64, n),
+		CC1: make([]float64, n),
+		CO:  make([]float64, n),
+	}
+	topo := c.TopoOrder()
+	for _, g := range topo {
+		t := c.Type(g)
+		fanin := c.Fanin(g)
+		switch t {
+		case circuit.Input:
+			m.CC0[g], m.CC1[g] = 1, 1
+		case circuit.Output, circuit.Buf:
+			m.CC0[g] = m.CC0[fanin[0]] + 1
+			m.CC1[g] = m.CC1[fanin[0]] + 1
+		case circuit.Not:
+			m.CC0[g] = m.CC1[fanin[0]] + 1
+			m.CC1[g] = m.CC0[fanin[0]] + 1
+		default:
+			// Controlled output: cheapest controlling input. All-non-
+			// controlling output: sum of non-controlling efforts.
+			ctrl, _ := t.Controlling()
+			ctrlCost := math.Inf(1)
+			nonSum := 0.0
+			for _, f := range fanin {
+				cCtrl, cNon := m.CC0[f], m.CC1[f]
+				if ctrl {
+					cCtrl, cNon = m.CC1[f], m.CC0[f]
+				}
+				if cCtrl < ctrlCost {
+					ctrlCost = cCtrl
+				}
+				nonSum += cNon
+			}
+			outCtrl := ctrlCost + 1
+			outNon := nonSum + 1
+			// Map to output polarity.
+			outWhenCtrl := ctrl != t.Inverting()
+			if outWhenCtrl {
+				m.CC1[g], m.CC0[g] = outCtrl, outNon
+			} else {
+				m.CC0[g], m.CC1[g] = outCtrl, outNon
+			}
+		}
+	}
+	// Observability: CO(PO)=0; CO(input of g) = CO(g) + cost of holding
+	// the side inputs non-controlling + 1. A stem's CO is the best over
+	// its branches.
+	inf := math.Inf(1)
+	for g := range m.CO {
+		m.CO[g] = inf
+	}
+	for _, po := range c.Outputs() {
+		m.CO[po] = 0
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		t := c.Type(g)
+		fanin := c.Fanin(g)
+		if t == circuit.Input {
+			continue
+		}
+		co := m.CO[g]
+		if math.IsInf(co, 1) {
+			continue
+		}
+		switch t {
+		case circuit.Output, circuit.Buf, circuit.Not:
+			if v := co + 1; v < m.CO[fanin[0]] {
+				m.CO[fanin[0]] = v
+			}
+		default:
+			ctrl, _ := t.Controlling()
+			for pin, f := range fanin {
+				side := 0.0
+				for p2, f2 := range fanin {
+					if p2 == pin {
+						continue
+					}
+					if ctrl {
+						side += m.CC0[f2]
+					} else {
+						side += m.CC1[f2]
+					}
+				}
+				if v := co + side + 1; v < m.CO[f] {
+					m.CO[f] = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+// LeadDifficulty scores the lead entering pin of gate g: the effort to
+// drive it to the gate's controlling value plus the effort to observe the
+// gate — a proxy for how rarely Algorithm 1 will be forced to rely on it.
+func (m *Measures) LeadDifficulty(g circuit.GateID, pin int) float64 {
+	t := m.c.Type(g)
+	ctrl, ok := t.Controlling()
+	src := m.c.Fanin(g)[pin]
+	obs := m.CO[g]
+	if math.IsInf(obs, 1) {
+		obs = 0
+	}
+	if !ok {
+		return obs
+	}
+	if ctrl {
+		return m.CC1[src] + obs
+	}
+	return m.CC0[src] + obs
+}
+
+// Sort builds an input sort ordering every gate's pins by ascending
+// controlling-value difficulty: inputs that are easy to drive to the
+// controlling value are preferred by Algorithm 1, pushing the
+// hard-to-test paths into the RD-set. This is the SCOAP-driven
+// alternative to the paper's Heuristics 1 and 2.
+func Sort(c *circuit.Circuit) circuit.InputSort {
+	m := Compute(c)
+	pos := make([][]int, c.NumGates())
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		fanin := c.Fanin(g)
+		order := make([]int, len(fanin))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return m.LeadDifficulty(g, order[a]) < m.LeadDifficulty(g, order[b])
+		})
+		p := make([]int, len(fanin))
+		for rank, pin := range order {
+			p[pin] = rank
+		}
+		pos[g] = p
+	}
+	return circuit.InputSort{Pos: pos}
+}

@@ -1,0 +1,136 @@
+package scoap
+
+import (
+	"math"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+)
+
+func TestControllabilityBasics(t *testing.T) {
+	// y = AND(a, b): CC1(y) = CC1(a)+CC1(b)+1 = 3; CC0(y) = min(CC0)+1 = 2.
+	b := circuit.NewBuilder("t")
+	a := b.Input("a")
+	x := b.Input("x")
+	g := b.Gate(circuit.And, "g", a, x)
+	po := b.Output("y", g)
+	c := b.MustBuild()
+	m := Compute(c)
+	if m.CC1[g] != 3 || m.CC0[g] != 2 {
+		t.Fatalf("AND: CC1=%v CC0=%v, want 3/2", m.CC1[g], m.CC0[g])
+	}
+	// Observability: CO(PO)=0, CO(g)=1 through the PO marker; CO(a) =
+	// CO(g) + CC1(x) + 1 = 3.
+	if m.CO[po] != 0 {
+		t.Fatalf("CO(po)=%v", m.CO[po])
+	}
+	if m.CO[g] != 1 {
+		t.Fatalf("CO(g)=%v, want 1", m.CO[g])
+	}
+	if m.CO[a] != 3 {
+		t.Fatalf("CO(a)=%v, want 3", m.CO[a])
+	}
+}
+
+func TestInverterSwapsControllability(t *testing.T) {
+	b := circuit.NewBuilder("t")
+	a := b.Input("a")
+	n := b.Gate(circuit.Not, "n", a)
+	b.Output("y", n)
+	c := b.MustBuild()
+	m := Compute(c)
+	if m.CC0[n] != m.CC1[a]+1 || m.CC1[n] != m.CC0[a]+1 {
+		t.Fatal("NOT controllability swap wrong")
+	}
+}
+
+func TestOrNorDuality(t *testing.T) {
+	b := circuit.NewBuilder("t")
+	a := b.Input("a")
+	x := b.Input("x")
+	o := b.Gate(circuit.Or, "o", a, x)
+	no := b.Gate(circuit.Nor, "no", a, x)
+	b.Output("y1", o)
+	b.Output("y2", no)
+	c := b.MustBuild()
+	m := Compute(c)
+	if m.CC1[o] != 2 || m.CC0[o] != 3 {
+		t.Fatalf("OR: CC1=%v CC0=%v", m.CC1[o], m.CC0[o])
+	}
+	if m.CC0[no] != 2 || m.CC1[no] != 3 {
+		t.Fatalf("NOR: CC0=%v CC1=%v", m.CC0[no], m.CC1[no])
+	}
+}
+
+func TestDeepGatesHarder(t *testing.T) {
+	// Controllability must not decrease with depth along a chain.
+	c := gen.ParityTree(8, gen.XorNAND)
+	m := Compute(c)
+	for _, g := range c.TopoOrder() {
+		for _, f := range c.Fanin(g) {
+			if m.CC0[g]+m.CC1[g] < m.CC0[f]+m.CC1[f] {
+				t.Fatalf("gate %q easier than its fanin", c.Gate(g).Name)
+			}
+		}
+	}
+}
+
+func TestObservabilityFinite(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
+		m := Compute(c)
+		for _, g := range c.TopoOrder() {
+			if len(c.Fanout(g)) == 0 && c.Type(g) != circuit.Output {
+				continue // dangling PIs have no observation site
+			}
+			if math.IsInf(m.CO[g], 1) {
+				t.Fatalf("seed %d: gate %q unobservable", seed, c.Gate(g).Name)
+			}
+		}
+	}
+}
+
+func TestSortValid(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
+		s := Sort(c)
+		if err := s.Validate(c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSortUsableForIdentification runs the SCOAP sort through the full RD
+// pipeline and checks the structural floor (never below FUS).
+func TestSortUsableForIdentification(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 2}, seed)
+		s := Sort(c)
+		res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fus, err := core.Enumerate(c, core.FS, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RD.Cmp(fus.RD) < 0 {
+			t.Fatalf("seed %d: SCOAP sort RD below the FUS floor", seed)
+		}
+	}
+}
+
+func TestPaperExampleSCOAP(t *testing.T) {
+	// On the running example the SCOAP sort also finds the optimum.
+	c := gen.PaperExample()
+	s := Sort(c)
+	res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RD.Int64() != 3 {
+		t.Logf("SCOAP sort RD = %v of 8 (optimum is 3)", res.RD)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim provides logic and timing simulation: 64-way bit-parallel
+// pattern simulation and an event-driven two-pattern timing simulator
+// with arbitrary per-gate delays (transport delay model).
+//
+// Its central role in this library is executable validation of Theorem 1:
+// for ANY delay assignment (any manufactured implementation C_m) and any
+// input pair, the outputs stabilize no later than the slowest logical
+// path of the stabilizing system chosen for the second vector. Package
+// tests enforce this with randomized implementations.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+)
+
+// EvalParallel simulates 64 input patterns at once: bit k of in[i] is the
+// value of input i in pattern k. The returned slice holds one word per
+// gate.
+func EvalParallel(c *circuit.Circuit, in []uint64) []uint64 {
+	if len(in) != len(c.Inputs()) {
+		panic(fmt.Sprintf("sim: EvalParallel got %d words for %d inputs", len(in), len(c.Inputs())))
+	}
+	val := make([]uint64, c.NumGates())
+	for i, g := range c.Inputs() {
+		val[g] = in[i]
+	}
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+		case circuit.Output, circuit.Buf:
+			val[g] = val[gate.Fanin[0]]
+		case circuit.Not:
+			val[g] = ^val[gate.Fanin[0]]
+		case circuit.And, circuit.Nand:
+			w := ^uint64(0)
+			for _, f := range gate.Fanin {
+				w &= val[f]
+			}
+			if gate.Type == circuit.Nand {
+				w = ^w
+			}
+			val[g] = w
+		case circuit.Or, circuit.Nor:
+			w := uint64(0)
+			for _, f := range gate.Fanin {
+				w |= val[f]
+			}
+			if gate.Type == circuit.Nor {
+				w = ^w
+			}
+			val[g] = w
+		}
+	}
+	return val
+}
+
+// Delays assigns a propagation delay to every gate (PIs and PO markers
+// normally get 0, but any nonnegative values are allowed — Theorem 1
+// quantifies over all of them).
+type Delays struct {
+	Gate []float64
+}
+
+// UnitDelays gives every internal gate delay 1 and PIs/PO markers 0.
+func UnitDelays(c *circuit.Circuit) Delays {
+	d := Delays{Gate: make([]float64, c.NumGates())}
+	for g := range d.Gate {
+		switch c.Type(circuit.GateID(g)) {
+		case circuit.Input, circuit.Output:
+		default:
+			d.Gate[g] = 1
+		}
+	}
+	return d
+}
+
+// RandomDelays draws independent delays uniformly from [min,max) for
+// every internal gate — one simulated "manufactured implementation" C_m.
+func RandomDelays(c *circuit.Circuit, seed int64, min, max float64) Delays {
+	rng := rand.New(rand.NewSource(seed))
+	d := Delays{Gate: make([]float64, c.NumGates())}
+	for g := range d.Gate {
+		switch c.Type(circuit.GateID(g)) {
+		case circuit.Input, circuit.Output:
+		default:
+			d.Gate[g] = min + rng.Float64()*(max-min)
+		}
+	}
+	return d
+}
+
+// PathDelay returns the delay of a physical path: the sum of the delays
+// of its gates (the PI contributes its own delay too, normally 0).
+func (d Delays) PathDelay(p paths.Path) float64 {
+	sum := 0.0
+	for _, g := range p.Gates {
+		sum += d.Gate[g]
+	}
+	return sum
+}
+
+// TimingResult reports one two-pattern event simulation.
+type TimingResult struct {
+	// Final holds the settled value of every gate (equals EvalBool(v2)).
+	Final []bool
+	// LastChange is the time of each gate's final transition; 0 when the
+	// gate never switched after t=0.
+	LastChange []float64
+	// Events counts processed output-change events.
+	Events int64
+}
+
+// StabilizeTime returns the time by which all primary outputs reached
+// their final values.
+func (r *TimingResult) StabilizeTime(c *circuit.Circuit) float64 {
+	t := 0.0
+	for _, po := range c.Outputs() {
+		if r.LastChange[po] > t {
+			t = r.LastChange[po]
+		}
+	}
+	return t
+}
+
+type event struct {
+	time  float64
+	seq   int64 // tie-break for determinism
+	gate  circuit.GateID
+	value bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+// Simulate applies v1, lets the circuit settle, then applies v2 at time 0
+// and runs event-driven simulation (transport delay) to quiescence.
+func Simulate(c *circuit.Circuit, d Delays, v1, v2 []bool) *TimingResult {
+	val := c.EvalBool(v1)
+	res := &TimingResult{
+		Final:      val,
+		LastChange: make([]float64, c.NumGates()),
+	}
+	var h eventHeap
+	var seq int64
+	schedule := func(t float64, g circuit.GateID, v bool) {
+		seq++
+		heap.Push(&h, event{time: t, seq: seq, gate: g, value: v})
+	}
+	evalGate := func(g circuit.GateID) bool {
+		gate := c.Gate(g)
+		var buf [8]bool
+		args := buf[:0]
+		for _, f := range gate.Fanin {
+			args = append(args, val[f])
+		}
+		return gate.Type.Eval(args)
+	}
+	// Input switches at t=0 (PIs may carry a delay of their own).
+	for i, pi := range c.Inputs() {
+		if v2[i] != val[pi] {
+			schedule(d.Gate[pi], pi, v2[i])
+		}
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if val[e.gate] == e.value {
+			continue
+		}
+		val[e.gate] = e.value
+		res.LastChange[e.gate] = e.time
+		res.Events++
+		for _, edge := range c.Fanout(e.gate) {
+			// Transport delay: always schedule the re-evaluated value;
+			// no-change events are dropped at pop time.
+			schedule(e.time+d.Gate[edge.To], edge.To, evalGate(edge.To))
+		}
+	}
+	res.Final = val
+	return res
+}

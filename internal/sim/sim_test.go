@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/stabilize"
+)
+
+func TestEvalParallelMatchesEvalBool(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 3}, seed)
+		n := len(c.Inputs())
+		// All 64 patterns = first 64 input vectors.
+		words := make([]uint64, n)
+		for k := 0; k < 64; k++ {
+			for i := 0; i < n; i++ {
+				if (k>>i)&1 == 1 {
+					words[i] |= 1 << k
+				}
+			}
+		}
+		got := EvalParallel(c, words)
+		for k := 0; k < 64 && k < 1<<n; k++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = (k>>i)&1 == 1
+			}
+			want := c.EvalBool(in)
+			for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+				if ((got[g]>>k)&1 == 1) != want[g] {
+					t.Fatalf("seed %d pattern %d gate %q: parallel %v, serial %v",
+						seed, k, c.Gate(g).Name, (got[g]>>k)&1 == 1, want[g])
+				}
+			}
+		}
+	}
+}
+
+func TestEvalParallelArityPanic(t *testing.T) {
+	c := gen.PaperExample()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong arity")
+		}
+	}()
+	EvalParallel(c, []uint64{0})
+}
+
+func TestSimulateSettlesToV2(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
+		d := RandomDelays(c, seed*7, 0.5, 3)
+		rng := rand.New(rand.NewSource(seed))
+		n := len(c.Inputs())
+		for trial := 0; trial < 40; trial++ {
+			v1 := make([]bool, n)
+			v2 := make([]bool, n)
+			for i := range v1 {
+				v1[i] = rng.Intn(2) == 0
+				v2[i] = rng.Intn(2) == 0
+			}
+			res := Simulate(c, d, v1, v2)
+			want := c.EvalBool(v2)
+			for g := range want {
+				if res.Final[g] != want[g] {
+					t.Fatalf("seed %d: gate %d settled wrong", seed, g)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateNoChangeNoEvents(t *testing.T) {
+	c := gen.PaperExample()
+	d := UnitDelays(c)
+	v := []bool{true, false, true}
+	res := Simulate(c, d, v, v)
+	if res.Events != 0 {
+		t.Errorf("events = %d, want 0 for identical vectors", res.Events)
+	}
+	if res.StabilizeTime(c) != 0 {
+		t.Errorf("stabilize time = %v, want 0", res.StabilizeTime(c))
+	}
+}
+
+func TestUnitDelayChainTiming(t *testing.T) {
+	// A chain of 3 inverters with unit delays: output settles at t=3.
+	b := circuit.NewBuilder("chain")
+	a := b.Input("a")
+	n1 := b.Gate(circuit.Not, "n1", a)
+	n2 := b.Gate(circuit.Not, "n2", n1)
+	n3 := b.Gate(circuit.Not, "n3", n2)
+	b.Output("po", n3)
+	c := b.MustBuild()
+	d := UnitDelays(c)
+	res := Simulate(c, d, []bool{false}, []bool{true})
+	if got := res.StabilizeTime(c); got != 3 {
+		t.Errorf("stabilize = %v, want 3", got)
+	}
+}
+
+func TestPathDelay(t *testing.T) {
+	c := gen.PaperExample()
+	d := UnitDelays(c)
+	ps := paths.Collect(c, 0)
+	for _, p := range ps {
+		want := float64(p.Len() - 2) // PI and PO marker have delay 0
+		if got := d.PathDelay(p); got != want {
+			t.Errorf("path %s delay %v, want %v", p.String(c), got, want)
+		}
+	}
+}
+
+func TestGlitchPropagation(t *testing.T) {
+	// y = AND(a, NOT(a)): a rising 0->1 with slow inverter produces a
+	// 1-pulse on y under transport delay.
+	b := circuit.NewBuilder("glitch")
+	a := b.Input("a")
+	n := b.Gate(circuit.Not, "n", a)
+	g := b.Gate(circuit.And, "g", a, n)
+	b.Output("po", g)
+	c := b.MustBuild()
+	d := UnitDelays(c)
+	d.Gate[n] = 5 // slow inverter: overlap window
+	res := Simulate(c, d, []bool{false}, []bool{true})
+	if res.Final[g] != false {
+		t.Fatal("glitch circuit settled wrong")
+	}
+	// The AND output must have pulsed: its last change is the falling
+	// edge after the inverter caught up.
+	if res.LastChange[g] == 0 {
+		t.Fatal("glitch did not propagate under transport delay")
+	}
+	if want := 5.0 + 1.0; math.Abs(res.LastChange[g]-want) > 1e-9 {
+		t.Errorf("glitch settles at %v, want %v", res.LastChange[g], want)
+	}
+}
+
+// TestTheorem1 is the behavioural validation of the paper's central
+// theorem: for random implementations (delay assignments) and random
+// complete stabilizing assignments, every input pair settles the outputs
+// no later than the slowest logical path in the stabilizing system chosen
+// for the destination vector.
+func TestTheorem1(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 18, Outputs: 2}, seed)
+		n := len(c.Inputs())
+		assignment := stabilize.ComputeAssignment(c, stabilize.ChooseRandom(seed*3))
+		for impl := int64(0); impl < 3; impl++ {
+			d := RandomDelays(c, seed*100+impl, 0.1, 4)
+			rng := rand.New(rand.NewSource(seed*999 + impl))
+			for trial := 0; trial < 30; trial++ {
+				v1i := rng.Intn(1 << n)
+				v2i := rng.Intn(1 << n)
+				v1 := make([]bool, n)
+				v2 := make([]bool, n)
+				for i := 0; i < n; i++ {
+					v1[i] = v1i&(1<<i) != 0
+					v2[i] = v2i&(1<<i) != 0
+				}
+				res := Simulate(c, d, v1, v2)
+				// Bound: slowest logical path of sigma(v2).
+				bound := 0.0
+				sys := assignment.System(v2i)
+				sys.ForEachPath(func(p paths.Path) bool {
+					if pd := d.PathDelay(p); pd > bound {
+						bound = pd
+					}
+					return true
+				})
+				if got := res.StabilizeTime(c); got > bound+1e-9 {
+					t.Fatalf("seed %d impl %d v1=%0*b v2=%0*b: stabilized at %v > bound %v (Theorem 1 violated)",
+						seed, impl, n, v1i, n, v2i, got, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1Tight: the bound is achieved by some input pair on a chain
+// (the slowest path is the only path).
+func TestTheorem1Tight(t *testing.T) {
+	b := circuit.NewBuilder("chain")
+	a := b.Input("a")
+	n1 := b.Gate(circuit.Not, "n1", a)
+	b.Output("po", n1)
+	c := b.MustBuild()
+	d := UnitDelays(c)
+	res := Simulate(c, d, []bool{false}, []bool{true})
+	sys := stabilize.Compute(c, []bool{true}, nil)
+	bound := 0.0
+	sys.ForEachPath(func(p paths.Path) bool {
+		if pd := d.PathDelay(p); pd > bound {
+			bound = pd
+		}
+		return true
+	})
+	if got := res.StabilizeTime(c); got != bound {
+		t.Errorf("chain: stabilize %v != bound %v", got, bound)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 32, Gates: 1500, Outputs: 16}, 9)
+	d := RandomDelays(c, 1, 0.5, 2)
+	n := len(c.Inputs())
+	v1 := make([]bool, n)
+	v2 := make([]bool, n)
+	for i := range v2 {
+		v2[i] = i%2 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(c, d, v1, v2)
+	}
+}
+
+func BenchmarkEvalParallel(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 64, Gates: 4000, Outputs: 32}, 2)
+	in := make([]uint64, 64)
+	for i := range in {
+		in[i] = rand.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalParallel(c, in)
+	}
+}
+
+// Property (testing/quick): every bit lane of the parallel evaluator
+// agrees with scalar simulation.
+func TestQuickParallelLanes(t *testing.T) {
+	c := gen.RandomCircuit("q", gen.RandomOptions{Inputs: 8, Gates: 30, Outputs: 3}, 21)
+	n := len(c.Inputs())
+	f := func(seed int64, lane uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		k := int(lane) % 64
+		par := EvalParallel(c, words)
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = (words[i]>>k)&1 == 1
+		}
+		ser := c.EvalBool(in)
+		for g := 0; g < c.NumGates(); g++ {
+			if ((par[g]>>k)&1 == 1) != ser[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulation final state is independent of the starting vector
+// (v2 alone determines where the circuit settles).
+func TestQuickSettledStateIndependentOfV1(t *testing.T) {
+	c := gen.RandomCircuit("q", gen.RandomOptions{Inputs: 6, Gates: 20, Outputs: 2}, 23)
+	d := RandomDelays(c, 5, 0.5, 2)
+	n := len(c.Inputs())
+	f := func(a, b, target uint16) bool {
+		mk := func(v uint16) []bool {
+			out := make([]bool, n)
+			for i := range out {
+				out[i] = v&(1<<i) != 0
+			}
+			return out
+		}
+		v2 := mk(target)
+		r1 := Simulate(c, d, mk(a), v2)
+		r2 := Simulate(c, d, mk(b), v2)
+		for g := range r1.Final {
+			if r1.Final[g] != r2.Final[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

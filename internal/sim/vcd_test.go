@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+func TestSimulateTraceMatchesSimulate(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
+		d := RandomDelays(c, seed, 0.5, 2)
+		v1 := make([]bool, 5)
+		v2 := []bool{true, false, true, true, false}
+		plain := Simulate(c, d, v1, v2)
+		traced, tr := SimulateTrace(c, d, v1, v2)
+		if plain.Events != traced.Events {
+			t.Fatalf("seed %d: event counts differ", seed)
+		}
+		for g := range plain.Final {
+			if plain.Final[g] != traced.Final[g] {
+				t.Fatalf("seed %d: final values differ", seed)
+			}
+			if plain.LastChange[g] != traced.LastChange[g] {
+				t.Fatalf("seed %d: last-change times differ", seed)
+			}
+		}
+		if int64(len(tr.Events())) != traced.Events {
+			t.Fatalf("seed %d: trace has %d events, result counted %d",
+				seed, len(tr.Events()), traced.Events)
+		}
+	}
+}
+
+// TestVCDReplay parses the emitted VCD back and replays it: the final
+// value of every wire must match the simulation's settled state.
+func TestVCDReplay(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 15, Outputs: 2}, 3)
+	d := RandomDelays(c, 7, 0.5, 2)
+	v1 := []bool{false, true, false, false, true}
+	v2 := []bool{true, true, false, true, false}
+	res, tr := SimulateTrace(c, d, v1, v2)
+	var buf bytes.Buffer
+	if err := tr.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$timescale", "$enddefinitions", "$dumpvars"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %s", want)
+		}
+	}
+	// Replay.
+	idToName := map[string]string{}
+	state := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	inDefs := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "$var"):
+			f := strings.Fields(line)
+			// $var wire 1 <id> <name> $end
+			idToName[f[3]] = f[4]
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case !inDefs && (strings.HasPrefix(line, "0") || strings.HasPrefix(line, "1")):
+			id := line[1:]
+			if _, ok := idToName[id]; !ok {
+				t.Fatalf("change for unknown id %q", id)
+			}
+			state[idToName[id]] = line[0] == '1'
+		case strings.HasPrefix(line, "#"):
+			if _, err := strconv.ParseInt(line[1:], 10, 64); err != nil {
+				t.Fatalf("bad timestamp %q", line)
+			}
+		}
+	}
+	if len(idToName) != c.NumGates() {
+		t.Fatalf("declared %d wires, want %d", len(idToName), c.NumGates())
+	}
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		name := c.Gate(g).Name
+		if state[name] != res.Final[g] {
+			t.Fatalf("wire %s replays to %v, simulation settled at %v",
+				name, state[name], res.Final[g])
+		}
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("id %d = %q duplicate or empty", i, id)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < '!' || r > '~' {
+				t.Fatalf("id %q contains non-printable rune", id)
+			}
+		}
+	}
+}

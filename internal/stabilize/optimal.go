@@ -1,0 +1,156 @@
+package stabilize
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfault/internal/circuit"
+)
+
+// AllSystems enumerates every distinct stabilizing system Algorithm 1 can
+// produce for input v, by exploring all Step 2(b) decision sequences.
+// The result is deduplicated by lead set.
+func AllSystems(c *circuit.Circuit, v []bool) []*System {
+	seen := map[string]*System{}
+	var order []string
+	var explore func(prefix []int)
+	explore = func(prefix []int) {
+		var radices []int
+		idx := 0
+		choose := func(_ *circuit.Circuit, _ circuit.GateID, ctrl []int) int {
+			if idx < len(prefix) {
+				k := prefix[idx]
+				idx++
+				return ctrl[k]
+			}
+			radices = append(radices, len(ctrl))
+			idx++
+			return ctrl[0]
+		}
+		s := Compute(c, v, choose)
+		key := s.String()
+		if _, dup := seen[key]; !dup {
+			seen[key] = s
+			order = append(order, key)
+		}
+		base := append([]int{}, prefix...)
+		for _, r := range radices {
+			for k := 1; k < r; k++ {
+				explore(append(append([]int{}, base...), k))
+			}
+			base = append(base, 0)
+		}
+	}
+	explore(nil)
+	out := make([]*System, 0, len(order))
+	for _, k := range order {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// Optimal holds the result of the exhaustive assignment search.
+type Optimal struct {
+	// Assignment achieves the minimum.
+	Assignment *Assignment
+	// Size is the minimal |LP(sigma)| over ALL complete stabilizing
+	// assignments — the unrestricted optimum that the input-sort
+	// restriction of Section IV approximates.
+	Size int
+	// Explored counts search nodes (after pruning).
+	Explored int64
+	// Exact is false when the node budget stopped the search; Size is
+	// then only an upper bound on the optimum.
+	Exact bool
+}
+
+// OptimalAssignment minimizes |LP(σ)| over every complete stabilizing
+// assignment by branch and bound over the per-vector choices, visiting
+// at most maxNodes search nodes (0 = unlimited). Exponential in both the
+// input count and the choice structure: intended for the paper's example
+// and similarly tiny circuits (at most 12 inputs). It gives the gold
+// standard against which the restricted search space of σ^π assignments
+// is measured; when the budget runs out the result is the best incumbent
+// and Optimal.Exact is false.
+func OptimalAssignment(c *circuit.Circuit, maxNodes int64) (*Optimal, error) {
+	n := len(c.Inputs())
+	if n > 12 {
+		return nil, fmt.Errorf("stabilize: OptimalAssignment on %d inputs (max 12)", n)
+	}
+	type option struct {
+		sys  *System
+		keys []string
+	}
+	type vecChoices struct {
+		vec  int
+		opts []option
+	}
+	all := make([]vecChoices, 0, 1<<n)
+	in := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		systems := AllSystems(c, in)
+		vc := vecChoices{vec: v}
+		for _, s := range systems {
+			var keys []string
+			for _, lp := range s.LogicalPaths() {
+				keys = append(keys, lp.Key())
+			}
+			sort.Strings(keys)
+			vc.opts = append(vc.opts, option{sys: s, keys: keys})
+		}
+		all = append(all, vc)
+	}
+	// Fewest-options-first ordering shrinks the branching factor early.
+	sort.SliceStable(all, func(i, j int) bool { return len(all[i].opts) < len(all[j].opts) })
+
+	opt := &Optimal{Size: 1 << 62, Exact: true}
+	chosen := make([]*System, len(all))
+	best := make([]*System, len(all))
+	union := map[string]int{}
+
+	var bb func(i int)
+	bb = func(i int) {
+		if maxNodes > 0 && opt.Explored >= maxNodes {
+			opt.Exact = false
+			return
+		}
+		opt.Explored++
+		if len(union) >= opt.Size {
+			return // bound: the union only grows
+		}
+		if i == len(all) {
+			opt.Size = len(union)
+			copy(best, chosen)
+			return
+		}
+		for _, o := range all[i].opts {
+			var added []string
+			for _, k := range o.keys {
+				union[k]++
+				if union[k] == 1 {
+					added = append(added, k)
+				}
+			}
+			chosen[i] = o.sys
+			bb(i + 1)
+			for _, k := range o.keys {
+				union[k]--
+			}
+			for _, k := range added {
+				delete(union, k)
+			}
+		}
+	}
+	bb(0)
+
+	// Rebuild an Assignment indexed by vector.
+	systems := make([]*System, 1<<n)
+	for i, vc := range all {
+		systems[vc.vec] = best[i]
+	}
+	opt.Assignment = &Assignment{c: c, systems: systems}
+	return opt, nil
+}

@@ -1,0 +1,113 @@
+package stabilize
+
+import (
+	"fmt"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+func TestAllSystemsExample(t *testing.T) {
+	c := gen.PaperExample()
+	if got := len(AllSystems(c, []bool{true, true, true})); got != 3 {
+		t.Fatalf("111 has %d systems, want 3 (Figure 1)", got)
+	}
+	// Forced cases have exactly one system.
+	if got := len(AllSystems(c, []bool{true, false, false})); got != 1 {
+		t.Fatalf("100 has %d systems, want 1", got)
+	}
+}
+
+func TestAllSystemsAreValid(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 4, Gates: 10, Outputs: 2}, seed)
+		n := len(c.Inputs())
+		for v := 0; v < 1<<n; v++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = v&(1<<i) != 0
+			}
+			systems := AllSystems(c, in)
+			if len(systems) == 0 {
+				t.Fatalf("seed %d v=%d: no systems", seed, v)
+			}
+			keys := map[string]bool{}
+			for _, s := range systems {
+				k := s.String()
+				if keys[k] {
+					t.Fatalf("seed %d v=%d: duplicate system", seed, v)
+				}
+				keys[k] = true
+				if !s.HasGate(c.Outputs()[0]) {
+					t.Fatalf("seed %d v=%d: PO missing", seed, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalAssignmentExample(t *testing.T) {
+	c := gen.PaperExample()
+	opt, err := OptimalAssignment(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Size != 5 {
+		t.Fatalf("optimal |LP(sigma)| = %d, want 5 (Example 3)", opt.Size)
+	}
+	if got := len(opt.Assignment.LogicalPaths()); got != 5 {
+		t.Fatalf("assignment realizes %d paths", got)
+	}
+	// Example 4's claim: the restricted search space (input sorts) still
+	// contains the optimum for this circuit.
+	pin := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c)))
+	if got := len(pin.LogicalPaths()); got != opt.Size {
+		t.Fatalf("sigma^pi achieves %d, unrestricted optimum %d", got, opt.Size)
+	}
+	if opt.Explored == 0 {
+		t.Fatal("no search nodes explored")
+	}
+}
+
+// TestOptimalNeverWorseThanAnySort: the unrestricted optimum is a lower
+// bound for every sort-induced assignment.
+func TestOptimalNeverWorseThanAnySort(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 4, Gates: 9, Outputs: 2}, seed)
+		opt, err := OptimalAssignment(c, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []circuit.InputSort{
+			circuit.PinOrderSort(c),
+			circuit.PinOrderSort(c).Inverse(),
+		} {
+			a := ComputeAssignment(c, ChooseBySort(s))
+			if len(a.LogicalPaths()) < opt.Size {
+				t.Fatalf("seed %d: sort beat the claimed optimum (%d < %d)",
+					seed, len(a.LogicalPaths()), opt.Size)
+			}
+		}
+		// The optimum is itself a valid complete stabilizing assignment:
+		// every vector has a system.
+		for v := 0; v < opt.Assignment.NumVectors(); v++ {
+			if opt.Assignment.System(v) == nil {
+				t.Fatalf("seed %d: vector %d lacks a system", seed, v)
+			}
+		}
+	}
+}
+
+func TestOptimalAssignmentRejectsWide(t *testing.T) {
+	b := circuit.NewBuilder("wide")
+	var ins []circuit.GateID
+	for i := 0; i < 13; i++ {
+		ins = append(ins, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	b.Output("y", b.Gate(circuit.Or, "g", ins...))
+	c := b.MustBuild()
+	if _, err := OptimalAssignment(c, 0); err == nil {
+		t.Fatal("expected error for 13 inputs")
+	}
+}

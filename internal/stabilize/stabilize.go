@@ -1,0 +1,277 @@
+// Package stabilize implements Section III of the paper: stabilizing
+// systems (Algorithm 1), complete stabilizing assignments σ, and the exact
+// logical path sets LP(v, σ(v)) and LP(σ).
+//
+// A stabilizing system for input vector v is a minimal subcircuit that
+// forces the primary outputs to their stable values under v regardless of
+// the rest of the circuit. Exact computation enumerates all 2^n input
+// vectors and is intended for small circuits: it provides ground truth for
+// the fast approximate identification in package core and reproduces the
+// paper's Figures 1-5.
+package stabilize
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+)
+
+// Chooser selects, for Step 2(b) of Algorithm 1, which controlling input
+// pin of gate g to include in the stabilizing system. ctrlPins is the
+// non-empty set L of pins whose stable values are controlling under the
+// current input vector.
+type Chooser func(c *circuit.Circuit, g circuit.GateID, ctrlPins []int) int
+
+// ChooseFirst picks the lowest-numbered pin (σ^π for the pin-order sort).
+func ChooseFirst(_ *circuit.Circuit, _ circuit.GateID, ctrlPins []int) int {
+	return ctrlPins[0]
+}
+
+// ChooseBySort returns a Chooser realizing σ^π for the given input sort:
+// it always picks the controlling pin with minimum π-position, as required
+// by the definition after Definition 7.
+func ChooseBySort(sort circuit.InputSort) Chooser {
+	return func(_ *circuit.Circuit, g circuit.GateID, ctrlPins []int) int {
+		return sort.MinPin(g, ctrlPins)
+	}
+}
+
+// ChooseRandom returns a deterministic pseudo-random Chooser. Different
+// calls during one traversal draw from the same stream, so the resulting
+// assignment is an arbitrary (not sort-induced) complete stabilizing
+// assignment — useful for property tests of Theorem 1, which holds for
+// every choice.
+func ChooseRandom(seed int64) Chooser {
+	rng := rand.New(rand.NewSource(seed))
+	return func(_ *circuit.Circuit, _ circuit.GateID, ctrlPins []int) int {
+		return ctrlPins[rng.Intn(len(ctrlPins))]
+	}
+}
+
+// System is a stabilizing system: the subset of gates and leads selected
+// by Algorithm 1 for one input vector.
+type System struct {
+	c     *circuit.Circuit
+	v     []bool // the input vector, Inputs() order
+	gates []bool // included gates
+	leads []bool // included leads, by Circuit.LeadIndex
+}
+
+// Compute runs Algorithm 1 for input vector v (in Inputs() order) with
+// the given chooser. For multi-output circuits the traversal starts from
+// every PO, which equals applying the paper's per-output-cone construction
+// with consistent choices. The zero-value chooser (nil) means ChooseFirst.
+func Compute(c *circuit.Circuit, v []bool, choose Chooser) *System {
+	if choose == nil {
+		choose = ChooseFirst
+	}
+	val := c.EvalBool(v)
+	s := &System{
+		c:     c,
+		v:     append([]bool(nil), v...),
+		gates: make([]bool, c.NumGates()),
+		leads: make([]bool, c.NumLeads()),
+	}
+	// Work list of gates included in S whose input leads are not yet
+	// decided.
+	var queue []circuit.GateID
+	include := func(g circuit.GateID) {
+		if !s.gates[g] {
+			s.gates[g] = true
+			queue = append(queue, g)
+		}
+	}
+	includeLead := func(g circuit.GateID, pin int) {
+		s.leads[c.LeadIndex(g, pin)] = true
+		include(c.Fanin(g)[pin])
+	}
+	for _, po := range c.Outputs() {
+		include(po)
+	}
+	for len(queue) > 0 {
+		g := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		switch t := c.Type(g); t {
+		case circuit.Input:
+			// Step 3: nothing further.
+		case circuit.Output, circuit.Buf, circuit.Not:
+			// Step 1 (NOT) and the trivial single-input cases: include
+			// the only input lead.
+			includeLead(g, 0)
+		default:
+			// Step 2: simple gate.
+			ctrlVal, _ := t.Controlling()
+			var ctrlPins []int
+			for pin, f := range c.Fanin(g) {
+				if val[f] == ctrlVal {
+					ctrlPins = append(ctrlPins, pin)
+				}
+			}
+			if len(ctrlPins) == 0 {
+				// 2(a): all inputs non-controlling; include all leads.
+				for pin := range c.Fanin(g) {
+					includeLead(g, pin)
+				}
+			} else {
+				// 2(b): include exactly one controlling lead.
+				includeLead(g, choose(c, g, ctrlPins))
+			}
+		}
+	}
+	return s
+}
+
+// Circuit returns the underlying circuit.
+func (s *System) Circuit() *circuit.Circuit { return s.c }
+
+// Input returns the input vector the system stabilizes.
+func (s *System) Input() []bool { return s.v }
+
+// HasGate reports whether gate g belongs to the system.
+func (s *System) HasGate(g circuit.GateID) bool { return s.gates[g] }
+
+// HasLead reports whether the lead entering pin of gate g belongs to the
+// system.
+func (s *System) HasLead(g circuit.GateID, pin int) bool {
+	return s.leads[s.c.LeadIndex(g, pin)]
+}
+
+// NumLeads returns the number of leads in the system.
+func (s *System) NumLeads() int {
+	n := 0
+	for _, b := range s.leads {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachPath enumerates the physical paths of the system (PI-to-PO paths
+// using only included leads). The Path buffer is shared; Clone to retain.
+func (s *System) ForEachPath(fn func(paths.Path) bool) bool {
+	var gates []circuit.GateID
+	var pins []int
+	var dfs func(g circuit.GateID) bool
+	dfs = func(g circuit.GateID) bool {
+		gates = append(gates, g)
+		defer func() { gates = gates[:len(gates)-1] }()
+		if s.c.Type(g) == circuit.Output {
+			return fn(paths.Path{Gates: gates, Pins: pins})
+		}
+		for _, e := range s.c.Fanout(g) {
+			if !s.leads[s.c.LeadIndex(e.To, e.Pin)] {
+				continue
+			}
+			pins = append(pins, e.Pin)
+			ok := dfs(e.To)
+			pins = pins[:len(pins)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for i, pi := range s.c.Inputs() {
+		_ = i
+		if !s.gates[pi] {
+			continue
+		}
+		if !dfs(pi) {
+			return false
+		}
+	}
+	return true
+}
+
+// LogicalPaths returns LP(v, S): each physical path of S paired with the
+// transition whose final value at PI(P) is the value of that PI under v
+// (definition in Section III).
+func (s *System) LogicalPaths() []paths.Logical {
+	idx := make(map[circuit.GateID]int, len(s.c.Inputs()))
+	for i, pi := range s.c.Inputs() {
+		idx[pi] = i
+	}
+	var out []paths.Logical
+	s.ForEachPath(func(p paths.Path) bool {
+		out = append(out, paths.Logical{Path: p.Clone(), FinalOne: s.v[idx[p.PI()]]})
+		return true
+	})
+	return out
+}
+
+// String lists the system's leads by name, deterministically.
+func (s *System) String() string {
+	var parts []string
+	for g := circuit.GateID(0); int(g) < s.c.NumGates(); g++ {
+		for pin := range s.c.Fanin(g) {
+			if s.HasLead(g, pin) {
+				parts = append(parts, fmt.Sprintf("%s->%s",
+					s.c.Gate(s.c.Fanin(g)[pin]).Name, s.c.Gate(g).Name))
+			}
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Assignment is a complete stabilizing assignment σ: one stabilizing
+// system per input vector. Exact and exponential in the input count —
+// small circuits only.
+type Assignment struct {
+	c       *circuit.Circuit
+	systems []*System // indexed by input vector encoded as bits (input i = bit i)
+}
+
+// ComputeAssignment builds σ by running Algorithm 1 for all 2^n input
+// vectors. It panics if the circuit has more than 24 inputs.
+func ComputeAssignment(c *circuit.Circuit, choose Chooser) *Assignment {
+	n := len(c.Inputs())
+	if n > 24 {
+		panic(fmt.Sprintf("stabilize: ComputeAssignment on %d inputs (max 24)", n))
+	}
+	a := &Assignment{c: c, systems: make([]*System, 1<<n)}
+	in := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		a.systems[v] = Compute(c, in, choose)
+	}
+	return a
+}
+
+// System returns σ(v) for the input vector encoded bitwise (input i is bit
+// i).
+func (a *Assignment) System(v int) *System { return a.systems[v] }
+
+// NumVectors returns 2^n.
+func (a *Assignment) NumVectors() int { return len(a.systems) }
+
+// LogicalPaths returns LP(σ) as a map from logical path key to the path:
+// the union of LP(v, σ(v)) over all v.
+func (a *Assignment) LogicalPaths() map[string]paths.Logical {
+	out := make(map[string]paths.Logical)
+	for _, s := range a.systems {
+		for _, lp := range s.LogicalPaths() {
+			out[lp.Key()] = lp
+		}
+	}
+	return out
+}
+
+// RDSet returns RD(σ) = LP(C) \ LP(σ) as a map from logical path key to
+// path (Theorem 1: every subset of this set is an RD-set).
+func (a *Assignment) RDSet() map[string]paths.Logical {
+	lp := a.LogicalPaths()
+	out := make(map[string]paths.Logical)
+	paths.ForEachLogical(a.c, func(l paths.Logical) bool {
+		if _, ok := lp[l.Key()]; !ok {
+			out[l.Key()] = paths.Logical{Path: l.Path.Clone(), FinalOne: l.FinalOne}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,325 @@
+package synth
+
+import (
+	"fmt"
+
+	"rdfault/internal/bdd"
+	"rdfault/internal/circuit"
+)
+
+// RemoveRedundant returns a functionally equivalent circuit in which
+// internal gates proven functionally redundant have been folded away: a
+// gate is redundant-to-v when forcing its output to the constant v leaves
+// every primary output function unchanged (verified exactly with BDDs).
+// The sweep iterates to a fixpoint; candidates whose folding would turn a
+// primary output constant are skipped (the netlist model has no constant
+// drivers).
+//
+// Redundancy of this kind is the dominant source of robust dependent
+// paths, so the sweep doubles as an ablation: RD percentages drop
+// markedly on swept circuits.
+func RemoveRedundant(c *circuit.Circuit, maxInputs int) (*circuit.Circuit, int, error) {
+	if maxInputs <= 0 {
+		maxInputs = 24
+	}
+	if len(c.Inputs()) > maxInputs {
+		return nil, 0, fmt.Errorf("synth: RemoveRedundant on %d inputs (max %d)", len(c.Inputs()), maxInputs)
+	}
+	removed := 0
+	cur := c
+	for {
+		g, v, ok := findRedundant(cur)
+		if !ok {
+			return cur, removed, nil
+		}
+		next, err := foldConstant(cur, g, v)
+		if err != nil {
+			return nil, removed, err
+		}
+		cur = next
+		removed++
+	}
+}
+
+// findRedundant searches for an internal gate whose output can be forced
+// constant without changing any PO, and whose folding keeps all POs
+// non-constant.
+func findRedundant(c *circuit.Circuit) (circuit.GateID, bool, bool) {
+	m := bdd.New(len(c.Inputs()))
+	ref := bdd.FromCircuitOrdered(m, c, bdd.OrderForCircuit(c))
+	for _, g := range c.TopoOrder() {
+		switch c.Type(g) {
+		case circuit.Input, circuit.Output:
+			continue
+		}
+		for _, v := range [2]bool{false, true} {
+			if redundantTo(m, c, ref, g, v) && !constifiesPO(c, g, v) {
+				return g, v, true
+			}
+		}
+	}
+	return circuit.None, false, false
+}
+
+// redundantTo rebuilds the functions downstream of g with g forced to v
+// and compares every PO.
+func redundantTo(m *bdd.Manager, c *circuit.Circuit, ref []bdd.Ref, g circuit.GateID, v bool) bool {
+	faulty := make([]bdd.Ref, len(ref))
+	copy(faulty, ref)
+	if v {
+		faulty[g] = bdd.True
+	} else {
+		faulty[g] = bdd.False
+	}
+	// Recompute the transitive fanout of g in topological order.
+	inCone := make([]bool, c.NumGates())
+	inCone[g] = true
+	for _, h := range c.TopoOrder() {
+		if h == g || c.Type(h) == circuit.Input {
+			continue
+		}
+		affected := false
+		for _, f := range c.Fanin(h) {
+			if inCone[f] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue
+		}
+		inCone[h] = true
+		faulty[h] = rebuildGate(m, c, faulty, h)
+	}
+	for _, po := range c.Outputs() {
+		if faulty[po] != ref[po] {
+			return false
+		}
+	}
+	return true
+}
+
+func rebuildGate(m *bdd.Manager, c *circuit.Circuit, ref []bdd.Ref, g circuit.GateID) bdd.Ref {
+	gate := c.Gate(g)
+	switch gate.Type {
+	case circuit.Output, circuit.Buf:
+		return ref[gate.Fanin[0]]
+	case circuit.Not:
+		return m.Not(ref[gate.Fanin[0]])
+	case circuit.And, circuit.Nand:
+		r := bdd.True
+		for _, f := range gate.Fanin {
+			r = m.And(r, ref[f])
+		}
+		if gate.Type == circuit.Nand {
+			r = m.Not(r)
+		}
+		return r
+	case circuit.Or, circuit.Nor:
+		r := bdd.False
+		for _, f := range gate.Fanin {
+			r = m.Or(r, ref[f])
+		}
+		if gate.Type == circuit.Nor {
+			r = m.Not(r)
+		}
+		return r
+	}
+	panic("synth: rebuildGate on " + gate.Type.String())
+}
+
+// constifiesPO simulates constant folding of gate g := v and reports
+// whether some PO driver would become constant.
+func constifiesPO(c *circuit.Circuit, g circuit.GateID, v bool) bool {
+	_, constVal, _, err := foldPlan(c, g, v)
+	if err != nil {
+		return true
+	}
+	for _, po := range c.Outputs() {
+		if _, isConst := constVal[c.Fanin(po)[0]]; isConst {
+			return true
+		}
+	}
+	return false
+}
+
+// foldPlan computes, for every gate, whether folding g := v makes it a
+// constant (and what it folds to) or an alias of a single surviving
+// fanin.
+func foldPlan(c *circuit.Circuit, g circuit.GateID, v bool) ([]circuit.GateID, map[circuit.GateID]bool, map[circuit.GateID]circuit.GateID, error) {
+	constVal := map[circuit.GateID]bool{g: v}
+	// alias[h] = the gate h degenerates to (single surviving fanin).
+	alias := map[circuit.GateID]circuit.GateID{}
+	resolve := func(f circuit.GateID) circuit.GateID {
+		for {
+			a, ok := alias[f]
+			if !ok {
+				return f
+			}
+			f = a
+		}
+	}
+	for _, h := range c.TopoOrder() {
+		if h == g {
+			continue
+		}
+		gate := c.Gate(h)
+		switch gate.Type {
+		case circuit.Input:
+			continue
+		case circuit.Output, circuit.Buf:
+			f := resolve(gate.Fanin[0])
+			if cv, ok := constVal[f]; ok {
+				constVal[h] = cv
+			} else if gate.Type == circuit.Buf {
+				alias[h] = f
+			}
+		case circuit.Not:
+			f := resolve(gate.Fanin[0])
+			if cv, ok := constVal[f]; ok {
+				constVal[h] = !cv
+			}
+		default:
+			ctrl, _ := gate.Type.Controlling()
+			outWhenCtrl := ctrl != gate.Type.Inverting()
+			anyCtrl := false
+			var live []circuit.GateID
+			for _, f := range gate.Fanin {
+				rf := resolve(f)
+				if cv, ok := constVal[rf]; ok {
+					if cv == ctrl {
+						anyCtrl = true
+						break
+					}
+					continue // non-controlling constant drops out
+				}
+				live = append(live, rf)
+			}
+			switch {
+			case anyCtrl:
+				constVal[h] = outWhenCtrl
+			case len(live) == 0:
+				constVal[h] = !outWhenCtrl
+			case len(live) == 1 && !gate.Type.Inverting():
+				alias[h] = live[0]
+			}
+		}
+	}
+	return nil, constVal, alias, nil
+}
+
+// foldConstant rebuilds c with gate g forced to the constant v and all
+// consequences folded away, keeping only logic reachable from the POs.
+func foldConstant(c *circuit.Circuit, g circuit.GateID, v bool) (*circuit.Circuit, error) {
+	_, constVal, alias, err := foldPlan(c, g, v)
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(f circuit.GateID) circuit.GateID {
+		for {
+			a, ok := alias[f]
+			if !ok {
+				return f
+			}
+			f = a
+		}
+	}
+	// Effective fanins of every surviving gate, in old ids.
+	type proto struct {
+		typ  circuit.GateType
+		fans []circuit.GateID
+	}
+	protos := map[circuit.GateID]proto{}
+	for _, h := range c.TopoOrder() {
+		gate := c.Gate(h)
+		if gate.Type == circuit.Input {
+			protos[h] = proto{typ: circuit.Input}
+			continue
+		}
+		if _, isConst := constVal[h]; isConst {
+			if gate.Type == circuit.Output {
+				return nil, fmt.Errorf("synth: folding would constant-ify PO %q", gate.Name)
+			}
+			continue
+		}
+		if _, aliased := alias[h]; aliased {
+			continue
+		}
+		switch gate.Type {
+		case circuit.Output, circuit.Buf, circuit.Not:
+			f := resolve(gate.Fanin[0])
+			if _, isConst := constVal[f]; isConst {
+				return nil, fmt.Errorf("synth: %q survived with constant fanin", gate.Name)
+			}
+			protos[h] = proto{typ: gate.Type, fans: []circuit.GateID{f}}
+		default:
+			var live []circuit.GateID
+			for _, f := range gate.Fanin {
+				rf := resolve(f)
+				if _, isConst := constVal[rf]; isConst {
+					continue
+				}
+				live = append(live, rf)
+			}
+			switch {
+			case len(live) == 0:
+				return nil, fmt.Errorf("synth: gate %q lost all fanins without folding", gate.Name)
+			case len(live) == 1:
+				t := circuit.Buf
+				if gate.Type.Inverting() {
+					t = circuit.Not
+				}
+				protos[h] = proto{typ: t, fans: live}
+			default:
+				protos[h] = proto{typ: gate.Type, fans: live}
+			}
+		}
+	}
+	// Reachability from POs.
+	reach := map[circuit.GateID]bool{}
+	var mark func(h circuit.GateID)
+	mark = func(h circuit.GateID) {
+		if reach[h] {
+			return
+		}
+		reach[h] = true
+		for _, f := range protos[h].fans {
+			mark(f)
+		}
+	}
+	for _, po := range c.Outputs() {
+		mark(po)
+	}
+	// Emit: inputs always, others when reachable, in topo order; Buf
+	// protos (except POs) collapse to their source.
+	b := circuit.NewBuilder(c.Name())
+	newID := make([]circuit.GateID, c.NumGates())
+	for i := range newID {
+		newID[i] = circuit.None
+	}
+	for _, pi := range c.Inputs() {
+		newID[pi] = b.Input(c.Gate(pi).Name)
+	}
+	for _, h := range c.TopoOrder() {
+		pr, ok := protos[h]
+		if !ok || !reach[h] || pr.typ == circuit.Input {
+			continue
+		}
+		fans := make([]circuit.GateID, len(pr.fans))
+		for i, f := range pr.fans {
+			fans[i] = newID[f]
+			if fans[i] == circuit.None {
+				return nil, fmt.Errorf("synth: fanin of %q not emitted", c.Gate(h).Name)
+			}
+		}
+		switch pr.typ {
+		case circuit.Output:
+			newID[h] = b.Output(c.Gate(h).Name, fans[0])
+		case circuit.Buf:
+			newID[h] = fans[0]
+		default:
+			newID[h] = b.Gate(pr.typ, c.Gate(h).Name, fans...)
+		}
+	}
+	return b.Build()
+}

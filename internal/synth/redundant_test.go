@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"testing"
+
+	"rdfault/internal/bdd"
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+)
+
+func TestRemoveRedundantKnownCase(t *testing.T) {
+	// f = a | (b & (b|c)) = a | b: the o gate's c input is redundant.
+	c := gen.PaperExample()
+	swept, removed, err := RemoveRedundant(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no redundancy found in the paper example")
+	}
+	eq, err := bdd.Equivalent(c, swept)
+	if err != nil || !eq {
+		t.Fatalf("sweep changed function (eq=%v err=%v)", eq, err)
+	}
+	if swept.NumGates() >= c.NumGates() {
+		t.Fatalf("sweep did not shrink the netlist (%d -> %d)", c.NumGates(), swept.NumGates())
+	}
+}
+
+func TestRemoveRedundantPreservesFunction(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cv := gen.RandomPLA("r", gen.PLAOptions{Inputs: 7, Outputs: 3, Cubes: 14, Redundant: 10}, seed)
+		c, err := Synthesize(cv, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		swept, removed, err := RemoveRedundant(c, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eq, err := bdd.Equivalent(c, swept)
+		if err != nil || !eq {
+			t.Fatalf("seed %d: function changed (removed %d)", seed, removed)
+		}
+		// Exhaustive cross-check too.
+		n := len(c.Inputs())
+		for v := 0; v < 1<<n; v++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = v&(1<<i) != 0
+			}
+			a := c.OutputsOf(c.EvalBool(in))
+			b := swept.OutputsOf(swept.EvalBool(in))
+			for o := range a {
+				if a[o] != b[o] {
+					t.Fatalf("seed %d: differs at v=%d", seed, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveRedundantIdempotent(t *testing.T) {
+	cv := gen.RandomPLA("r", gen.PLAOptions{Inputs: 6, Outputs: 3, Cubes: 12, Redundant: 8}, 5)
+	c, err := Synthesize(cv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, _, err := RemoveRedundant(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, removed2, err := RemoveRedundant(swept, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed2 != 0 {
+		t.Fatalf("second sweep removed %d more gates", removed2)
+	}
+	if again.NumGates() != swept.NumGates() {
+		t.Fatal("second sweep changed the netlist")
+	}
+}
+
+// TestSweepReducesRD is the ablation: functional redundancy is the main
+// source of robust dependent paths, so sweeping it away must not increase
+// — and typically slashes — the RD percentage.
+func TestSweepReducesRD(t *testing.T) {
+	better, total := 0, 0
+	for seed := int64(1); seed <= 6; seed++ {
+		cv := gen.RandomPLA("r", gen.PLAOptions{Inputs: 8, Outputs: 4, Cubes: 18, Redundant: 14}, seed)
+		c, err := Synthesize(cv, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		swept, removed, err := RemoveRedundant(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if removed == 0 {
+			continue
+		}
+		before, err := core.Identify(c, core.Heuristic2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := core.Identify(swept, core.Heuristic2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if after.RDPercent() < before.RDPercent() {
+			better++
+		}
+		t.Logf("seed %d: removed %d gates, RD %.2f%% -> %.2f%%",
+			seed, removed, before.RDPercent(), after.RDPercent())
+	}
+	if total > 0 && better == 0 {
+		t.Fatal("sweep never reduced RD percentage")
+	}
+}
+
+func TestRemoveRedundantRejectsWide(t *testing.T) {
+	c := gen.RandomCircuit("w", gen.RandomOptions{Inputs: 30, Gates: 40, Outputs: 2}, 1)
+	if _, _, err := RemoveRedundant(c, 24); err == nil {
+		t.Fatal("expected error for 30 inputs")
+	}
+}
+
+func TestIrredundantUntouched(t *testing.T) {
+	// A fanout-free NAND tree over distinct inputs is irredundant.
+	b := circuit.NewBuilder("ff")
+	a := b.Input("a")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	g1 := b.Gate(circuit.Nand, "g1", a, x)
+	g2 := b.Gate(circuit.Nand, "g2", y, z)
+	b.Output("po", b.Gate(circuit.Nand, "g3", g1, g2))
+	c := b.MustBuild()
+	swept, removed, err := RemoveRedundant(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || swept.NumGates() != c.NumGates() {
+		t.Fatalf("irredundant circuit modified (removed %d)", removed)
+	}
+}

@@ -1,0 +1,311 @@
+// Package synth turns two-level covers into multi-level circuits — the
+// stand-in for the SIS script.rugged flow the paper uses to synthesize
+// the MCNC benchmarks for Table III.
+//
+// The pipeline is deliberately classical: build the AND-OR two-level
+// form, structurally hash identical gates, greedily extract common
+// two-literal divisors (a fast_extract-style single-cube extraction),
+// and decompose wide gates into balanced two-input trees. The result is
+// a multi-level network with internal fanout and reconvergence — the
+// structural features RD identification feeds on. Functional equivalence
+// with the source cover is testable via pla.Cover.Eval.
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/pla"
+)
+
+// node is an intermediate netlist vertex.
+type node struct {
+	typ   circuit.GateType // Input, Not, And, Or
+	fanin []int
+	name  string
+}
+
+// network is a mutable DAG used during synthesis.
+type network struct {
+	nodes   []node
+	outputs []int // node ids
+	outName []string
+	hash    map[string]int
+}
+
+func (n *network) add(typ circuit.GateType, name string, fanin ...int) int {
+	key := hashKey(typ, fanin)
+	if id, ok := n.hash[key]; ok && typ != circuit.Input {
+		return id
+	}
+	id := len(n.nodes)
+	n.nodes = append(n.nodes, node{typ: typ, fanin: append([]int(nil), fanin...), name: name})
+	if typ != circuit.Input {
+		n.hash[key] = id
+	}
+	return id
+}
+
+func hashKey(typ circuit.GateType, fanin []int) string {
+	s := append([]int(nil), fanin...)
+	if typ == circuit.And || typ == circuit.Or {
+		sort.Ints(s)
+	}
+	return fmt.Sprint(typ, s)
+}
+
+// Options tunes Synthesize.
+type Options struct {
+	// MaxArity is the gate width after decomposition. 0 means the default
+	// of 2; a negative value keeps wide gates undecomposed.
+	MaxArity int
+	// NoExtract disables common-divisor extraction (ablation: pure
+	// two-level + decomposition).
+	NoExtract bool
+}
+
+// Synthesize compiles the cover into a multi-level circuit of simple
+// gates.
+func Synthesize(cv *pla.Cover, opt Options) (*circuit.Circuit, error) {
+	if err := cv.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxArity == 0 {
+		opt.MaxArity = 2
+	}
+	if opt.MaxArity == 1 {
+		return nil, fmt.Errorf("synth: MaxArity must be 0 or >= 2")
+	}
+	net := &network{hash: map[string]int{}}
+
+	// Inputs and their inverters (created lazily).
+	ins := make([]int, cv.NumIn)
+	for i := range ins {
+		ins[i] = net.add(circuit.Input, cv.InName(i))
+	}
+	invOf := map[int]int{}
+	inv := func(id int) int {
+		if v, ok := invOf[id]; ok {
+			return v
+		}
+		v := net.add(circuit.Not, "", id)
+		invOf[id] = v
+		return v
+	}
+
+	// Cube AND gates, shared across outputs.
+	cubeGate := make([]int, len(cv.Cubes))
+	for ci, cb := range cv.Cubes {
+		var lits []int
+		for i, t := range cb.In {
+			switch t {
+			case pla.T0:
+				lits = append(lits, inv(ins[i]))
+			case pla.T1:
+				lits = append(lits, ins[i])
+			}
+		}
+		switch len(lits) {
+		case 0:
+			return nil, fmt.Errorf("synth %s: cube %d is constant true (full don't-care input part)", cv.Name, ci)
+		case 1:
+			cubeGate[ci] = lits[0]
+		default:
+			cubeGate[ci] = net.add(circuit.And, "", lits...)
+		}
+	}
+
+	// Output OR gates.
+	for o := 0; o < cv.NumOut; o++ {
+		var terms []int
+		seen := map[int]bool{}
+		for ci, cb := range cv.Cubes {
+			if cb.Out[o] && !seen[cubeGate[ci]] {
+				seen[cubeGate[ci]] = true
+				terms = append(terms, cubeGate[ci])
+			}
+		}
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("synth %s: output %s has an empty ON-set (constant 0)", cv.Name, cv.OutName(o))
+		}
+		root := terms[0]
+		if len(terms) > 1 {
+			root = net.add(circuit.Or, "", terms...)
+		}
+		net.outputs = append(net.outputs, root)
+		net.outName = append(net.outName, cv.OutName(o))
+	}
+
+	if !opt.NoExtract {
+		net.extractDivisors()
+	}
+	if opt.MaxArity > 0 {
+		net.decompose(opt.MaxArity)
+	}
+	return net.emit(cv.Name)
+}
+
+// extractDivisors repeatedly finds the literal pair occurring in the most
+// AND gates (or OR gates) and factors it into a fresh 2-input gate. This
+// creates shared internal nodes — multi-level structure.
+func (n *network) extractDivisors() {
+	for {
+		type pair struct{ a, b int }
+		best := pair{-1, -1}
+		bestCount := 1
+		var bestTyp circuit.GateType
+		count := map[circuit.GateType]map[pair]int{
+			circuit.And: {},
+			circuit.Or:  {},
+		}
+		for _, nd := range n.nodes {
+			if nd.typ != circuit.And && nd.typ != circuit.Or {
+				continue
+			}
+			if len(nd.fanin) < 3 {
+				continue // extracting from 2-input gates only renames them
+			}
+			f := append([]int(nil), nd.fanin...)
+			sort.Ints(f)
+			for i := 0; i < len(f); i++ {
+				for j := i + 1; j < len(f); j++ {
+					p := pair{f[i], f[j]}
+					count[nd.typ][p]++
+					if count[nd.typ][p] > bestCount {
+						bestCount = count[nd.typ][p]
+						best = p
+						bestTyp = nd.typ
+					}
+				}
+			}
+		}
+		if best.a < 0 {
+			return
+		}
+		div := n.add(bestTyp, "", best.a, best.b)
+		for id := range n.nodes {
+			nd := &n.nodes[id]
+			if nd.typ != bestTyp || id == div || len(nd.fanin) < 3 {
+				continue
+			}
+			ia, ib := -1, -1
+			for k, f := range nd.fanin {
+				if f == best.a && ia < 0 {
+					ia = k
+				} else if f == best.b && ib < 0 {
+					ib = k
+				}
+			}
+			if ia < 0 || ib < 0 {
+				continue
+			}
+			var nf []int
+			for k, f := range nd.fanin {
+				if k != ia && k != ib {
+					nf = append(nf, f)
+				}
+			}
+			nd.fanin = append(nf, div)
+		}
+	}
+}
+
+// decompose splits gates wider than maxArity into balanced trees.
+func (n *network) decompose(maxArity int) {
+	for id := 0; id < len(n.nodes); id++ {
+		nd := &n.nodes[id]
+		if (nd.typ != circuit.And && nd.typ != circuit.Or) || len(nd.fanin) <= maxArity {
+			continue
+		}
+		// Split children into chunks, building subtree gates; keep this
+		// node as the root over the chunk gates.
+		fanin := nd.fanin
+		for len(fanin) > maxArity {
+			var next []int
+			for i := 0; i < len(fanin); i += maxArity {
+				end := i + maxArity
+				if end > len(fanin) {
+					end = len(fanin)
+				}
+				chunk := fanin[i:end]
+				if len(chunk) == 1 {
+					next = append(next, chunk[0])
+				} else {
+					next = append(next, n.add(n.nodes[id].typ, "", chunk...))
+				}
+			}
+			fanin = next
+		}
+		n.nodes[id].fanin = fanin
+	}
+}
+
+// emit converts the network into an immutable circuit, dropping
+// unreachable nodes.
+func (n *network) emit(name string) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(name)
+	mapped := make([]circuit.GateID, len(n.nodes))
+	for i := range mapped {
+		mapped[i] = circuit.None
+	}
+	// Reachability from outputs; inputs always emitted (PLA semantics keep
+	// declared inputs, even unused ones).
+	reach := make([]bool, len(n.nodes))
+	var markReach func(int)
+	markReach = func(id int) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		for _, f := range n.nodes[id].fanin {
+			markReach(f)
+		}
+	}
+	for _, o := range n.outputs {
+		markReach(o)
+	}
+	var emitNode func(id int) circuit.GateID
+	emitNode = func(id int) circuit.GateID {
+		if mapped[id] != circuit.None {
+			return mapped[id]
+		}
+		nd := &n.nodes[id]
+		fanin := make([]circuit.GateID, len(nd.fanin))
+		for i, f := range nd.fanin {
+			fanin[i] = emitNode(f)
+		}
+		var g circuit.GateID
+		switch nd.typ {
+		case circuit.Input:
+			g = b.Input(nd.name)
+		case circuit.Not:
+			g = b.Gate(circuit.Not, nd.name, fanin[0])
+		default:
+			g = b.Gate(nd.typ, nd.name, fanin...)
+		}
+		mapped[id] = g
+		return g
+	}
+	// Emit inputs first so Inputs() order matches the cover.
+	for id := range n.nodes {
+		if n.nodes[id].typ == circuit.Input {
+			emitNode(id)
+		}
+	}
+	for id := range n.nodes {
+		if reach[id] {
+			emitNode(id)
+		}
+	}
+	usedAsPO := map[string]int{}
+	for i, o := range n.outputs {
+		nm := n.outName[i] + "$po"
+		if k := usedAsPO[nm]; k > 0 {
+			nm = fmt.Sprintf("%s%d", nm, k)
+		}
+		usedAsPO[n.outName[i]+"$po"]++
+		b.Output(nm, mapped[o])
+	}
+	return b.Build()
+}

@@ -1,0 +1,199 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/pla"
+)
+
+func mustParse(t *testing.T, src string) *pla.Cover {
+	t.Helper()
+	cv, err := pla.Parse("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cv
+}
+
+func equivalent(t *testing.T, cv *pla.Cover, c *circuit.Circuit) {
+	t.Helper()
+	if cv.NumIn > 14 {
+		t.Fatal("equivalence check limited to 14 inputs")
+	}
+	in := make([]bool, cv.NumIn)
+	for v := 0; v < 1<<cv.NumIn; v++ {
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		want := cv.Eval(in)
+		got := c.OutputsOf(c.EvalBool(in))
+		for o := range want {
+			if want[o] != got[o] {
+				t.Fatalf("synthesis changed function at v=%0*b output %d", cv.NumIn, v, o)
+			}
+		}
+	}
+}
+
+func TestSynthesizeSample(t *testing.T) {
+	cv := mustParse(t, `
+.i 3
+.o 2
+1-0 10
+01- 11
+--1 01
+111 10
+`)
+	c, err := Synthesize(cv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, cv, c)
+	// All gates at most 2-input after default decomposition.
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		if len(c.Fanin(g)) > 2 {
+			t.Errorf("gate %q has %d fanins after MaxArity=2 decomposition",
+				c.Gate(g).Name, len(c.Fanin(g)))
+		}
+	}
+}
+
+func TestSynthesizeWideGates(t *testing.T) {
+	cv := mustParse(t, `
+.i 6
+.o 1
+111111 1
+000000 1
+`)
+	c, err := Synthesize(cv, Options{MaxArity: -1, NoExtract: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, cv, c)
+	// Expect a 6-input AND somewhere.
+	wide := false
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		if len(c.Fanin(g)) == 6 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Error("negative MaxArity should keep wide gates")
+	}
+}
+
+func TestSynthesizeRandomEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cv := gen.RandomPLA("rnd", gen.PLAOptions{Inputs: 6, Outputs: 3, Cubes: 12}, seed)
+		for _, opt := range []Options{
+			{},
+			{MaxArity: 3},
+			{NoExtract: true},
+			{MaxArity: -1},
+		} {
+			c, err := Synthesize(cv, opt)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opt, err)
+			}
+			equivalent(t, cv, c)
+		}
+	}
+}
+
+func TestSynthesizeSharing(t *testing.T) {
+	// Cubes sharing literal pairs should produce internal fanout after
+	// extraction.
+	cv := mustParse(t, `
+.i 4
+.o 1
+1100 1
+1101 1
+1110 1
+`)
+	c, err := Synthesize(cv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, cv, c)
+	hasFanout := false
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		if c.Type(g) != circuit.Input && len(c.Fanout(g)) > 1 {
+			hasFanout = true
+		}
+	}
+	if !hasFanout {
+		t.Error("extraction produced no internal fanout")
+	}
+}
+
+func TestSynthesizeSingleLiteralCube(t *testing.T) {
+	cv := mustParse(t, `
+.i 2
+.o 1
+1- 1
+01 1
+`)
+	c, err := Synthesize(cv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, cv, c)
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	constant := mustParse(t, ".i 2\n.o 1\n-- 1\n")
+	if _, err := Synthesize(constant, Options{}); err == nil {
+		t.Error("constant-true cube should fail")
+	}
+	empty := mustParse(t, ".i 2\n.o 2\n11 10\n")
+	if _, err := Synthesize(empty, Options{}); err == nil {
+		t.Error("empty ON-set output should fail")
+	}
+	cv := mustParse(t, ".i 2\n.o 1\n11 1\n")
+	if _, err := Synthesize(cv, Options{MaxArity: 1}); err == nil {
+		t.Error("MaxArity=1 should fail")
+	}
+}
+
+func TestSynthesizeUnusedInput(t *testing.T) {
+	// Input b never appears: the PI must still exist, fanout-free.
+	cv := mustParse(t, ".i 2\n.o 1\n1- 1\n")
+	c, err := Synthesize(cv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Inputs()); got != 2 {
+		t.Fatalf("inputs = %d, want 2", got)
+	}
+	equivalent(t, cv, c)
+}
+
+func TestDuplicateOutputNames(t *testing.T) {
+	cv := &pla.Cover{
+		Name: "dup", NumIn: 1, NumOut: 2,
+		OutNames: []string{"f", "f"},
+		Cubes: []pla.Cube{
+			{In: []pla.Trit{pla.T1}, Out: []bool{true, true}},
+		},
+	}
+	c, err := Synthesize(cv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs()) != 2 {
+		t.Fatal("lost an output")
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	cv := gen.RandomPLA("bench", gen.PLAOptions{Inputs: 16, Outputs: 8, Cubes: 60}, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(cv, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

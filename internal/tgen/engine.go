@@ -1,0 +1,312 @@
+// Package tgen generates and classifies two-pattern tests for path delay
+// faults: robust tests (Lin/Reddy), non-robust tests (Definition 5) and
+// functional sensitization (Definition 4).
+//
+// It supplies the test-class machinery the paper builds on: Example 3's
+// fault-coverage argument (coverage = robustly testable / |LP(σ)|), the
+// exact sets T(C) and FS(C) for cross-validation, and the dashed
+// "functionally sensitizable but not non-robustly testable" path of
+// Figure 2.
+//
+// The engine extends the stable-value domain with a per-gate stability
+// state capturing the hazard-free steady signals of the classic
+// five-valued algebra {S0, S1, U0, U1, XX}: a gate is Stable when its
+// value is guaranteed constant and hazard-free across both test vectors.
+// Stability propagates conservatively: a simple gate is stable if some
+// input is stably controlling, or if all inputs are stably
+// non-controlling.
+package tgen
+
+import (
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+)
+
+// Stability is the per-gate two-frame stability state.
+type Stability uint8
+
+const (
+	// StUnknown means nothing is known about the waveform.
+	StUnknown Stability = iota
+	// StStable means the gate holds its final value hazard-free across
+	// both vectors.
+	StStable
+	// StUnstable means the gate is known to change between the vectors
+	// (only decided at PIs; never derived internally).
+	StUnstable
+)
+
+// engine couples the final-frame (v2) three-valued implication engine
+// with stability propagation.
+type engine struct {
+	c     *circuit.Circuit
+	fv    []logic.Value // final (v2) stable values
+	st    []Stability
+	trail []trailEntry
+
+	queue  []circuit.GateID
+	queued []bool
+	confl  bool
+}
+
+type trailEntry struct {
+	g    circuit.GateID
+	kind uint8 // 0 = fv, 1 = st
+}
+
+func newEngine(c *circuit.Circuit) *engine {
+	n := c.NumGates()
+	return &engine{
+		c:      c,
+		fv:     make([]logic.Value, n),
+		st:     make([]Stability, n),
+		queued: make([]bool, n),
+	}
+}
+
+func (e *engine) mark() int { return len(e.trail) }
+
+func (e *engine) backtrackTo(m int) {
+	for i := len(e.trail) - 1; i >= m; i-- {
+		t := e.trail[i]
+		if t.kind == 0 {
+			e.fv[t.g] = logic.X
+		} else {
+			e.st[t.g] = StUnknown
+		}
+	}
+	e.trail = e.trail[:m]
+	e.confl = false
+	e.queue = e.queue[:0]
+	for i := range e.queued {
+		e.queued[i] = false
+	}
+}
+
+func (e *engine) setFV(g circuit.GateID, v logic.Value) bool {
+	cur := e.fv[g]
+	if cur == v {
+		return true
+	}
+	if cur != logic.X {
+		e.confl = true
+		return false
+	}
+	e.fv[g] = v
+	e.trail = append(e.trail, trailEntry{g, 0})
+	e.enqueue(g)
+	for _, edge := range e.c.Fanout(g) {
+		e.enqueue(edge.To)
+	}
+	return true
+}
+
+func (e *engine) setST(g circuit.GateID, s Stability) bool {
+	cur := e.st[g]
+	if cur == s {
+		return true
+	}
+	if cur != StUnknown {
+		e.confl = true
+		return false
+	}
+	e.st[g] = s
+	e.trail = append(e.trail, trailEntry{g, 1})
+	e.enqueue(g)
+	for _, edge := range e.c.Fanout(g) {
+		e.enqueue(edge.To)
+	}
+	return true
+}
+
+func (e *engine) enqueue(g circuit.GateID) {
+	if !e.queued[g] {
+		e.queued[g] = true
+		e.queue = append(e.queue, g)
+	}
+}
+
+func (e *engine) propagate() bool {
+	for len(e.queue) > 0 {
+		g := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.queued[g] = false
+		if !e.eval(g) {
+			e.queue = e.queue[:0]
+			for i := range e.queued {
+				e.queued[i] = false
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// assignFinal asserts the final value of g and propagates.
+func (e *engine) assignFinal(g circuit.GateID, v bool) bool {
+	if !e.setFV(g, logic.FromBool(v)) {
+		return false
+	}
+	return e.propagate()
+}
+
+// assignStable asserts that g holds value v stably.
+func (e *engine) assignStable(g circuit.GateID, v bool) bool {
+	if !e.setFV(g, logic.FromBool(v)) {
+		return false
+	}
+	if !e.setST(g, StStable) {
+		return false
+	}
+	return e.propagate()
+}
+
+// markUnstable records a PI decision of a changing input.
+func (e *engine) markUnstable(g circuit.GateID) bool {
+	if !e.setST(g, StUnstable) {
+		return false
+	}
+	return e.propagate()
+}
+
+// eval applies final-value and stability rules at gate g.
+func (e *engine) eval(g circuit.GateID) bool {
+	t := e.c.Type(g)
+	switch t {
+	case circuit.Input:
+		return true
+	case circuit.Output, circuit.Buf, circuit.Not:
+		in := e.c.Fanin(g)[0]
+		inv := t == circuit.Not
+		// Final value both directions.
+		iv := e.fv[in]
+		if inv {
+			iv = iv.Not()
+		}
+		if iv.Known() && !e.setFV(g, iv) {
+			return false
+		}
+		want := e.fv[g]
+		if inv {
+			want = want.Not()
+		}
+		if want.Known() && !e.setFV(in, want) {
+			return false
+		}
+		// Stability is inherited in both directions for single-input
+		// gates.
+		if e.st[in] != StUnknown && !e.setST(g, e.st[in]) {
+			return false
+		}
+		if e.st[g] != StUnknown && !e.setST(in, e.st[g]) {
+			return false
+		}
+		return true
+	}
+
+	ctrlB, _ := t.Controlling()
+	ctrl := logic.FromBool(ctrlB)
+	nonCtrl := ctrl.Not()
+	outIfCtrl := ctrl
+	outIfNon := nonCtrl
+	if t.Inverting() {
+		outIfCtrl, outIfNon = outIfCtrl.Not(), outIfNon.Not()
+	}
+
+	fanin := e.c.Fanin(g)
+	var (
+		fvUnknown   int
+		lastFVUnk   circuit.GateID
+		anyCtrl     bool
+		anyStCtrl   bool   // some input stably controlling
+		allStNon    = true // all inputs stably non-controlling
+		stCandidate circuit.GateID
+		nCandidates int
+	)
+	for _, f := range fanin {
+		switch e.fv[f] {
+		case ctrl:
+			anyCtrl = true
+			if e.st[f] == StStable {
+				anyStCtrl = true
+			}
+		case logic.X:
+			fvUnknown++
+			lastFVUnk = f
+		}
+		if !(e.fv[f] == nonCtrl && e.st[f] == StStable) {
+			allStNon = false
+		}
+		// Candidate for supplying a stable controlling value.
+		if e.fv[f] != nonCtrl && e.st[f] != StUnstable {
+			nCandidates++
+			stCandidate = f
+		}
+	}
+
+	// Final-value rules (as in logic.Engine).
+	if anyCtrl {
+		if !e.setFV(g, outIfCtrl) {
+			return false
+		}
+	} else if fvUnknown == 0 {
+		if !e.setFV(g, outIfNon) {
+			return false
+		}
+	}
+	switch e.fv[g] {
+	case outIfNon:
+		for _, f := range fanin {
+			if !e.setFV(f, nonCtrl) {
+				return false
+			}
+		}
+	case outIfCtrl:
+		if !anyCtrl {
+			if fvUnknown == 0 {
+				e.confl = true
+				return false
+			}
+			if fvUnknown == 1 && !e.setFV(lastFVUnk, ctrl) {
+				return false
+			}
+		}
+	}
+
+	// Stability rules, forward.
+	if anyStCtrl {
+		if !e.setFV(g, outIfCtrl) || !e.setST(g, StStable) {
+			return false
+		}
+	} else if allStNon {
+		if !e.setFV(g, outIfNon) || !e.setST(g, StStable) {
+			return false
+		}
+	}
+
+	// Stability rules, backward: the gate is required stable.
+	if e.st[g] == StStable {
+		switch e.fv[g] {
+		case outIfNon:
+			// Every input must be stably non-controlling.
+			for _, f := range fanin {
+				if !e.setFV(f, nonCtrl) || !e.setST(f, StStable) {
+					return false
+				}
+			}
+		case outIfCtrl:
+			if !anyStCtrl {
+				if nCandidates == 0 {
+					e.confl = true
+					return false
+				}
+				if nCandidates == 1 {
+					if !e.setFV(stCandidate, ctrl) || !e.setST(stCandidate, StStable) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,458 @@
+package tgen
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+	"rdfault/internal/paths"
+)
+
+// Test is a two-pattern test: apply V1, let the circuit settle, then
+// apply V2 and sample the outputs at the clock period.
+type Test struct {
+	V1, V2 []bool // in Inputs() order
+}
+
+// Class is the strongest test class of a logical path.
+type Class uint8
+
+const (
+	// Unknown means the search aborted (backtrack limit).
+	Unknown Class = iota
+	// Unsensitizable: not even functionally sensitizable — always RD
+	// (Lemma 1).
+	Unsensitizable
+	// FuncSensitizable: functionally sensitizable but not non-robustly
+	// testable (the dashed path of Figure 2 falls here).
+	FuncSensitizable
+	// NonRobust: non-robustly but not robustly testable.
+	NonRobust
+	// Robust: a robust two-pattern test exists.
+	Robust
+)
+
+// String names the class.
+func (cl Class) String() string {
+	switch cl {
+	case Unsensitizable:
+		return "unsensitizable"
+	case FuncSensitizable:
+		return "func-sensitizable"
+	case NonRobust:
+		return "non-robust"
+	case Robust:
+		return "robust"
+	}
+	return "unknown"
+}
+
+// Generator produces path delay fault tests for one circuit. Not safe for
+// concurrent use.
+type Generator struct {
+	c *circuit.Circuit
+	e *engine
+	// MaxBacktracks bounds the search per query (default 100000).
+	MaxBacktracks int
+
+	backtracks int
+	reqs       []requirement
+}
+
+type requirement struct {
+	g      circuit.GateID
+	value  bool
+	stable bool
+}
+
+// NewGenerator returns a Generator for c.
+func NewGenerator(c *circuit.Circuit) *Generator {
+	return &Generator{c: c, e: newEngine(c), MaxBacktracks: 100000}
+}
+
+// pathConstraints asserts the sensitization requirements of lp for the
+// given class into the engine and records them for final verification.
+// robust selects the Lin/Reddy side conditions; nonRobust the Definition 5
+// conditions; otherwise Definition 4 (functional sensitization) is used.
+func (gn *Generator) pathConstraints(lp paths.Logical, robust, nonRobust bool) bool {
+	c := gn.c
+	gn.reqs = gn.reqs[:0]
+	val := lp.FinalOne
+	if !gn.assertFinal(lp.Path.PI(), val) {
+		return false
+	}
+	for i := 1; i < len(lp.Path.Gates); i++ {
+		g := lp.Path.Gates[i]
+		t := c.Type(g)
+		nval := val != t.Inverting()
+		ctrl, hasCtrl := t.Controlling()
+		if hasCtrl {
+			onPathCtrl := val == ctrl
+			for pin, f := range c.Fanin(g) {
+				if pin == lp.Path.Pins[i-1] {
+					continue
+				}
+				switch {
+				case !onPathCtrl && robust:
+					// Side inputs steady non-controlling.
+					if !gn.assertStable(f, !ctrl) {
+						return false
+					}
+				case !onPathCtrl || nonRobust:
+					// Final value non-controlling.
+					if !gn.assertFinal(f, !ctrl) {
+						return false
+					}
+				case robust:
+					// On-path controlling, robust: final non-controlling.
+					if !gn.assertFinal(f, !ctrl) {
+						return false
+					}
+				}
+			}
+		}
+		if !gn.assertFinal(g, nval) {
+			return false
+		}
+		val = nval
+	}
+	return true
+}
+
+func (gn *Generator) assertFinal(g circuit.GateID, v bool) bool {
+	gn.reqs = append(gn.reqs, requirement{g: g, value: v})
+	return gn.e.assignFinal(g, v)
+}
+
+func (gn *Generator) assertStable(g circuit.GateID, v bool) bool {
+	gn.reqs = append(gn.reqs, requirement{g: g, value: v, stable: true})
+	return gn.e.assignStable(g, v)
+}
+
+// piState is one search decision for a primary input.
+type piState uint8
+
+const (
+	piS0 piState = iota // stable 0
+	piS1                // stable 1
+	piR                 // rising 0 -> 1
+	piF                 // falling 1 -> 0
+)
+
+func (p piState) v1() bool     { return p == piS1 || p == piF }
+func (p piState) v2() bool     { return p == piS1 || p == piR }
+func (p piState) stable() bool { return p == piS0 || p == piS1 }
+
+// search completes the current engine state to a full PI assignment
+// satisfying all recorded requirements. onPathPI is forced to the
+// transition (v1 = !finalOne, v2 = finalOne); pass circuit.None to leave
+// all PIs free. Returns the witness test or ok=false.
+func (gn *Generator) search(onPathPI circuit.GateID, finalOne bool) (Test, bool) {
+	ins := gn.c.Inputs()
+	states := make([]piState, len(ins))
+	assigned := make([]bool, len(ins))
+
+	// The on-path PI is fixed.
+	for i, pi := range ins {
+		if pi == onPathPI {
+			if finalOne {
+				states[i] = piR
+			} else {
+				states[i] = piF
+			}
+			assigned[i] = true
+			if !gn.e.markUnstable(pi) {
+				return Test{}, false
+			}
+		}
+	}
+
+	gn.backtracks = 0
+	var dfs func(idx int) bool
+	dfs = func(idx int) bool {
+		for idx < len(ins) && assigned[idx] {
+			idx++
+		}
+		if idx == len(ins) {
+			return gn.verify(states)
+		}
+		pi := ins[idx]
+		// Branch order: prefer choices consistent with current
+		// implications.
+		order := [4]piState{piS0, piS1, piR, piF}
+		if gn.e.fv[pi] == logic.One {
+			order = [4]piState{piS1, piR, piS0, piF}
+		}
+		for _, st := range order {
+			// Quick consistency filter against engine state.
+			if v, known := gn.e.fv[pi].Bool(); known && v != st.v2() {
+				continue
+			}
+			if gn.e.st[pi] == StStable && !st.stable() {
+				continue
+			}
+			if gn.e.st[pi] == StUnstable && st.stable() {
+				continue
+			}
+			m := gn.e.mark()
+			ok := gn.e.assignFinal(pi, st.v2())
+			if ok {
+				if st.stable() {
+					ok = gn.e.assignStable(pi, st.v2())
+				} else {
+					ok = gn.e.markUnstable(pi)
+				}
+			}
+			if ok {
+				states[idx] = st
+				assigned[idx] = true
+				if dfs(idx + 1) {
+					return true
+				}
+				assigned[idx] = false
+			}
+			gn.e.backtrackTo(m)
+			gn.backtracks++
+			if gn.backtracks > gn.MaxBacktracks {
+				return false
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return Test{}, false
+	}
+	t := Test{V1: make([]bool, len(ins)), V2: make([]bool, len(ins))}
+	for i, st := range states {
+		t.V1[i], t.V2[i] = st.v1(), st.v2()
+	}
+	return t, true
+}
+
+// verify recomputes final values and exact conservative stability from
+// the full PI assignment and checks every recorded requirement. This
+// closes the gap left by the engine's local (incomplete) implications.
+func (gn *Generator) verify(states []piState) bool {
+	c := gn.c
+	n := c.NumGates()
+	v2 := make([]bool, 0, n)
+	stable := make([]bool, 0, n)
+	v2 = v2[:n]
+	stable = stable[:n]
+	for i, pi := range c.Inputs() {
+		v2[pi] = states[i].v2()
+		stable[pi] = states[i].stable()
+	}
+	var args [8]bool
+	for _, g := range c.TopoOrder() {
+		t := c.Type(g)
+		fanin := c.Fanin(g)
+		switch t {
+		case circuit.Input:
+			continue
+		case circuit.Output, circuit.Buf:
+			v2[g] = v2[fanin[0]]
+			stable[g] = stable[fanin[0]]
+		case circuit.Not:
+			v2[g] = !v2[fanin[0]]
+			stable[g] = stable[fanin[0]]
+		default:
+			in := args[:0]
+			anyStCtrl := false
+			allSt := true
+			ctrl, _ := t.Controlling()
+			for _, f := range fanin {
+				in = append(in, v2[f])
+				if stable[f] && v2[f] == ctrl {
+					anyStCtrl = true
+				}
+				if !stable[f] {
+					allSt = false
+				}
+			}
+			v2[g] = t.Eval(in)
+			stable[g] = anyStCtrl || allSt
+		}
+	}
+	for _, r := range gn.reqs {
+		if v2[r.g] != r.value {
+			return false
+		}
+		if r.stable && !stable[r.g] {
+			return false
+		}
+	}
+	return true
+}
+
+// RobustTest searches for a robust two-pattern test for lp. ok=false with
+// aborted=false means the fault is provably robustly untestable within
+// the conservative stability semantics; aborted=true means the backtrack
+// limit was hit.
+func (gn *Generator) RobustTest(lp paths.Logical) (t Test, ok, aborted bool) {
+	gn.e.backtrackTo(0)
+	if !gn.pathConstraints(lp, true, false) {
+		gn.e.backtrackTo(0)
+		return Test{}, false, false
+	}
+	t, ok = gn.search(lp.Path.PI(), lp.FinalOne)
+	gn.e.backtrackTo(0)
+	return t, ok, !ok && gn.backtracks > gn.MaxBacktracks
+}
+
+// NonRobustTest searches for a non-robust test (Definition 5). The first
+// vector is the second with the on-path PI complemented (Remark 1: no
+// input-space restrictions).
+func (gn *Generator) NonRobustTest(lp paths.Logical) (t Test, ok, aborted bool) {
+	gn.e.backtrackTo(0)
+	if !gn.pathConstraints(lp, false, true) {
+		gn.e.backtrackTo(0)
+		return Test{}, false, false
+	}
+	t, ok = gn.search(lp.Path.PI(), lp.FinalOne)
+	gn.e.backtrackTo(0)
+	return t, ok, !ok && gn.backtracks > gn.MaxBacktracks
+}
+
+// Sensitize searches for an input vector functionally sensitizing lp
+// (Definition 4).
+func (gn *Generator) Sensitize(lp paths.Logical) (v []bool, ok, aborted bool) {
+	gn.e.backtrackTo(0)
+	if !gn.pathConstraints(lp, false, false) {
+		gn.e.backtrackTo(0)
+		return nil, false, false
+	}
+	t, ok := gn.search(lp.Path.PI(), lp.FinalOne)
+	gn.e.backtrackTo(0)
+	return t.V2, ok, !ok && gn.backtracks > gn.MaxBacktracks
+}
+
+// Classify returns the strongest test class of lp.
+func (gn *Generator) Classify(lp paths.Logical) Class {
+	if _, ok, aborted := gn.RobustTest(lp); ok {
+		return Robust
+	} else if aborted {
+		return Unknown
+	}
+	if _, ok, aborted := gn.NonRobustTest(lp); ok {
+		return NonRobust
+	} else if aborted {
+		return Unknown
+	}
+	if _, ok, aborted := gn.Sensitize(lp); ok {
+		return FuncSensitizable
+	} else if aborted {
+		return Unknown
+	}
+	return Unsensitizable
+}
+
+// Coverage summarizes test classes over a path set — the fault-coverage
+// accounting of Example 3.
+type Coverage struct {
+	Paths          int
+	Robust         int
+	NonRobustOnly  int
+	FuncSensOnly   int
+	Unsensitizable int
+	Unknown        int
+}
+
+// RobustCoverage returns robustly-testable / total as a percentage
+// (the paper's fault coverage for testing exactly this path set).
+func (cv Coverage) RobustCoverage() float64 {
+	if cv.Paths == 0 {
+		return 0
+	}
+	return 100 * float64(cv.Robust) / float64(cv.Paths)
+}
+
+// ClassifyAll classifies every logical path in lps.
+func (gn *Generator) ClassifyAll(lps []paths.Logical) Coverage {
+	var cv Coverage
+	for _, lp := range lps {
+		cv.Paths++
+		switch gn.Classify(lp) {
+		case Robust:
+			cv.Robust++
+		case NonRobust:
+			cv.NonRobustOnly++
+		case FuncSensitizable:
+			cv.FuncSensOnly++
+		case Unsensitizable:
+			cv.Unsensitizable++
+		default:
+			cv.Unknown++
+		}
+	}
+	return cv
+}
+
+// Describe renders a human-readable justification of a two-pattern test
+// for one logical path: per on-path gate, the simulated side-input values
+// in both vectors and their conservative stability. Debugging aid for
+// tools; the format is stable enough for golden tests.
+func Describe(c *circuit.Circuit, lp paths.Logical, t Test) string {
+	val1 := c.EvalBool(t.V1)
+	val2 := c.EvalBool(t.V2)
+	stable := make([]bool, c.NumGates())
+	for i, pi := range c.Inputs() {
+		stable[pi] = t.V1[i] == t.V2[i]
+	}
+	for _, g := range c.TopoOrder() {
+		typ := c.Type(g)
+		fanin := c.Fanin(g)
+		switch typ {
+		case circuit.Input:
+		case circuit.Output, circuit.Buf, circuit.Not:
+			stable[g] = stable[fanin[0]]
+		default:
+			ctrl, _ := typ.Controlling()
+			anyStCtrl, allSt := false, true
+			for _, f := range fanin {
+				if stable[f] && val2[f] == ctrl {
+					anyStCtrl = true
+				}
+				if !stable[f] {
+					allSt = false
+				}
+			}
+			stable[g] = anyStCtrl || allSt
+		}
+	}
+	bit := func(b bool) byte {
+		if b {
+			return '1'
+		}
+		return '0'
+	}
+	var sb strings.Builder
+	dir := "fall"
+	if lp.FinalOne {
+		dir = "rise"
+	}
+	fmt.Fprintf(&sb, "path %s (%s)\n", lp.Path.String(c), dir)
+	pi := lp.Path.PI()
+	fmt.Fprintf(&sb, "  launch %s: %c -> %c\n", c.Gate(pi).Name, bit(val1[pi]), bit(val2[pi]))
+	for i := 1; i < len(lp.Path.Gates); i++ {
+		g := lp.Path.Gates[i]
+		typ := c.Type(g)
+		fmt.Fprintf(&sb, "  %s (%s): on-path %c->%c", c.Gate(g).Name, typ, bit(val1[g]), bit(val2[g]))
+		if _, hasCtrl := typ.Controlling(); hasCtrl {
+			for p, f := range c.Fanin(g) {
+				if p == lp.Path.Pins[i-1] {
+					continue
+				}
+				mark := "changing"
+				if stable[f] {
+					mark = "stable"
+				}
+				fmt.Fprintf(&sb, "; side %s=%c->%c (%s)",
+					c.Gate(f).Name, bit(val1[f]), bit(val2[f]), mark)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package tgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rdfault/internal/circuit"
+)
+
+// WriteTests emits a two-pattern test set in a simple line format:
+//
+//	# circuit <name> inputs <n>
+//	<v1 bits> <v2 bits>
+//
+// Bits are LSB-first in Inputs() declaration order. The format is the
+// interchange between cmd/atpg (generation) and cmd/grade (grading).
+func WriteTests(w io.Writer, c *circuit.Circuit, tests []Test) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# circuit %s inputs %d\n", c.Name(), len(c.Inputs()))
+	for _, t := range tests {
+		fmt.Fprintf(bw, "%s %s\n", bitString(t.V1), bitString(t.V2))
+	}
+	return bw.Flush()
+}
+
+// ReadTests parses a test set written by WriteTests, validating every
+// vector against the circuit's input count.
+func ReadTests(r io.Reader, c *circuit.Circuit) ([]Test, error) {
+	n := len(c.Inputs())
+	sc := bufio.NewScanner(r)
+	var out []Test
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("tests:%d: want two vectors, got %d fields", lineNo, len(fields))
+		}
+		v1, err := parseBits(fields[0], n)
+		if err != nil {
+			return nil, fmt.Errorf("tests:%d: %v", lineNo, err)
+		}
+		v2, err := parseBits(fields[1], n)
+		if err != nil {
+			return nil, fmt.Errorf("tests:%d: %v", lineNo, err)
+		}
+		out = append(out, Test{V1: v1, V2: v2})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func bitString(v []bool) string {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		if x {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func parseBits(s string, n int) ([]bool, error) {
+	if len(s) != n {
+		return nil, fmt.Errorf("vector %q has %d bits, circuit has %d inputs", s, len(s), n)
+	}
+	v := make([]bool, n)
+	for i := 0; i < n; i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v[i] = true
+		default:
+			return nil, fmt.Errorf("bad bit %q in %q", s[i], s)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,55 @@
+package tgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfault/internal/gen"
+)
+
+func TestTestFileRoundTrip(t *testing.T) {
+	c := gen.PaperExample()
+	tests := []Test{
+		{V1: []bool{false, false, false}, V2: []bool{true, false, true}},
+		{V1: []bool{true, true, false}, V2: []bool{false, true, false}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTests(&buf, c, tests); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTests(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tests) {
+		t.Fatalf("got %d tests", len(got))
+	}
+	for i := range tests {
+		for j := range tests[i].V1 {
+			if got[i].V1[j] != tests[i].V1[j] || got[i].V2[j] != tests[i].V2[j] {
+				t.Fatalf("test %d differs", i)
+			}
+		}
+	}
+}
+
+func TestReadTestsErrors(t *testing.T) {
+	c := gen.PaperExample()
+	cases := map[string]string{
+		"width":   "01 10\n",
+		"fields":  "010\n",
+		"badbit":  "01x 010\n",
+		"toomany": "010 101 111\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadTests(strings.NewReader(src), c); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadTests(strings.NewReader("# c\n\n010 101\n"), c)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment handling: %v %d", err, len(got))
+	}
+}

@@ -1,0 +1,314 @@
+package tgen
+
+import (
+	"strings"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+)
+
+// logicalPathsOf returns all logical paths keyed by a readable name.
+func logicalPathsOf(c *circuit.Circuit) map[string]paths.Logical {
+	out := map[string]paths.Logical{}
+	paths.ForEachLogical(c, func(lp paths.Logical) bool {
+		k := lp.Path.String(c)
+		if lp.FinalOne {
+			k += "/rise"
+		} else {
+			k += "/fall"
+		}
+		out[k] = paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne}
+		return true
+	})
+	return out
+}
+
+func TestExampleClassification(t *testing.T) {
+	c := gen.PaperExample()
+	gn := NewGenerator(c)
+	lps := logicalPathsOf(c)
+	want := map[string]Class{
+		"a -> y -> y$po/rise":           Robust,
+		"a -> y -> y$po/fall":           Robust,
+		"b -> g -> y -> y$po/rise":      Robust,
+		"b -> g -> y -> y$po/fall":      Robust,
+		"b -> o -> g -> y -> y$po/rise": NonRobust,
+		"b -> o -> g -> y -> y$po/fall": FuncSensitizable,
+		"c -> o -> g -> y -> y$po/rise": FuncSensitizable,
+		"c -> o -> g -> y -> y$po/fall": FuncSensitizable,
+	}
+	if len(lps) != len(want) {
+		t.Fatalf("have %d logical paths, want %d", len(lps), len(want))
+	}
+	for k, lp := range lps {
+		if got := gn.Classify(lp); got != want[k] {
+			t.Errorf("%s: class %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestExampleCoverage(t *testing.T) {
+	c := gen.PaperExample()
+	gn := NewGenerator(c)
+	var all []paths.Logical
+	for _, lp := range logicalPathsOf(c) {
+		all = append(all, lp)
+	}
+	cv := gn.ClassifyAll(all)
+	if cv.Paths != 8 || cv.Robust != 4 || cv.NonRobustOnly != 1 || cv.FuncSensOnly != 3 || cv.Unsensitizable != 0 {
+		t.Fatalf("coverage = %+v", cv)
+	}
+	if got := cv.RobustCoverage(); got != 50 {
+		t.Errorf("robust coverage = %v%%, want 50%%", got)
+	}
+}
+
+// exactOracle computes by exhaustive enumeration whether lp satisfies the
+// exact (vector-level) criterion: "nr" for Definition 5, "fs" for
+// Definition 4.
+func exactOracle(c *circuit.Circuit, lp paths.Logical, nr bool) bool {
+	n := len(c.Inputs())
+	in := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range in {
+			in[i] = v&(1<<i) != 0
+		}
+		val := c.EvalBool(in)
+		if val[lp.Path.PI()] != lp.FinalOne {
+			continue
+		}
+		ok := true
+		for i := 1; i < len(lp.Path.Gates) && ok; i++ {
+			g := lp.Path.Gates[i]
+			ctrl, hasCtrl := c.Type(g).Controlling()
+			if !hasCtrl {
+				continue
+			}
+			pin := lp.Path.Pins[i-1]
+			onPath := val[c.Fanin(g)[pin]]
+			if !nr && onPath == ctrl {
+				continue // FS: no constraint in the controlling case
+			}
+			for p := range c.Fanin(g) {
+				if p != pin && val[c.Fanin(g)[p]] == ctrl {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClassMatchesExactOracles: NonRobust-or-better iff exactly
+// non-robustly testable; FuncSensitizable-or-better iff exactly
+// functionally sensitizable.
+func TestClassMatchesExactOracles(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 12, Outputs: 2}, seed)
+		gn := NewGenerator(c)
+		for _, lp := range logicalPathsOf(c) {
+			cl := gn.Classify(lp)
+			if cl == Unknown {
+				t.Fatalf("seed %d: classification aborted", seed)
+			}
+			wantNR := exactOracle(c, lp, true)
+			wantFS := exactOracle(c, lp, false)
+			gotNR := cl == Robust || cl == NonRobust
+			gotFS := cl != Unsensitizable
+			if gotNR != wantNR {
+				t.Errorf("seed %d %s: class=%v but exact non-robust=%v",
+					seed, lp.Path.String(c), cl, wantNR)
+			}
+			if gotFS != wantFS {
+				t.Errorf("seed %d %s: class=%v but exact FS=%v",
+					seed, lp.Path.String(c), cl, wantFS)
+			}
+		}
+	}
+}
+
+// TestGeneratedTestsSatisfyConditions verifies returned witnesses against
+// independent simulation: the second vector must satisfy the side-input
+// conditions, and robust witnesses must additionally have conservatively
+// stable side inputs where required.
+func TestGeneratedTestsSatisfyConditions(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 12, Outputs: 2}, seed)
+		gn := NewGenerator(c)
+		for _, lp := range logicalPathsOf(c) {
+			if tt, ok, _ := gn.NonRobustTest(lp); ok {
+				checkTest(t, c, lp, tt, false)
+			}
+			if tt, ok, _ := gn.RobustTest(lp); ok {
+				checkTest(t, c, lp, tt, true)
+			}
+		}
+	}
+}
+
+func checkTest(t *testing.T, c *circuit.Circuit, lp paths.Logical, tt Test, robust bool) {
+	t.Helper()
+	val1 := c.EvalBool(tt.V1)
+	val2 := c.EvalBool(tt.V2)
+	// Conservative stability recursion.
+	stable := make([]bool, c.NumGates())
+	for i, pi := range c.Inputs() {
+		stable[pi] = tt.V1[i] == tt.V2[i]
+	}
+	for _, g := range c.TopoOrder() {
+		tp := c.Type(g)
+		fin := c.Fanin(g)
+		switch tp {
+		case circuit.Input:
+		case circuit.Output, circuit.Buf, circuit.Not:
+			stable[g] = stable[fin[0]]
+		default:
+			ctrl, _ := tp.Controlling()
+			anyStCtrl, allSt := false, true
+			for _, f := range fin {
+				if stable[f] && val2[f] == ctrl {
+					anyStCtrl = true
+				}
+				if !stable[f] {
+					allSt = false
+				}
+			}
+			stable[g] = anyStCtrl || allSt
+		}
+	}
+	// PI transition.
+	piIdx := -1
+	for i, pi := range c.Inputs() {
+		if pi == lp.Path.PI() {
+			piIdx = i
+		}
+	}
+	if val1[lp.Path.PI()] == lp.FinalOne || val2[lp.Path.PI()] != lp.FinalOne {
+		t.Fatalf("%s: witness does not launch the transition (v1=%v v2=%v)",
+			lp.Path.String(c), tt.V1[piIdx], tt.V2[piIdx])
+	}
+	for i := 1; i < len(lp.Path.Gates); i++ {
+		g := lp.Path.Gates[i]
+		ctrl, hasCtrl := c.Type(g).Controlling()
+		if !hasCtrl {
+			continue
+		}
+		pin := lp.Path.Pins[i-1]
+		onPathCtrl := val2[c.Fanin(g)[pin]] == ctrl
+		for p, f := range c.Fanin(g) {
+			if p == pin {
+				continue
+			}
+			if val2[f] == ctrl {
+				t.Fatalf("%s: side input %q controlling in v2", lp.Path.String(c), c.Gate(f).Name)
+			}
+			if robust && !onPathCtrl && !stable[f] {
+				t.Fatalf("%s: robust witness has unstable side input %q", lp.Path.String(c), c.Gate(f).Name)
+			}
+		}
+	}
+}
+
+func TestClassHierarchy(t *testing.T) {
+	// Class constants must be ordered for >= comparisons.
+	if !(Robust > NonRobust && NonRobust > FuncSensitizable &&
+		FuncSensitizable > Unsensitizable && Unsensitizable > Unknown) {
+		t.Fatal("class ordering broken")
+	}
+	for _, cl := range []Class{Unknown, Unsensitizable, FuncSensitizable, NonRobust, Robust} {
+		if cl.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestRobustImpliesNonRobust(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 10, Outputs: 2}, seed)
+		gn := NewGenerator(c)
+		for _, lp := range logicalPathsOf(c) {
+			if _, ok, _ := gn.RobustTest(lp); ok {
+				if _, ok2, _ := gn.NonRobustTest(lp); !ok2 {
+					t.Fatalf("seed %d: robustly testable path lacks non-robust test", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestFanoutFreeAllRobust(t *testing.T) {
+	// In a fanout-free circuit with independent inputs every path is
+	// robustly testable.
+	b := circuit.NewBuilder("ff")
+	a := b.Input("a")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	g1 := b.Gate(circuit.Nand, "g1", a, x)
+	g2 := b.Gate(circuit.Nor, "g2", y, z)
+	g3 := b.Gate(circuit.Or, "g3", g1, g2)
+	b.Output("po", g3)
+	c := b.MustBuild()
+	gn := NewGenerator(c)
+	for k, lp := range logicalPathsOf(c) {
+		if got := gn.Classify(lp); got != Robust {
+			t.Errorf("%s: class %v, want robust", k, got)
+		}
+	}
+}
+
+func TestBacktrackLimit(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 8, Gates: 30, Outputs: 2}, 2)
+	gn := NewGenerator(c)
+	gn.MaxBacktracks = 0
+	sawUnknown := false
+	for _, lp := range logicalPathsOf(c) {
+		if gn.Classify(lp) == Unknown {
+			sawUnknown = true
+			break
+		}
+	}
+	// With zero backtracks allowed, at least some path should abort (the
+	// generator cannot even try alternatives). If every path solves
+	// first-try the circuit is degenerate — accept but log.
+	if !sawUnknown {
+		t.Log("no aborts at MaxBacktracks=0; circuit solved greedily")
+	}
+}
+
+func BenchmarkClassifyAll(b *testing.B) {
+	c := gen.RandomCircuit("bench", gen.RandomOptions{Inputs: 10, Gates: 60, Outputs: 3}, 4)
+	var all []paths.Logical
+	paths.ForEachLogical(c, func(lp paths.Logical) bool {
+		all = append(all, paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne})
+		return true
+	})
+	gn := NewGenerator(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gn.ClassifyAll(all)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := gen.PaperExample()
+	gn := NewGenerator(c)
+	for k, lp := range logicalPathsOf(c) {
+		tt, ok, _ := gn.RobustTest(lp)
+		if !ok {
+			continue
+		}
+		out := Describe(c, lp, tt)
+		for _, want := range []string{"path ", "launch ", "on-path"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: Describe missing %q:\n%s", k, want, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package timing provides static timing analysis over a circuit with
+// per-gate delays: arrival and departure times, the circuit's critical
+// delay, per-lead slack, and extraction of the longest paths. It is the
+// substrate for the path-selection strategies of Section VI (test only
+// paths with expected delay above a threshold), which the paper adapts to
+// RD identification.
+package timing
+
+import (
+	"sort"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+	"rdfault/internal/sim"
+)
+
+// Analysis holds static timing results for one circuit/delay pair.
+type Analysis struct {
+	c *circuit.Circuit
+	d sim.Delays
+	// arrive[g]: the longest PI-to-g delay, inclusive of g's own delay.
+	arrive []float64
+	// depart[g]: the longest g-to-PO delay, exclusive of g's own delay.
+	depart []float64
+}
+
+// New computes arrival and departure times in one topological sweep each.
+func New(c *circuit.Circuit, d sim.Delays) *Analysis {
+	n := c.NumGates()
+	a := &Analysis{
+		c:      c,
+		d:      d,
+		arrive: make([]float64, n),
+		depart: make([]float64, n),
+	}
+	topo := c.TopoOrder()
+	for _, g := range topo {
+		best := 0.0
+		for _, f := range c.Fanin(g) {
+			if a.arrive[f] > best {
+				best = a.arrive[f]
+			}
+		}
+		a.arrive[g] = best + d.Gate[g]
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		best := 0.0
+		first := true
+		for _, e := range c.Fanout(g) {
+			v := a.depart[e.To] + d.Gate[e.To]
+			if first || v > best {
+				best, first = v, false
+			}
+		}
+		if first {
+			best = 0
+		}
+		a.depart[g] = best
+	}
+	return a
+}
+
+// Arrive returns the longest PI-to-g path delay (including g's delay).
+func (a *Analysis) Arrive(g circuit.GateID) float64 { return a.arrive[g] }
+
+// Depart returns the longest delay from g's output to any PO.
+func (a *Analysis) Depart(g circuit.GateID) float64 { return a.depart[g] }
+
+// CriticalDelay returns the delay of the slowest path in the circuit.
+func (a *Analysis) CriticalDelay() float64 {
+	best := 0.0
+	for _, po := range a.c.Outputs() {
+		if a.arrive[po] > best {
+			best = a.arrive[po]
+		}
+	}
+	return best
+}
+
+// MaxThrough returns the delay of the slowest path running through gate
+// g.
+func (a *Analysis) MaxThrough(g circuit.GateID) float64 {
+	return a.arrive[g] + a.depart[g]
+}
+
+// Slack returns CriticalDelay minus the slowest path through g.
+func (a *Analysis) Slack(g circuit.GateID) float64 {
+	return a.CriticalDelay() - a.MaxThrough(g)
+}
+
+// ForEachPathAtLeast enumerates every physical path with delay >=
+// threshold, in depth-first order, pruning subtrees whose best possible
+// completion falls short. fn receives a shared Path buffer (Clone to
+// retain) and the exact path delay; returning false stops the walk.
+func (a *Analysis) ForEachPathAtLeast(threshold float64, fn func(paths.Path, float64) bool) bool {
+	var (
+		gates []circuit.GateID
+		pins  []int
+	)
+	const eps = 1e-12
+	var dfs func(g circuit.GateID, sofar float64) bool
+	dfs = func(g circuit.GateID, sofar float64) bool {
+		gates = append(gates, g)
+		defer func() { gates = gates[:len(gates)-1] }()
+		if a.c.Type(g) == circuit.Output {
+			return fn(paths.Path{Gates: gates, Pins: pins}, sofar)
+		}
+		for _, e := range a.c.Fanout(g) {
+			next := sofar + a.d.Gate[e.To]
+			if next+a.depart[e.To] < threshold-eps {
+				continue // even the slowest completion is too fast
+			}
+			pins = append(pins, e.Pin)
+			ok := dfs(e.To, next)
+			pins = pins[:len(pins)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, pi := range a.c.Inputs() {
+		start := a.d.Gate[pi]
+		if start+a.depart[pi] < threshold-eps {
+			continue
+		}
+		if !dfs(pi, start) {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestPaths returns the k slowest physical paths (all paths if k <= 0
+// exceeds the path count), sorted by decreasing delay. Intended for
+// moderate k; it walks candidates above a self-tightening threshold.
+func (a *Analysis) LongestPaths(k int) []ScoredPath {
+	if k <= 0 {
+		return nil
+	}
+	// Collect with a min-heap-like slice; circuit path counts can be
+	// huge, so we prune using the current k-th best delay as threshold.
+	var out []ScoredPath
+	worst := 0.0
+	a.ForEachPathAtLeast(0, func(p paths.Path, delay float64) bool {
+		if len(out) < k {
+			out = append(out, ScoredPath{Path: p.Clone(), Delay: delay})
+			if len(out) == k {
+				sort.Slice(out, func(i, j int) bool { return out[i].Delay > out[j].Delay })
+				worst = out[k-1].Delay
+			}
+			return true
+		}
+		if delay <= worst {
+			return true
+		}
+		out[k-1] = ScoredPath{Path: p.Clone(), Delay: delay}
+		sort.Slice(out, func(i, j int) bool { return out[i].Delay > out[j].Delay })
+		worst = out[k-1].Delay
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Delay > out[j].Delay })
+	return out
+}
+
+// ScoredPath pairs a physical path with its delay.
+type ScoredPath struct {
+	Path  paths.Path
+	Delay float64
+}
+
+// CriticalPath returns one slowest PI-to-PO path and its delay (the
+// argmax witness behind CriticalDelay).
+func (a *Analysis) CriticalPath() (paths.Path, float64) {
+	var best paths.Path
+	bestD := -1.0
+	a.ForEachPathAtLeast(a.CriticalDelay(), func(p paths.Path, d float64) bool {
+		best = p.Clone()
+		bestD = d
+		return false // the first one at the critical threshold suffices
+	})
+	return best, bestD
+}

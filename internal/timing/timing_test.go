@@ -1,0 +1,139 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/paths"
+	"rdfault/internal/sim"
+)
+
+func TestArriveDepartChain(t *testing.T) {
+	b := circuit.NewBuilder("chain")
+	a := b.Input("a")
+	n1 := b.Gate(circuit.Not, "n1", a)
+	n2 := b.Gate(circuit.Not, "n2", n1)
+	po := b.Output("po", n2)
+	c := b.MustBuild()
+	d := sim.UnitDelays(c)
+	an := New(c, d)
+	if an.Arrive(a) != 0 || an.Arrive(n1) != 1 || an.Arrive(n2) != 2 || an.Arrive(po) != 2 {
+		t.Fatalf("arrivals: %v %v %v %v", an.Arrive(a), an.Arrive(n1), an.Arrive(n2), an.Arrive(po))
+	}
+	if an.Depart(a) != 2 || an.Depart(n1) != 1 || an.Depart(n2) != 0 || an.Depart(po) != 0 {
+		t.Fatalf("departs: %v %v %v %v", an.Depart(a), an.Depart(n1), an.Depart(n2), an.Depart(po))
+	}
+	if an.CriticalDelay() != 2 {
+		t.Fatalf("critical = %v", an.CriticalDelay())
+	}
+	if an.MaxThrough(n1) != 2 || an.Slack(n1) != 0 {
+		t.Fatal("through/slack on critical gate")
+	}
+}
+
+func TestCriticalDelayMatchesSlowestPath(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 25, Outputs: 3}, seed)
+		d := sim.RandomDelays(c, seed*13, 0.5, 3)
+		an := New(c, d)
+		slowest := 0.0
+		paths.ForEachPath(c, func(p paths.Path) bool {
+			if pd := d.PathDelay(p); pd > slowest {
+				slowest = pd
+			}
+			return true
+		})
+		if math.Abs(an.CriticalDelay()-slowest) > 1e-9 {
+			t.Fatalf("seed %d: critical %v != slowest path %v", seed, an.CriticalDelay(), slowest)
+		}
+	}
+}
+
+func TestForEachPathAtLeastExact(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
+		d := sim.RandomDelays(c, seed, 0.5, 2)
+		an := New(c, d)
+		threshold := an.CriticalDelay() * 0.7
+		want := map[string]float64{}
+		paths.ForEachPath(c, func(p paths.Path) bool {
+			if pd := d.PathDelay(p); pd >= threshold {
+				want[p.Key()] = pd
+			}
+			return true
+		})
+		got := map[string]float64{}
+		an.ForEachPathAtLeast(threshold, func(p paths.Path, pd float64) bool {
+			got[p.Key()] = pd
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: got %d paths, want %d", seed, len(got), len(want))
+		}
+		for k, wd := range want {
+			if gd, ok := got[k]; !ok || math.Abs(gd-wd) > 1e-9 {
+				t.Fatalf("seed %d: path %s delay %v, want %v", seed, k, gd, wd)
+			}
+		}
+	}
+}
+
+func TestForEachPathAtLeastEarlyStop(t *testing.T) {
+	c := gen.PaperExample()
+	an := New(c, sim.UnitDelays(c))
+	calls := 0
+	done := an.ForEachPathAtLeast(0, func(paths.Path, float64) bool {
+		calls++
+		return false
+	})
+	if done || calls != 1 {
+		t.Fatalf("done=%v calls=%d", done, calls)
+	}
+}
+
+func TestLongestPaths(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, 3)
+	d := sim.RandomDelays(c, 5, 0.5, 2)
+	an := New(c, d)
+	var all []float64
+	paths.ForEachPath(c, func(p paths.Path) bool {
+		all = append(all, d.PathDelay(p))
+		return true
+	})
+	for _, k := range []int{1, 3, 10} {
+		got := an.LongestPaths(k)
+		if len(got) != k && len(got) != len(all) {
+			t.Fatalf("k=%d: got %d paths", k, len(got))
+		}
+		// Sorted decreasing.
+		for i := 1; i < len(got); i++ {
+			if got[i].Delay > got[i-1].Delay+1e-9 {
+				t.Fatalf("k=%d: not sorted", k)
+			}
+		}
+		// Top delay matches global max.
+		if math.Abs(got[0].Delay-an.CriticalDelay()) > 1e-9 {
+			t.Fatalf("k=%d: top %v != critical %v", k, got[0].Delay, an.CriticalDelay())
+		}
+	}
+	if an.LongestPaths(0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
+		d := sim.RandomDelays(c, seed, 0.5, 2)
+		an := New(c, d)
+		p, pd := an.CriticalPath()
+		if math.Abs(pd-an.CriticalDelay()) > 1e-9 {
+			t.Fatalf("seed %d: witness delay %v != critical %v", seed, pd, an.CriticalDelay())
+		}
+		if math.Abs(d.PathDelay(p)-pd) > 1e-9 {
+			t.Fatalf("seed %d: reported delay inconsistent with path", seed)
+		}
+	}
+}

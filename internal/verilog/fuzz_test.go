@@ -1,0 +1,30 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the structural Verilog reader never panics and that
+// accepted modules survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("module m (a, y);\n input a;\n output y;\n not n (y, a);\nendmodule\n")
+	f.Add("module m (a, b, y);\n input a, b;\n output y;\n wire w;\n nand g (w, a, b);\n buf o (y, w);\nendmodule\n")
+	f.Add("module m (\\1x , y); input \\1x ; output y; not n (y, \\1x ); endmodule")
+	f.Add("/* c */ module m (a, y); input a; output y; and g (y, a, a); endmodule")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("accepted module failed to write: %v", err)
+		}
+		if _, err := Parse("fuzz2", bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("writer output rejected: %v\n%s", err, buf.String())
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package verilog reads and writes gate-level structural Verilog
+// netlists built from the primitives and, or, nand, nor, not and buf —
+// the interchange format most downstream EDA tools accept alongside
+// .bench.
+//
+// Supported subset: one module per file, scalar ports declared in the
+// header, input/output/wire declarations, primitive instantiations with
+// the output as the first terminal, and // or /* */ comments. As with the
+// .bench reader, output ports become explicit Output marker gates named
+// "<port>$po", which the writer strips again, so Parse(Write(c)) is
+// structure- and name-stable.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rdfault/internal/circuit"
+)
+
+// Write emits c as a structural Verilog module.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, g := range c.Inputs() {
+		ports = append(ports, ident(c.Gate(g).Name))
+	}
+	for _, g := range c.Outputs() {
+		ports = append(ports, ident(portName(c.Gate(g).Name)))
+	}
+	fmt.Fprintf(bw, "// %s\nmodule %s (%s);\n", c.Stats(), ident(moduleName(c.Name())), strings.Join(ports, ", "))
+	for _, g := range c.Inputs() {
+		fmt.Fprintf(bw, "  input %s;\n", ident(c.Gate(g).Name))
+	}
+	outName := map[circuit.GateID]string{}
+	// When the PO port name equals its driver's signal name (the "$po"
+	// marker convention), the driver's net IS the port: declare it output
+	// instead of wire and emit no buf.
+	directNet := map[circuit.GateID]bool{} // driver gates exposed as ports
+	for _, g := range c.Outputs() {
+		outName[g] = portName(c.Gate(g).Name)
+		fmt.Fprintf(bw, "  output %s;\n", ident(outName[g]))
+		drv := c.Gate(g).Fanin[0]
+		if c.Gate(drv).Name == outName[g] && c.Type(drv) != circuit.Input {
+			directNet[drv] = true
+		}
+	}
+	driverOf := map[circuit.GateID]string{} // gate -> signal name it drives
+	for _, g := range c.TopoOrder() {
+		if c.Type(g) != circuit.Output {
+			driverOf[g] = c.Gate(g).Name
+		}
+	}
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		if gate.Type == circuit.Input || gate.Type == circuit.Output || directNet[g] {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", ident(gate.Name))
+	}
+	prim := map[circuit.GateType]string{
+		circuit.Buf: "buf", circuit.Not: "not",
+		circuit.And: "and", circuit.Or: "or",
+		circuit.Nand: "nand", circuit.Nor: "nor",
+	}
+	inst := 0
+	for _, g := range c.TopoOrder() {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+			continue
+		case circuit.Output:
+			if directNet[gate.Fanin[0]] && driverOf[gate.Fanin[0]] == outName[g] {
+				continue // port net is the driver itself
+			}
+			// The port is a distinct net; connect with a buf.
+			fmt.Fprintf(bw, "  buf po%d (%s, %s);\n", inst,
+				ident(outName[g]), ident(driverOf[gate.Fanin[0]]))
+			inst++
+		default:
+			terms := []string{ident(gate.Name)}
+			for _, f := range gate.Fanin {
+				terms = append(terms, ident(driverOf[f]))
+			}
+			fmt.Fprintf(bw, "  %s g%d (%s);\n", prim[gate.Type], inst, strings.Join(terms, ", "))
+			inst++
+		}
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// portName strips the "$po" marker suffix the parsers attach.
+func portName(name string) string {
+	return strings.TrimSuffix(name, "$po")
+}
+
+func moduleName(name string) string {
+	if name == "" {
+		return "top"
+	}
+	return name
+}
+
+// ident renders a Verilog identifier, escaping it when it does not match
+// the simple-identifier grammar. Escaped identifiers extend to the next
+// whitespace, so whitespace inside names is replaced by underscores (the
+// one lossy case of the writer).
+func ident(name string) string {
+	simple := len(name) > 0
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '$'):
+		default:
+			simple = false
+		}
+	}
+	if simple {
+		return name
+	}
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+			return '_'
+		}
+		return r
+	}, name)
+	return `\` + clean + ` ` // escaped identifier: backslash to whitespace
+}
+
+// Parse reads a structural Verilog module.
+func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog %s: %v", name, err)
+	}
+	p := &parser{name: name, toks: toks}
+	return p.module()
+}
+
+type parser struct {
+	name string
+	toks []string
+	pos  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("verilog %s: "+format, append([]any{p.name}, args...)...)
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return p.errf("expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// identList parses "a, b, c" up to (but not consuming) the stop token.
+func (p *parser) identList(stop string) ([]string, error) {
+	var out []string
+	for {
+		t := p.next()
+		if t == "" {
+			return nil, p.errf("unexpected end of file in list")
+		}
+		out = append(out, t)
+		switch p.peek() {
+		case ",":
+			p.next()
+		case stop:
+			return out, nil
+		default:
+			return nil, p.errf("expected ',' or %q after %q", stop, t)
+		}
+	}
+}
+
+func (p *parser) module() (*circuit.Circuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	modName := p.next()
+	if modName == "" {
+		return nil, p.errf("missing module name")
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if _, err := p.identList(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs []string
+	wires := map[string]bool{}
+	type inst struct {
+		prim  string
+		terms []string
+	}
+	var instances []inst
+
+	prims := map[string]circuit.GateType{
+		"buf": circuit.Buf, "not": circuit.Not,
+		"and": circuit.And, "or": circuit.Or,
+		"nand": circuit.Nand, "nor": circuit.Nor,
+	}
+
+	for {
+		t := p.next()
+		switch t {
+		case "":
+			return nil, p.errf("missing endmodule")
+		case "endmodule":
+			goto build
+		case "input", "output", "wire":
+			list, err := p.identList(";")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			switch t {
+			case "input":
+				inputs = append(inputs, list...)
+			case "output":
+				outputs = append(outputs, list...)
+			default:
+				for _, wname := range list {
+					wires[wname] = true
+				}
+			}
+		default:
+			gt, ok := prims[t]
+			if !ok {
+				return nil, p.errf("unsupported construct %q (primitives, input/output/wire only)", t)
+			}
+			_ = gt
+			instName := p.next()
+			if instName == "(" {
+				// Anonymous instance: "(...)" directly.
+				p.pos--
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			terms, err := p.identList(")")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if len(terms) < 2 {
+				return nil, p.errf("primitive %q needs an output and at least one input", t)
+			}
+			instances = append(instances, inst{prim: t, terms: terms})
+		}
+	}
+
+build:
+	b := circuit.NewBuilder(p.name)
+	id := map[string]circuit.GateID{}
+	for _, in := range inputs {
+		id[in] = b.Input(in)
+	}
+	// Definitions by driven signal.
+	type def struct {
+		typ  circuit.GateType
+		args []string
+	}
+	defs := map[string]def{}
+	for _, ins := range instances {
+		out := ins.terms[0]
+		if _, dup := defs[out]; dup {
+			return nil, p.errf("signal %q driven twice", out)
+		}
+		if _, isIn := id[out]; isIn {
+			return nil, p.errf("input %q driven by a primitive", out)
+		}
+		defs[out] = def{typ: prims2[ins.prim], args: ins.terms[1:]}
+	}
+	var elaborate func(sig string, depth int) (circuit.GateID, error)
+	elaborate = func(sig string, depth int) (circuit.GateID, error) {
+		if g, ok := id[sig]; ok {
+			if g == circuit.None {
+				return circuit.None, p.errf("combinational cycle through %q", sig)
+			}
+			return g, nil
+		}
+		d, ok := defs[sig]
+		if !ok {
+			return circuit.None, p.errf("signal %q used but never driven", sig)
+		}
+		if depth > len(defs)+len(inputs)+1 {
+			return circuit.None, p.errf("definition depth exceeded at %q", sig)
+		}
+		id[sig] = circuit.None
+		args := make([]circuit.GateID, len(d.args))
+		for i, a := range d.args {
+			g, err := elaborate(a, depth+1)
+			if err != nil {
+				return circuit.None, err
+			}
+			args[i] = g
+		}
+		var g circuit.GateID
+		switch d.typ {
+		case circuit.Buf, circuit.Not:
+			if len(args) != 1 {
+				return circuit.None, p.errf("%v driving %q needs 1 input", d.typ, sig)
+			}
+			g = b.Gate(d.typ, sig, args[0])
+		default:
+			if len(args) < 2 {
+				return circuit.None, p.errf("%v driving %q needs >=2 inputs", d.typ, sig)
+			}
+			g = b.Gate(d.typ, sig, args...)
+		}
+		id[sig] = g
+		return g, nil
+	}
+	for sig := range defs {
+		if _, err := elaborate(sig, 0); err != nil {
+			return nil, err
+		}
+	}
+	poSeen := map[string]int{}
+	for _, out := range outputs {
+		g, err := elaborate(out, 0)
+		if err != nil {
+			return nil, err
+		}
+		poName := out + "$po"
+		if n := poSeen[out]; n > 0 {
+			poName = fmt.Sprintf("%s$po%d", out, n)
+		}
+		poSeen[out]++
+		b.Output(poName, g)
+	}
+	return b.Build()
+}
+
+var prims2 = map[string]circuit.GateType{
+	"buf": circuit.Buf, "not": circuit.Not,
+	"and": circuit.And, "or": circuit.Or,
+	"nand": circuit.Nand, "nor": circuit.Nor,
+}
+
+// tokenize splits the input into identifiers, punctuation and keywords,
+// dropping comments. Escaped identifiers (backslash to whitespace) are
+// supported.
+func tokenize(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case ch == '/':
+			nxt, _, err := br.ReadRune()
+			if err != nil {
+				return nil, fmt.Errorf("dangling '/'")
+			}
+			switch nxt {
+			case '/':
+				flush()
+				for {
+					c2, _, err := br.ReadRune()
+					if err == io.EOF || c2 == '\n' {
+						break
+					}
+					if err != nil {
+						return nil, err
+					}
+				}
+			case '*':
+				flush()
+				prev := rune(0)
+				for {
+					c2, _, err := br.ReadRune()
+					if err != nil {
+						return nil, fmt.Errorf("unterminated block comment")
+					}
+					if prev == '*' && c2 == '/' {
+						break
+					}
+					prev = c2
+				}
+			default:
+				return nil, fmt.Errorf("unexpected '/'")
+			}
+		case ch == '\\':
+			// Escaped identifier: up to whitespace.
+			flush()
+			for {
+				c2, _, err := br.ReadRune()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				if c2 == ' ' || c2 == '\t' || c2 == '\n' || c2 == '\r' {
+					break
+				}
+				cur.WriteRune(c2)
+			}
+			flush()
+		case ch == '(' || ch == ')' || ch == ',' || ch == ';':
+			flush()
+			toks = append(toks, string(ch))
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			flush()
+		default:
+			cur.WriteRune(ch)
+		}
+	}
+}

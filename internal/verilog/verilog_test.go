@@ -1,0 +1,190 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfault/internal/bdd"
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+// a tiny netlist
+module tiny (a, b, y);
+  input a, b;
+  output y;
+  wire g1;
+  nand n0 (g1, a, b);
+  not  n1 (y, g1);
+endmodule
+`
+	c, err := Parse("tiny", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs()) != 2 || len(c.Outputs()) != 1 {
+		t.Fatalf("interface: %d in %d out", len(c.Inputs()), len(c.Outputs()))
+	}
+	for v := 0; v < 4; v++ {
+		a, b := v&1 != 0, v&2 != 0
+		want := a && b // not(nand(a,b))
+		out := c.OutputsOf(c.EvalBool([]bool{a, b}))
+		if out[0] != want {
+			t.Fatalf("f(%v,%v) = %v, want %v", a, b, out[0], want)
+		}
+	}
+}
+
+func TestParseOutOfOrderAndComments(t *testing.T) {
+	src := `
+module m (x, y);
+  input x;
+  output y;
+  /* block
+     comment */
+  not n1 (y, w); // uses w before its driver appears
+  wire w;
+  buf b1 (w, x);
+endmodule
+`
+	c, err := Parse("m", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.OutputsOf(c.EvalBool([]bool{true}))
+	if out[0] != false {
+		t.Fatal("not(buf(1)) != 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":   "input a;\n",
+		"no end":      "module m (a);\n input a;\n",
+		"cycle":       "module m (a, y);\n input a;\n output y;\n wire w;\n not n0 (w, y);\n not n1 (y, w);\nendmodule\n",
+		"undriven":    "module m (a, y);\n input a;\n output y;\n and g (y, a, ghost);\nendmodule\n",
+		"double":      "module m (a, y);\n input a;\n output y;\n not n0 (y, a);\n not n1 (y, a);\nendmodule\n",
+		"drive input": "module m (a, y);\n input a;\n output y;\n not n0 (a, y);\nendmodule\n",
+		"assign":      "module m (a, y);\n input a;\n output y;\n assign y = a;\nendmodule\n",
+		"arity":       "module m (a, y);\n input a;\n output y;\n and g (y, a);\nendmodule\n",
+		"short prim":  "module m (a, y);\n input a;\n output y;\n not g (y);\nendmodule\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(name, strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, c *circuit.Circuit) *circuit.Circuit {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(c.Name(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	return c2
+}
+
+func TestRoundTripExample(t *testing.T) {
+	c := gen.PaperExample()
+	c2 := roundTrip(t, c)
+	if c2.NumGates() != c.NumGates() {
+		t.Fatalf("gates %d -> %d", c.NumGates(), c2.NumGates())
+	}
+	eq, err := bdd.Equivalent(c, c2)
+	if err != nil || !eq {
+		t.Fatalf("round trip not equivalent (%v)", err)
+	}
+	// Second trip is structurally stable.
+	c3 := roundTrip(t, c2)
+	if c3.NumGates() != c2.NumGates() {
+		t.Fatal("second round trip changed structure")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 3}, seed)
+		c2 := roundTrip(t, c)
+		eq, err := bdd.Equivalent(c, c2)
+		if err != nil || !eq {
+			t.Fatalf("seed %d: round trip not equivalent (%v)", seed, err)
+		}
+	}
+}
+
+func TestRoundTripGeneratedSuite(t *testing.T) {
+	for _, nc := range []*circuit.Circuit{
+		gen.RippleAdder(4, gen.XorNAND),
+		gen.Comparator(3),
+		gen.PriorityInterruptGrouped(3, 3),
+	} {
+		c2 := roundTrip(t, nc)
+		eq, err := bdd.Equivalent(nc, c2)
+		if err != nil || !eq {
+			t.Fatalf("%s: round trip not equivalent (%v)", nc.Name(), err)
+		}
+	}
+}
+
+func TestEscapedIdentifiers(t *testing.T) {
+	// Gate names with "$po" style suffixes or leading digits must survive.
+	b := circuit.NewBuilder("esc")
+	a := b.Input("1bad(name)")
+	g := b.Gate(circuit.Not, "weird$sig", a)
+	b.Output("out$po", g)
+	c := b.MustBuild()
+	c2 := roundTrip(t, c)
+	eq, err := bdd.Equivalent(c, c2)
+	if err != nil || !eq {
+		t.Fatalf("escaped-identifier round trip failed (%v)", err)
+	}
+	if _, ok := c2.GateByName("1bad(name)"); !ok {
+		t.Fatal("escaped input name lost")
+	}
+}
+
+func TestSharedDriverPorts(t *testing.T) {
+	// Two POs on one driver.
+	b := circuit.NewBuilder("share")
+	a := b.Input("a")
+	x := b.Input("x")
+	g := b.Gate(circuit.And, "g", a, x)
+	b.Output("g$po", g)
+	b.Output("second", g)
+	c := b.MustBuild()
+	c2 := roundTrip(t, c)
+	if len(c2.Outputs()) != 2 {
+		t.Fatal("lost an output")
+	}
+	for v := 0; v < 4; v++ {
+		in := []bool{v&1 != 0, v&2 != 0}
+		o1 := c.OutputsOf(c.EvalBool(in))
+		o2 := c2.OutputsOf(c2.EvalBool(in))
+		if o1[0] != o2[0] || o1[1] != o2[1] {
+			t.Fatal("shared-driver outputs differ")
+		}
+	}
+}
+
+func TestPIPort(t *testing.T) {
+	// A PO driven directly by a PI.
+	b := circuit.NewBuilder("pi")
+	a := b.Input("a")
+	x := b.Input("x")
+	b.Output("y", a)
+	b.Output("z", b.Gate(circuit.Not, "n", x))
+	c := b.MustBuild()
+	c2 := roundTrip(t, c)
+	out := c2.OutputsOf(c2.EvalBool([]bool{true, true}))
+	if out[0] != true || out[1] != false {
+		t.Fatalf("PI-port round trip wrong: %v", out)
+	}
+}

@@ -1,0 +1,182 @@
+package rdfault_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfault"
+)
+
+func TestFacadeBuildAndIdentify(t *testing.T) {
+	b := rdfault.NewBuilder("t")
+	a := b.Input("a")
+	x := b.Input("x")
+	g := b.Gate(rdfault.Nand, "g", a, x)
+	b.Output("y", g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []rdfault.Heuristic{
+		rdfault.HeuristicFUS, rdfault.Heuristic1, rdfault.Heuristic2,
+		rdfault.Heuristic2Inverse, rdfault.HeuristicPinOrder,
+	} {
+		rep, err := rdfault.Identify(c, h, rdfault.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if rep.TotalLogicalPaths.Int64() != 4 {
+			t.Fatalf("%v: total = %v", h, rep.TotalLogicalPaths)
+		}
+	}
+}
+
+func TestFacadeBenchRoundTrip(t *testing.T) {
+	c := rdfault.PaperExample()
+	var buf bytes.Buffer
+	if err := rdfault.WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := rdfault.ParseBench("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumGates() != c.NumGates() {
+		t.Fatal("round trip changed structure")
+	}
+}
+
+func TestFacadePLAFlow(t *testing.T) {
+	cv, err := rdfault.ParsePLA("t", strings.NewReader(".i 2\n.o 1\n11 1\n00 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rdfault.Synthesize(cv, rdfault.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := rdfault.IdentifyByUnfolding(c, rdfault.UnfoldingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam.TotalLogicalPaths.Sign() <= 0 {
+		t.Fatal("no paths")
+	}
+}
+
+func TestFacadeSortsAndHierarchy(t *testing.T) {
+	c := rdfault.PaperExample()
+	s1 := rdfault.Heuristic1Sort(c)
+	s2, fsRes, tRes, err := rdfault.Heuristic2Sort(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsRes.Selected != 8 || tRes.Selected != 5 {
+		t.Fatalf("FS=%d T=%d, want 8/5", fsRes.Selected, tRes.Selected)
+	}
+	for _, s := range []rdfault.InputSort{s1, s2, s2.Inverse()} {
+		if err := s.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch := rdfault.ChooseBySort(s2)
+	sys := rdfault.StabilizingSystem(c, []bool{true, true, true}, ch)
+	if sys.NumLeads() == 0 {
+		t.Fatal("empty system")
+	}
+}
+
+func TestFacadeTimingAndSelection(t *testing.T) {
+	c := rdfault.PaperExample()
+	d := rdfault.RandomDelays(c, 1, 0.5, 2)
+	an := rdfault.AnalyzeTiming(c, d)
+	if an.CriticalDelay() <= 0 {
+		t.Fatal("zero critical delay")
+	}
+	sel, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sel.ByThreshold(0, rdfault.SelectOptions{})
+	if len(s.Selected) != 5 {
+		t.Fatalf("selected %d, want the 5 non-RD paths", len(s.Selected))
+	}
+}
+
+func TestFacadeATPGAndDFT(t *testing.T) {
+	c := rdfault.PaperExample()
+	gn := rdfault.NewGenerator(c)
+	var targets []rdfault.Logical
+	rdfault.ForEachLogicalPath(c, func(lp rdfault.Logical) bool {
+		targets = append(targets, rdfault.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne})
+		return true
+	})
+	tests, cov := rdfault.CompactTests(c, targets, gn, rdfault.CompactOptions{AllowNonRobust: true})
+	if cov.Detected() != 5 {
+		t.Fatalf("covered %d, want 5", cov.Detected())
+	}
+	fs := rdfault.NewFaultSimulator(c)
+	total := 0
+	for _, tt := range tests {
+		total += len(fs.Detects(tt).NonRobust)
+	}
+	if total == 0 {
+		t.Fatal("tests detect nothing")
+	}
+	var untestable []rdfault.Logical
+	for _, lp := range targets {
+		if gn.Classify(lp) == rdfault.FuncSensitizable {
+			untestable = append(untestable, lp)
+		}
+	}
+	props := rdfault.ProposeControlPoints(c, untestable)
+	if len(props) == 0 {
+		t.Fatal("no DFT proposals")
+	}
+	mod, err := rdfault.InsertControlPoints(c, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Inputs()) <= len(c.Inputs()) {
+		t.Fatal("no test points added")
+	}
+}
+
+func TestFacadeSCOAPAndCertificates(t *testing.T) {
+	c := rdfault.PaperExample()
+	s := rdfault.SCOAPSort(c)
+	if err := s.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := rdfault.CollectRDSegments(c, rdfault.PinOrderSort(c), rdfault.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Result.RD.Int64() != 3 || cert.CoveredTotal.Int64() != 3 {
+		t.Fatalf("certificate covers %v of RD %v", cert.CoveredTotal, cert.Result.RD)
+	}
+}
+
+func TestFacadeVerilog(t *testing.T) {
+	c := rdfault.PaperExample()
+	var buf bytes.Buffer
+	if err := rdfault.WriteVerilog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := rdfault.ParseVerilog("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := rdfault.Equivalent(c, c2)
+	if err != nil || !eq {
+		t.Fatalf("verilog round trip not equivalent (%v)", err)
+	}
+	swept, removed, err := rdfault.RemoveRedundant(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 || swept.NumGates() >= c.NumGates() {
+		t.Fatal("sweep found nothing on the example")
+	}
+}
