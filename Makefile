@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench fuzz cover suite clean
+.PHONY: all build test vet bench race fuzz cover suite clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages (work-stealing
+# enumeration and the implication engine it snapshots).
+race:
+	$(GO) test -race ./internal/core ./internal/logic
 
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
 bench:

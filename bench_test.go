@@ -8,10 +8,12 @@
 package rdfault
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/big"
 	"os"
+	"runtime"
 	"testing"
 
 	"rdfault/internal/exp"
@@ -25,7 +27,7 @@ import (
 // suite.
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunISCAS(gen.ISCAS85Suite())
+		rows, err := exp.RunISCAS(gen.ISCAS85Suite(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,7 +50,7 @@ func BenchmarkTableI(b *testing.B) {
 // relation: Heu2 executes the enumeration three times).
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunISCAS(gen.ISCAS85Suite())
+		rows, err := exp.RunISCAS(gen.ISCAS85Suite(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +73,7 @@ func BenchmarkTableII(b *testing.B) {
 // MCNC-analogue two-level benchmarks — quality and running time.
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunMCNC(gen.MCNCSuite())
+		rows, err := exp.RunMCNC(gen.MCNCSuite(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,6 +195,74 @@ func BenchmarkSortComparison(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEnumerateWorkers measures work-stealing enumeration throughput
+// on the suite's largest circuit (the c3540 analogue, 84M logical paths)
+// at 1/2/4/8 workers, reporting paths/sec, and writes the rows to
+// BENCH_enumerate.json. The Selected and RD counts are asserted identical
+// across worker counts — the scheduling-independence guarantee.
+func BenchmarkEnumerateWorkers(b *testing.B) {
+	c := gen.BCDALU(4, gen.XorNAND) // c3540 analogue
+	type row struct {
+		Workers     int     `json:"workers"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		PathsPerSec float64 `json:"paths_per_sec"`
+		Speedup     float64 `json:"speedup_vs_serial"`
+		Selected    int64   `json:"selected"`
+		RD          string  `json:"rd"`
+		GOMAXPROCS  int     `json:"gomaxprocs"`
+		NumCPU      int     `json:"num_cpu"`
+	}
+	total, _ := new(big.Float).SetInt(CountPaths(c)).Float64()
+	var rows []row
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = Enumerate(c, FS, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp := b.Elapsed().Nanoseconds() / int64(b.N)
+			pps := total / (float64(nsPerOp) / 1e9)
+			b.ReportMetric(pps, "paths/sec")
+			rows = append(rows, row{
+				Workers:     workers,
+				NsPerOp:     nsPerOp,
+				PathsPerSec: pps,
+				Selected:    res.Selected,
+				RD:          res.RD.String(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				NumCPU:      runtime.NumCPU(),
+			})
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	for i := range rows {
+		rows[i].Speedup = float64(rows[0].NsPerOp) / float64(rows[i].NsPerOp)
+		if rows[i].Selected != rows[0].Selected || rows[i].RD != rows[0].RD {
+			b.Fatalf("workers=%d: Selected/RD (%d, %s) differ from serial (%d, %s)",
+				rows[i].Workers, rows[i].Selected, rows[i].RD, rows[0].Selected, rows[0].RD)
+		}
+	}
+	f, err := os.Create("BENCH_enumerate.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_enumerate.json")
 }
 
 // BenchmarkPathCountC6288 reproduces the path-count remark that excludes

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rdfault"
@@ -31,6 +32,7 @@ func main() {
 		frac      = flag.Float64("frac", 0.7, "threshold as a fraction of the critical delay")
 		k         = flag.Int("k", 2, "paths per lead for the perlead strategy")
 		limit     = flag.Int("limit", 20000, "cap on selected paths")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel RD-identification goroutines")
 		emit      = flag.Bool("emit", false, "print the generated test vectors")
 		outTests  = flag.String("o", "", "write the test set to this file (tgen.WriteTests format)")
 	)
@@ -56,7 +58,7 @@ func main() {
 	// 1+2: RD identification and selection.
 	d := rdfault.UnitDelays(c)
 	t0 := time.Now()
-	sel, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{})
+	sel, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/big"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rdfault/internal/circuit"
 	"rdfault/internal/gen"
@@ -27,15 +31,15 @@ func main() {
 		benchFile = flag.String("bench", "", "read circuit from a netlist file (.bench, .v or .pla)")
 		suite     = flag.String("suite", "", "report on a generated suite: 'iscas'")
 		topLeads  = flag.Int("top", 5, "number of heaviest leads to list")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "circuits counted concurrently in suite mode")
 	)
 	flag.Parse()
 
 	switch {
 	case *suite == "iscas":
-		for _, nc := range gen.ISCAS85Suite() {
-			report(nc.C, nc.Paper, *topLeads)
-		}
-		report(gen.C6288Analogue(), "c6288", *topLeads)
+		named := gen.ISCAS85Suite()
+		named = append(named, gen.Named{Paper: "c6288", C: gen.C6288Analogue()})
+		reportSuite(named, *topLeads, *workers)
 		return
 	case *suite != "":
 		fatal(fmt.Errorf("unknown suite %q", *suite))
@@ -47,16 +51,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	report(c, c.Name(), *topLeads)
+	report(os.Stdout, c, c.Name(), *topLeads)
 }
 
-func report(c *circuit.Circuit, label string, top int) {
-	ct := paths.NewCounts(c)
-	fmt.Printf("%-8s %s\n", label, c.Stats())
-	fmt.Printf("         physical paths: %v   logical paths: %v\n", ct.Physical(), ct.Logical())
-	for _, po := range c.Outputs() {
-		_ = po
+// reportSuite counts each circuit concurrently (counting is read-only and
+// per-circuit independent) but prints the reports in suite order, so the
+// output is identical for any worker count.
+func reportSuite(named []gen.Named, top, workers int) {
+	if workers < 1 {
+		workers = 1
 	}
+	bufs := make([]bytes.Buffer, len(named))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, nc := range named {
+		wg.Add(1)
+		go func(i int, nc gen.Named) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			report(&bufs[i], nc.C, nc.Paper, top)
+		}(i, nc)
+	}
+	wg.Wait()
+	for i := range bufs {
+		io.Copy(os.Stdout, &bufs[i])
+	}
+}
+
+func report(w io.Writer, c *circuit.Circuit, label string, top int) {
+	ct := paths.NewCounts(c)
+	fmt.Fprintf(w, "%-8s %s\n", label, c.Stats())
+	fmt.Fprintf(w, "         physical paths: %v   logical paths: %v\n", ct.Physical(), ct.Logical())
 	// Per-cone counts.
 	type coneCount struct {
 		name  string
@@ -71,7 +97,7 @@ func report(c *circuit.Circuit, label string, top int) {
 		cones = cones[:3]
 	}
 	for _, cc := range cones {
-		fmt.Printf("         cone %-12s %v paths\n", cc.name, cc.count)
+		fmt.Fprintf(w, "         cone %-12s %v paths\n", cc.name, cc.count)
 	}
 	// Heaviest leads (the |LP_c(l)| measure of Heuristic 1).
 	type leadCount struct {
@@ -90,7 +116,7 @@ func report(c *circuit.Circuit, label string, top int) {
 		leads = leads[:top]
 	}
 	for _, lc := range leads {
-		fmt.Printf("         lead %s->%s pin%d: %v paths\n",
+		fmt.Fprintf(w, "         lead %s->%s pin%d: %v paths\n",
 			c.Gate(c.Source(lc.lead)).Name, c.Gate(lc.lead.To).Name, lc.lead.Pin, lc.count)
 	}
 }

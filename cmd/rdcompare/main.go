@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rdfault"
@@ -27,6 +28,7 @@ func main() {
 		plaFile = flag.String("pla", "", "compare on a single .pla cover")
 		speedup = flag.Bool("speedup", false, "run the growing-size speed-up experiment")
 		nodeCap = flag.Int("nodecap", 400_000, "leaf-dag node cap (unfolding aborts beyond it)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel enumeration goroutines for Heuristic 2")
 	)
 	flag.Parse()
 
@@ -36,7 +38,7 @@ func main() {
 			fatal(err)
 		}
 	case *suite == "mcnc":
-		rows, err := exp.RunMCNC(gen.MCNCSuite())
+		rows, err := exp.RunMCNC(gen.MCNCSuite(), *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -64,7 +66,7 @@ func main() {
 		}
 		lamT := time.Since(t0)
 		t0 = time.Now()
-		rep, err := rdfault.Identify(c, rdfault.Heuristic2, rdfault.Options{})
+		rep, err := rdfault.Identify(c, rdfault.Heuristic2, rdfault.Options{Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"rdfault"
@@ -27,14 +28,14 @@ func main() {
 		example   = flag.Bool("example", false, "run on the paper's example circuit")
 		heuristic = flag.String("heuristic", "all", "fus|heu1|heu2|inverse|pin|all")
 		limit     = flag.Int64("limit", 0, "abort after this many selected paths (0 = unlimited)")
-		workers   = flag.Int("workers", 1, "parallel enumeration goroutines for the final pass")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel enumeration goroutines (counts are identical for any value)")
 		cert      = flag.Bool("cert", false, "print the prime-segment RD certificate (Heuristic 2 sort)")
 	)
 	flag.Parse()
 
 	switch {
 	case *suite == "iscas":
-		rows, err := exp.RunISCAS(gen.ISCAS85Suite())
+		rows, err := exp.RunISCAS(gen.ISCAS85Suite(), *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,7 +85,7 @@ func main() {
 		}
 		fmt.Println(rep)
 		if !rep.Complete {
-			fmt.Println("  (incomplete: path limit reached)")
+			fmt.Printf("  (selected is a lower bound: >=%d paths survive; RD unknown)\n", rep.Selected)
 		}
 	}
 	if *cert {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"rdfault/internal/exp"
 )
@@ -22,6 +23,7 @@ func main() {
 		outHTML  = flag.String("o", "report.html", "HTML report path")
 		outJSON  = flag.String("json", "", "also write JSON to this path")
 		progress = flag.Bool("v", false, "stream experiment output to stderr while running")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel enumeration goroutines for the table runs")
 	)
 	flag.Parse()
 
@@ -29,7 +31,7 @@ func main() {
 	if *progress {
 		sink = os.Stderr
 	}
-	summary, err := exp.RunAll(sink, *quick)
+	summary, err := exp.RunAll(sink, *quick, *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -373,6 +373,9 @@ func TestLimit(t *testing.T) {
 	if res.Selected != 3 {
 		t.Errorf("selected %d, want 3", res.Selected)
 	}
+	if res.RD != nil {
+		t.Errorf("truncated run reported RD=%v, want nil", res.RD)
+	}
 }
 
 func TestEnumerateErrors(t *testing.T) {
@@ -520,14 +523,119 @@ func TestParallelOnPathSerialized(t *testing.T) {
 	}
 }
 
-func TestLimitForcesSerial(t *testing.T) {
-	c := gen.PaperExample()
-	res, err := Enumerate(c, FS, Options{Limit: 3, Workers: 8})
-	if err != nil {
-		t.Fatal(err)
+// TestLimitParallelBudget: with Workers > 1 the Limit is a shared atomic
+// budget — exactly Limit paths are counted and delivered, the result is
+// incomplete, and RD is nil.
+func TestLimitParallelBudget(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 8, Gates: 40, Outputs: 3}, 5)
+		got := 0
+		res, err := Enumerate(c, FS, Options{
+			Limit:   25,
+			Workers: workers,
+			OnPath:  func(paths.Logical) { got++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Selected != 25 || res.Complete {
+			t.Fatalf("workers=%d: selected=%d complete=%v, want exactly 25 and incomplete",
+				workers, res.Selected, res.Complete)
+		}
+		if got != 25 {
+			t.Fatalf("workers=%d: OnPath fired %d times, want 25", workers, got)
+		}
+		if res.RD != nil {
+			t.Fatalf("workers=%d: truncated run reported RD=%v, want nil", workers, res.RD)
+		}
 	}
-	if res.Selected != 3 || res.Complete {
-		t.Fatalf("limit with workers: selected=%d complete=%v", res.Selected, res.Complete)
+}
+
+// TestLimitLargerThanTotal: a limit the walk never reaches leaves the
+// result complete with a real RD count, serial and parallel.
+func TestLimitLargerThanTotal(t *testing.T) {
+	c := gen.PaperExample()
+	for _, workers := range []int{1, 4} {
+		res, err := Enumerate(c, FS, Options{Limit: 1000, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete || res.RD == nil || res.Selected != 8 {
+			t.Fatalf("workers=%d: complete=%v RD=%v selected=%d", workers, res.Complete, res.RD, res.Selected)
+		}
+	}
+}
+
+// TestParallelDeterminismProperty is the scheduling-independence property
+// of the work-stealing engine: over random circuits, every criterion, and
+// worker counts 1 vs 8, the Selected/RD/Segments/Pruned counters and the
+// per-lead tallies are byte-identical, and OnPath delivers the same path
+// *set* (order-insensitive).
+func TestParallelDeterminismProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 9, Gates: 50, Outputs: 3}, seed)
+		s := Heuristic1Sort(c)
+		for _, cr := range []Criterion{FS, NonRobust, SigmaPi} {
+			var sort *circuit.InputSort
+			if cr == SigmaPi {
+				sort = &s
+			}
+			serialPaths := make(map[string]bool)
+			serial, err := Enumerate(c, cr, Options{Sort: sort, CollectLeadCounts: true,
+				OnPath: func(lp paths.Logical) { serialPaths[lp.Key()] = true }})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parPaths := make(map[string]bool)
+			par, err := Enumerate(c, cr, Options{Sort: sort, CollectLeadCounts: true, Workers: 8,
+				OnPath: func(lp paths.Logical) { parPaths[lp.Key()] = true }})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Selected != serial.Selected || par.Segments != serial.Segments ||
+				par.Pruned != serial.Pruned || par.RD.Cmp(serial.RD) != 0 {
+				t.Fatalf("seed %d %v: parallel (sel=%d seg=%d pr=%d rd=%v) != serial (sel=%d seg=%d pr=%d rd=%v)",
+					seed, cr, par.Selected, par.Segments, par.Pruned, par.RD,
+					serial.Selected, serial.Segments, serial.Pruned, serial.RD)
+			}
+			for i := range serial.LeadCounts {
+				if serial.LeadCounts[i] != par.LeadCounts[i] {
+					t.Fatalf("seed %d %v: lead counts differ at %d", seed, cr, i)
+				}
+			}
+			if len(serialPaths) != len(parPaths) || !subset(serialPaths, parPaths) {
+				t.Fatalf("seed %d %v: parallel path set (%d) != serial (%d)",
+					seed, cr, len(parPaths), len(serialPaths))
+			}
+		}
+	}
+}
+
+// TestHeuristic2SortWorkersDeterministic: the parallel Algorithm 3 passes
+// produce the identical input sort and tallies for every worker budget.
+func TestHeuristic2SortWorkersDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 7, Gates: 30, Outputs: 2}, seed)
+		base, fs1, t1, err := Heuristic2Sort(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			s, fsW, tW, err := Heuristic2SortWorkers(c, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := range base.Pos {
+				for p := range base.Pos[g] {
+					if base.Pos[g][p] != s.Pos[g][p] {
+						t.Fatalf("seed %d workers=%d: sort differs at gate %d pin %d", seed, workers, g, p)
+					}
+				}
+			}
+			if fsW.Selected != fs1.Selected || tW.Selected != t1.Selected {
+				t.Fatalf("seed %d workers=%d: pass counts differ", seed, workers)
+			}
+		}
 	}
 }
 

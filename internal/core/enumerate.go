@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdfault/internal/circuit"
@@ -23,11 +24,15 @@ type Options struct {
 	// OnPath, when non-nil, receives every surviving logical path. The
 	// Path buffer is shared; Clone to retain. With Workers > 1 the
 	// callback is serialized by a mutex but arrival order is
-	// nondeterministic.
+	// nondeterministic (the delivered path *set* is not).
 	OnPath func(paths.Logical)
 	// Limit aborts enumeration after this many surviving paths
-	// (0 = unlimited); the result is then marked incomplete. A positive
-	// Limit forces serial execution so the cut is deterministic.
+	// (0 = unlimited); the result is then marked incomplete and RD is nil
+	// (the true RD count is unknown for a truncated walk). With
+	// Workers > 1 the budget is a shared atomic counter with
+	// stop-at-limit semantics: exactly Limit paths are counted and
+	// delivered, but *which* paths make the cut — and the Segments/Pruned
+	// tallies of a truncated run — depend on the schedule.
 	Limit int64
 	// NoPrune disables prime-segment pruning: conditions are still
 	// accumulated, but contradictions no longer cut the DFS — every
@@ -39,13 +44,17 @@ type Options struct {
 	// quality bound of the paper's approximation, measurable on circuits
 	// far beyond exhaustive input enumeration). Much slower.
 	Exact bool
-	// Workers runs the per-(PI, transition) enumeration jobs on this many
-	// goroutines (0 or 1 = serial). Counts are deterministic; OnPath
-	// ordering is not.
+	// Workers sets the number of enumeration goroutines (0 or 1 =
+	// serial). Work is balanced by stealing: busy walkers split their DFS
+	// frontier whenever idle workers exist, exporting untaken branches
+	// (path prefix + implication-engine snapshot) as tasks, so a single
+	// dominant fan-out cone no longer serializes the run. All counts
+	// (Selected, RD, Segments, Pruned, LeadCounts) are deterministic and
+	// schedule-independent for complete runs; OnPath ordering is not.
 	Workers int
 
 	// onPrune receives every pruned prime segment (set via
-	// CollectRDSegments; serial only). Buffers are shared.
+	// CollectRDSegments; forces serial execution). Buffers are shared.
 	onPrune func(gates []circuit.GateID, pins []int, finalOne bool)
 }
 
@@ -61,6 +70,8 @@ type Result struct {
 	// RD is Total - Selected: for SigmaPi this is |RD^sub(σ^π)|, the
 	// identified robust dependent set; for FS it is the number of
 	// functionally unsensitizable paths (the FUS column of Table I).
+	// RD is nil when Complete is false: a Limit-truncated walk proves
+	// nothing about the paths it never visited.
 	RD *big.Int
 	// LeadCounts[i] counts, for the lead with dense index i, the selected
 	// logical paths through it whose transition at the lead ends on the
@@ -78,15 +89,33 @@ type Result struct {
 	Duration time.Duration
 }
 
-// RDPercent returns 100*RD/Total as a float; 0 for an empty circuit.
+// RDPercent returns 100*RD/Total as a float; 0 for an empty circuit or
+// an incomplete result (RD unknown).
 func (r *Result) RDPercent() float64 {
-	if r.Total.Sign() == 0 {
+	if r.RD == nil || r.Total.Sign() == 0 {
 		return 0
 	}
 	rd := new(big.Float).SetInt(r.RD)
 	tot := new(big.Float).SetInt(r.Total)
 	q, _ := new(big.Float).Quo(rd, tot).Float64()
 	return 100 * q
+}
+
+// minSplitSuffixes is the work-stealing granularity floor: a DFS branch
+// is exported only if at least this many PI-to-PO suffixes hang under it,
+// so task overhead (snapshot + scheduler lock) stays far below the
+// subtree's enumeration cost.
+const minSplitSuffixes = 32
+
+// shared is the cross-walker state of one parallel Enumerate run.
+type shared struct {
+	sched *scheduler
+	// splitOK marks gates whose DFS subtree is big enough to export
+	// (precomputed from exact path counts, so the decision is free).
+	splitOK []bool
+	// limit/selected implement the shared atomic path budget.
+	limit    int64
+	selected atomic.Int64
 }
 
 // walker is the per-goroutine enumeration state.
@@ -97,6 +126,7 @@ type walker struct {
 	eng  *logic.Engine
 	sat  *satsolver.Solver
 	vars satsolver.CircuitVars
+	sh   *shared // nil for serial runs
 
 	gateBuf []circuit.GateID
 	pinBuf  []int
@@ -110,7 +140,7 @@ type walker struct {
 	satRejects int64
 	leadCounts []int64
 	onPath     func(paths.Logical)
-	limit      int64 // only used serially
+	limit      int64 // serial-mode budget; parallel uses shared.selected
 	stopped    bool
 }
 
@@ -134,11 +164,25 @@ func newWalker(c *circuit.Circuit, cr Criterion, opt *Options, onPath func(paths
 }
 
 // record handles one surviving full path; it reports false to stop the
-// walk (limit reached).
+// walk (path budget exhausted).
 func (w *walker) record() bool {
 	if w.sat != nil && !w.exactCheck() {
 		w.satRejects++
 		return true
+	}
+	cont := true
+	if w.sh != nil && w.sh.limit > 0 {
+		n := w.sh.selected.Add(1)
+		if n > w.sh.limit {
+			// Another worker recorded the budget's final path first; this
+			// one is not counted.
+			w.sh.sched.stop.Store(true)
+			return false
+		}
+		if n == w.sh.limit {
+			w.sh.sched.stop.Store(true)
+			cont = false
+		}
 	}
 	w.selected++
 	if w.leadCounts != nil {
@@ -156,11 +200,11 @@ func (w *walker) record() bool {
 			FinalOne: w.valBuf[0],
 		})
 	}
-	if w.limit > 0 && w.selected >= w.limit {
+	if w.sh == nil && w.limit > 0 && w.selected >= w.limit {
 		w.stopped = true
 		return false
 	}
-	return true
+	return cont
 }
 
 // exactCheck asks the SAT solver whether the accumulated conditions are
@@ -191,67 +235,125 @@ func (w *walker) exactCheck() bool {
 	return w.sat.Solve(w.assume...)
 }
 
-func (w *walker) dfs(g circuit.GateID, val bool) bool {
+// dfs explores every extension of the current path, whose last gate is g
+// with final stable value val. When idle workers exist it first exports
+// the untaken large branches of the frontier as steal tasks and keeps
+// only the remainder for itself.
+func (w *walker) dfs(g circuit.GateID) bool {
 	if w.c.Type(g) == circuit.Output {
 		return w.record()
 	}
-	for _, e := range w.c.Fanout(g) {
-		w.segments++
-		next := e.To
-		t := w.c.Type(next)
-		nval := val != t.Inverting()
-		ctrlVal, hasCtrl := t.Controlling()
-		onPathCtrl := hasCtrl && val == ctrlVal
-		w.sideBuf = w.cr.sideConstraints(w.sideBuf[:0], w.c, w.opt.Sort, next, e.Pin, onPathCtrl)
-
-		mark := w.eng.Mark()
-		ok := w.eng.Assign(next, nval)
-		if ok {
-			nonCtrl := !ctrlVal
-			for _, p := range w.sideBuf {
-				if !w.eng.Assign(w.c.Fanin(next)[p], nonCtrl) {
-					ok = false
-					break
-				}
-			}
+	fanout := w.c.Fanout(g)
+	exporting := false
+	if w.sh != nil && len(fanout) > 1 && w.sh.sched.hungry.Load() {
+		exporting = w.export(fanout)
+	}
+	for i := range fanout {
+		if exporting && i > 0 && w.sh.splitOK[fanout[i].To] {
+			continue // handed to the scheduler by export
 		}
-		if !ok {
-			w.pruned++
-			w.eng.BacktrackTo(mark)
-			if w.opt.onPrune != nil {
-				w.gateBuf = append(w.gateBuf, next)
-				w.pinBuf = append(w.pinBuf, e.Pin)
-				w.opt.onPrune(w.gateBuf, w.pinBuf, w.valBuf[0])
-				w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
-				w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
-			}
-			if w.opt.NoPrune {
-				w.gateBuf = append(w.gateBuf, next)
-				w.pinBuf = append(w.pinBuf, e.Pin)
-				w.valBuf = append(w.valBuf, nval)
-				okWalk := w.walkRejected(next)
-				w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
-				w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
-				w.valBuf = w.valBuf[:len(w.valBuf)-1]
-				if !okWalk {
-					return false
-				}
-			}
-			continue
-		}
-		w.gateBuf = append(w.gateBuf, next)
-		w.pinBuf = append(w.pinBuf, e.Pin)
-		w.valBuf = append(w.valBuf, nval)
-		cont := w.dfs(next, nval)
-		w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
-		w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
-		w.valBuf = w.valBuf[:len(w.valBuf)-1]
-		w.eng.BacktrackTo(mark)
-		if !cont {
+		if !w.extend(fanout[i]) {
 			return false
 		}
 	}
 	return true
+}
+
+// export packages every splittable branch of the frontier except the
+// first edge (which the walker keeps, so it always makes progress
+// without re-queueing) as steal tasks. The engine snapshot and prefix
+// buffers are copied once and shared read-only across the tasks. It
+// reports whether anything was exported; the caller then skips exactly
+// the splitOK branches beyond index 0, mirroring the condition here.
+func (w *walker) export(fanout []circuit.Edge) bool {
+	var ts []task
+	for _, e := range fanout[1:] {
+		if !w.sh.splitOK[e.To] {
+			continue
+		}
+		if ts == nil {
+			shared := task{
+				snap:  w.eng.Snapshot(),
+				gates: append([]circuit.GateID(nil), w.gateBuf...),
+				pins:  append([]int(nil), w.pinBuf...),
+				vals:  append([]bool(nil), w.valBuf...),
+			}
+			ts = append(ts, shared)
+			ts[0].edge = e
+			continue
+		}
+		t := ts[0]
+		t.edge = e
+		ts = append(ts, t)
+	}
+	if ts == nil {
+		return false
+	}
+	w.sh.sched.put(ts...)
+	return true
+}
+
+// extend advances the current path along edge e: assert the next on-path
+// value and the criterion's side-input requirements, prune the subtree on
+// contradiction, recurse otherwise. It reports false when the walk must
+// stop (path budget exhausted).
+func (w *walker) extend(e circuit.Edge) bool {
+	if w.sh != nil && w.sh.sched.stop.Load() {
+		return false
+	}
+	w.segments++
+	next := e.To
+	t := w.c.Type(next)
+	val := w.valBuf[len(w.valBuf)-1]
+	nval := val != t.Inverting()
+	ctrlVal, hasCtrl := t.Controlling()
+	onPathCtrl := hasCtrl && val == ctrlVal
+	w.sideBuf = w.cr.sideConstraints(w.sideBuf[:0], w.c, w.opt.Sort, next, e.Pin, onPathCtrl)
+
+	mark := w.eng.Mark()
+	ok := w.eng.Assign(next, nval)
+	if ok {
+		nonCtrl := !ctrlVal
+		for _, p := range w.sideBuf {
+			if !w.eng.Assign(w.c.Fanin(next)[p], nonCtrl) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		w.pruned++
+		w.eng.BacktrackTo(mark)
+		if w.opt.onPrune != nil {
+			w.gateBuf = append(w.gateBuf, next)
+			w.pinBuf = append(w.pinBuf, e.Pin)
+			w.opt.onPrune(w.gateBuf, w.pinBuf, w.valBuf[0])
+			w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
+			w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
+		}
+		if w.opt.NoPrune {
+			w.gateBuf = append(w.gateBuf, next)
+			w.pinBuf = append(w.pinBuf, e.Pin)
+			w.valBuf = append(w.valBuf, nval)
+			okWalk := w.walkRejected(next)
+			w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
+			w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
+			w.valBuf = w.valBuf[:len(w.valBuf)-1]
+			if !okWalk {
+				return false
+			}
+		}
+		return true
+	}
+	w.gateBuf = append(w.gateBuf, next)
+	w.pinBuf = append(w.pinBuf, e.Pin)
+	w.valBuf = append(w.valBuf, nval)
+	cont := w.dfs(next)
+	w.gateBuf = w.gateBuf[:len(w.gateBuf)-1]
+	w.pinBuf = w.pinBuf[:len(w.pinBuf)-1]
+	w.valBuf = w.valBuf[:len(w.valBuf)-1]
+	w.eng.BacktrackTo(mark)
+	return cont
 }
 
 // walkRejected visits (without checking conditions) every path extension
@@ -269,8 +371,8 @@ func (w *walker) walkRejected(g circuit.GateID) bool {
 	return true
 }
 
-// run enumerates all logical paths launched at pi with final value x; it
-// reports false when the walk was stopped by the limit.
+// run enumerates all logical paths launched at pi with final value x on a
+// clean engine; it reports false when the walk was stopped by the limit.
 func (w *walker) run(pi circuit.GateID, x bool) bool {
 	mark := w.eng.Mark()
 	defer w.eng.BacktrackTo(mark)
@@ -281,7 +383,23 @@ func (w *walker) run(pi circuit.GateID, x bool) bool {
 	w.gateBuf = append(w.gateBuf[:0], pi)
 	w.pinBuf = w.pinBuf[:0]
 	w.valBuf = append(w.valBuf[:0], x)
-	return w.dfs(pi, x)
+	return w.dfs(pi)
+}
+
+// runTask executes one scheduler task: a fresh (PI, transition) walk or a
+// stolen mid-DFS branch. The engine may hold leftovers of the previous
+// task; both entry points wipe it in O(trail).
+func (w *walker) runTask(t task) {
+	if t.isRoot {
+		w.eng.Reset()
+		w.run(t.pi, t.x)
+		return
+	}
+	w.eng.Restore(t.snap)
+	w.gateBuf = append(w.gateBuf[:0], t.gates...)
+	w.pinBuf = append(w.pinBuf[:0], t.pins...)
+	w.valBuf = append(w.valBuf[:0], t.vals...)
+	w.extend(t.edge)
 }
 
 // Enumerate runs Algorithm 2: it implicitly enumerates all logical paths
@@ -289,7 +407,9 @@ func (w *walker) run(pi circuit.GateID, x bool) bool {
 // side-input requirements and the implied on-path stable values into a
 // local implication engine. A contradiction prunes the whole subtree
 // (footnote 3: every extension of a failing segment is RD), which is what
-// makes circuits with tens of millions of paths tractable.
+// makes circuits with tens of millions of paths tractable. With
+// Options.Workers > 1 the depth-first walks are balanced across
+// goroutines by work stealing; every count is schedule-independent.
 func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 	if cr == SigmaPi {
 		if opt.Sort == nil {
@@ -300,9 +420,10 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 		}
 	}
 	start := time.Now()
+	ct := paths.NewCounts(c)
 	res := &Result{
 		Criterion: cr,
-		Total:     paths.NewCounts(c).Logical(),
+		Total:     ct.Logical(),
 		Complete:  true,
 	}
 
@@ -316,7 +437,8 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 	}
 
 	workers := opt.Workers
-	if workers <= 1 || opt.Limit > 0 {
+	if workers <= 1 || opt.onPrune != nil {
+		// onPrune consumers (RD certificates) rely on DFS discovery order.
 		workers = 1
 	}
 
@@ -341,24 +463,45 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 				inner(lp)
 			}
 		}
-		ch := make(chan job)
+		sh := &shared{
+			sched:   newScheduler(workers),
+			splitOK: make([]bool, c.NumGates()),
+			limit:   opt.Limit,
+		}
+		minSplit := big.NewInt(minSplitSuffixes)
+		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+			sh.splitOK[g] = ct.Down(g).Cmp(minSplit) >= 0
+		}
+		roots := make([]task, len(jobs))
+		for i, j := range jobs {
+			roots[i] = task{isRoot: true, pi: j.pi, x: j.x}
+		}
+		sh.sched.put(roots...)
 		var wg sync.WaitGroup
 		ws = make([]*walker, workers)
 		for i := range ws {
-			ws[i] = newWalker(c, cr, &opt, onPath)
+			w := newWalker(c, cr, &opt, onPath)
+			w.sh = sh
+			ws[i] = w
 			wg.Add(1)
 			go func(w *walker) {
 				defer wg.Done()
-				for j := range ch {
-					w.run(j.pi, j.x)
+				for {
+					t, ok := sh.sched.get()
+					if !ok {
+						return
+					}
+					if sh.sched.stop.Load() {
+						continue // budget exhausted: drain without walking
+					}
+					w.runTask(t)
 				}
-			}(ws[i])
+			}(w)
 		}
-		for _, j := range jobs {
-			ch <- j
-		}
-		close(ch)
 		wg.Wait()
+		if sh.sched.stop.Load() {
+			res.Complete = false
+		}
 	}
 
 	if opt.CollectLeadCounts {
@@ -377,8 +520,6 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 	}
 	if res.Complete {
 		res.RD = new(big.Int).Sub(res.Total, big.NewInt(res.Selected))
-	} else {
-		res.RD = new(big.Int) // unknown; leave zero
 	}
 	res.Duration = time.Since(start)
 	return res, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"math/big"
 	"sort"
+	"sync"
 
 	"rdfault/internal/circuit"
 	"rdfault/internal/paths"
@@ -38,13 +39,39 @@ func Heuristic1Sort(c *circuit.Circuit) circuit.InputSort {
 // running the enumeration three times (twice here, once for the final
 // RD computation), as Table II shows.
 func Heuristic2Sort(c *circuit.Circuit) (circuit.InputSort, *Result, *Result, error) {
-	fsRes, err := Enumerate(c, FS, Options{CollectLeadCounts: true})
-	if err != nil {
-		return circuit.InputSort{}, nil, nil, err
+	return Heuristic2SortWorkers(c, 1)
+}
+
+// Heuristic2SortWorkers is Heuristic2Sort with a worker budget: the two
+// Algorithm 3 passes run concurrently, splitting the budget between them,
+// and each pass is internally parallel (work-stealing Enumerate). The
+// resulting sort is identical for every worker count — the per-lead
+// tallies are schedule-independent.
+func Heuristic2SortWorkers(c *circuit.Circuit, workers int) (circuit.InputSort, *Result, *Result, error) {
+	var fsRes, tRes *Result
+	var fsErr, tErr error
+	if workers <= 1 {
+		fsRes, fsErr = Enumerate(c, FS, Options{CollectLeadCounts: true})
+		if fsErr == nil {
+			tRes, tErr = Enumerate(c, NonRobust, Options{CollectLeadCounts: true})
+		}
+	} else {
+		// Concurrent passes, each with half the budget (at least one).
+		half := workers / 2
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tRes, tErr = Enumerate(c, NonRobust, Options{CollectLeadCounts: true, Workers: workers - half})
+		}()
+		fsRes, fsErr = Enumerate(c, FS, Options{CollectLeadCounts: true, Workers: half})
+		wg.Wait()
 	}
-	tRes, err := Enumerate(c, NonRobust, Options{CollectLeadCounts: true})
-	if err != nil {
-		return circuit.InputSort{}, nil, nil, err
+	if fsErr != nil {
+		return circuit.InputSort{}, nil, nil, fsErr
+	}
+	if tErr != nil {
+		return circuit.InputSort{}, nil, nil, tErr
 	}
 	measure := make([]int64, c.NumLeads())
 	for i := range measure {

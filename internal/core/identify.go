@@ -53,7 +53,9 @@ type Report struct {
 	Heuristic Heuristic
 	// TotalLogicalPaths is |LP(C)|.
 	TotalLogicalPaths *big.Int
-	// RD is the number of logical paths identified robust dependent.
+	// RD is the number of logical paths identified robust dependent; nil
+	// when Complete is false (a truncated run proves nothing about the
+	// paths it never visited).
 	RD *big.Int
 	// Selected is |LP^sup(σ^π)| (or |FS^sup| for HeuristicFUS): the paths
 	// that remain to be considered for delay testing.
@@ -72,9 +74,10 @@ type Report struct {
 	Complete bool
 }
 
-// RDPercent returns 100*RD/TotalLogicalPaths.
+// RDPercent returns 100*RD/TotalLogicalPaths; 0 when RD is unknown
+// (incomplete run) or the circuit is empty.
 func (r *Report) RDPercent() float64 {
-	if r.TotalLogicalPaths.Sign() == 0 {
+	if r.RD == nil || r.TotalLogicalPaths.Sign() == 0 {
 		return 0
 	}
 	rd := new(big.Float).SetInt(r.RD)
@@ -102,7 +105,7 @@ func Identify(c *circuit.Circuit, h Heuristic, opt Options) (*Report, error) {
 		sortDur = time.Since(t0)
 	case Heuristic2, Heuristic2Inverse:
 		t0 := time.Now()
-		s2, _, _, err := Heuristic2Sort(c)
+		s2, _, _, err := Heuristic2SortWorkers(c, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -139,8 +142,14 @@ func Identify(c *circuit.Circuit, h Heuristic, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// String renders the report as one Table I/II style row.
+// String renders the report as one Table I/II style row. A truncated run
+// has no RD count: it shows the selected lower bound instead.
 func (r *Report) String() string {
+	if !r.Complete {
+		return fmt.Sprintf("%-12s %-13s paths=%v selected>=%d RD=? (limit reached) sort=%v enum=%v",
+			r.Circuit, r.Heuristic, r.TotalLogicalPaths, r.Selected,
+			r.SortDuration.Round(time.Millisecond), r.EnumerateDuration.Round(time.Millisecond))
+	}
 	return fmt.Sprintf("%-12s %-13s paths=%v RD=%v (%.2f%%) sort=%v enum=%v",
 		r.Circuit, r.Heuristic, r.TotalLogicalPaths, r.RD, r.RDPercent(),
 		r.SortDuration.Round(time.Millisecond), r.EnumerateDuration.Round(time.Millisecond))

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+)
+
+// task is one unit of enumeration work. A root task enumerates every
+// logical path launched at one (PI, transition) pair — the coarse job
+// granularity of the pre-work-stealing engine. A stolen task is an
+// untaken DFS branch exported by a busy walker: the path prefix, the
+// implication-engine state with the prefix's conditions asserted, and the
+// single fanout edge to explore. Thieves restore the snapshot and walk
+// the subtree exactly as the victim would have, so every counter comes
+// out the same regardless of which worker runs which branch.
+type task struct {
+	// Root task fields (isRoot true): start a fresh (PI, transition) walk.
+	pi     circuit.GateID
+	x      bool
+	isRoot bool
+
+	// Stolen-branch fields: prefix buffers are shared, read-only, among
+	// all tasks exported at the same DFS node; edge is the branch to take.
+	snap  logic.Snapshot
+	gates []circuit.GateID
+	pins  []int
+	vals  []bool
+	edge  circuit.Edge
+}
+
+// scheduler is the shared work pool of a parallel Enumerate: a LIFO task
+// stack with starvation signalling. Walkers consult the hungry flag (one
+// atomic load) at each DFS node; when it is set they split their frontier,
+// exporting untaken branches so idle workers can steal near the DFS root,
+// where subtrees are biggest. LIFO order keeps stolen prefixes warm.
+//
+// Termination uses the classic idle-worker count: only a running worker
+// can create tasks, so when every worker is blocked on an empty pool the
+// enumeration is complete.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   []task
+	waiting int
+	workers int
+	done    bool
+
+	// hungry is set when a worker is idle or the pool is running low;
+	// walkers then export frontier branches. Cleared once the pool holds
+	// at least one task per worker, which self-limits split overhead.
+	hungry atomic.Bool
+	// stop aborts the run (shared path budget exhausted): workers drain
+	// remaining tasks without processing and DFS walks unwind.
+	stop atomic.Bool
+}
+
+func newScheduler(workers int) *scheduler {
+	s := &scheduler{workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	s.hungry.Store(true)
+	return s
+}
+
+// refreshHunger recomputes the split signal; callers hold s.mu.
+func (s *scheduler) refreshHunger() {
+	s.hungry.Store(s.waiting > 0 || len(s.tasks) < s.workers)
+}
+
+// put adds tasks to the pool and wakes idle workers.
+func (s *scheduler) put(ts ...task) {
+	s.mu.Lock()
+	s.tasks = append(s.tasks, ts...)
+	s.refreshHunger()
+	if s.waiting > 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// get blocks until a task is available or every worker is idle with an
+// empty pool (run complete); the second return is false on completion.
+func (s *scheduler) get() (task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.done {
+			return task{}, false
+		}
+		if n := len(s.tasks); n > 0 {
+			t := s.tasks[n-1]
+			s.tasks[n-1] = task{} // release prefix buffers for GC
+			s.tasks = s.tasks[:n-1]
+			s.refreshHunger()
+			return t, true
+		}
+		s.waiting++
+		s.hungry.Store(true)
+		if s.waiting == s.workers {
+			s.done = true
+			s.cond.Broadcast()
+			return task{}, false
+		}
+		s.cond.Wait()
+		s.waiting--
+	}
+}

@@ -20,7 +20,7 @@ func smallSuite() []gen.Named {
 }
 
 func TestRunISCAS(t *testing.T) {
-	rows, err := RunISCAS(smallSuite())
+	rows, err := RunISCAS(smallSuite(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestRunMCNC(t *testing.T) {
 		{Paper: "apex1", Cover: gen.RandomPLA("apex1", gen.PLAOptions{Inputs: 6, Outputs: 3, Cubes: 10}, 3)},
 		{Paper: "bw", Cover: gen.RandomPLA("bw", gen.PLAOptions{Inputs: 5, Outputs: 4, Cubes: 12, DashFrac: 0.2}, 4)},
 	}
-	rows, err := RunMCNC(covers)
+	rows, err := RunMCNC(covers, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestRunPopulation(t *testing.T) {
 
 func TestRunAllQuickAndReports(t *testing.T) {
 	var buf bytes.Buffer
-	s, err := RunAll(&buf, true)
+	s, err := RunAll(&buf, true, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

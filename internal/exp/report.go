@@ -28,8 +28,9 @@ type Summary struct {
 
 // RunAll executes every experiment. quick substitutes scaled-down
 // workloads (seconds instead of minutes) — the full mode regenerates the
-// EXPERIMENTS.md numbers.
-func RunAll(w io.Writer, quick bool) (*Summary, error) {
+// EXPERIMENTS.md numbers. workers parallelizes the table enumerations
+// (<=1 for serial); the measured counts do not depend on it.
+func RunAll(w io.Writer, quick bool, workers int) (*Summary, error) {
 	s := &Summary{GeneratedAt: time.Now(), Quick: quick}
 	iscas := gen.ISCAS85Suite()
 	mcnc := gen.MCNCSuite()
@@ -52,12 +53,12 @@ func RunAll(w io.Writer, quick bool) (*Summary, error) {
 		popN = 4
 	}
 	var err error
-	if s.ISCAS, err = RunISCAS(iscas); err != nil {
+	if s.ISCAS, err = RunISCAS(iscas, workers); err != nil {
 		return nil, err
 	}
 	FprintTableI(w, s.ISCAS)
 	FprintTableII(w, s.ISCAS)
-	if s.MCNC, err = RunMCNC(mcnc); err != nil {
+	if s.MCNC, err = RunMCNC(mcnc, workers); err != nil {
 		return nil, err
 	}
 	FprintTableIII(w, s.MCNC)

@@ -52,15 +52,16 @@ type ISCASRow struct {
 // RunISCAS computes Table I and Table II rows for the given circuits,
 // sharing the enumeration passes exactly as Algorithm 3 allows: the FS
 // and T passes feed the FUS column, Heuristic 2's sort, and the inverse
-// control column.
-func RunISCAS(circuits []gen.Named) ([]ISCASRow, error) {
+// control column. workers sets the per-pass enumeration parallelism
+// (<=1 for serial); every measured count is identical for any value.
+func RunISCAS(circuits []gen.Named, workers int) ([]ISCASRow, error) {
 	rows := make([]ISCASRow, 0, len(circuits))
 	for _, nc := range circuits {
 		c := nc.C
 		row := ISCASRow{Circuit: nc.Paper}
 
 		t0 := time.Now()
-		fsRes, err := core.Enumerate(c, core.FS, core.Options{CollectLeadCounts: true})
+		fsRes, err := core.Enumerate(c, core.FS, core.Options{CollectLeadCounts: true, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", nc.Paper, err)
 		}
@@ -69,7 +70,7 @@ func RunISCAS(circuits []gen.Named) ([]ISCASRow, error) {
 		row.FUS = fsRes.RDPercent()
 
 		t0 = time.Now()
-		tRes, err := core.Enumerate(c, core.NonRobust, core.Options{CollectLeadCounts: true})
+		tRes, err := core.Enumerate(c, core.NonRobust, core.Options{CollectLeadCounts: true, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", nc.Paper, err)
 		}
@@ -78,7 +79,7 @@ func RunISCAS(circuits []gen.Named) ([]ISCASRow, error) {
 		// Heuristic 1: linear-time path counting sort + one pass.
 		t0 = time.Now()
 		s1 := core.Heuristic1Sort(c)
-		h1Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s1})
+		h1Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s1, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s heu1: %v", nc.Paper, err)
 		}
@@ -88,7 +89,7 @@ func RunISCAS(circuits []gen.Named) ([]ISCASRow, error) {
 		// Heuristic 2: reuse the FS and T passes for the cost measure.
 		t0 = time.Now()
 		s2 := heu2SortFromCounts(c, fsRes.LeadCounts, tRes.LeadCounts)
-		h2Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s2})
+		h2Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s2, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s heu2: %v", nc.Paper, err)
 		}
@@ -97,7 +98,7 @@ func RunISCAS(circuits []gen.Named) ([]ISCASRow, error) {
 
 		// Inverse control experiment.
 		inv := s2.Inverse()
-		invRes, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &inv})
+		invRes, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &inv, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s inverse: %v", nc.Paper, err)
 		}
@@ -172,7 +173,8 @@ type MCNCRow struct {
 
 // RunMCNC synthesizes each cover (the script.rugged stand-in) and runs
 // both the unfolding approach of [1] and Heuristic 2 — Table III.
-func RunMCNC(covers []gen.NamedCover) ([]MCNCRow, error) {
+// workers parallelizes the Heuristic 2 pipeline (<=1 for serial).
+func RunMCNC(covers []gen.NamedCover, workers int) ([]MCNCRow, error) {
 	rows := make([]MCNCRow, 0, len(covers))
 	for _, nc := range covers {
 		c, err := synth.Synthesize(nc.Cover, synth.Options{})
@@ -191,7 +193,7 @@ func RunMCNC(covers []gen.NamedCover) ([]MCNCRow, error) {
 		row.Total = lam.TotalLogicalPaths
 
 		t0 = time.Now()
-		rep, err := core.Identify(c, core.Heuristic2, core.Options{})
+		rep, err := core.Identify(c, core.Heuristic2, core.Options{Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s heu2: %v", nc.Paper, err)
 		}

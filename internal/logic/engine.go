@@ -18,7 +18,6 @@ type Engine struct {
 
 	queue   []circuit.GateID
 	queued  []bool
-	inEval  []bool // scratch: avoids self-requeue storms
 	confl   bool
 	nAssign int64 // statistics: total value assignments performed
 	nImply  int64 // statistics: assignments derived by implication
@@ -31,7 +30,6 @@ func NewEngine(c *circuit.Circuit) *Engine {
 		c:      c,
 		val:    make([]Value, n),
 		queued: make([]bool, n),
-		inEval: make([]bool, n),
 	}
 }
 
@@ -45,17 +43,25 @@ func (e *Engine) Value(g circuit.GateID) Value { return e.val[g] }
 func (e *Engine) Mark() int { return len(e.trail) }
 
 // BacktrackTo undoes every assignment made after the corresponding Mark
-// call and clears any recorded conflict.
+// call and clears any recorded conflict. Cost is proportional to the
+// number of assignments undone plus any pending queue entries — never to
+// the circuit size — so deep DFS walks pay O(1) amortized per edge.
 func (e *Engine) BacktrackTo(mark int) {
 	for i := len(e.trail) - 1; i >= mark; i-- {
 		e.val[e.trail[i]] = X
 	}
 	e.trail = e.trail[:mark]
 	e.confl = false
-	e.queue = e.queue[:0]
-	for i := range e.queued {
-		e.queued[i] = false
+	e.drainQueue()
+}
+
+// drainQueue discards pending work, unmarking only the gates actually
+// enqueued instead of sweeping the whole per-gate queued array.
+func (e *Engine) drainQueue() {
+	for _, g := range e.queue {
+		e.queued[g] = false
 	}
+	e.queue = e.queue[:0]
 }
 
 // Reset clears all assignments.
@@ -122,10 +128,7 @@ func (e *Engine) propagate() bool {
 		e.queue = e.queue[:len(e.queue)-1]
 		e.queued[g] = false
 		if !e.eval(g) {
-			e.queue = e.queue[:0]
-			for i := range e.queued {
-				e.queued[i] = false
-			}
+			e.drainQueue()
 			return false
 		}
 	}
@@ -235,6 +238,48 @@ func (e *Engine) eval(g circuit.GateID) bool {
 		}
 	}
 	return true
+}
+
+// Snapshot is an immutable copy of an engine's assignment state, taken
+// with Engine.Snapshot and installed with Engine.Restore. It is the
+// handoff unit of parallel path enumeration: a walker packages its
+// mid-DFS state so an idle goroutine can continue an untaken branch.
+// A Snapshot is safe to share across goroutines.
+type Snapshot struct {
+	gates []circuit.GateID
+	vals  []Value
+}
+
+// Len returns the number of assignments captured.
+func (s Snapshot) Len() int { return len(s.gates) }
+
+// Snapshot captures the engine's current assignments (the full trail with
+// its values). Cost is O(len(trail)), independent of circuit size. The
+// engine must not be mid-propagation (every public entry point leaves it
+// settled), so the captured set is implication-closed.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		gates: append([]circuit.GateID(nil), e.trail...),
+		vals:  make([]Value, len(e.trail)),
+	}
+	for i, g := range e.trail {
+		s.vals[i] = e.val[g]
+	}
+	return s
+}
+
+// Restore resets e and installs s verbatim, without re-running
+// implications: a snapshot is implication-closed by construction, so the
+// propagation fixpoint is preserved and any later Assign derives exactly
+// what it would have derived on the engine the snapshot came from. Cost
+// is O(previous trail + snapshot), never O(circuit). The target engine
+// must operate on the same circuit; statistics counters are unaffected.
+func (e *Engine) Restore(s Snapshot) {
+	e.BacktrackTo(0)
+	for i, g := range s.gates {
+		e.val[g] = s.vals[i]
+	}
+	e.trail = append(e.trail, s.gates...)
 }
 
 // AssignAll asserts a set of (gate, value) requirements in order, stopping

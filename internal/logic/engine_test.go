@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -316,6 +317,117 @@ func BenchmarkImplicationEngine(b *testing.B) {
 			}
 		}
 		e.BacktrackTo(mark)
+	}
+}
+
+// TestSnapshotRestore: a restored engine is indistinguishable from the
+// one the snapshot was taken from — same values everywhere, and identical
+// behavior for any subsequent assignment sequence.
+func TestSnapshotRestore(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 2}, seed)
+		rng := rand.New(rand.NewSource(seed * 31))
+		a := NewEngine(c)
+		for i := 0; i < 3; i++ {
+			a.Assign(circuit.GateID(rng.Intn(c.NumGates())), rng.Intn(2) == 0)
+		}
+		snap := a.Snapshot()
+		b := NewEngine(c)
+		b.Assign(c.Inputs()[0], true) // pre-existing state must be wiped
+		b.Restore(snap)
+		for g := 0; g < c.NumGates(); g++ {
+			if a.Value(circuit.GateID(g)) != b.Value(circuit.GateID(g)) {
+				t.Fatalf("seed %d: gate %d differs after restore", seed, g)
+			}
+		}
+		if a.Mark() != b.Mark() {
+			t.Fatalf("seed %d: trail length %d != %d", seed, a.Mark(), b.Mark())
+		}
+		// Continue both engines with the same assignments: identical
+		// conflict outcomes and values.
+		for trial := 0; trial < 30; trial++ {
+			g := circuit.GateID(rng.Intn(c.NumGates()))
+			v := rng.Intn(2) == 0
+			ma, mb := a.Mark(), b.Mark()
+			oka, okb := a.Assign(g, v), b.Assign(g, v)
+			if oka != okb {
+				t.Fatalf("seed %d trial %d: assign diverged (%v vs %v)", seed, trial, oka, okb)
+			}
+			for gg := 0; gg < c.NumGates(); gg++ {
+				if a.Value(circuit.GateID(gg)) != b.Value(circuit.GateID(gg)) {
+					t.Fatalf("seed %d trial %d: value diverged at gate %d", seed, trial, gg)
+				}
+			}
+			if !oka {
+				a.BacktrackTo(ma)
+				b.BacktrackTo(mb)
+			}
+		}
+	}
+}
+
+// TestSnapshotSharedAcrossEngines: one snapshot may be restored into many
+// engines (parallel work stealing hands the same prefix to several
+// thieves) without the restores interfering.
+func TestSnapshotSharedAcrossEngines(t *testing.T) {
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 2}, 7)
+	a := NewEngine(c)
+	a.Assign(c.Inputs()[0], true)
+	a.Assign(c.Inputs()[1], false)
+	snap := a.Snapshot()
+	b1, b2 := NewEngine(c), NewEngine(c)
+	b1.Restore(snap)
+	b2.Restore(snap)
+	b1.Assign(c.Inputs()[2], true)
+	b2.BacktrackTo(0) // must not corrupt snap or b1
+	b1.BacktrackTo(0)
+	b1.Restore(snap)
+	for g := 0; g < c.NumGates(); g++ {
+		if a.Value(circuit.GateID(g)) != b1.Value(circuit.GateID(g)) {
+			t.Fatalf("snapshot corrupted by sibling restore at gate %d", g)
+		}
+	}
+}
+
+// chainWithPadding builds a NOT-chain of the given depth from one input
+// to one output, padded with extra disconnected input->buf->output
+// triples so the circuit has roughly `gates` total gates. The chain depth
+// is what a DFS backtrack must undo; the padding is what a naive
+// O(numGates) clear would scan.
+func chainWithPadding(depth, gates int) (*circuit.Circuit, circuit.GateID) {
+	b := circuit.NewBuilder("deep")
+	head := b.Input("head")
+	cur := head
+	for i := 0; i < depth; i++ {
+		cur = b.Gate(circuit.Not, fmt.Sprintf("n%d", i), cur)
+	}
+	b.Output("po", cur)
+	for i := 0; 3*i < gates-depth; i++ {
+		in := b.Input(fmt.Sprintf("pi%d", i))
+		buf := b.Gate(circuit.Buf, fmt.Sprintf("b%d", i), in)
+		b.Output(fmt.Sprintf("pad%d", i), buf)
+	}
+	return b.MustBuild(), head
+}
+
+// BenchmarkDeepBacktrack measures one assign-through-a-64-deep-chain plus
+// the backtrack that undoes it, at growing circuit sizes. With drain-
+// based queue clearing the cost depends only on the trail delta (the
+// chain), so ns/op must stay flat as the padding grows 64x.
+func BenchmarkDeepBacktrack(b *testing.B) {
+	for _, gates := range []int{2_000, 16_000, 128_000} {
+		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
+			c, head := chainWithPadding(64, gates)
+			e := NewEngine(c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mark := e.Mark()
+				if !e.Assign(head, i%2 == 0) {
+					b.Fatal("conflict on chain assign")
+				}
+				e.BacktrackTo(mark)
+			}
+		})
 	}
 }
 

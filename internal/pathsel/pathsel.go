@@ -40,6 +40,10 @@ type Options struct {
 	NoRDFilter bool
 	// Limit caps the number of selected logical paths (0 = unlimited).
 	Limit int
+	// Workers parallelizes the RD-filtering enumeration in NewSelector
+	// (<=1 for serial). The surviving path set is a set — identical for
+	// any worker count.
+	Workers int
 }
 
 // Selector runs selection strategies over one circuit.
@@ -67,7 +71,8 @@ func NewSelector(c *circuit.Circuit, d sim.Delays, opt Options) (*Selector, erro
 	}
 	s.keep = make(map[string]bool)
 	_, err := core.Enumerate(c, core.SigmaPi, core.Options{
-		Sort: &s.sort,
+		Sort:    &s.sort,
+		Workers: opt.Workers,
 		OnPath: func(lp paths.Logical) {
 			s.keep[lp.Key()] = true
 		},

@@ -171,6 +171,13 @@ func Heuristic2Sort(c *Circuit) (InputSort, *Result, *Result, error) {
 	return core.Heuristic2Sort(c)
 }
 
+// Heuristic2SortWorkers is Heuristic2Sort with a worker budget: the two
+// Algorithm 3 passes run concurrently and internally parallel. The sort
+// is identical for every worker count.
+func Heuristic2SortWorkers(c *Circuit, workers int) (InputSort, *Result, *Result, error) {
+	return core.Heuristic2SortWorkers(c, workers)
+}
+
 // PinOrderSort returns the identity input sort.
 func PinOrderSort(c *Circuit) InputSort { return circuit.PinOrderSort(c) }
 
