@@ -27,7 +27,7 @@ import (
 // suite.
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunISCAS(gen.ISCAS85Suite(), 1)
+		rows, _, err := exp.RunISCAS(gen.ISCAS85Suite(), exp.SuiteOptions{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func BenchmarkTableI(b *testing.B) {
 // relation: Heu2 executes the enumeration three times).
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunISCAS(gen.ISCAS85Suite(), 1)
+		rows, _, err := exp.RunISCAS(gen.ISCAS85Suite(), exp.SuiteOptions{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func BenchmarkTableII(b *testing.B) {
 // MCNC-analogue two-level benchmarks — quality and running time.
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunMCNC(gen.MCNCSuite(), 1)
+		rows, _, err := exp.RunMCNC(gen.MCNCSuite(), exp.SuiteOptions{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rdfault"
+	"rdfault/internal/cliutil"
 	"rdfault/internal/loader"
 	"rdfault/internal/tgen"
 )
@@ -36,7 +37,11 @@ func main() {
 		emit      = flag.Bool("emit", false, "print the generated test vectors")
 		outTests  = flag.String("o", "", "write the test set to this file (tgen.WriteTests format)")
 	)
+	rf := cliutil.Register()
 	flag.Parse()
+	ctx, stop := rf.SignalContext()
+	defer stop()
+	rf.WarnCheckpointUnused("atpg", "a partial RD keep-map is unsound; interrupted filtering falls back to no filtering")
 
 	var c *rdfault.Circuit
 	switch {
@@ -55,12 +60,23 @@ func main() {
 	fmt.Printf("circuit %s: %s\n", c.Name(), c.Stats())
 	fmt.Printf("logical paths: %v\n", rdfault.CountPaths(c))
 
-	// 1+2: RD identification and selection.
+	// 1+2: RD identification and selection. The RD filter is only sound
+	// with a complete keep-map, so when -timeout (or ^C) interrupts it we
+	// degrade to an unfiltered selection rather than silently over-filter.
 	d := rdfault.UnitDelays(c)
 	t0 := time.Now()
-	sel, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{Workers: *workers})
+	sel, err := rdfault.NewSelector(c, d, rdfault.SelectOptions{
+		Workers: *workers, Context: ctx, Deadline: rf.Timeout,
+	})
 	if err != nil {
-		fatal(err)
+		if !cliutil.IsGracefulStop(err) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "atpg: RD identification interrupted; continuing WITHOUT the RD filter (selection may include untestable paths)")
+		sel, err = rdfault.NewSelector(c, d, rdfault.SelectOptions{NoRDFilter: true})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	var chosen []rdfault.Logical
 	switch *strategy {

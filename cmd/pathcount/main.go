@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"sync"
 
 	"rdfault/internal/circuit"
+	"rdfault/internal/cliutil"
 	"rdfault/internal/gen"
 	"rdfault/internal/loader"
 	"rdfault/internal/paths"
@@ -33,13 +35,22 @@ func main() {
 		topLeads  = flag.Int("top", 5, "number of heaviest leads to list")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "circuits counted concurrently in suite mode")
 	)
+	rf := cliutil.Register()
 	flag.Parse()
+	rf.WarnCheckpointUnused("pathcount", "counting is linear-time; -timeout skips not-yet-started circuits")
+	ctx, stop := rf.SignalContext()
+	defer stop()
+	if rf.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rf.Timeout)
+		defer cancel()
+	}
 
 	switch {
 	case *suite == "iscas":
 		named := gen.ISCAS85Suite()
 		named = append(named, gen.Named{Paper: "c6288", C: gen.C6288Analogue()})
-		reportSuite(named, *topLeads, *workers)
+		reportSuite(ctx, named, *topLeads, *workers)
 		return
 	case *suite != "":
 		fatal(fmt.Errorf("unknown suite %q", *suite))
@@ -56,12 +67,15 @@ func main() {
 
 // reportSuite counts each circuit concurrently (counting is read-only and
 // per-circuit independent) but prints the reports in suite order, so the
-// output is identical for any worker count.
-func reportSuite(named []gen.Named, top, workers int) {
+// output is identical for any worker count. When ctx expires (-timeout or
+// ^C) circuits not yet started are skipped and listed at the end; partial
+// output is never printed.
+func reportSuite(ctx context.Context, named []gen.Named, top, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
 	bufs := make([]bytes.Buffer, len(named))
+	skipped := make([]bool, len(named))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, nc := range named {
@@ -70,12 +84,21 @@ func reportSuite(named []gen.Named, top, workers int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				skipped[i] = true
+				return
+			}
 			report(&bufs[i], nc.C, nc.Paper, top)
 		}(i, nc)
 	}
 	wg.Wait()
 	for i := range bufs {
 		io.Copy(os.Stdout, &bufs[i])
+	}
+	for i, s := range skipped {
+		if s {
+			fmt.Fprintf(os.Stderr, "pathcount: %s skipped (%v)\n", named[i].Paper, context.Cause(ctx))
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"rdfault"
+	"rdfault/internal/cliutil"
 	"rdfault/internal/exp"
 	"rdfault/internal/gen"
 )
@@ -30,21 +31,34 @@ func main() {
 		nodeCap = flag.Int("nodecap", 400_000, "leaf-dag node cap (unfolding aborts beyond it)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel enumeration goroutines for Heuristic 2")
 	)
+	rf := cliutil.Register()
 	flag.Parse()
+	ctx, stop := rf.SignalContext()
+	defer stop()
 
 	switch {
 	case *speedup:
+		rf.WarnCheckpointUnused("rdcompare", "the speed-up experiment is time-measured, not resumable")
 		if _, err := exp.RunSpeedup(os.Stdout, []int{4, 6, 8, 10, 12, 14, 20}, *nodeCap); err != nil {
 			fatal(err)
 		}
 	case *suite == "mcnc":
-		rows, err := exp.RunMCNC(gen.MCNCSuite(), *workers)
-		if err != nil {
+		rf.WarnCheckpointUnused("rdcompare", "suite mode quarantines over-budget circuits instead")
+		rows, quarantined, err := exp.RunMCNC(gen.MCNCSuite(), exp.SuiteOptions{
+			Workers:           *workers,
+			PerCircuitTimeout: rf.Timeout,
+			Context:           ctx,
+		})
+		if err != nil && !cliutil.IsGracefulStop(err) {
 			fatal(err)
 		}
 		exp.FprintTableIII(os.Stdout, rows)
+		exp.FprintQuarantine(os.Stdout, quarantined)
 		fmt.Printf("\naverage RD shortfall of Heuristic 2 vs [1]: %.2f%% (paper: 2.05%%)\n",
 			exp.QualityGap(rows))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdcompare: suite canceled; the table covers the finished circuits")
+		}
 	case *plaFile != "":
 		f, err := os.Open(*plaFile)
 		if err != nil {
@@ -66,14 +80,23 @@ func main() {
 		}
 		lamT := time.Since(t0)
 		t0 = time.Now()
-		rep, err := rdfault.Identify(c, rdfault.Heuristic2, rdfault.Options{Workers: *workers})
+		opt := rdfault.Options{Workers: *workers}
+		if err := rf.Apply(ctx, &opt); err != nil {
+			fatal(err)
+		}
+		rep, err := rdfault.Identify(c, rdfault.Heuristic2, opt)
 		if err != nil {
+			if cliutil.IsGracefulStop(err) {
+				fmt.Fprintln(os.Stderr, "rdcompare: interrupted before enumeration started (no partial state to save)")
+				return
+			}
 			fatal(err)
 		}
 		h2T := time.Since(t0)
 		fmt.Printf("%s: %v logical paths\n", c.Name(), rep.TotalLogicalPaths)
 		fmt.Printf("  approach of [1]: %6.2f%% RD in %v\n", lam.RDPercent(), lamT.Round(time.Millisecond))
 		fmt.Printf("  Heuristic 2:     %6.2f%% RD in %v\n", rep.RDPercent(), h2T.Round(time.Millisecond))
+		rf.HandleInterrupted("rdcompare", rep.Final)
 	default:
 		flag.Usage()
 		os.Exit(2)

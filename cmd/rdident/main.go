@@ -6,6 +6,11 @@
 //	rdident -bench file.bench [-heuristic heu2] [-limit N]
 //	rdident -suite iscas      # the generated ISCAS85-analogue suite
 //	rdident -example          # the paper's running example circuit
+//
+// Long runs are interruptible: -timeout bounds the wall clock (per
+// circuit in suite mode), ^C cancels gracefully, and -checkpoint/-resume
+// save and continue an interrupted enumeration with bit-identical final
+// counters.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"rdfault"
+	"rdfault/internal/cliutil"
 	"rdfault/internal/exp"
 	"rdfault/internal/gen"
 	"rdfault/internal/loader"
@@ -31,17 +37,29 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel enumeration goroutines (counts are identical for any value)")
 		cert      = flag.Bool("cert", false, "print the prime-segment RD certificate (Heuristic 2 sort)")
 	)
+	rf := cliutil.Register()
 	flag.Parse()
+	ctx, stop := rf.SignalContext()
+	defer stop()
 
 	switch {
 	case *suite == "iscas":
-		rows, err := exp.RunISCAS(gen.ISCAS85Suite(), *workers)
-		if err != nil {
+		rf.WarnCheckpointUnused("rdident", "suite mode quarantines over-budget circuits instead")
+		rows, quarantined, err := exp.RunISCAS(gen.ISCAS85Suite(), exp.SuiteOptions{
+			Workers:           *workers,
+			PerCircuitTimeout: rf.Timeout,
+			Context:           ctx,
+		})
+		if err != nil && !cliutil.IsGracefulStop(err) {
 			fatal(err)
 		}
 		exp.FprintTableI(os.Stdout, rows)
 		fmt.Println()
 		exp.FprintTableII(os.Stdout, rows)
+		exp.FprintQuarantine(os.Stdout, quarantined)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdident: suite canceled; tables above cover the finished circuits")
+		}
 		return
 	case *suite != "":
 		fatal(fmt.Errorf("unknown suite %q (want 'iscas')", *suite))
@@ -78,14 +96,28 @@ func main() {
 		}
 		order = []string{strings.ToLower(*heuristic)}
 	}
+	if rf.ResumePath != "" && len(order) != 1 {
+		fatal(fmt.Errorf("-resume needs a single -heuristic (a checkpoint is bound to one criterion and sort)"))
+	}
 	for _, name := range order {
-		rep, err := rdfault.Identify(c, hs[name], rdfault.Options{Limit: *limit, Workers: *workers})
+		opt := rdfault.Options{Limit: *limit, Workers: *workers}
+		if err := rf.Apply(ctx, &opt); err != nil {
+			fatal(err)
+		}
+		rep, err := rdfault.Identify(c, hs[name], opt)
 		if err != nil {
+			if cliutil.IsGracefulStop(err) {
+				fmt.Fprintf(os.Stderr, "rdident: %s interrupted before enumeration started (no partial state to save)\n", name)
+				return
+			}
 			fatal(err)
 		}
 		fmt.Println(rep)
 		if !rep.Complete {
 			fmt.Printf("  (selected is a lower bound: >=%d paths survive; RD unknown)\n", rep.Selected)
+		}
+		if rf.HandleInterrupted("rdident", rep.Final) {
+			return
 		}
 	}
 	if *cert {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 
+	"rdfault/internal/cliutil"
 	"rdfault/internal/exp"
 )
 
@@ -25,15 +26,26 @@ func main() {
 		progress = flag.Bool("v", false, "stream experiment output to stderr while running")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel enumeration goroutines for the table runs")
 	)
+	rf := cliutil.Register()
 	flag.Parse()
+	ctx, stop := rf.SignalContext()
+	defer stop()
+	rf.WarnCheckpointUnused("report", "the suite quarantines over-budget circuits instead; -timeout is the per-circuit budget")
 
 	var sink io.Writer = io.Discard
 	if *progress {
 		sink = os.Stderr
 	}
-	summary, err := exp.RunAll(sink, *quick, *workers)
+	summary, err := exp.RunAll(sink, *quick, exp.SuiteOptions{
+		Workers:           *workers,
+		PerCircuitTimeout: rf.Timeout,
+		Context:           ctx,
+	})
 	if err != nil {
 		fatal(err)
+	}
+	if n := len(summary.Quarantined); n > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d circuit(s) quarantined (over budget or crashed); see the report's quarantine table\n", n)
 	}
 	f, err := os.Create(*outHTML)
 	if err != nil {

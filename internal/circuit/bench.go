@@ -32,10 +32,11 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		line int
 	}
 	var (
-		inputs   []string
-		outputs  []string
-		defs     = make(map[string]def)
-		defOrder []string
+		inputs    []string
+		outputs   []string
+		defs      = make(map[string]def)
+		defOrder  []string
+		inputLine = make(map[string]int)
 	)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -56,6 +57,13 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
 			}
+			if first, dup := inputLine[sig]; dup {
+				return nil, fmt.Errorf("bench %s:%d: input %q already declared at line %d", name, lineNo, sig, first)
+			}
+			if d, dup := defs[sig]; dup {
+				return nil, fmt.Errorf("bench %s:%d: input %q already defined as a gate at line %d", name, lineNo, sig, d.line)
+			}
+			inputLine[sig] = lineNo
 			inputs = append(inputs, sig)
 		case strings.HasPrefix(up, "OUTPUT(") || strings.HasPrefix(up, "OUTPUT ("):
 			sig, err := parenArg(line)
@@ -83,8 +91,11 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 					args = append(args, a)
 				}
 			}
-			if _, dup := defs[sig]; dup {
-				return nil, fmt.Errorf("bench %s:%d: signal %q defined twice", name, lineNo, sig)
+			if d, dup := defs[sig]; dup {
+				return nil, fmt.Errorf("bench %s:%d: signal %q already defined at line %d", name, lineNo, sig, d.line)
+			}
+			if first, dup := inputLine[sig]; dup {
+				return nil, fmt.Errorf("bench %s:%d: signal %q already declared INPUT at line %d", name, lineNo, sig, first)
 			}
 			defs[sig] = def{fn: fn, args: args, line: lineNo}
 			defOrder = append(defOrder, sig)

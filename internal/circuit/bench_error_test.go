@@ -1,0 +1,45 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parser's diagnostics must carry the offending line and name the
+// actual problem — a duplicate INPUT used to surface as a bogus
+// "combinational cycle" from the builder's error state.
+func TestParseBenchDiagnostics(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"duplicate input",
+			"INPUT(a)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+			`tc:2: input "a" already declared at line 1`},
+		{"input redefined as gate",
+			"INPUT(a)\nINPUT(b)\nOUTPUT(y)\na = NOT(b)\ny = AND(a, b)\n",
+			`tc:4: signal "a" already declared INPUT at line 1`},
+		{"gate redeclared as input",
+			"INPUT(b)\na = NOT(b)\nINPUT(a)\nOUTPUT(a)\n",
+			`tc:3: input "a" already defined as a gate at line 2`},
+		{"signal defined twice",
+			"INPUT(b)\na = NOT(b)\na = BUF(b)\nOUTPUT(a)\n",
+			`tc:3: signal "a" already defined at line 2`},
+		{"unknown function",
+			"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",
+			`tc:3: unknown function "FROB"`},
+		{"missing equals",
+			"INPUT(a)\nOUTPUT(y)\ny NOT(a)\n",
+			"tc:3: cannot parse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseBench("tc", strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("ParseBench accepted a malformed netlist")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}

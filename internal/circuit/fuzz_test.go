@@ -15,6 +15,12 @@ func FuzzParseBench(f *testing.F) {
 	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n")
 	f.Add("garbage")
 	f.Add("INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n")
+	// Regressions: these used to surface as a misleading "combinational
+	// cycle" (duplicate INPUT drove the builder into its error state) or
+	// were silently mis-parsed (a signal both INPUT and gate definition).
+	f.Add("INPUT(a)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\na = NOT(b)\nINPUT(b)\ny = AND(a, b)\n")
+	f.Add("INPUT(a)\nINPUT(b)\na = NOT(b)\nOUTPUT(a)\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseBench("fuzz", strings.NewReader(src))
 		if err != nil {

@@ -1,0 +1,123 @@
+// Package cliutil holds the shared resilience plumbing of the command
+// line tools: the -timeout / -checkpoint / -resume flag trio, a
+// SIGINT-canceled context so ^C degrades a run gracefully instead of
+// killing it, and checkpoint save/load around interrupted enumerations.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rdfault/internal/core"
+)
+
+// Flags is the resilience flag trio shared by every tool.
+type Flags struct {
+	// Timeout bounds the run's wall clock (0 = none). Suite-style tools
+	// apply it per circuit and quarantine offenders; single-circuit tools
+	// apply it to the whole pipeline and checkpoint on expiry.
+	Timeout time.Duration
+	// CheckpointPath, when set, receives the serialized frontier of an
+	// interrupted enumeration (deadline, cancellation or SIGINT).
+	CheckpointPath string
+	// ResumePath, when set, loads a checkpoint written earlier and
+	// continues the walk from it.
+	ResumePath string
+}
+
+// Register adds -timeout, -checkpoint and -resume to the default flag
+// set; call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.DurationVar(&f.Timeout, "timeout", 0,
+		"wall-clock budget (e.g. 30s, 5m); 0 = unlimited. Suite runs apply it per circuit and quarantine offenders; single runs checkpoint and exit")
+	flag.StringVar(&f.CheckpointPath, "checkpoint", "",
+		"write the resumable frontier of an interrupted run (timeout or ^C) to this file")
+	flag.StringVar(&f.ResumePath, "resume", "",
+		"resume an interrupted run from a checkpoint file written via -checkpoint")
+	return f
+}
+
+// SignalContext returns a context canceled by SIGINT/SIGTERM, so an
+// interactive ^C lands in the same graceful-degradation path as a
+// timeout: workers stop at the next branch, the frontier is checkpointed
+// (when -checkpoint is set) and the tool exits cleanly. A second signal
+// kills the process the usual way.
+func (f *Flags) SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Load reads the -resume checkpoint; it returns nil when the flag is
+// unset.
+func (f *Flags) Load() (*core.Checkpoint, error) {
+	if f.ResumePath == "" {
+		return nil, nil
+	}
+	cp, err := core.ReadCheckpointFile(f.ResumePath)
+	if err != nil {
+		return nil, fmt.Errorf("loading -resume checkpoint: %v", err)
+	}
+	return cp, nil
+}
+
+// Apply fills the resilience fields of an enumeration Options from the
+// flags (loading the -resume checkpoint if any).
+func (f *Flags) Apply(ctx context.Context, opt *core.Options) error {
+	opt.Context = ctx
+	opt.Deadline = f.Timeout
+	cp, err := f.Load()
+	if err != nil {
+		return err
+	}
+	opt.Checkpoint = cp
+	return nil
+}
+
+// HandleInterrupted deals with the aftermath of an interrupted
+// enumeration result: it writes the checkpoint to -checkpoint (or tells
+// the user how to get one) and prints what happened. It returns true
+// when the result was in fact interrupted.
+func (f *Flags) HandleInterrupted(tool string, res *core.Result) bool {
+	if res == nil || !res.Status.Interrupted() {
+		return false
+	}
+	why := "canceled"
+	if res.Status == core.StatusDeadline {
+		why = "time budget exhausted"
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s after %d selected paths (%d frontier branches pending)\n",
+		tool, why, res.Selected, res.Checkpoint.Pending())
+	if f.CheckpointPath == "" {
+		fmt.Fprintf(os.Stderr, "%s: rerun with -checkpoint FILE to save a resumable state\n", tool)
+		return true
+	}
+	if err := core.WriteCheckpointFile(f.CheckpointPath, res.Checkpoint); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: writing checkpoint: %v\n", tool, err)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "%s: checkpoint written to %s; resume with -resume %s\n",
+		tool, f.CheckpointPath, f.CheckpointPath)
+	return true
+}
+
+// WarnCheckpointUnused tells the user the checkpoint flags have no
+// effect in this tool/mode (e.g. linear-time counting, or a keep-map
+// that cannot soundly resume).
+func (f *Flags) WarnCheckpointUnused(tool, why string) {
+	if f.CheckpointPath != "" || f.ResumePath != "" {
+		fmt.Fprintf(os.Stderr, "%s: -checkpoint/-resume have no effect here (%s)\n", tool, why)
+	}
+}
+
+// IsGracefulStop reports whether err is an interruption rather than a
+// real failure (deadline or cancellation, including ^C).
+func IsGracefulStop(err error) bool {
+	return errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCanceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}

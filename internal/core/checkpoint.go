@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+)
+
+// CheckpointVersion is the serialization version understood by this
+// build. Decode rejects any other version rather than guessing.
+const CheckpointVersion = 1
+
+// Checkpoint captures everything a deadline- or cancel-interrupted
+// Enumerate needs to finish later: the untaken DFS frontier (one entry
+// per un-walked branch, each with its path prefix and implication-engine
+// snapshot) plus the counters accumulated before the interruption.
+// Resuming via Options.Checkpoint walks exactly the complement of what
+// the interrupted run counted, so the combined counters are bit-identical
+// to an uninterrupted run for any worker count.
+//
+// A checkpoint is bound to one (circuit, criterion, input sort) triple,
+// recorded as fingerprints; Enumerate refuses to resume against anything
+// else.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	Circuit   string `json:"circuit"`
+	CircuitFP uint64 `json:"circuit_fp"`
+	Criterion string `json:"criterion"`
+	SortFP    uint64 `json:"sort_fp"` // 0 when the criterion uses no sort
+	Counters  CheckpointCounters `json:"counters"`
+	Tasks     []CheckpointTask   `json:"tasks"`
+}
+
+// CheckpointCounters are the partial tallies of the interrupted run; the
+// resumed run starts from them instead of zero.
+type CheckpointCounters struct {
+	Selected   int64   `json:"selected"`
+	Segments   int64   `json:"segments"`
+	Pruned     int64   `json:"pruned"`
+	SATRejects int64   `json:"sat_rejects"`
+	LeadCounts []int64 `json:"lead_counts,omitempty"`
+}
+
+// CheckpointTask is one serialized unit of un-walked work: either a whole
+// (PI, transition) root walk or a stolen mid-DFS branch (prefix buffers +
+// engine snapshot + the edge to take).
+type CheckpointTask struct {
+	IsRoot bool `json:"is_root,omitempty"`
+	PI     int  `json:"pi,omitempty"`
+	X      bool `json:"x,omitempty"`
+
+	SnapGates []int   `json:"snap_gates,omitempty"`
+	SnapVals  []uint8 `json:"snap_vals,omitempty"`
+	Gates     []int   `json:"gates,omitempty"`
+	Pins      []int   `json:"pins,omitempty"`
+	Vals      []bool  `json:"vals,omitempty"`
+	EdgeTo    int     `json:"edge_to,omitempty"`
+	EdgePin   int     `json:"edge_pin,omitempty"`
+}
+
+// Pending returns the number of un-walked frontier entries.
+func (cp *Checkpoint) Pending() int { return len(cp.Tasks) }
+
+// Encode writes the checkpoint as JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode, validating the
+// version and basic structural sanity (index ranges are checked again at
+// resume time against the actual circuit).
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(cp); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %v", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d",
+			cp.Version, CheckpointVersion)
+	}
+	return cp, nil
+}
+
+// WriteCheckpointFile stores the checkpoint at path (0644), atomically
+// via a temp file in the same directory.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cp.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCheckpointFile loads a checkpoint stored by WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}
+
+// circuitFingerprint hashes the structure a checkpoint depends on: gate
+// count, types, names and fanin topology.
+func circuitFingerprint(c *circuit.Circuit) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(c.NumGates())
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		put(int(c.Type(g)))
+		io.WriteString(h, c.Gate(g).Name)
+		for _, f := range c.Fanin(g) {
+			put(int(f))
+		}
+		put(-1)
+	}
+	return h.Sum64()
+}
+
+// sortFingerprint hashes an input sort's position tables; 0 for nil.
+func sortFingerprint(s *circuit.InputSort) uint64 {
+	if s == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, pins := range s.Pos {
+		for _, p := range pins {
+			put(p)
+		}
+		put(-1)
+	}
+	return h.Sum64()
+}
+
+// buildCheckpoint serializes the frontier tasks and counter baseline of
+// an interrupted run.
+func buildCheckpoint(c *circuit.Circuit, cr Criterion, sort *circuit.InputSort,
+	counters CheckpointCounters, tasks []task) *Checkpoint {
+	cp := &Checkpoint{
+		Version:   CheckpointVersion,
+		Circuit:   c.Name(),
+		CircuitFP: circuitFingerprint(c),
+		Criterion: cr.String(),
+		SortFP:    sortFingerprint(sort),
+		Counters:  counters,
+		Tasks:     make([]CheckpointTask, 0, len(tasks)),
+	}
+	for _, t := range tasks {
+		ct := CheckpointTask{}
+		if t.isRoot {
+			ct.IsRoot = true
+			ct.PI = int(t.pi)
+			ct.X = t.x
+		} else {
+			gates, vals := t.snap.Export()
+			ct.SnapGates = make([]int, len(gates))
+			for i, g := range gates {
+				ct.SnapGates[i] = int(g)
+			}
+			ct.SnapVals = make([]uint8, len(vals))
+			for i, v := range vals {
+				ct.SnapVals[i] = uint8(v)
+			}
+			ct.Gates = make([]int, len(t.gates))
+			for i, g := range t.gates {
+				ct.Gates[i] = int(g)
+			}
+			ct.Pins = append([]int(nil), t.pins...)
+			ct.Vals = append([]bool(nil), t.vals...)
+			ct.EdgeTo = int(t.edge.To)
+			ct.EdgePin = t.edge.Pin
+		}
+		cp.Tasks = append(cp.Tasks, ct)
+	}
+	return cp
+}
+
+// validateFor checks that the checkpoint belongs to this exact
+// (circuit, criterion, sort) run and that every task index is in range.
+func (cp *Checkpoint) validateFor(c *circuit.Circuit, cr Criterion, sort *circuit.InputSort) error {
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Circuit != c.Name() || cp.CircuitFP != circuitFingerprint(c) {
+		return fmt.Errorf("core: checkpoint is for circuit %q (fingerprint mismatch with %q)",
+			cp.Circuit, c.Name())
+	}
+	if cp.Criterion != cr.String() {
+		return fmt.Errorf("core: checkpoint criterion %s, run uses %s", cp.Criterion, cr)
+	}
+	if fp := sortFingerprint(sort); cp.SortFP != fp {
+		return fmt.Errorf("core: checkpoint input sort differs from the run's sort")
+	}
+	if lc := cp.Counters.LeadCounts; lc != nil && len(lc) != c.NumLeads() {
+		return fmt.Errorf("core: checkpoint has %d lead counters, circuit has %d leads", len(lc), c.NumLeads())
+	}
+	n := c.NumGates()
+	for i, t := range cp.Tasks {
+		if t.IsRoot {
+			if t.PI < 0 || t.PI >= n || c.Type(circuit.GateID(t.PI)) != circuit.Input {
+				return fmt.Errorf("core: checkpoint task %d: root PI %d invalid", i, t.PI)
+			}
+			continue
+		}
+		if len(t.SnapGates) != len(t.SnapVals) {
+			return fmt.Errorf("core: checkpoint task %d: snapshot arity mismatch", i)
+		}
+		if len(t.Gates) == 0 || len(t.Gates) != len(t.Vals) || len(t.Pins) != len(t.Gates)-1 {
+			return fmt.Errorf("core: checkpoint task %d: prefix arity mismatch", i)
+		}
+		for _, g := range t.SnapGates {
+			if g < 0 || g >= n {
+				return fmt.Errorf("core: checkpoint task %d: snapshot gate %d out of range", i, g)
+			}
+		}
+		for _, g := range t.Gates {
+			if g < 0 || g >= n {
+				return fmt.Errorf("core: checkpoint task %d: prefix gate %d out of range", i, g)
+			}
+		}
+		if t.EdgeTo < 0 || t.EdgeTo >= n {
+			return fmt.Errorf("core: checkpoint task %d: edge target %d out of range", i, t.EdgeTo)
+		}
+		for _, v := range t.SnapVals {
+			if logic.Value(v) != logic.Zero && logic.Value(v) != logic.One {
+				return fmt.Errorf("core: checkpoint task %d: bad snapshot value %d", i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// toTasks deserializes the frontier into scheduler tasks.
+func (cp *Checkpoint) toTasks() []task {
+	ts := make([]task, 0, len(cp.Tasks))
+	for _, ct := range cp.Tasks {
+		if ct.IsRoot {
+			ts = append(ts, task{isRoot: true, pi: circuit.GateID(ct.PI), x: ct.X})
+			continue
+		}
+		gates := make([]circuit.GateID, len(ct.SnapGates))
+		vals := make([]logic.Value, len(ct.SnapVals))
+		for i, g := range ct.SnapGates {
+			gates[i] = circuit.GateID(g)
+			vals[i] = logic.Value(ct.SnapVals[i])
+		}
+		prefix := make([]circuit.GateID, len(ct.Gates))
+		for i, g := range ct.Gates {
+			prefix[i] = circuit.GateID(g)
+		}
+		ts = append(ts, task{
+			snap:  logic.MakeSnapshot(gates, vals),
+			gates: prefix,
+			pins:  append([]int(nil), ct.Pins...),
+			vals:  append([]bool(nil), ct.Vals...),
+			edge:  circuit.Edge{To: circuit.GateID(ct.EdgeTo), Pin: ct.EdgePin},
+		})
+	}
+	return ts
+}

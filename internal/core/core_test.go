@@ -199,7 +199,10 @@ func TestLemma2ExactEquivalence(t *testing.T) {
 		}
 		for si, s := range sorts {
 			byLemma := exactSet(t, c, SigmaPi, &s)
-			a := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(s))
+			a, err := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(s))
+			if err != nil {
+				t.Fatal(err)
+			}
 			byAlg1 := make(map[string]bool)
 			for k := range a.LogicalPaths() {
 				byAlg1[k] = true

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,8 +30,8 @@ type Options struct {
 	// nondeterministic (the delivered path *set* is not).
 	OnPath func(paths.Logical)
 	// Limit aborts enumeration after this many surviving paths
-	// (0 = unlimited); the result is then marked incomplete and RD is nil
-	// (the true RD count is unknown for a truncated walk). With
+	// (0 = unlimited); the result is then marked StatusTruncated and RD
+	// is nil (the true RD count is unknown for a truncated walk). With
 	// Workers > 1 the budget is a shared atomic counter with
 	// stop-at-limit semantics: exactly Limit paths are counted and
 	// delivered, but *which* paths make the cut — and the Segments/Pruned
@@ -53,6 +56,26 @@ type Options struct {
 	// schedule-independent for complete runs; OnPath ordering is not.
 	Workers int
 
+	// Context, when non-nil, makes the run cancellable: walkers observe
+	// cancellation at branch-extension granularity, stop cleanly, and
+	// serialize their untaken DFS frontier into Result.Checkpoint so the
+	// walk can resume later. Cancellation is graceful, not an error:
+	// Enumerate still returns a Result carrying the partial counters.
+	Context context.Context
+	// Deadline, when positive, bounds the run's wall-clock time (layered
+	// on top of Context if both are set). Expiry behaves exactly like a
+	// context deadline: StatusDeadline plus a resumable checkpoint.
+	Deadline time.Duration
+	// Checkpoint resumes an interrupted run: the walk covers exactly the
+	// frontier recorded at interruption and the counters continue from
+	// the checkpoint's baseline, so a resumed run's final counters are
+	// bit-identical to an uninterrupted run for any worker count. The
+	// checkpoint must come from the same circuit, criterion and sort
+	// (fingerprint-checked). Note that OnPath only sees the resumed
+	// frontier's paths — paths delivered before the interruption are not
+	// replayed.
+	Checkpoint *Checkpoint
+
 	// onPrune receives every pruned prime segment (set via
 	// CollectRDSegments; forces serial execution). Buffers are shared.
 	onPrune func(gates []circuit.GateID, pins []int, finalOne bool)
@@ -61,6 +84,10 @@ type Options struct {
 // Result reports one enumeration pass.
 type Result struct {
 	Criterion Criterion
+	// Status classifies how the run ended; see the Status constants.
+	// Counters below are exact for StatusComplete, partial-but-sound
+	// baselines for interrupted runs, and unreliable for StatusDegraded.
+	Status Status
 	// Total is the number of logical paths in the circuit (exact count).
 	Total *big.Int
 	// Selected is the number of logical paths surviving the criterion:
@@ -70,8 +97,8 @@ type Result struct {
 	// RD is Total - Selected: for SigmaPi this is |RD^sub(σ^π)|, the
 	// identified robust dependent set; for FS it is the number of
 	// functionally unsensitizable paths (the FUS column of Table I).
-	// RD is nil when Complete is false: a Limit-truncated walk proves
-	// nothing about the paths it never visited.
+	// RD is nil unless Status is StatusComplete: a truncated or
+	// interrupted walk proves nothing about the paths it never visited.
 	RD *big.Int
 	// LeadCounts[i] counts, for the lead with dense index i, the selected
 	// logical paths through it whose transition at the lead ends on the
@@ -84,8 +111,22 @@ type Result struct {
 	Segments   int64
 	Pruned     int64
 	SATRejects int64
-	// Complete is false if Limit stopped the walk early.
+	// Complete is true iff Status is StatusComplete (kept for callers of
+	// the pre-Status API).
 	Complete bool
+	// Checkpoint holds the serialized untaken frontier when the run was
+	// interrupted (StatusDeadline or StatusCanceled); pass it back via
+	// Options.Checkpoint to finish the walk. Nil otherwise.
+	Checkpoint *Checkpoint
+	// WorkerErrors carries one crash report per panicked worker when
+	// Status is StatusDegraded.
+	WorkerErrors []*WorkerError
+	// Err is the run's terminal condition: nil for StatusComplete and
+	// StatusTruncated, ErrDeadline / ErrCanceled for interruptions, and
+	// the joined WorkerErrors (matching ErrWorkerPanic) for
+	// StatusDegraded. The Result is still populated in every case —
+	// graceful degradation, not failure.
+	Err      error
 	Duration time.Duration
 }
 
@@ -99,6 +140,17 @@ func (r *Result) RDPercent() float64 {
 	tot := new(big.Float).SetInt(r.Total)
 	q, _ := new(big.Float).Quo(rd, tot).Float64()
 	return 100 * q
+}
+
+// counters extracts the result's tallies as a checkpoint baseline.
+func (r *Result) counters() CheckpointCounters {
+	return CheckpointCounters{
+		Selected:   r.Selected,
+		Segments:   r.Segments,
+		Pruned:     r.Pruned,
+		SATRejects: r.SATRejects,
+		LeadCounts: append([]int64(nil), r.LeadCounts...),
+	}
 }
 
 // minSplitSuffixes is the work-stealing granularity floor: a DFS branch
@@ -118,6 +170,32 @@ type shared struct {
 	selected atomic.Int64
 }
 
+// frontier collects the un-walked DFS branches of a canceled run; they
+// become the checkpoint. Only touched after cancellation, so the mutex
+// is uncontended on the hot path.
+type frontier struct {
+	mu    sync.Mutex
+	tasks []task
+}
+
+func (f *frontier) add(ts ...task) {
+	f.mu.Lock()
+	f.tasks = append(f.tasks, ts...)
+	f.mu.Unlock()
+}
+
+// workerErrors accumulates panic reports across workers.
+type workerErrors struct {
+	mu   sync.Mutex
+	errs []*WorkerError
+}
+
+func (we *workerErrors) add(e *WorkerError) {
+	we.mu.Lock()
+	we.errs = append(we.errs, e)
+	we.mu.Unlock()
+}
+
 // walker is the per-goroutine enumeration state.
 type walker struct {
 	c    *circuit.Circuit
@@ -127,6 +205,21 @@ type walker struct {
 	sat  *satsolver.Solver
 	vars satsolver.CircuitVars
 	sh   *shared // nil for serial runs
+	wid  int
+
+	// cancel is the run's cancellation flag (set when the context is
+	// done); fr receives this walker's untaken frontier on cancellation.
+	cancel *atomic.Bool
+	fr     *frontier
+	// ctx and deadline are polled directly every pollEvery cancellation
+	// checks: on a single-CPU box neither the watcher goroutine nor the
+	// context's own timer may run while walkers spin in the CPU-bound DFS
+	// (Go preempts only after ~10ms), so the flag alone would miss
+	// deadlines shorter than the walk — and ctx.Err() stays nil until the
+	// starved timer fires, hence the explicit clock comparison.
+	ctx      context.Context
+	deadline time.Time
+	pollTick uint
 
 	gateBuf []circuit.GateID
 	pinBuf  []int
@@ -161,6 +254,75 @@ func newWalker(c *circuit.Circuit, cr Criterion, opt *Options, onPath func(paths
 		w.vars = satsolver.AddCircuit(w.sat, c)
 	}
 	return w
+}
+
+// pollEvery is how many cancellation checks pass between direct context
+// polls; at roughly a microsecond per extension this bounds the
+// detection latency near a millisecond even when the watcher goroutine
+// is starved.
+const pollEvery = 1024
+
+// canceled reports whether the run's context fired: the watcher's flag
+// first (one atomic load), with a periodic direct ctx.Err() poll as the
+// scheduling-independent fallback.
+func (w *walker) canceled() bool {
+	if w.cancel == nil {
+		return false
+	}
+	if w.cancel.Load() {
+		return true
+	}
+	if w.ctx != nil {
+		w.pollTick++
+		if w.pollTick%pollEvery == 0 &&
+			(w.ctx.Err() != nil || (!w.deadline.IsZero() && !time.Now().Before(w.deadline))) {
+			w.cancel.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// saveBranch checkpoints a single untaken branch: the current engine
+// state and path prefix plus the edge that was about to be extended.
+func (w *walker) saveBranch(e circuit.Edge) {
+	w.fr.add(task{
+		snap:  w.eng.Snapshot(),
+		gates: append([]circuit.GateID(nil), w.gateBuf...),
+		pins:  append([]int(nil), w.pinBuf...),
+		vals:  append([]bool(nil), w.valBuf...),
+		edge:  e,
+	})
+}
+
+// saveSiblings checkpoints the untaken branches fanout[from:] of the
+// current DFS node (skipping branches already exported to the scheduler,
+// which the canceled worker loop drains into the frontier separately).
+// The snapshot and prefix copies are shared across the sibling tasks.
+func (w *walker) saveSiblings(fanout []circuit.Edge, from int, exporting bool) {
+	var ts []task
+	for _, e := range fanout[from:] {
+		if exporting && w.sh != nil && w.sh.splitOK[e.To] {
+			continue // handed to the scheduler by export
+		}
+		if ts == nil {
+			base := task{
+				snap:  w.eng.Snapshot(),
+				gates: append([]circuit.GateID(nil), w.gateBuf...),
+				pins:  append([]int(nil), w.pinBuf...),
+				vals:  append([]bool(nil), w.valBuf...),
+				edge:  e,
+			}
+			ts = append(ts, base)
+			continue
+		}
+		t := ts[0]
+		t.edge = e
+		ts = append(ts, t)
+	}
+	if ts != nil {
+		w.fr.add(ts...)
+	}
 }
 
 // record handles one surviving full path; it reports false to stop the
@@ -238,7 +400,8 @@ func (w *walker) exactCheck() bool {
 // dfs explores every extension of the current path, whose last gate is g
 // with final stable value val. When idle workers exist it first exports
 // the untaken large branches of the frontier as steal tasks and keeps
-// only the remainder for itself.
+// only the remainder for itself. On cancellation it checkpoints the
+// untaken siblings before unwinding.
 func (w *walker) dfs(g circuit.GateID) bool {
 	if w.c.Type(g) == circuit.Output {
 		return w.record()
@@ -253,6 +416,13 @@ func (w *walker) dfs(g circuit.GateID) bool {
 			continue // handed to the scheduler by export
 		}
 		if !w.extend(fanout[i]) {
+			if w.canceled() {
+				// extend saved fanout[i] itself (or deeper frames saved
+				// its remainder); the untaken siblings go here. Every
+				// edge extension is atomic with respect to the counters,
+				// so the frontier is the exact complement of the walk.
+				w.saveSiblings(fanout, i+1, exporting)
+			}
 			return false
 		}
 	}
@@ -296,8 +466,14 @@ func (w *walker) export(fanout []circuit.Edge) bool {
 // extend advances the current path along edge e: assert the next on-path
 // value and the criterion's side-input requirements, prune the subtree on
 // contradiction, recurse otherwise. It reports false when the walk must
-// stop (path budget exhausted).
+// stop (path budget exhausted or run canceled). The cancellation check
+// precedes all counter updates, so an interrupted edge contributes
+// nothing and is checkpointed whole.
 func (w *walker) extend(e circuit.Edge) bool {
+	if w.canceled() {
+		w.saveBranch(e)
+		return false
+	}
 	if w.sh != nil && w.sh.sched.stop.Load() {
 		return false
 	}
@@ -402,6 +578,25 @@ func (w *walker) runTask(t task) {
 	w.extend(t.edge)
 }
 
+// runTaskGuarded is runTask with panic isolation: a crash becomes a
+// WorkerError carrying the walker's on-path prefix, and the walker stays
+// usable (the next task's entry point wipes the engine and buffers).
+// After a panic this walker's counters may include a partially-walked
+// subtree, which is why any panic degrades the whole run.
+func (w *walker) runTaskGuarded(t task, we *workerErrors) {
+	defer func() {
+		if r := recover(); r != nil {
+			we.add(&WorkerError{
+				Worker:    w.wid,
+				PathGates: append([]circuit.GateID(nil), w.gateBuf...),
+				Value:     r,
+				Stack:     string(debug.Stack()),
+			})
+		}
+	}()
+	w.runTask(t)
+}
+
 // Enumerate runs Algorithm 2: it implicitly enumerates all logical paths
 // of c in depth-first order from each PI, asserting the criterion's
 // side-input requirements and the implied on-path stable values into a
@@ -410,6 +605,11 @@ func (w *walker) runTask(t task) {
 // makes circuits with tens of millions of paths tractable. With
 // Options.Workers > 1 the depth-first walks are balanced across
 // goroutines by work stealing; every count is schedule-independent.
+//
+// The run is cancellable (Options.Context), time-budgeted
+// (Options.Deadline) and resumable (Options.Checkpoint); interruption and
+// worker panics are reported through Result.Status rather than the error
+// return, which is reserved for invalid inputs.
 func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 	if cr == SigmaPi {
 		if opt.Sort == nil {
@@ -419,21 +619,110 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("core: %v", err)
 		}
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
+
 	start := time.Now()
 	ct := paths.NewCounts(c)
 	res := &Result{
 		Criterion: cr,
 		Total:     ct.Logical(),
-		Complete:  true,
+	}
+	// The sort a checkpoint is bound to: only SigmaPi consults one.
+	ckptSort := opt.Sort
+	if cr != SigmaPi {
+		ckptSort = nil
 	}
 
-	type job struct {
-		pi circuit.GateID
-		x  bool
+	// Work list: the checkpoint's frontier, or fresh root tasks covering
+	// every (PI, transition) pair.
+	var tasks []task
+	var baseline CheckpointCounters
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.validateFor(c, cr, ckptSort); err != nil {
+			return nil, err
+		}
+		baseline = opt.Checkpoint.Counters
+		tasks = opt.Checkpoint.toTasks()
+	} else {
+		for _, pi := range c.Inputs() {
+			tasks = append(tasks,
+				task{isRoot: true, pi: pi, x: false},
+				task{isRoot: true, pi: pi, x: true})
+		}
 	}
-	var jobs []job
-	for _, pi := range c.Inputs() {
-		jobs = append(jobs, job{pi, false}, job{pi, true})
+	addBaseline := func() {
+		res.Selected += baseline.Selected
+		res.Segments += baseline.Segments
+		res.Pruned += baseline.Pruned
+		res.SATRejects += baseline.SATRejects
+		if opt.CollectLeadCounts {
+			if res.LeadCounts == nil {
+				res.LeadCounts = make([]int64, c.NumLeads())
+			}
+			copy(res.LeadCounts, baseline.LeadCounts)
+		}
+	}
+
+	// A resumed run whose baseline already consumed the budget.
+	if opt.Limit > 0 && baseline.Selected >= opt.Limit {
+		addBaseline()
+		res.Status = StatusTruncated
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	// Cancellation: a watcher flips one atomic flag that walkers poll at
+	// branch-extension granularity (the same cost as the work-stealing
+	// stop check).
+	var cancelFlag atomic.Bool
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancelFlag.Store(true)
+			case <-watchDone:
+			}
+		}()
+		defer close(watchDone)
+	}
+
+	// The context's timer may still be starved when the walkers stop via
+	// the direct deadline poll, so a nil/canceled ctx.Err() with the
+	// deadline in the past still classifies as a deadline stop.
+	deadline, hasDeadline := ctx.Deadline()
+	finishInterrupted := func(fr *frontier) {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) ||
+			(hasDeadline && !time.Now().Before(deadline)) {
+			res.Status = StatusDeadline
+			res.Err = ErrDeadline
+		} else {
+			res.Status = StatusCanceled
+			res.Err = ErrCanceled
+		}
+		res.Checkpoint = buildCheckpoint(c, cr, ckptSort, res.counters(), fr.tasks)
+	}
+
+	// Immediate cancellation: nothing walked, the whole work list is the
+	// checkpoint. Checked synchronously so an already-expired context
+	// returns deterministically without spinning up workers.
+	if ctx.Err() != nil {
+		addBaseline()
+		if opt.CollectLeadCounts && res.LeadCounts == nil {
+			res.LeadCounts = make([]int64, c.NumLeads())
+		}
+		fr := &frontier{tasks: tasks}
+		finishInterrupted(fr)
+		res.Duration = time.Since(start)
+		return res, nil
 	}
 
 	workers := opt.Workers
@@ -442,16 +731,34 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 		workers = 1
 	}
 
+	fr := &frontier{}
+	we := &workerErrors{}
 	var ws []*walker
+	limitStopped := false
 	if workers == 1 {
 		w := newWalker(c, cr, &opt, opt.OnPath)
+		w.cancel = &cancelFlag
+		w.ctx = ctx
+		if hasDeadline {
+			w.deadline = deadline
+		}
+		w.fr = fr
+		if opt.Limit > 0 {
+			w.limit = opt.Limit - baseline.Selected
+		}
 		ws = append(ws, w)
-		for _, j := range jobs {
-			if !w.run(j.pi, j.x) {
-				res.Complete = false
+		for i := range tasks {
+			if cancelFlag.Load() {
+				// Un-walked tasks go to the frontier wholesale.
+				fr.add(tasks[i:]...)
 				break
 			}
+			if w.stopped {
+				break
+			}
+			w.runTaskGuarded(tasks[i], we)
 		}
+		limitStopped = w.stopped
 	} else {
 		onPath := opt.OnPath
 		if onPath != nil {
@@ -468,20 +775,24 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 			splitOK: make([]bool, c.NumGates()),
 			limit:   opt.Limit,
 		}
+		sh.selected.Store(baseline.Selected)
 		minSplit := big.NewInt(minSplitSuffixes)
 		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
 			sh.splitOK[g] = ct.Down(g).Cmp(minSplit) >= 0
 		}
-		roots := make([]task, len(jobs))
-		for i, j := range jobs {
-			roots[i] = task{isRoot: true, pi: j.pi, x: j.x}
-		}
-		sh.sched.put(roots...)
+		sh.sched.put(tasks...)
 		var wg sync.WaitGroup
 		ws = make([]*walker, workers)
 		for i := range ws {
 			w := newWalker(c, cr, &opt, onPath)
 			w.sh = sh
+			w.wid = i
+			w.cancel = &cancelFlag
+			w.ctx = ctx
+			if hasDeadline {
+				w.deadline = deadline
+			}
+			w.fr = fr
 			ws[i] = w
 			wg.Add(1)
 			go func(w *walker) {
@@ -491,20 +802,23 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 					if !ok {
 						return
 					}
+					if w.canceled() {
+						fr.add(t) // un-walked: straight to the checkpoint
+						continue
+					}
 					if sh.sched.stop.Load() {
 						continue // budget exhausted: drain without walking
 					}
-					w.runTask(t)
+					w.runTaskGuarded(t, we)
 				}
 			}(w)
 		}
 		wg.Wait()
-		if sh.sched.stop.Load() {
-			res.Complete = false
-		}
+		limitStopped = sh.sched.stop.Load()
 	}
 
-	if opt.CollectLeadCounts {
+	addBaseline()
+	if opt.CollectLeadCounts && res.LeadCounts == nil {
 		res.LeadCounts = make([]int64, c.NumLeads())
 	}
 	for _, w := range ws {
@@ -518,7 +832,28 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 			}
 		}
 	}
-	if res.Complete {
+
+	switch {
+	case len(we.errs) > 0:
+		// A crashed subtree is partially counted; no checkpoint can make
+		// the counters exact again, so the run degrades: the surviving
+		// workers' results are reported, RD stays unknown.
+		res.Status = StatusDegraded
+		res.WorkerErrors = we.errs
+		joined := make([]error, len(we.errs))
+		for i, e := range we.errs {
+			joined[i] = e
+		}
+		res.Err = errors.Join(joined...)
+	case limitStopped:
+		res.Status = StatusTruncated
+	case cancelFlag.Load() && len(fr.tasks) > 0:
+		finishInterrupted(fr)
+	default:
+		// Either no interruption, or cancellation fired after the last
+		// branch was already walked — the counters are complete.
+		res.Status = StatusComplete
+		res.Complete = true
 		res.RD = new(big.Int).Sub(res.Total, big.NewInt(res.Selected))
 	}
 	res.Duration = time.Since(start)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"sort"
 	"sync"
@@ -48,12 +49,20 @@ func Heuristic2Sort(c *circuit.Circuit) (circuit.InputSort, *Result, *Result, er
 // resulting sort is identical for every worker count — the per-lead
 // tallies are schedule-independent.
 func Heuristic2SortWorkers(c *circuit.Circuit, workers int) (circuit.InputSort, *Result, *Result, error) {
+	return heuristic2SortCtx(c, workers, nil)
+}
+
+// heuristic2SortCtx is Heuristic2SortWorkers with a cancellation context
+// for the two Algorithm 3 passes. An interrupted pass cannot yield a
+// sort, so interruption surfaces as the pass's terminal error
+// (ErrDeadline / ErrCanceled / the joined worker panics).
+func heuristic2SortCtx(c *circuit.Circuit, workers int, ctx context.Context) (circuit.InputSort, *Result, *Result, error) {
 	var fsRes, tRes *Result
 	var fsErr, tErr error
 	if workers <= 1 {
-		fsRes, fsErr = Enumerate(c, FS, Options{CollectLeadCounts: true})
+		fsRes, fsErr = Enumerate(c, FS, Options{CollectLeadCounts: true, Context: ctx})
 		if fsErr == nil {
-			tRes, tErr = Enumerate(c, NonRobust, Options{CollectLeadCounts: true})
+			tRes, tErr = Enumerate(c, NonRobust, Options{CollectLeadCounts: true, Context: ctx})
 		}
 	} else {
 		// Concurrent passes, each with half the budget (at least one).
@@ -62,10 +71,16 @@ func Heuristic2SortWorkers(c *circuit.Circuit, workers int) (circuit.InputSort, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tRes, tErr = Enumerate(c, NonRobust, Options{CollectLeadCounts: true, Workers: workers - half})
+			tRes, tErr = Enumerate(c, NonRobust, Options{CollectLeadCounts: true, Workers: workers - half, Context: ctx})
 		}()
-		fsRes, fsErr = Enumerate(c, FS, Options{CollectLeadCounts: true, Workers: half})
+		fsRes, fsErr = Enumerate(c, FS, Options{CollectLeadCounts: true, Workers: half, Context: ctx})
 		wg.Wait()
+	}
+	if fsErr == nil && fsRes.Status != StatusComplete {
+		fsErr = fsRes.Err
+	}
+	if tErr == nil && tRes != nil && tRes.Status != StatusComplete {
+		tErr = tRes.Err
 	}
 	if fsErr != nil {
 		return circuit.InputSort{}, nil, nil, fsErr

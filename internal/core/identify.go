@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -70,6 +71,10 @@ type Report struct {
 	Total             time.Duration
 	// Final is the final enumeration pass result.
 	Final *Result
+	// Status mirrors Final.Status: how the final pass ended. The
+	// heuristic sort passes either complete or abort the pipeline with an
+	// error, so they never contribute a status of their own.
+	Status Status
 	// Complete is false if a path limit stopped enumeration.
 	Complete bool
 }
@@ -90,9 +95,31 @@ func (r *Report) RDPercent() float64 {
 // given heuristic: choose the input sort, then run the final Algorithm 2
 // pass. opt.Sort is ignored (the heuristic provides it); the remaining
 // options pass through to the final enumeration.
+//
+// opt.Context and opt.Deadline bound the whole pipeline, sort passes
+// included. The Heuristic 2 sort passes cannot produce a partial sort, so
+// interruption during them aborts with ErrDeadline/ErrCanceled; once the
+// final pass is reached, interruption degrades gracefully into a Report
+// whose Final result carries the partial counters and checkpoint.
+// opt.Checkpoint resumes such a final pass: the (deterministic) sort is
+// recomputed and the enumeration continues from the frontier.
 func Identify(c *circuit.Circuit, h Heuristic, opt Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Circuit: c.Name(), Heuristic: h}
+
+	// One budget for the whole pipeline: fold Deadline into the context
+	// here so the sort passes and the final pass share it.
+	ctx := opt.Context
+	if opt.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+		opt.Context = ctx
+		opt.Deadline = 0
+	}
 
 	var sortDur time.Duration
 	var s circuit.InputSort
@@ -105,7 +132,7 @@ func Identify(c *circuit.Circuit, h Heuristic, opt Options) (*Report, error) {
 		sortDur = time.Since(t0)
 	case Heuristic2, Heuristic2Inverse:
 		t0 := time.Now()
-		s2, _, _, err := Heuristic2SortWorkers(c, opt.Workers)
+		s2, _, _, err := heuristic2SortCtx(c, opt.Workers, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -138,16 +165,27 @@ func Identify(c *circuit.Circuit, h Heuristic, opt Options) (*Report, error) {
 	rep.EnumerateDuration = res.Duration
 	rep.Total = time.Since(start)
 	rep.Final = res
+	rep.Status = res.Status
 	rep.Complete = res.Complete
 	return rep, nil
 }
 
-// String renders the report as one Table I/II style row. A truncated run
-// has no RD count: it shows the selected lower bound instead.
+// String renders the report as one Table I/II style row. An incomplete
+// run has no RD count: it shows the selected lower bound and why the walk
+// stopped instead.
 func (r *Report) String() string {
 	if !r.Complete {
-		return fmt.Sprintf("%-12s %-13s paths=%v selected>=%d RD=? (limit reached) sort=%v enum=%v",
-			r.Circuit, r.Heuristic, r.TotalLogicalPaths, r.Selected,
+		why := "limit reached"
+		switch r.Status {
+		case StatusDeadline:
+			why = "deadline, checkpoint available"
+		case StatusCanceled:
+			why = "canceled, checkpoint available"
+		case StatusDegraded:
+			why = "worker panic, counters partial"
+		}
+		return fmt.Sprintf("%-12s %-13s paths=%v selected>=%d RD=? (%s) sort=%v enum=%v",
+			r.Circuit, r.Heuristic, r.TotalLogicalPaths, r.Selected, why,
 			r.SortDuration.Round(time.Millisecond), r.EnumerateDuration.Round(time.Millisecond))
 	}
 	return fmt.Sprintf("%-12s %-13s paths=%v RD=%v (%.2f%%) sort=%v enum=%v",

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rdfault/internal/circuit"
+)
+
+// Status classifies how an enumeration run ended, replacing the old
+// practice of inferring state from RD == nil. Only StatusComplete runs
+// prove an RD count; every other status hands back the partial counters
+// accumulated so far (and, for interrupted runs, a resumable Checkpoint).
+type Status uint8
+
+const (
+	// StatusComplete: every logical path was visited; RD is exact.
+	StatusComplete Status = iota
+	// StatusTruncated: Options.Limit stopped the walk; Selected is a
+	// lower bound and RD is unknown.
+	StatusTruncated
+	// StatusDeadline: the run's deadline (Options.Deadline or a context
+	// deadline) expired; Result.Checkpoint resumes the walk.
+	StatusDeadline
+	// StatusCanceled: Options.Context was canceled for a reason other
+	// than its deadline; Result.Checkpoint resumes the walk.
+	StatusCanceled
+	// StatusDegraded: one or more workers panicked. The surviving workers
+	// finished their share, but the panicked subtrees are uncounted, so
+	// the counters are partial and no checkpoint can make them exact.
+	// Result.WorkerErrors carries the per-worker crash reports.
+	StatusDegraded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusTruncated:
+		return "truncated"
+	case StatusDeadline:
+		return "deadline"
+	case StatusCanceled:
+		return "canceled"
+	case StatusDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Interrupted reports whether the run stopped on deadline or cancellation
+// — the two statuses that produce a resumable checkpoint.
+func (s Status) Interrupted() bool {
+	return s == StatusDeadline || s == StatusCanceled
+}
+
+// Sentinel errors of the enumeration stack. Enumerate reports them via
+// Result.Err (a run that degrades gracefully is not a hard failure);
+// Identify returns them when interruption preempts the pipeline. Match
+// with errors.Is.
+var (
+	// ErrDeadline: the run's time budget expired.
+	ErrDeadline = errors.New("core: deadline exceeded")
+	// ErrCanceled: the run's context was canceled.
+	ErrCanceled = errors.New("core: enumeration canceled")
+	// ErrWorkerPanic: at least one enumeration worker panicked.
+	ErrWorkerPanic = errors.New("core: worker panic")
+)
+
+// WorkerError is the crash report of one panicked enumeration worker: the
+// recovered panic value, the goroutine stack, and the on-path gate prefix
+// the walker held when it crashed (the offending path). It unwraps to
+// ErrWorkerPanic.
+type WorkerError struct {
+	// Worker is the crashed worker's index.
+	Worker int
+	// PathGates is the walker's on-path prefix at the time of the panic
+	// (may be empty if the crash happened before the first extension).
+	PathGates []circuit.GateID
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the formatted goroutine stack at the recovery point.
+	Stack string
+}
+
+// Error renders the crash report without the stack.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("core: worker %d panicked at path prefix %v: %v",
+		e.Worker, e.PathGates, e.Value)
+}
+
+// Unwrap matches errors.Is(err, ErrWorkerPanic).
+func (e *WorkerError) Unwrap() error { return ErrWorkerPanic }

@@ -20,12 +20,15 @@ func smallSuite() []gen.Named {
 }
 
 func TestRunISCAS(t *testing.T) {
-	rows, err := RunISCAS(smallSuite(), 2)
+	rows, quarantined, err := RunISCAS(smallSuite(), SuiteOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 3 {
 		t.Fatalf("got %d rows", len(rows))
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %v", quarantined)
 	}
 	for _, r := range rows {
 		if r.Total.Sign() <= 0 {
@@ -59,12 +62,15 @@ func TestRunMCNC(t *testing.T) {
 		{Paper: "apex1", Cover: gen.RandomPLA("apex1", gen.PLAOptions{Inputs: 6, Outputs: 3, Cubes: 10}, 3)},
 		{Paper: "bw", Cover: gen.RandomPLA("bw", gen.PLAOptions{Inputs: 5, Outputs: 4, Cubes: 12, DashFrac: 0.2}, 4)},
 	}
-	rows, err := RunMCNC(covers, 2)
+	rows, quarantined, err := RunMCNC(covers, SuiteOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %v", quarantined)
 	}
 	for _, r := range rows {
 		if r.LamRD < 0 || r.LamRD > 100 || r.Heu2RD < 0 || r.Heu2RD > 100 {
@@ -258,7 +264,7 @@ func TestRunPopulation(t *testing.T) {
 
 func TestRunAllQuickAndReports(t *testing.T) {
 	var buf bytes.Buffer
-	s, err := RunAll(&buf, true, 2)
+	s, err := RunAll(&buf, true, SuiteOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

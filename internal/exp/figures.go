@@ -56,12 +56,15 @@ func RunFigures(w io.Writer) (*FiguresReport, error) {
 
 	// Figure 2 / Example 2: the six-path assignment.
 	o, _ := c.GateByName("o")
-	worse := stabilize.ComputeAssignment(c, func(_ *circuit.Circuit, g circuit.GateID, ctrl []int) int {
+	worse, err := stabilize.ComputeAssignment(c, func(_ *circuit.Circuit, g circuit.GateID, ctrl []int) int {
 		if g == o {
 			return ctrl[len(ctrl)-1]
 		}
 		return ctrl[0]
 	})
+	if err != nil {
+		return nil, err
+	}
 	worseLP := worse.LogicalPaths()
 	rep.SixPathAssignment = len(worseLP)
 	gn := tgen.NewGenerator(c)
@@ -83,7 +86,10 @@ func RunFigures(w io.Writer) (*FiguresReport, error) {
 	rep.CoverageWorse = fmt.Sprintf("%d/%d", worseTestable, len(worseLP))
 
 	// Figure 4 / Example 3: the optimal assignment.
-	opt := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(circuit.PinOrderSort(c)))
+	opt, err := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(circuit.PinOrderSort(c)))
+	if err != nil {
+		return nil, err
+	}
 	optLP := opt.LogicalPaths()
 	rep.OptimalAssignment = len(optLP)
 	optTestable := 0

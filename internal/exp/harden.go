@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rdfault/internal/core"
+)
+
+// SuiteOptions hardens the suite runners (RunISCAS, RunMCNC, RunAll)
+// against the known failure modes of exhaustive enumeration: a circuit
+// whose path count explodes past its time budget, and a crash in one
+// circuit's pipeline. Both are contained per circuit — the offending row
+// is quarantined with its reason and the suite continues, so a long
+// experiment run always hands back every row it could compute.
+type SuiteOptions struct {
+	// Workers sets the per-pass enumeration parallelism (<=1 serial).
+	Workers int
+	// PerCircuitTimeout bounds each circuit's full pipeline (all its
+	// enumeration passes together); 0 means no budget. A circuit that
+	// exceeds it is retried, then quarantined.
+	PerCircuitTimeout time.Duration
+	// Retries is the number of extra attempts after a failed one.
+	// 0 means the default of one retry; negative disables retrying.
+	Retries int
+	// Backoff is the pause before each retry (default 100ms). Transient
+	// failures (memory pressure, a co-tenant stealing the CPU budget)
+	// often clear after a beat; deterministic ones fail again and land in
+	// quarantine.
+	Backoff time.Duration
+	// Context cancels the whole suite run; per-circuit budgets nest under
+	// it. Unlike a per-circuit timeout, suite cancellation is fatal: the
+	// runner returns what it has plus the context's error.
+	Context context.Context
+
+	// faultHook, when set (tests only), runs at the start of every
+	// attempt and may panic or return an error to inject a failure.
+	faultHook func(circuit string, attempt int) error
+	// sleep replaces time.Sleep in tests.
+	sleep func(time.Duration)
+}
+
+// QuarantinedRow records one circuit the suite gave up on, and why.
+type QuarantinedRow struct {
+	Circuit  string `json:"circuit"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"`
+}
+
+func (q QuarantinedRow) String() string {
+	return fmt.Sprintf("%-8s quarantined after %d attempt(s): %s", q.Circuit, q.Attempts, q.Reason)
+}
+
+func (o *SuiteOptions) attempts() int {
+	switch {
+	case o.Retries < 0:
+		return 1
+	case o.Retries == 0:
+		return 2 // the default: one retry
+	default:
+		return 1 + o.Retries
+	}
+}
+
+func (o *SuiteOptions) parent() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// runAttempt executes one guarded attempt of a circuit's pipeline:
+// panics become errors instead of killing the suite.
+func (o *SuiteOptions) runAttempt(ctx context.Context, name string, attempt int,
+	fn func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if o.faultHook != nil {
+		if err := o.faultHook(name, attempt); err != nil {
+			return err
+		}
+	}
+	return fn(ctx)
+}
+
+// runCircuit runs fn under the per-circuit budget with retry/backoff.
+// It returns a quarantine row when every attempt failed, and a non-nil
+// fatal error only when the suite context itself is done.
+func (o *SuiteOptions) runCircuit(name string, fn func(ctx context.Context) error) (*QuarantinedRow, error) {
+	parent := o.parent()
+	sleep := o.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := o.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	max := o.attempts()
+	var lastErr error
+	for attempt := 0; attempt < max; attempt++ {
+		if err := parent.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			sleep(backoff)
+		}
+		ctx := parent
+		var cancel context.CancelFunc
+		if o.PerCircuitTimeout > 0 {
+			ctx, cancel = context.WithTimeout(parent, o.PerCircuitTimeout)
+		}
+		err := o.runAttempt(ctx, name, attempt, fn)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil, nil
+		}
+		// Suite-level cancellation is fatal, not quarantine-worthy.
+		if parent.Err() != nil {
+			return nil, parent.Err()
+		}
+		lastErr = err
+	}
+	return &QuarantinedRow{Circuit: name, Attempts: max, Reason: lastErr.Error()}, nil
+}
+
+// completeOr converts an interrupted or degraded enumeration result into
+// the error the quarantine machinery expects; a complete result passes.
+func completeOr(res *core.Result, what string) error {
+	if res.Status == core.StatusComplete {
+		return nil
+	}
+	if res.Err != nil {
+		return fmt.Errorf("%s: %w", what, res.Err)
+	}
+	return fmt.Errorf("%s: enumeration %v", what, res.Status)
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/gen"
+)
+
+func tinySuite() []gen.Named {
+	return []gen.Named{
+		{Paper: "c432", C: gen.PriorityInterruptGrouped(3, 3)},
+		{Paper: "c880", C: gen.ALU(4, gen.XorNAND)},
+		{Paper: "c499", C: gen.SECDecoder(6, gen.XorAOI)},
+	}
+}
+
+// A circuit whose pipeline panics on every attempt must land in
+// quarantine with the panic text while the rest of the suite completes.
+func TestPanicInjectionQuarantines(t *testing.T) {
+	opt := SuiteOptions{
+		Workers: 2,
+		sleep:   func(time.Duration) {},
+		faultHook: func(circuit string, attempt int) error {
+			if circuit == "c880" {
+				panic(fmt.Sprintf("injected crash (attempt %d)", attempt))
+			}
+			return nil
+		},
+	}
+	rows, quarantined, err := RunISCAS(tinySuite(), opt)
+	if err != nil {
+		t.Fatalf("RunISCAS: %v (an injected panic must not abort the suite)", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (healthy circuits must still report)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Circuit == "c880" {
+			t.Fatalf("crashed circuit produced a table row: %+v", r)
+		}
+	}
+	if len(quarantined) != 1 {
+		t.Fatalf("got %d quarantined rows, want 1: %v", len(quarantined), quarantined)
+	}
+	q := quarantined[0]
+	if q.Circuit != "c880" || q.Attempts != 2 {
+		t.Errorf("quarantine row = %+v, want c880 after 2 attempts", q)
+	}
+	if !strings.Contains(q.Reason, "panic") || !strings.Contains(q.Reason, "injected crash") {
+		t.Errorf("Reason = %q, want the recovered panic value", q.Reason)
+	}
+}
+
+// An impossible per-circuit budget quarantines every circuit — and the
+// suite still exits without error, handing back its (empty) tables.
+func TestTimeoutInjectionQuarantines(t *testing.T) {
+	opt := SuiteOptions{
+		Workers:           2,
+		PerCircuitTimeout: time.Nanosecond,
+		Backoff:           time.Nanosecond,
+		sleep:             func(time.Duration) {},
+	}
+	suite := tinySuite()
+	rows, quarantined, err := RunISCAS(suite, opt)
+	if err != nil {
+		t.Fatalf("RunISCAS: %v (per-circuit timeouts must not abort the suite)", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("got %d rows under a 1ns budget, want 0", len(rows))
+	}
+	if len(quarantined) != len(suite) {
+		t.Fatalf("got %d quarantined rows, want %d", len(quarantined), len(suite))
+	}
+	for _, q := range quarantined {
+		if q.Attempts != 2 {
+			t.Errorf("%s: Attempts = %d, want 2 (one retry by default)", q.Circuit, q.Attempts)
+		}
+		if !strings.Contains(strings.ToLower(q.Reason), "deadline") {
+			t.Errorf("%s: Reason = %q, want a deadline explanation", q.Circuit, q.Reason)
+		}
+	}
+	var buf bytes.Buffer
+	FprintQuarantine(&buf, quarantined)
+	if !strings.Contains(buf.String(), "QUARANTINED") {
+		t.Errorf("FprintQuarantine output missing header:\n%s", buf.String())
+	}
+}
+
+// A transient failure on the first attempt is retried after one backoff
+// pause and the circuit still reports a normal row.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	var slept []time.Duration
+	opt := SuiteOptions{
+		Workers: 2,
+		Backoff: 250 * time.Millisecond,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+		faultHook: func(circuit string, attempt int) error {
+			if circuit == "c432" && attempt == 0 {
+				return errors.New("transient: simulated memory pressure")
+			}
+			return nil
+		},
+	}
+	rows, quarantined, err := RunISCAS(tinySuite()[:1], opt)
+	if err != nil {
+		t.Fatalf("RunISCAS: %v", err)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("quarantined %v, want none (the retry should have succeeded)", quarantined)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Errorf("backoff sleeps = %v, want exactly one of 250ms", slept)
+	}
+}
+
+// Retries < 0 disables retrying: a single failed attempt quarantines.
+func TestNegativeRetriesDisablesRetry(t *testing.T) {
+	calls := 0
+	opt := SuiteOptions{
+		Workers: 2,
+		Retries: -1,
+		sleep:   func(time.Duration) {},
+		faultHook: func(circuit string, attempt int) error {
+			calls++
+			return errors.New("always fails")
+		},
+	}
+	_, quarantined, err := RunISCAS(tinySuite()[:1], opt)
+	if err != nil {
+		t.Fatalf("RunISCAS: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1 (Retries=-1 means no retry)", calls)
+	}
+	if len(quarantined) != 1 || quarantined[0].Attempts != 1 {
+		t.Errorf("quarantined = %v, want one row after 1 attempt", quarantined)
+	}
+}
+
+// Cancelling the suite context is fatal — unlike a per-circuit budget,
+// the runner stops and reports the context error.
+func TestSuiteCancellationIsFatal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, _, err := RunISCAS(tinySuite(), SuiteOptions{Workers: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("got %d rows from an already-canceled suite, want 0", len(rows))
+	}
+}
+
+// RunMCNC quarantines on the same machinery.
+func TestRunMCNCTimeoutQuarantines(t *testing.T) {
+	covers := gen.MCNCSuite()[:2]
+	opt := SuiteOptions{
+		Workers:           2,
+		PerCircuitTimeout: time.Nanosecond,
+		Backoff:           time.Nanosecond,
+		sleep:             func(time.Duration) {},
+	}
+	rows, quarantined, err := RunMCNC(covers, opt)
+	if err != nil {
+		t.Fatalf("RunMCNC: %v", err)
+	}
+	if len(rows) != 0 || len(quarantined) != len(covers) {
+		t.Fatalf("rows=%d quarantined=%d, want 0 and %d", len(rows), len(quarantined), len(covers))
+	}
+}
+
+// RunAll under an injected per-circuit failure still produces a complete
+// summary: the quarantined circuits are listed in Summary.Quarantined and
+// rendered in both report formats, and RunAll reports no error.
+func TestRunAllWithInjectedFaultStillReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite")
+	}
+	opt := SuiteOptions{
+		Workers: 2,
+		sleep:   func(time.Duration) {},
+		faultHook: func(circuit string, attempt int) error {
+			if circuit == "c499" {
+				return errors.New("injected per-circuit failure")
+			}
+			return nil
+		},
+	}
+	var out bytes.Buffer
+	summary, err := RunAll(&out, true, opt)
+	if err != nil {
+		t.Fatalf("RunAll: %v (a quarantined circuit must not abort the run)", err)
+	}
+	if len(summary.Quarantined) != 1 || summary.Quarantined[0].Circuit != "c499" {
+		t.Fatalf("Summary.Quarantined = %v, want exactly c499", summary.Quarantined)
+	}
+	if !strings.Contains(out.String(), "QUARANTINED") {
+		t.Errorf("text output missing the quarantine table")
+	}
+	var html bytes.Buffer
+	if err := summary.WriteHTML(&html); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	if !strings.Contains(html.String(), "injected per-circuit failure") {
+		t.Errorf("HTML report missing the quarantine reason")
+	}
+	var js bytes.Buffer
+	if err := summary.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(js.String(), `"quarantined"`) {
+		t.Errorf("JSON dump missing the quarantined field")
+	}
+}

@@ -53,7 +53,10 @@ func RunOptimalityGap(w io.Writer, seeds []int64) ([]OptimalityRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		exact := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(s2))
+		exact, err := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(s2))
+		if err != nil {
+			return nil, err
+		}
 		row.BestSortExact = len(exact.LogicalPaths())
 
 		res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s2})

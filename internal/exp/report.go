@@ -17,6 +17,7 @@ type Summary struct {
 	Quick       bool                `json:"quick"`
 	ISCAS       []ISCASRow          `json:"iscas"`
 	MCNC        []MCNCRow           `json:"mcnc"`
+	Quarantined []QuarantinedRow    `json:"quarantined,omitempty"`
 	Figures     *FiguresReport      `json:"figures"`
 	Speedup     []SpeedupRow        `json:"speedup"`
 	Ablations   []AblationRow       `json:"ablations"`
@@ -28,9 +29,12 @@ type Summary struct {
 
 // RunAll executes every experiment. quick substitutes scaled-down
 // workloads (seconds instead of minutes) — the full mode regenerates the
-// EXPERIMENTS.md numbers. workers parallelizes the table enumerations
-// (<=1 for serial); the measured counts do not depend on it.
-func RunAll(w io.Writer, quick bool, workers int) (*Summary, error) {
+// EXPERIMENTS.md numbers. The table suites run hardened: circuits that
+// blow their per-circuit budget or crash are quarantined (reported in
+// Summary.Quarantined) and the remaining experiments still run; only
+// suite-level cancellation aborts the run. The measured counts do not
+// depend on opt.Workers.
+func RunAll(w io.Writer, quick bool, opt SuiteOptions) (*Summary, error) {
 	s := &Summary{GeneratedAt: time.Now(), Quick: quick}
 	iscas := gen.ISCAS85Suite()
 	mcnc := gen.MCNCSuite()
@@ -53,15 +57,19 @@ func RunAll(w io.Writer, quick bool, workers int) (*Summary, error) {
 		popN = 4
 	}
 	var err error
-	if s.ISCAS, err = RunISCAS(iscas, workers); err != nil {
+	var q []QuarantinedRow
+	if s.ISCAS, q, err = RunISCAS(iscas, opt); err != nil {
 		return nil, err
 	}
+	s.Quarantined = append(s.Quarantined, q...)
 	FprintTableI(w, s.ISCAS)
 	FprintTableII(w, s.ISCAS)
-	if s.MCNC, err = RunMCNC(mcnc, workers); err != nil {
+	if s.MCNC, q, err = RunMCNC(mcnc, opt); err != nil {
 		return nil, err
 	}
+	s.Quarantined = append(s.Quarantined, q...)
 	FprintTableIII(w, s.MCNC)
+	FprintQuarantine(w, s.Quarantined)
 	if s.Figures, err = RunFigures(w); err != nil {
 		return nil, err
 	}
@@ -122,6 +130,11 @@ Reproduction of Sparmann, Luxenburger, Cheng, Reddy, DAC 1995. See EXPERIMENTS.m
 {{range .ISCAS}}<tr><td>{{.Circuit}}</td><td>{{.Total}}</td><td>{{pct .FUS}}</td><td>{{pct .Heu1}}</td><td>{{pct .Heu2}}</td><td>{{pct .Inv}}</td><td>{{dur .TimeHeu1}}</td><td>{{dur .TimeHeu2}}</td></tr>
 {{end}}</table>
 
+{{if .Quarantined}}<h2>Quarantined circuits</h2>
+<table><tr><th>circuit</th><th>attempts</th><th>reason</th></tr>
+{{range .Quarantined}}<tr><td>{{.Circuit}}</td><td>{{.Attempts}}</td><td style="text-align:left">{{.Reason}}</td></tr>
+{{end}}</table>
+{{end}}
 <h2>Table III — unfolding approach of [1] vs Heuristic 2</h2>
 <table><tr><th>circuit</th><th>paths</th><th>[1] RD</th><th>[1] time</th><th>Heu2 RD</th><th>Heu2 time</th></tr>
 {{range .MCNC}}<tr><td>{{.Circuit}}</td><td>{{.Total}}</td><td>{{pct .LamRD}}</td><td>{{dur .LamTime}}</td><td>{{pct .Heu2RD}}</td><td>{{dur .Heu2Time}}</td></tr>

@@ -133,7 +133,10 @@ func RunAblations(w io.Writer, seeds []int64) ([]AblationRow, error) {
 		row.Superset = pr.Selected
 
 		// Exact LP(sigma^pi) by Algorithm 1 over all vectors.
-		a := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(pin))
+		a, err := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(pin))
+		if err != nil {
+			return nil, err
+		}
 		row.Exact = int64(len(a.LogicalPaths()))
 
 		h2, err := core.Identify(c, core.Heuristic2, core.Options{})

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -52,60 +53,100 @@ type ISCASRow struct {
 // RunISCAS computes Table I and Table II rows for the given circuits,
 // sharing the enumeration passes exactly as Algorithm 3 allows: the FS
 // and T passes feed the FUS column, Heuristic 2's sort, and the inverse
-// control column. workers sets the per-pass enumeration parallelism
-// (<=1 for serial); every measured count is identical for any value.
-func RunISCAS(circuits []gen.Named, workers int) ([]ISCASRow, error) {
+// control column. Every measured count is identical for any worker count.
+// Circuits that exceed their time budget or crash are retried once and
+// then quarantined (second return) instead of aborting the suite.
+func RunISCAS(circuits []gen.Named, opt SuiteOptions) ([]ISCASRow, []QuarantinedRow, error) {
 	rows := make([]ISCASRow, 0, len(circuits))
+	var quarantined []QuarantinedRow
 	for _, nc := range circuits {
-		c := nc.C
-		row := ISCASRow{Circuit: nc.Paper}
-
-		t0 := time.Now()
-		fsRes, err := core.Enumerate(c, core.FS, core.Options{CollectLeadCounts: true, Workers: workers})
+		nc := nc
+		var row ISCASRow
+		q, err := opt.runCircuit(nc.Paper, func(ctx context.Context) error {
+			r, err := runISCASRow(ctx, nc, opt.Workers)
+			if err != nil {
+				return err
+			}
+			row = *r
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", nc.Paper, err)
+			return rows, quarantined, err
 		}
-		fsTime := time.Since(t0)
-		row.Total = fsRes.Total
-		row.FUS = fsRes.RDPercent()
-
-		t0 = time.Now()
-		tRes, err := core.Enumerate(c, core.NonRobust, core.Options{CollectLeadCounts: true, Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", nc.Paper, err)
+		if q != nil {
+			quarantined = append(quarantined, *q)
+			continue
 		}
-		tTime := time.Since(t0)
-
-		// Heuristic 1: linear-time path counting sort + one pass.
-		t0 = time.Now()
-		s1 := core.Heuristic1Sort(c)
-		h1Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s1, Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("%s heu1: %v", nc.Paper, err)
-		}
-		row.TimeHeu1 = time.Since(t0)
-		row.Heu1 = h1Res.RDPercent()
-
-		// Heuristic 2: reuse the FS and T passes for the cost measure.
-		t0 = time.Now()
-		s2 := heu2SortFromCounts(c, fsRes.LeadCounts, tRes.LeadCounts)
-		h2Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s2, Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("%s heu2: %v", nc.Paper, err)
-		}
-		row.TimeHeu2 = fsTime + tTime + time.Since(t0)
-		row.Heu2 = h2Res.RDPercent()
-
-		// Inverse control experiment.
-		inv := s2.Inverse()
-		invRes, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &inv, Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("%s inverse: %v", nc.Paper, err)
-		}
-		row.Inv = invRes.RDPercent()
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, quarantined, nil
+}
+
+// runISCASRow runs the four enumeration passes of one Table I/II row
+// under ctx; any interrupted pass aborts the row.
+func runISCASRow(ctx context.Context, nc gen.Named, workers int) (*ISCASRow, error) {
+	c := nc.C
+	row := &ISCASRow{Circuit: nc.Paper}
+
+	t0 := time.Now()
+	fsRes, err := core.Enumerate(c, core.FS, core.Options{CollectLeadCounts: true, Workers: workers, Context: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", nc.Paper, err)
+	}
+	if err := completeOr(fsRes, "FS pass"); err != nil {
+		return nil, err
+	}
+	fsTime := time.Since(t0)
+	row.Total = fsRes.Total
+	row.FUS = fsRes.RDPercent()
+
+	t0 = time.Now()
+	tRes, err := core.Enumerate(c, core.NonRobust, core.Options{CollectLeadCounts: true, Workers: workers, Context: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", nc.Paper, err)
+	}
+	if err := completeOr(tRes, "T pass"); err != nil {
+		return nil, err
+	}
+	tTime := time.Since(t0)
+
+	// Heuristic 1: linear-time path counting sort + one pass.
+	t0 = time.Now()
+	s1 := core.Heuristic1Sort(c)
+	h1Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s1, Workers: workers, Context: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("%s heu1: %v", nc.Paper, err)
+	}
+	if err := completeOr(h1Res, "Heu1 pass"); err != nil {
+		return nil, err
+	}
+	row.TimeHeu1 = time.Since(t0)
+	row.Heu1 = h1Res.RDPercent()
+
+	// Heuristic 2: reuse the FS and T passes for the cost measure.
+	t0 = time.Now()
+	s2 := heu2SortFromCounts(c, fsRes.LeadCounts, tRes.LeadCounts)
+	h2Res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s2, Workers: workers, Context: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("%s heu2: %v", nc.Paper, err)
+	}
+	if err := completeOr(h2Res, "Heu2 pass"); err != nil {
+		return nil, err
+	}
+	row.TimeHeu2 = fsTime + tTime + time.Since(t0)
+	row.Heu2 = h2Res.RDPercent()
+
+	// Inverse control experiment.
+	inv := s2.Inverse()
+	invRes, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &inv, Workers: workers, Context: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("%s inverse: %v", nc.Paper, err)
+	}
+	if err := completeOr(invRes, "inverse pass"); err != nil {
+		return nil, err
+	}
+	row.Inv = invRes.RDPercent()
+	return row, nil
 }
 
 // heu2SortFromCounts builds Heuristic 2's sort from precomputed per-lead
@@ -173,35 +214,52 @@ type MCNCRow struct {
 
 // RunMCNC synthesizes each cover (the script.rugged stand-in) and runs
 // both the unfolding approach of [1] and Heuristic 2 — Table III.
-// workers parallelizes the Heuristic 2 pipeline (<=1 for serial).
-func RunMCNC(covers []gen.NamedCover, workers int) ([]MCNCRow, error) {
+// Covers whose pipeline exceeds its time budget or crashes are retried
+// once and then quarantined instead of aborting the suite.
+func RunMCNC(covers []gen.NamedCover, opt SuiteOptions) ([]MCNCRow, []QuarantinedRow, error) {
 	rows := make([]MCNCRow, 0, len(covers))
+	var quarantined []QuarantinedRow
 	for _, nc := range covers {
-		c, err := synth.Synthesize(nc.Cover, synth.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", nc.Paper, err)
-		}
-		row := MCNCRow{Circuit: nc.Paper}
+		nc := nc
+		var row MCNCRow
+		q, err := opt.runCircuit(nc.Paper, func(ctx context.Context) error {
+			c, err := synth.Synthesize(nc.Cover, synth.Options{})
+			if err != nil {
+				return fmt.Errorf("%s: %v", nc.Paper, err)
+			}
+			row = MCNCRow{Circuit: nc.Paper}
 
-		t0 := time.Now()
-		lam, err := leafdag.IdentifyRD(c, leafdag.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("%s leafdag: %v", nc.Paper, err)
-		}
-		row.LamTime = time.Since(t0)
-		row.LamRD = lam.RDPercent()
-		row.Total = lam.TotalLogicalPaths
+			t0 := time.Now()
+			lam, err := leafdag.IdentifyRD(c, leafdag.Options{})
+			if err != nil {
+				return fmt.Errorf("%s leafdag: %v", nc.Paper, err)
+			}
+			row.LamTime = time.Since(t0)
+			row.LamRD = lam.RDPercent()
+			row.Total = lam.TotalLogicalPaths
 
-		t0 = time.Now()
-		rep, err := core.Identify(c, core.Heuristic2, core.Options{Workers: workers})
+			t0 = time.Now()
+			rep, err := core.Identify(c, core.Heuristic2, core.Options{Workers: opt.Workers, Context: ctx})
+			if err != nil {
+				return fmt.Errorf("%s heu2: %v", nc.Paper, err)
+			}
+			if err := completeOr(rep.Final, "Heu2 pipeline"); err != nil {
+				return err
+			}
+			row.Heu2Time = time.Since(t0)
+			row.Heu2RD = rep.RDPercent()
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("%s heu2: %v", nc.Paper, err)
+			return rows, quarantined, err
 		}
-		row.Heu2Time = time.Since(t0)
-		row.Heu2RD = rep.RDPercent()
+		if q != nil {
+			quarantined = append(quarantined, *q)
+			continue
+		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, quarantined, nil
 }
 
 // FprintTableIII renders measured-vs-paper Table III.
@@ -214,6 +272,18 @@ func FprintTableIII(w io.Writer, rows []MCNCRow) {
 			r.Circuit, r.Total, ref.Paths,
 			r.LamRD, r.LamTime.Round(time.Millisecond), ref.LamRD, ref.LamTime,
 			r.Heu2RD, r.Heu2Time.Round(time.Millisecond), ref.Heu2RD, ref.Heu2Time)
+	}
+}
+
+// FprintQuarantine lists the circuits a suite run gave up on; silent when
+// there are none.
+func FprintQuarantine(w io.Writer, rows []QuarantinedRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "QUARANTINED — %d circuit(s) excluded from the tables above\n", len(rows))
+	for _, q := range rows {
+		fmt.Fprintf(w, "  %s\n", q)
 	}
 }
 

@@ -253,6 +253,28 @@ type Snapshot struct {
 // Len returns the number of assignments captured.
 func (s Snapshot) Len() int { return len(s.gates) }
 
+// Export copies the snapshot's assignments out for serialization (the
+// checkpoint files of a deadline-interrupted enumeration). The returned
+// slices are fresh: mutating them does not affect the snapshot.
+func (s Snapshot) Export() (gates []circuit.GateID, vals []Value) {
+	return append([]circuit.GateID(nil), s.gates...), append([]Value(nil), s.vals...)
+}
+
+// MakeSnapshot rebuilds a Snapshot from serialized assignments (the
+// inverse of Export). The caller guarantees the set is implication-closed
+// for the circuit it will be restored on — snapshots produced by
+// Engine.Snapshot and round-tripped through Export satisfy this. The
+// slices are copied; len(gates) must equal len(vals).
+func MakeSnapshot(gates []circuit.GateID, vals []Value) Snapshot {
+	if len(gates) != len(vals) {
+		panic("logic: MakeSnapshot with mismatched gates/vals")
+	}
+	return Snapshot{
+		gates: append([]circuit.GateID(nil), gates...),
+		vals:  append([]Value(nil), vals...),
+	}
+}
+
 // Snapshot captures the engine's current assignments (the full trail with
 // its values). Cost is O(len(trail)), independent of circuit size. The
 // engine must not be mid-propagation (every public entry point leaves it

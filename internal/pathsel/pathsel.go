@@ -7,8 +7,10 @@
 package pathsel
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
@@ -44,6 +46,13 @@ type Options struct {
 	// (<=1 for serial). The surviving path set is a set — identical for
 	// any worker count.
 	Workers int
+	// Context cancels the RD-filtering enumeration; Deadline bounds it.
+	// A selector's keep-map must be complete to be sound (a path missing
+	// from it is treated as RD), so interruption aborts NewSelector with
+	// core.ErrDeadline / core.ErrCanceled rather than returning a
+	// selector that would silently over-filter.
+	Context  context.Context
+	Deadline time.Duration
 }
 
 // Selector runs selection strategies over one circuit.
@@ -70,15 +79,23 @@ func NewSelector(c *circuit.Circuit, d sim.Delays, opt Options) (*Selector, erro
 		s.sort = core.Heuristic1Sort(c)
 	}
 	s.keep = make(map[string]bool)
-	_, err := core.Enumerate(c, core.SigmaPi, core.Options{
-		Sort:    &s.sort,
-		Workers: opt.Workers,
+	res, err := core.Enumerate(c, core.SigmaPi, core.Options{
+		Sort:     &s.sort,
+		Workers:  opt.Workers,
+		Context:  opt.Context,
+		Deadline: opt.Deadline,
 		OnPath: func(lp paths.Logical) {
 			s.keep[lp.Key()] = true
 		},
 	})
 	if err != nil {
 		return nil, err
+	}
+	if res.Status != core.StatusComplete {
+		if res.Err != nil {
+			return nil, fmt.Errorf("pathsel: RD filtering incomplete: %w", res.Err)
+		}
+		return nil, fmt.Errorf("pathsel: RD filtering incomplete (%v)", res.Status)
 	}
 	return s, nil
 }

@@ -13,6 +13,9 @@ func FuzzParse(f *testing.F) {
 	f.Add(".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n")
 	f.Add(".i 1\n.o 1\n.p 1\n1 1\n")
 	f.Add("junk")
+	f.Add(".i 2\n.o 1\n.ilb a\n11 1\n")
+	f.Add(".p 3\n.i 1\n.o 1\n1 1\n")
+	f.Add(".i 2\n.o 1\n112\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		cv, err := Parse("fuzz", strings.NewReader(src))
 		if err != nil {

@@ -151,7 +151,10 @@ func TestTheorem1(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 18, Outputs: 2}, seed)
 		n := len(c.Inputs())
-		assignment := stabilize.ComputeAssignment(c, stabilize.ChooseRandom(seed*3))
+		assignment, err := stabilize.ComputeAssignment(c, stabilize.ChooseRandom(seed*3))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for impl := int64(0); impl < 3; impl++ {
 			d := RandomDelays(c, seed*100+impl, 0.1, 4)
 			rng := rand.New(rand.NewSource(seed*999 + impl))

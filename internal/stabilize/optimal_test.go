@@ -61,7 +61,10 @@ func TestOptimalAssignmentExample(t *testing.T) {
 	}
 	// Example 4's claim: the restricted search space (input sorts) still
 	// contains the optimum for this circuit.
-	pin := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c)))
+	pin, err := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := len(pin.LogicalPaths()); got != opt.Size {
 		t.Fatalf("sigma^pi achieves %d, unrestricted optimum %d", got, opt.Size)
 	}
@@ -83,7 +86,10 @@ func TestOptimalNeverWorseThanAnySort(t *testing.T) {
 			circuit.PinOrderSort(c),
 			circuit.PinOrderSort(c).Inverse(),
 		} {
-			a := ComputeAssignment(c, ChooseBySort(s))
+			a, err := ComputeAssignment(c, ChooseBySort(s))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(a.LogicalPaths()) < opt.Size {
 				t.Fatalf("seed %d: sort beat the claimed optimum (%d < %d)",
 					seed, len(a.LogicalPaths()), opt.Size)

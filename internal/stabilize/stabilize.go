@@ -11,6 +11,7 @@
 package stabilize
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -225,12 +226,34 @@ type Assignment struct {
 	systems []*System // indexed by input vector encoded as bits (input i = bit i)
 }
 
+// MaxAssignmentInputs bounds ComputeAssignment: σ holds one stabilizing
+// system per input vector, so the memory and time cost is 2^n.
+const MaxAssignmentInputs = 24
+
+// ErrTooManyInputs is returned (wrapped in a *TooManyInputsError) when a
+// circuit is too wide for the exhaustive assignment. Match with errors.Is.
+var ErrTooManyInputs = errors.New("stabilize: too many inputs for an exhaustive assignment")
+
+// TooManyInputsError reports the offending width; it unwraps to
+// ErrTooManyInputs.
+type TooManyInputsError struct {
+	Inputs, Max int
+}
+
+func (e *TooManyInputsError) Error() string {
+	return fmt.Sprintf("stabilize: circuit has %d inputs, exhaustive assignment supports at most %d (2^n systems)",
+		e.Inputs, e.Max)
+}
+
+func (e *TooManyInputsError) Unwrap() error { return ErrTooManyInputs }
+
 // ComputeAssignment builds σ by running Algorithm 1 for all 2^n input
-// vectors. It panics if the circuit has more than 24 inputs.
-func ComputeAssignment(c *circuit.Circuit, choose Chooser) *Assignment {
+// vectors. Circuits wider than MaxAssignmentInputs get ErrTooManyInputs
+// instead of an attempt that could not finish.
+func ComputeAssignment(c *circuit.Circuit, choose Chooser) (*Assignment, error) {
 	n := len(c.Inputs())
-	if n > 24 {
-		panic(fmt.Sprintf("stabilize: ComputeAssignment on %d inputs (max 24)", n))
+	if n > MaxAssignmentInputs {
+		return nil, &TooManyInputsError{Inputs: n, Max: MaxAssignmentInputs}
 	}
 	a := &Assignment{c: c, systems: make([]*System, 1<<n)}
 	in := make([]bool, n)
@@ -240,7 +263,7 @@ func ComputeAssignment(c *circuit.Circuit, choose Chooser) *Assignment {
 		}
 		a.systems[v] = Compute(c, in, choose)
 	}
-	return a
+	return a, nil
 }
 
 // System returns σ(v) for the input vector encoded bitwise (input i is bit

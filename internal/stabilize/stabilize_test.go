@@ -1,6 +1,7 @@
 package stabilize
 
 import (
+	"errors"
 	"testing"
 
 	"rdfault/internal/circuit"
@@ -126,7 +127,10 @@ func TestSystemStructure(t *testing.T) {
 func TestExampleOptimalAssignment(t *testing.T) {
 	c := gen.PaperExample()
 	// Pin-order sort realizes the optimum (Figure 5): |LP(sigma^pi)| = 5.
-	a := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c)))
+	a, err := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	lp := a.LogicalPaths()
 	if len(lp) != 5 {
 		for k := range lp {
@@ -139,7 +143,10 @@ func TestExampleOptimalAssignment(t *testing.T) {
 		t.Fatalf("|RD| = %d, want 3", len(rd))
 	}
 	// Inverse sort degrades to selecting everything.
-	inv := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c).Inverse()))
+	inv, err := ComputeAssignment(c, ChooseBySort(circuit.PinOrderSort(c).Inverse()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := len(inv.LogicalPaths()); got != 8 {
 		t.Fatalf("inverse sort |LP| = %d, want 8", got)
 	}
@@ -156,7 +163,10 @@ func TestExampleSixPathAssignment(t *testing.T) {
 		}
 		return ctrl[0]
 	}
-	a := ComputeAssignment(c, choose)
+	a, err := ComputeAssignment(c, choose)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := len(a.LogicalPaths()); got != 6 {
 		t.Fatalf("|LP(sigma)| = %d, want 6 (Example 2)", got)
 	}
@@ -169,7 +179,10 @@ func TestExampleSixPathAssignment(t *testing.T) {
 func TestAssignmentCoversEveryVector(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 14, Outputs: 2}, seed)
-		a := ComputeAssignment(c, ChooseRandom(seed))
+		a, err := ComputeAssignment(c, ChooseRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for v := 0; v < a.NumVectors(); v++ {
 			s := a.System(v)
 			lps := s.LogicalPaths()
@@ -197,7 +210,10 @@ func TestLemma1Subset(t *testing.T) {
 	total := 0
 	paths.ForEachLogical(c, func(paths.Logical) bool { total++; return true })
 	for seed := int64(0); seed < 20; seed++ {
-		a := ComputeAssignment(c, ChooseRandom(seed))
+		a, err := ComputeAssignment(c, ChooseRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
 		n := len(a.LogicalPaths())
 		if n < 5 || n > total {
 			t.Fatalf("seed %d: |LP(sigma)| = %d outside [5,%d]", seed, n, total)
@@ -222,7 +238,7 @@ func TestSystemLeadsConsistent(t *testing.T) {
 	}
 }
 
-func TestComputeAssignmentPanicsOnWideCircuits(t *testing.T) {
+func TestComputeAssignmentRejectsWideCircuits(t *testing.T) {
 	b := circuit.NewBuilder("wide")
 	var ins []circuit.GateID
 	for i := 0; i < 25; i++ {
@@ -231,12 +247,20 @@ func TestComputeAssignmentPanicsOnWideCircuits(t *testing.T) {
 	g := b.Gate(circuit.And, "g", ins...)
 	b.Output("po", g)
 	c := b.MustBuild()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for 25 inputs")
-		}
-	}()
-	ComputeAssignment(c, nil)
+	a, err := ComputeAssignment(c, nil)
+	if a != nil || err == nil {
+		t.Fatalf("ComputeAssignment on 25 inputs = (%v, %v), want a nil assignment and an error", a, err)
+	}
+	if !errors.Is(err, ErrTooManyInputs) {
+		t.Errorf("err = %v, want errors.Is(err, ErrTooManyInputs)", err)
+	}
+	var wide *TooManyInputsError
+	if !errors.As(err, &wide) {
+		t.Fatalf("err = %v, want a *TooManyInputsError", err)
+	}
+	if wide.Inputs != 25 || wide.Max != MaxAssignmentInputs {
+		t.Errorf("TooManyInputsError = %+v, want Inputs=25 Max=%d", wide, MaxAssignmentInputs)
+	}
 }
 
 // The stabilizing system never depends on values outside itself: asserting

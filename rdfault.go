@@ -128,11 +128,52 @@ const (
 	NonRobust = core.NonRobust
 )
 
-// Options tunes Enumerate and Identify.
+// Options tunes Enumerate and Identify, including the resilience knobs:
+// Context/Deadline interrupt a run gracefully and Checkpoint resumes one.
 type Options = core.Options
 
-// Result reports one enumeration pass.
+// Result reports one enumeration pass; Result.Status says how it ended.
 type Result = core.Result
+
+// Status classifies how an enumeration run ended.
+type Status = core.Status
+
+// Enumeration statuses. Only StatusComplete proves an RD count; an
+// interrupted run (StatusDeadline, StatusCanceled) hands back a
+// resumable Checkpoint instead, and StatusDegraded marks counters
+// tainted by a worker panic.
+const (
+	StatusComplete  = core.StatusComplete
+	StatusTruncated = core.StatusTruncated
+	StatusDeadline  = core.StatusDeadline
+	StatusCanceled  = core.StatusCanceled
+	StatusDegraded  = core.StatusDegraded
+)
+
+// Sentinel errors of the enumeration stack; match with errors.Is.
+var (
+	ErrDeadline    = core.ErrDeadline
+	ErrCanceled    = core.ErrCanceled
+	ErrWorkerPanic = core.ErrWorkerPanic
+)
+
+// WorkerError is the crash report of one panicked enumeration worker.
+type WorkerError = core.WorkerError
+
+// Checkpoint is the serialized frontier of an interrupted enumeration.
+// Resuming from it (Options.Checkpoint) reproduces the uninterrupted
+// run's counters exactly.
+type Checkpoint = core.Checkpoint
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	return core.ReadCheckpointFile(path)
+}
+
+// WriteCheckpointFile atomically writes cp to path.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	return core.WriteCheckpointFile(path, cp)
+}
 
 // Enumerate runs Algorithm 2: implicit enumeration of all logical paths
 // with prime-segment pruning under the given criterion.
