@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz cover suite clean
+.PHONY: all build test vet bench bench-identify race fuzz cover suite clean
 
 all: build vet test
 
@@ -16,9 +16,16 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages (work-stealing
-# enumeration and the implication engine it snapshots).
+# enumeration, the implication engine it snapshots, and the shared
+# analysis manager).
 race:
-	$(GO) test -race ./internal/core ./internal/logic
+	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis
+
+# Cached-vs-uncached identification pipeline; writes BENCH_identify.json
+# and fails if the analysis manager is not strictly faster and
+# lower-allocating than the recompute-everywhere baseline.
+bench-identify:
+	$(GO) test -run '^$$' -bench BenchmarkIdentifyCached -benchtime 1x -timeout 30m .
 
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
 bench:
@@ -38,4 +45,4 @@ suite:
 	$(GO) run ./cmd/benchgen -out benchmarks -verilog -multiplier
 
 clean:
-	rm -rf benchmarks out.vcd
+	rm -rf benchmarks out.vcd BENCH_enumerate.json BENCH_identify.json

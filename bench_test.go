@@ -15,7 +15,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/exp"
 	"rdfault/internal/gen"
 	"rdfault/internal/paths"
@@ -263,6 +265,147 @@ func BenchmarkEnumerateWorkers(b *testing.B) {
 		b.Fatal(err)
 	}
 	fmt.Println("wrote BENCH_enumerate.json")
+}
+
+// BenchmarkIdentifyCached measures what the analysis manager buys: the
+// full identification pipeline (FUS, then Heuristic 1, then Heuristic 2
+// on the same circuit) with the shared analysis cache against the
+// recompute-everywhere baseline, on the smaller half of the
+// ISCAS85-analogue suite. Per-op wall clock and allocations are written
+// to BENCH_identify.json; the Selected/RD/Segments counters are asserted
+// byte-identical between the two modes (at 1 and 4 workers) — caching
+// must change cost, never results.
+func BenchmarkIdentifyCached(b *testing.B) {
+	var suite []gen.Named
+	for _, nc := range gen.ISCAS85Suite() {
+		switch nc.Paper {
+		case "c432", "c880", "c499", "c5315":
+			suite = append(suite, nc)
+		}
+	}
+	heuristics := []Heuristic{HeuristicFUS, Heuristic1, Heuristic2}
+
+	type counters struct {
+		Selected [3]int64  `json:"selected"`
+		RD       [3]string `json:"rd"`
+		Segments [3]int64  `json:"segments"`
+	}
+	pipeline := func(c *Circuit, workers int) counters {
+		var ct counters
+		for i, h := range heuristics {
+			rep, err := Identify(c, h, Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ct.Selected[i] = rep.Selected
+			ct.RD[i] = rep.RD.String()
+			ct.Segments[i] = rep.Final.Segments
+		}
+		return ct
+	}
+	// measure runs the pipeline n times and reports per-op nanoseconds,
+	// allocation count and allocated bytes (monotonic counters; no forced
+	// GC needed).
+	measure := func(c *Circuit, n int) (nsOp int64, allocsOp, bytesOp uint64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			pipeline(c, 1)
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		un := uint64(n)
+		return elapsed.Nanoseconds() / int64(n),
+			(after.Mallocs - before.Mallocs) / un,
+			(after.TotalAlloc - before.TotalAlloc) / un
+	}
+
+	type row struct {
+		Circuit        string   `json:"circuit"`
+		UncachedNsOp   int64    `json:"uncached_ns_per_op"`
+		CachedNsOp     int64    `json:"cached_ns_per_op"`
+		CachedColdNs   int64    `json:"cached_cold_first_op_ns"`
+		Speedup        float64  `json:"speedup"`
+		UncachedAllocs uint64   `json:"uncached_allocs_per_op"`
+		CachedAllocs   uint64   `json:"cached_allocs_per_op"`
+		UncachedBytes  uint64   `json:"uncached_bytes_per_op"`
+		CachedBytes    uint64   `json:"cached_bytes_per_op"`
+		Counters       counters `json:"counters"`
+	}
+	var rows []row
+	for _, nc := range suite {
+		nc := nc
+		b.Run(nc.Paper, func(b *testing.B) {
+			analysis.Reset()
+
+			// Baseline: every call site re-derives its analyses.
+			prev := analysis.SetEnabled(false)
+			base := pipeline(nc.C, 1)
+			base4 := pipeline(nc.C, 4)
+			unNs, unAllocs, unBytes := measure(nc.C, b.N)
+			analysis.SetEnabled(prev)
+
+			// Cached: one cold op populates the registry (counts, sorts,
+			// Algorithm 3 passes), then b.N warm ops are served from it.
+			analysis.Reset()
+			t0 := time.Now()
+			warm := pipeline(nc.C, 1)
+			coldNs := time.Since(t0).Nanoseconds()
+			warm4 := pipeline(nc.C, 4)
+			caNs, caAllocs, caBytes := measure(nc.C, b.N)
+
+			if warm != base || warm4 != base4 || warm != warm4 {
+				b.Fatalf("%s: cached counters diverge from baseline:\ncached   %+v\nuncached %+v",
+					nc.Paper, warm, base)
+			}
+			b.ReportMetric(float64(unNs)/float64(caNs), "speedup")
+			rows = append(rows, row{
+				Circuit:        nc.Paper,
+				UncachedNsOp:   unNs,
+				CachedNsOp:     caNs,
+				CachedColdNs:   coldNs,
+				Speedup:        float64(unNs) / float64(caNs),
+				UncachedAllocs: unAllocs,
+				CachedAllocs:   caAllocs,
+				UncachedBytes:  unBytes,
+				CachedBytes:    caBytes,
+				Counters:       warm,
+			})
+			analysis.Reset()
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	for _, r := range rows {
+		if r.CachedNsOp >= r.UncachedNsOp {
+			b.Errorf("%s: cached pipeline not faster (%d ns vs %d ns)",
+				r.Circuit, r.CachedNsOp, r.UncachedNsOp)
+		}
+		if r.CachedAllocs >= r.UncachedAllocs {
+			b.Errorf("%s: cached pipeline not lower-allocating (%d vs %d allocs)",
+				r.Circuit, r.CachedAllocs, r.UncachedAllocs)
+		}
+	}
+	f, err := os.Create("BENCH_identify.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_identify.json")
+	for _, r := range rows {
+		fmt.Printf("%-8s uncached %8.2fms  cached %8.2fms  speedup %.2fx  allocs %d -> %d\n",
+			r.Circuit, float64(r.UncachedNsOp)/1e6, float64(r.CachedNsOp)/1e6,
+			r.Speedup, r.UncachedAllocs, r.CachedAllocs)
+	}
 }
 
 // BenchmarkPathCountC6288 reproduces the path-count remark that excludes

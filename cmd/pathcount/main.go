@@ -21,11 +21,11 @@ import (
 	"sort"
 	"sync"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/cliutil"
 	"rdfault/internal/gen"
 	"rdfault/internal/loader"
-	"rdfault/internal/paths"
 )
 
 func main() {
@@ -103,7 +103,7 @@ func reportSuite(ctx context.Context, named []gen.Named, top, workers int) {
 }
 
 func report(w io.Writer, c *circuit.Circuit, label string, top int) {
-	ct := paths.NewCounts(c)
+	ct := analysis.For(c).Counts()
 	fmt.Fprintf(w, "%-8s %s\n", label, c.Stats())
 	fmt.Fprintf(w, "         physical paths: %v   logical paths: %v\n", ct.Physical(), ct.Logical())
 	// Per-cone counts.

@@ -1,0 +1,367 @@
+// Package analysis is the derived-data manager of the RD pipeline: a
+// concurrency-safe, lazily-memoized cache of everything that can be
+// computed once per circuit and shared — exact big.Int path counts,
+// levelization, SCOAP testability measures, static timing analyses, a
+// free-list of implication engines, and a generic compute-once memo for
+// higher layers (input sorts, Algorithm 3 passes).
+//
+// The design is the compiler "analysis manager" pattern: analyses are
+// keyed on an immutable IR version (circuit.Circuit.Version, bumped by
+// every Builder.Build), computed at most once per version even under
+// concurrent demand (singleflight via per-handle locking), and can never
+// go stale — a rewritten circuit is a new circuit with a new version, so
+// handles of the old version simply stop being requested. The paper's
+// speed claim rests on these analyses being cheap; this package makes
+// them cheap *once* instead of cheap at every call site.
+package analysis
+
+import (
+	"hash/maphash"
+	"math"
+	"math/big"
+	"sync"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/logic"
+	"rdfault/internal/paths"
+	"rdfault/internal/scoap"
+	"rdfault/internal/sim"
+	"rdfault/internal/timing"
+)
+
+// DefaultCapacity bounds the number of circuit versions the global
+// registry retains. Long-running services iterate over many circuits
+// (per-cone extractions, DFT rewrites, suite sweeps); least-recently-used
+// versions are evicted beyond this bound so the registry cannot grow
+// without limit. Handed-out *Analysis handles stay valid after eviction —
+// eviction only forgets the version-to-handle association.
+const DefaultCapacity = 128
+
+// Analysis is the compute-once handle set for one circuit version.
+// All getters are safe for concurrent use; each underlying analysis is
+// computed at most once per handle, with concurrent requesters blocking
+// on the single in-flight computation rather than duplicating it.
+type Analysis struct {
+	c *circuit.Circuit
+
+	countsOnce sync.Once
+	counts     *paths.Counts
+
+	logicalOnce sync.Once
+	logical     *big.Int
+
+	levelsOnce sync.Once
+	levels     [][]circuit.GateID
+
+	scoapOnce sync.Once
+	scoapM    *scoap.Measures
+
+	scoapSortOnce sync.Once
+	scoapSort     circuit.InputSort
+
+	timingMu sync.Mutex
+	timings  map[uint64][]*timingEntry
+
+	// engines is the logic.Engine free-list: enumeration workers and the
+	// DFT analyses borrow engines instead of reallocating value arrays,
+	// trails and watch queues per run. Engines are returned fully reset.
+	engines sync.Pool
+
+	memoMu sync.Mutex
+	memo   map[string]*memoCell
+}
+
+type timingEntry struct {
+	gate []float64 // copied key: per-gate delays
+	an   *timing.Analysis
+}
+
+type memoCell struct {
+	mu   sync.Mutex
+	done bool
+	v    any
+}
+
+func newAnalysis(c *circuit.Circuit) *Analysis {
+	a := &Analysis{c: c}
+	a.engines.New = func() any { return logic.NewEngine(c) }
+	return a
+}
+
+// Circuit returns the circuit this handle set is bound to.
+func (a *Analysis) Circuit() *circuit.Circuit { return a.c }
+
+// Version returns the circuit version the handles are keyed on.
+func (a *Analysis) Version() uint64 { return a.c.Version() }
+
+// Counts returns the exact per-gate path counts, computed once per
+// circuit version. The returned Counts (and the big.Ints it exposes) are
+// shared — treat them as read-only.
+func (a *Analysis) Counts() *paths.Counts {
+	a.countsOnce.Do(func() { a.counts = paths.NewCounts(a.c) })
+	return a.counts
+}
+
+// Logical returns the total number of logical paths |LP(C)|. The value
+// is computed once and shared; do not mutate it — use CopyLogical for a
+// caller-owned copy.
+func (a *Analysis) Logical() *big.Int {
+	a.logicalOnce.Do(func() { a.logical = a.Counts().Logical() })
+	return a.logical
+}
+
+// CopyLogical returns a fresh copy of Logical, safe to mutate.
+func (a *Analysis) CopyLogical() *big.Int {
+	return new(big.Int).Set(a.Logical())
+}
+
+// Levels returns the levelization of the circuit: gates grouped by logic
+// level (Levels()[l] lists every gate at level l, in GateID order; index
+// 0 holds the PIs). Shared and read-only.
+func (a *Analysis) Levels() [][]circuit.GateID {
+	a.levelsOnce.Do(func() {
+		lv := make([][]circuit.GateID, a.c.Depth()+1)
+		for g := circuit.GateID(0); int(g) < a.c.NumGates(); g++ {
+			l := a.c.Level(g)
+			lv[l] = append(lv[l], g)
+		}
+		a.levels = lv
+	})
+	return a.levels
+}
+
+// SCOAP returns the SCOAP testability measures, computed once per
+// circuit version. Shared and read-only.
+func (a *Analysis) SCOAP() *scoap.Measures {
+	a.scoapOnce.Do(func() { a.scoapM = scoap.Compute(a.c) })
+	return a.scoapM
+}
+
+// SCOAPSort returns the SCOAP-driven input sort, derived once from the
+// cached measures. Shared and read-only.
+func (a *Analysis) SCOAPSort() circuit.InputSort {
+	a.scoapSortOnce.Do(func() { a.scoapSort = a.SCOAP().Sort() })
+	return a.scoapSort
+}
+
+var timingSeed = maphash.MakeSeed()
+
+// Timing returns the static timing analysis for the given delays,
+// computed once per (circuit version, delay vector). Distinct delay
+// assignments get distinct cached analyses, keyed by delay content (the
+// vector is copied, so later caller-side mutation of d cannot corrupt
+// the cache). Shared and read-only.
+func (a *Analysis) Timing(d sim.Delays) *timing.Analysis {
+	var h maphash.Hash
+	h.SetSeed(timingSeed)
+	for _, v := range d.Gate {
+		bits := math.Float64bits(v)
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	key := h.Sum64()
+
+	a.timingMu.Lock()
+	defer a.timingMu.Unlock()
+	if a.timings == nil {
+		a.timings = make(map[uint64][]*timingEntry)
+	}
+	for _, e := range a.timings[key] {
+		if delaysEqual(e.gate, d.Gate) {
+			return e.an
+		}
+	}
+	e := &timingEntry{
+		gate: append([]float64(nil), d.Gate...),
+		an:   timing.New(a.c, d),
+	}
+	a.timings[key] = append(a.timings[key], e)
+	return e.an
+}
+
+func delaysEqual(x, y []float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Engine borrows an implication engine for the handle's circuit from the
+// free-list (allocating one only when the list is empty). The engine is
+// clean: all gates at X, empty trail. Return it with PutEngine when
+// done; an engine borrowed and never returned is simply garbage.
+func (a *Analysis) Engine() *logic.Engine {
+	return a.engines.Get().(*logic.Engine)
+}
+
+// PutEngine resets e (O(trail), never O(circuit)) and returns it to the
+// free-list for reuse. Engines created for a different circuit are
+// dropped — cross-circuit trail leakage is structurally impossible.
+func (a *Analysis) PutEngine(e *logic.Engine) {
+	if e == nil || e.Circuit() != a.c {
+		return
+	}
+	e.Reset()
+	a.engines.Put(e)
+}
+
+// Memo returns the compute-once value for key on this circuit version,
+// invoking f at most once even under concurrent callers (later callers
+// block on the in-flight computation and then share its result). If f
+// returns a non-nil error nothing is cached and the error is returned —
+// a later call retries. f must not recursively Memo the same key.
+//
+// Memo is the extension point for analyses that live in higher layers
+// (input sorts, Algorithm 3's enumeration passes) and therefore cannot
+// be named here without an import cycle. Keys are namespaced by
+// convention: "<package>.<analysis>".
+func (a *Analysis) Memo(key string, f func() (any, error)) (any, error) {
+	a.memoMu.Lock()
+	cell, ok := a.memo[key]
+	if !ok {
+		if a.memo == nil {
+			a.memo = make(map[string]*memoCell)
+		}
+		cell = &memoCell{}
+		a.memo[key] = cell
+	}
+	a.memoMu.Unlock()
+
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if cell.done {
+		return cell.v, nil
+	}
+	v, err := f()
+	if err != nil {
+		return nil, err
+	}
+	cell.v, cell.done = v, true
+	return v, nil
+}
+
+// registry is the global version-keyed LRU of Analysis handles.
+type registry struct {
+	mu      sync.Mutex
+	enabled bool
+	cap     int
+	entries map[uint64]*regEntry
+	tick    uint64
+}
+
+type regEntry struct {
+	an      *Analysis
+	lastUse uint64
+}
+
+var global = &registry{enabled: true, cap: DefaultCapacity}
+
+// For returns the shared Analysis handle set for c, creating it on first
+// request. Two calls with the same circuit return the same handle (until
+// LRU eviction); circuits with different versions never share handles,
+// which is what makes rewriter output (synth, dft) unable to observe
+// stale data. Safe for concurrent use.
+//
+// With caching disabled (SetEnabled(false)), For returns a fresh,
+// unregistered handle every call — each call site then recomputes its
+// analyses, which is exactly the pre-manager baseline the benchmarks
+// compare against.
+func For(c *circuit.Circuit) *Analysis {
+	g := global
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.enabled {
+		return newAnalysis(c)
+	}
+	g.tick++
+	if e, ok := g.entries[c.Version()]; ok {
+		e.lastUse = g.tick
+		return e.an
+	}
+	if g.entries == nil {
+		g.entries = make(map[uint64]*regEntry)
+	}
+	if len(g.entries) >= g.cap {
+		g.evictOldestLocked()
+	}
+	a := newAnalysis(c)
+	g.entries[c.Version()] = &regEntry{an: a, lastUse: g.tick}
+	return a
+}
+
+// evictOldestLocked removes the least-recently-used entry. Linear scan:
+// the registry is small (bounded by cap) and eviction is rare.
+func (g *registry) evictOldestLocked() {
+	var victim uint64
+	first := true
+	var oldest uint64
+	for v, e := range g.entries {
+		if first || e.lastUse < oldest {
+			victim, oldest, first = v, e.lastUse, false
+		}
+	}
+	if !first {
+		delete(g.entries, victim)
+	}
+}
+
+// Drop forgets the registered handle for c, if any. Outstanding handles
+// stay usable; the next For(c) builds a fresh one.
+func Drop(c *circuit.Circuit) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	delete(global.entries, c.Version())
+}
+
+// Reset empties the registry. Intended for tests and memory-pressure
+// hooks.
+func Reset() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.entries = nil
+	global.tick = 0
+}
+
+// Len reports how many circuit versions are currently registered.
+func Len() int {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return len(global.entries)
+}
+
+// SetCapacity bounds the registry to n entries (n < 1 is clamped to 1)
+// and returns the previous bound, evicting LRU entries immediately if
+// the registry is over the new bound.
+func SetCapacity(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	prev := global.cap
+	global.cap = n
+	for len(global.entries) > n {
+		global.evictOldestLocked()
+	}
+	return prev
+}
+
+// SetEnabled turns the global cache on or off and returns the previous
+// state. Disabling does not clear already-registered entries (use Reset);
+// it makes For hand out fresh unshared handles, restoring the
+// recompute-everywhere baseline for A/B measurement.
+func SetEnabled(enabled bool) bool {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	prev := global.enabled
+	global.enabled = enabled
+	return prev
+}

@@ -1,0 +1,361 @@
+package analysis_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rdfault/internal/analysis"
+	"rdfault/internal/circuit"
+	"rdfault/internal/dft"
+	"rdfault/internal/gen"
+	"rdfault/internal/logic"
+	"rdfault/internal/sim"
+)
+
+// TestForSameHandle: the manager is a cache — two requests for the same
+// circuit share one handle set, and every derived analysis is the same
+// object both times.
+func TestForSameHandle(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a1 := analysis.For(c)
+	a2 := analysis.For(c)
+	if a1 != a2 {
+		t.Fatal("For returned distinct handles for the same circuit")
+	}
+	if a1.Counts() != a2.Counts() {
+		t.Fatal("Counts not shared across requests")
+	}
+	if a1.Logical() != a2.Logical() {
+		t.Fatal("Logical not shared across requests")
+	}
+	if a1.SCOAP() != a2.SCOAP() {
+		t.Fatal("SCOAP not shared across requests")
+	}
+	if a1.Circuit() != c || a1.Version() != c.Version() {
+		t.Fatal("handle not bound to the requested circuit")
+	}
+}
+
+// TestCopyLogicalIsCallerOwned: mutating the copy must not corrupt the
+// shared cached total.
+func TestCopyLogicalIsCallerOwned(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+	want := a.Logical().Int64()
+	cp := a.CopyLogical()
+	cp.SetInt64(-1)
+	if got := a.Logical().Int64(); got != want {
+		t.Fatalf("shared Logical corrupted through CopyLogical: %d, want %d", got, want)
+	}
+}
+
+// TestInvalidationAfterRewrite: a rewritten circuit (DFT insertion here;
+// synth and cone extraction behave identically because every rewriter
+// builds through circuit.Builder) carries a strictly larger version and
+// gets a fresh handle — stale derived data is structurally unreachable.
+func TestInvalidationAfterRewrite(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+	before := a.CopyLogical()
+
+	g, ok := c.GateByName("g")
+	if !ok {
+		t.Fatal("example gate missing")
+	}
+	mod, err := dft.Insert(c, []dft.Proposal{{Lead: circuit.Lead{To: g, Pin: 1}, ForceTo: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Version() <= c.Version() {
+		t.Fatalf("rewrite did not bump the version: %d -> %d", c.Version(), mod.Version())
+	}
+	am := analysis.For(mod)
+	if am == a {
+		t.Fatal("rewritten circuit shares the original's handle")
+	}
+	// The original handle still serves its own (unchanged) data.
+	if a.Logical().Cmp(before) != 0 {
+		t.Fatal("original circuit's cached count changed after rewrite")
+	}
+	// The modified circuit has more paths (a test point adds gates/leads).
+	if am.Logical().Cmp(before) <= 0 {
+		t.Fatalf("modified circuit should count more logical paths: %v vs %v", am.Logical(), before)
+	}
+}
+
+// TestConcurrentFor hammers For and the fixed analyses from many
+// goroutines; under -race this is the singleflight soundness check, and
+// in any mode every goroutine must observe the same shared objects.
+func TestConcurrentFor(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.ParityTree(16, gen.XorNAND)
+	want := analysis.For(c)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := analysis.For(c)
+			if a != want {
+				errs <- errors.New("distinct handle under concurrency")
+				return
+			}
+			if a.Counts() != want.Counts() || a.SCOAP() != want.SCOAP() {
+				errs <- errors.New("distinct analysis object under concurrency")
+				return
+			}
+			if a.SCOAPSort().Pos == nil {
+				errs <- errors.New("empty SCOAP sort")
+				return
+			}
+			_ = a.Levels()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoSingleflight: under concurrent demand the memoized function
+// runs exactly once and everyone shares its value; errors are not cached
+// so a later call retries.
+func TestMemoSingleflight(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+
+	var calls int32
+	var mu sync.Mutex
+	f := func() (any, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return "value", nil
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := a.Memo("test.single", f)
+			if err != nil || v.(string) != "value" {
+				t.Errorf("Memo: v=%v err=%v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("memoized function ran %d times, want 1", calls)
+	}
+
+	// Errors are not cached: the next call retries and can succeed.
+	boom := errors.New("boom")
+	if _, err := a.Memo("test.err", func() (any, error) { return nil, boom }); err != boom {
+		t.Fatalf("want boom, got %v", err)
+	}
+	v, err := a.Memo("test.err", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry after error: v=%v err=%v", v, err)
+	}
+}
+
+// TestEnginePoolNoLeakage: an engine returned to the pool carries no
+// trace of its previous task — every gate reads X and the trail is empty
+// — and an engine built for a different circuit is refused.
+func TestEnginePoolNoLeakage(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+
+	e := a.Engine()
+	if e.Circuit() != c {
+		t.Fatal("engine bound to wrong circuit")
+	}
+	// Dirty it: assign every PI.
+	for _, pi := range c.Inputs() {
+		e.Assign(pi, true)
+	}
+	if e.Mark() == 0 {
+		t.Fatal("assignments did not reach the trail")
+	}
+	a.PutEngine(e)
+
+	// Drain the pool: every engine it hands back must be clean.
+	for i := 0; i < 4; i++ {
+		e2 := a.Engine()
+		if e2.Mark() != 0 {
+			t.Fatalf("pooled engine has a non-empty trail (%d)", e2.Mark())
+		}
+		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+			if e2.Value(g) != logic.X {
+				t.Fatalf("pooled engine leaks value at gate %d", g)
+			}
+		}
+		a.PutEngine(e2)
+	}
+
+	// Cross-circuit engines are dropped, not pooled.
+	other := gen.ParityTree(4, gen.XorNAND)
+	a.PutEngine(logic.NewEngine(other)) // must not panic or poison the pool
+	e3 := a.Engine()
+	if e3.Circuit() != c {
+		t.Fatal("pool handed out an engine for a different circuit")
+	}
+	a.PutEngine(nil) // tolerated
+}
+
+// TestTimingMemo: one analysis per (circuit, delay vector); equal
+// content shares, distinct content does not, and caller-side mutation of
+// the delay slice cannot corrupt the cache.
+func TestTimingMemo(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+
+	d1 := sim.UnitDelays(c)
+	an1 := a.Timing(d1)
+	if an1 == nil {
+		t.Fatal("nil timing analysis")
+	}
+	if a.Timing(sim.UnitDelays(c)) != an1 {
+		t.Fatal("equal delay vectors did not share the analysis")
+	}
+	d2 := sim.RandomDelays(c, 1, 0.5, 2)
+	if a.Timing(d2) == an1 {
+		t.Fatal("distinct delay vectors shared an analysis")
+	}
+	// Mutate the caller's slice: the cached key must be unaffected.
+	d1.Gate[0] += 100
+	if a.Timing(sim.UnitDelays(c)) != an1 {
+		t.Fatal("cache corrupted by caller-side delay mutation")
+	}
+}
+
+// TestLRUCapacity: the registry never exceeds its bound and evicts the
+// least recently used version first.
+func TestLRUCapacity(t *testing.T) {
+	analysis.Reset()
+	prev := analysis.SetCapacity(2)
+	defer func() {
+		analysis.SetCapacity(prev)
+		analysis.Reset()
+	}()
+
+	c1 := gen.ParityTree(2, gen.XorNAND)
+	c2 := gen.ParityTree(4, gen.XorNAND)
+	c3 := gen.ParityTree(8, gen.XorNAND)
+	a1 := analysis.For(c1)
+	analysis.For(c2)
+	analysis.For(c1) // refresh c1: c2 is now the LRU victim
+	analysis.For(c3)
+	if n := analysis.Len(); n > 2 {
+		t.Fatalf("registry holds %d entries over capacity 2", n)
+	}
+	if analysis.For(c1) != a1 {
+		t.Fatal("recently used entry was evicted")
+	}
+	if analysis.For(c2) == nil {
+		t.Fatal("re-request after eviction failed")
+	}
+
+	// Shrinking below the current size evicts immediately.
+	analysis.SetCapacity(1)
+	if n := analysis.Len(); n > 1 {
+		t.Fatalf("SetCapacity(1) left %d entries", n)
+	}
+}
+
+// TestDropAndReset: Drop forgets one version, Reset forgets all; handed
+// out handles stay usable.
+func TestDropAndReset(t *testing.T) {
+	analysis.Reset()
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+	analysis.Drop(c)
+	if analysis.For(c) == a {
+		t.Fatal("Drop did not forget the handle")
+	}
+	if a.Logical() == nil {
+		t.Fatal("dropped handle unusable")
+	}
+	analysis.For(c)
+	analysis.Reset()
+	if analysis.Len() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+}
+
+// TestSetEnabled: with the cache off, For returns fresh unshared handles
+// — the recompute-everywhere baseline the benchmarks compare against.
+func TestSetEnabled(t *testing.T) {
+	analysis.Reset()
+	prev := analysis.SetEnabled(false)
+	defer func() {
+		analysis.SetEnabled(prev)
+		analysis.Reset()
+	}()
+	c := gen.PaperExample()
+	a1 := analysis.For(c)
+	a2 := analysis.For(c)
+	if a1 == a2 {
+		t.Fatal("disabled cache still shares handles")
+	}
+	if analysis.Len() != 0 {
+		t.Fatal("disabled cache registered a handle")
+	}
+	// Fresh handles still compute correct (independent) data.
+	if a1.Logical().Cmp(a2.Logical()) != 0 {
+		t.Fatal("independent handles disagree on the path count")
+	}
+}
+
+// TestLevels: levelization groups every gate exactly once, at its level.
+func TestLevels(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.ParityTree(8, gen.XorNAND)
+	lv := analysis.For(c).Levels()
+	seen := 0
+	for l, gates := range lv {
+		for _, g := range gates {
+			if c.Level(g) != l {
+				t.Fatalf("gate %d listed at level %d, is at %d", g, l, c.Level(g))
+			}
+			seen++
+		}
+	}
+	if seen != c.NumGates() {
+		t.Fatalf("levelization covers %d of %d gates", seen, c.NumGates())
+	}
+}
+
+// TestManyConesBounded: the leafdag-style access pattern — a handle per
+// extracted cone — must stay within the registry bound.
+func TestManyConesBounded(t *testing.T) {
+	analysis.Reset()
+	prev := analysis.SetCapacity(8)
+	defer func() {
+		analysis.SetCapacity(prev)
+		analysis.Reset()
+	}()
+	for i := 0; i < 40; i++ {
+		c := gen.RandomCircuit(fmt.Sprintf("cone%d", i),
+			gen.RandomOptions{Inputs: 3, Gates: 6, Outputs: 1}, int64(i+1))
+		if analysis.For(c).Logical() == nil {
+			t.Fatal("count failed")
+		}
+	}
+	if n := analysis.Len(); n > 8 {
+		t.Fatalf("registry grew to %d entries despite capacity 8", n)
+	}
+}

@@ -3,7 +3,14 @@ package circuit
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// buildVersion is the global monotone build counter behind
+// Circuit.Version. It only ever advances, so two circuits never share a
+// version and a version observed once can never refer to different
+// structure later.
+var buildVersion atomic.Uint64
 
 // Builder incrementally constructs a Circuit. A Builder is not safe for
 // concurrent use. After Build succeeds the Builder must not be reused.
@@ -149,9 +156,10 @@ func (b *Builder) Build() (*Circuit, error) {
 		return nil, errors.New("circuit " + b.name + ": empty netlist")
 	}
 	c := &Circuit{
-		name:   b.name,
-		gates:  b.gates,
-		byName: b.names,
+		name:    b.name,
+		version: buildVersion.Add(1),
+		gates:   b.gates,
+		byName:  b.names,
 	}
 	n := len(c.gates)
 	c.fanout = make([][]Edge, n)

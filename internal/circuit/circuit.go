@@ -139,6 +139,7 @@ type Lead struct {
 // Circuit and must not be modified.
 type Circuit struct {
 	name    string
+	version uint64
 	gates   []Gate
 	inputs  []GateID
 	outputs []GateID
@@ -151,6 +152,15 @@ type Circuit struct {
 
 // Name returns the circuit name.
 func (c *Circuit) Name() string { return c.name }
+
+// Version returns the circuit's monotone build stamp: every Build (and
+// therefore every rewrite — synth, dft insertion, cone extraction —
+// since rewriters construct new circuits through the Builder) yields a
+// strictly larger version, and a built circuit never changes afterwards.
+// The stamp is the cache key of the derived-analysis manager
+// (internal/analysis): an analysis handle is valid exactly for one
+// version, so stale data can never be served for a rewritten circuit.
+func (c *Circuit) Version() uint64 { return c.version }
 
 // NumGates returns the number of gates, including PIs and POs.
 func (c *Circuit) NumGates() int { return len(c.gates) }

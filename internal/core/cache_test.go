@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rdfault/internal/analysis"
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+)
+
+// TestIdentifyCachedEqualsUncached is the manager's correctness contract:
+// serving counts, sorts and Algorithm 3 passes from the cache must leave
+// every reported counter byte-identical to the recompute-everywhere
+// baseline, for every heuristic and any worker count.
+func TestIdentifyCachedEqualsUncached(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		gen.PaperExample(),
+		gen.ParityTree(8, gen.XorNAND),
+		gen.SECDecoder(4, gen.XorAOI),
+		gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 8, Gates: 40, Outputs: 3}, 7),
+	}
+	heuristics := []Heuristic{HeuristicFUS, Heuristic1, Heuristic2}
+	for _, c := range circuits {
+		for _, h := range heuristics {
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%v/w%d", c.Name(), h, workers), func(t *testing.T) {
+					analysis.Reset()
+					prev := analysis.SetEnabled(false)
+					base, errBase := Identify(c, h, Options{Workers: workers})
+					analysis.SetEnabled(prev)
+					analysis.Reset()
+					if errBase != nil {
+						t.Fatal(errBase)
+					}
+
+					// Cached run, twice: the first populates, the second is
+					// served (for Heu2, both Algorithm 3 passes come from the
+					// memo on the second run).
+					for pass := 1; pass <= 2; pass++ {
+						got, err := Identify(c, h, Options{Workers: workers})
+						if err != nil {
+							t.Fatalf("cached pass %d: %v", pass, err)
+						}
+						if got.Selected != base.Selected {
+							t.Fatalf("pass %d: Selected %d != %d", pass, got.Selected, base.Selected)
+						}
+						if (got.RD == nil) != (base.RD == nil) ||
+							(got.RD != nil && got.RD.Cmp(base.RD) != 0) {
+							t.Fatalf("pass %d: RD %v != %v", pass, got.RD, base.RD)
+						}
+						if got.TotalLogicalPaths.Cmp(base.TotalLogicalPaths) != 0 {
+							t.Fatalf("pass %d: Total %v != %v", pass, got.TotalLogicalPaths, base.TotalLogicalPaths)
+						}
+						if got.Final.Segments != base.Final.Segments {
+							t.Fatalf("pass %d: Segments %d != %d", pass, got.Final.Segments, base.Final.Segments)
+						}
+						if got.Final.Pruned != base.Final.Pruned {
+							t.Fatalf("pass %d: Pruned %d != %d", pass, got.Final.Pruned, base.Final.Pruned)
+						}
+						if got.Status != base.Status {
+							t.Fatalf("pass %d: Status %v != %v", pass, got.Status, base.Status)
+						}
+						if got.Sort != nil && base.Sort != nil {
+							for g, pins := range got.Sort.Pos {
+								for i, p := range pins {
+									if base.Sort.Pos[g][i] != p {
+										t.Fatalf("pass %d: sorts diverge at gate %d pin %d", pass, g, i)
+									}
+								}
+							}
+						}
+					}
+					analysis.Reset()
+				})
+			}
+		}
+	}
+}
+
+// TestEnumerateSharedEngines: enumeration must stay correct when its
+// workers' engines cycle through the pool across runs — the counters are
+// a pure function of the circuit, not of engine history.
+func TestEnumerateSharedEngines(t *testing.T) {
+	defer analysis.Reset()
+	analysis.Reset()
+	c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 8, Gates: 40, Outputs: 3}, 11)
+	s := Heuristic1Sort(c)
+	first, err := Enumerate(c, SigmaPi, Options{Sort: &s, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := Enumerate(c, SigmaPi, Options{Sort: &s, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Selected != first.Selected || res.Segments != first.Segments ||
+			res.RD.Cmp(first.RD) != 0 {
+			t.Fatalf("run %d drifted: selected %d/%d segments %d/%d",
+				i, res.Selected, first.Selected, res.Segments, first.Segments)
+		}
+	}
+}

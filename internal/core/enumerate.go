@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/logic"
 	"rdfault/internal/paths"
@@ -237,12 +238,13 @@ type walker struct {
 	stopped    bool
 }
 
-func newWalker(c *circuit.Circuit, cr Criterion, opt *Options, onPath func(paths.Logical)) *walker {
+func newWalker(an *analysis.Analysis, cr Criterion, opt *Options, onPath func(paths.Logical)) *walker {
+	c := an.Circuit()
 	w := &walker{
 		c:      c,
 		cr:     cr,
 		opt:    opt,
-		eng:    logic.NewEngine(c),
+		eng:    an.Engine(),
 		onPath: onPath,
 		limit:  opt.Limit,
 	}
@@ -630,10 +632,11 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	ct := paths.NewCounts(c)
+	an := analysis.For(c)
+	ct := an.Counts()
 	res := &Result{
 		Criterion: cr,
-		Total:     ct.Logical(),
+		Total:     an.CopyLogical(),
 	}
 	// The sort a checkpoint is bound to: only SigmaPi consults one.
 	ckptSort := opt.Sort
@@ -736,7 +739,7 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 	var ws []*walker
 	limitStopped := false
 	if workers == 1 {
-		w := newWalker(c, cr, &opt, opt.OnPath)
+		w := newWalker(an, cr, &opt, opt.OnPath)
 		w.cancel = &cancelFlag
 		w.ctx = ctx
 		if hasDeadline {
@@ -784,7 +787,7 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 		var wg sync.WaitGroup
 		ws = make([]*walker, workers)
 		for i := range ws {
-			w := newWalker(c, cr, &opt, onPath)
+			w := newWalker(an, cr, &opt, onPath)
 			w.sh = sh
 			w.wid = i
 			w.cancel = &cancelFlag
@@ -831,6 +834,10 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 				res.LeadCounts[i] += v
 			}
 		}
+		// Engines go back to the free-list for the next run (including
+		// after a worker panic: every assignment is on the trail, so
+		// PutEngine's reset wipes a crashed walk too).
+		an.PutEngine(w.eng)
 	}
 
 	switch {

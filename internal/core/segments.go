@@ -5,8 +5,8 @@ import (
 	"math/big"
 	"strings"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
-	"rdfault/internal/paths"
 )
 
 // RDSegment is one prime robust dependent segment: a logical path prefix
@@ -65,7 +65,7 @@ func CollectRDSegments(c *circuit.Circuit, sort circuit.InputSort, opt Options) 
 	if opt.Limit > 0 {
 		return nil, fmt.Errorf("core: RD certificates require a complete enumeration (no Limit)")
 	}
-	ct := paths.NewCounts(c)
+	ct := analysis.For(c).Counts()
 	cert := &Certificate{CoveredTotal: new(big.Int)}
 	opt.Sort = &sort
 	opt.Workers = 1

@@ -19,6 +19,7 @@ package dft
 import (
 	"fmt"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/logic"
 	"rdfault/internal/paths"
@@ -52,7 +53,9 @@ func (p Proposal) String(c *circuit.Circuit) string {
 // Propose analyses the given untestable logical paths and returns a
 // deduplicated list of control points, one per distinct blocking site.
 func Propose(c *circuit.Circuit, untestable []paths.Logical) []Proposal {
-	e := logic.NewEngine(c)
+	an := analysis.For(c)
+	e := an.Engine()
+	defer an.PutEngine(e)
 	seen := map[circuit.Lead]bool{}
 	var out []Proposal
 	add := func(p Proposal) {
@@ -262,7 +265,9 @@ func InsertObservePoints(c *circuit.Circuit, gates []circuit.GateID) (*circuit.C
 // (checked by implication replay of the prefix conditions). Duplicates
 // are merged.
 func ProposeObservePoints(c *circuit.Circuit, untestable []paths.Logical) []circuit.GateID {
-	e := logic.NewEngine(c)
+	an := analysis.For(c)
+	e := an.Engine()
+	defer an.PutEngine(e)
 	seen := map[circuit.GateID]bool{}
 	var out []circuit.GateID
 	for _, lp := range untestable {

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/gen"
-	"rdfault/internal/scoap"
 	"rdfault/internal/stabilize"
 	"rdfault/internal/synth"
 )
@@ -159,7 +159,7 @@ func RunSortComparison(w io.Writer, circuits []gen.Named) ([]SortComparisonRow, 
 		if row.PinRD, err = run(circuit.PinOrderSort(c)); err != nil {
 			return nil, err
 		}
-		if row.SCOAPRD, err = run(scoap.Sort(c)); err != nil {
+		if row.SCOAPRD, err = run(analysis.For(c).SCOAPSort()); err != nil {
 			return nil, err
 		}
 		if row.Heu1RD, err = run(core.Heuristic1Sort(c)); err != nil {

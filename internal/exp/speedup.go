@@ -6,11 +6,11 @@ import (
 	"math/big"
 	"time"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/gen"
 	"rdfault/internal/leafdag"
-	"rdfault/internal/paths"
 	"rdfault/internal/stabilize"
 )
 
@@ -48,7 +48,7 @@ func RunSpeedup(w io.Writer, sizes []int, nodeCap int) ([]SpeedupRow, error) {
 		c := gen.SECDecoder(d, gen.XorAOI)
 		row := SpeedupRow{
 			Circuit: c.Name(),
-			Paths:   paths.NewCounts(c).Logical(),
+			Paths:   analysis.For(c).CopyLogical(),
 		}
 		t0 := time.Now()
 		_, err := leafdag.IdentifyRD(c, leafdag.Options{NodeCap: nodeCap})

@@ -27,6 +27,7 @@ import (
 	"math/big"
 	"time"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/paths"
@@ -57,9 +58,10 @@ var ErrTooLarge = fmt.Errorf("leafdag: unfolding exceeds node cap")
 
 // TotalTreeNodes returns the summed unfolding size of every output cone
 // without building anything: each gate-to-PO path suffix becomes exactly
-// one tree node.
+// one tree node. The path counts come from the shared analysis manager,
+// so an identification run that also needs them computes them once.
 func TotalTreeNodes(c *circuit.Circuit) *big.Int {
-	ct := paths.NewCounts(c)
+	ct := analysis.For(c).Counts()
 	total := new(big.Int)
 	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
 		total.Add(total, ct.Down(g))
@@ -208,9 +210,12 @@ func (r *Report) RDPercent() float64 {
 // of c and aggregates the results.
 func IdentifyRD(c *circuit.Circuit, opt Options) (*Report, error) {
 	start := time.Now()
+	// One counts build serves both the report total and the TotalTreeNodes
+	// precheck below (previously two independent NewCounts constructions
+	// per identification run).
 	rep := &Report{
 		Circuit:           c.Name(),
-		TotalLogicalPaths: paths.NewCounts(c).Logical(),
+		TotalLogicalPaths: analysis.For(c).CopyLogical(),
 	}
 	cap := opt.NodeCap
 	if cap <= 0 {

@@ -12,6 +12,7 @@ import (
 	"math/big"
 	"time"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/paths"
@@ -66,10 +67,13 @@ type Selector struct {
 }
 
 // NewSelector prepares RD identification and timing analysis for c under
-// the given delays.
+// the given delays. The timing analysis and path counts come from the
+// shared analysis manager: building several selectors over the same
+// circuit (e.g. per delay corner) re-derives neither.
 func NewSelector(c *circuit.Circuit, d sim.Delays, opt Options) (*Selector, error) {
-	s := &Selector{c: c, d: d, an: timing.New(c, d)}
-	s.total = paths.NewCounts(c).Logical()
+	ca := analysis.For(c)
+	s := &Selector{c: c, d: d, an: ca.Timing(d)}
+	s.total = ca.CopyLogical()
 	if opt.NoRDFilter {
 		return s, nil
 	}

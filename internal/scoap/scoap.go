@@ -148,9 +148,16 @@ func (m *Measures) LeadDifficulty(g circuit.GateID, pin int) float64 {
 // controlling-value difficulty: inputs that are easy to drive to the
 // controlling value are preferred by Algorithm 1, pushing the
 // hard-to-test paths into the RD-set. This is the SCOAP-driven
-// alternative to the paper's Heuristics 1 and 2.
+// alternative to the paper's Heuristics 1 and 2. Callers holding cached
+// measures (the analysis manager) use Measures.Sort to skip the
+// recompute.
 func Sort(c *circuit.Circuit) circuit.InputSort {
-	m := Compute(c)
+	return Compute(c).Sort()
+}
+
+// Sort derives the input sort from already-computed measures.
+func (m *Measures) Sort() circuit.InputSort {
+	c := m.c
 	pos := make([][]int, c.NumGates())
 	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
 		fanin := c.Fanin(g)

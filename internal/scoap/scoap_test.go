@@ -1,4 +1,4 @@
-package scoap
+package scoap_test
 
 import (
 	"math"
@@ -7,6 +7,7 @@ import (
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/gen"
+	"rdfault/internal/scoap"
 )
 
 func TestControllabilityBasics(t *testing.T) {
@@ -17,7 +18,7 @@ func TestControllabilityBasics(t *testing.T) {
 	g := b.Gate(circuit.And, "g", a, x)
 	po := b.Output("y", g)
 	c := b.MustBuild()
-	m := Compute(c)
+	m := scoap.Compute(c)
 	if m.CC1[g] != 3 || m.CC0[g] != 2 {
 		t.Fatalf("AND: CC1=%v CC0=%v, want 3/2", m.CC1[g], m.CC0[g])
 	}
@@ -40,7 +41,7 @@ func TestInverterSwapsControllability(t *testing.T) {
 	n := b.Gate(circuit.Not, "n", a)
 	b.Output("y", n)
 	c := b.MustBuild()
-	m := Compute(c)
+	m := scoap.Compute(c)
 	if m.CC0[n] != m.CC1[a]+1 || m.CC1[n] != m.CC0[a]+1 {
 		t.Fatal("NOT controllability swap wrong")
 	}
@@ -55,7 +56,7 @@ func TestOrNorDuality(t *testing.T) {
 	b.Output("y1", o)
 	b.Output("y2", no)
 	c := b.MustBuild()
-	m := Compute(c)
+	m := scoap.Compute(c)
 	if m.CC1[o] != 2 || m.CC0[o] != 3 {
 		t.Fatalf("OR: CC1=%v CC0=%v", m.CC1[o], m.CC0[o])
 	}
@@ -67,7 +68,7 @@ func TestOrNorDuality(t *testing.T) {
 func TestDeepGatesHarder(t *testing.T) {
 	// Controllability must not decrease with depth along a chain.
 	c := gen.ParityTree(8, gen.XorNAND)
-	m := Compute(c)
+	m := scoap.Compute(c)
 	for _, g := range c.TopoOrder() {
 		for _, f := range c.Fanin(g) {
 			if m.CC0[g]+m.CC1[g] < m.CC0[f]+m.CC1[f] {
@@ -80,7 +81,7 @@ func TestDeepGatesHarder(t *testing.T) {
 func TestObservabilityFinite(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
-		m := Compute(c)
+		m := scoap.Compute(c)
 		for _, g := range c.TopoOrder() {
 			if len(c.Fanout(g)) == 0 && c.Type(g) != circuit.Output {
 				continue // dangling PIs have no observation site
@@ -95,7 +96,7 @@ func TestObservabilityFinite(t *testing.T) {
 func TestSortValid(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 20, Outputs: 2}, seed)
-		s := Sort(c)
+		s := scoap.Sort(c)
 		if err := s.Validate(c); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -107,7 +108,7 @@ func TestSortValid(t *testing.T) {
 func TestSortUsableForIdentification(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		c := gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 6, Gates: 25, Outputs: 2}, seed)
-		s := Sort(c)
+		s := scoap.Sort(c)
 		res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s})
 		if err != nil {
 			t.Fatal(err)
@@ -125,7 +126,7 @@ func TestSortUsableForIdentification(t *testing.T) {
 func TestPaperExampleSCOAP(t *testing.T) {
 	// On the running example the SCOAP sort also finds the optimum.
 	c := gen.PaperExample()
-	s := Sort(c)
+	s := scoap.Sort(c)
 	res, err := core.Enumerate(c, core.SigmaPi, core.Options{Sort: &s})
 	if err != nil {
 		t.Fatal(err)

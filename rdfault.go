@@ -31,6 +31,7 @@ import (
 	"io"
 	"math/big"
 
+	"rdfault/internal/analysis"
 	"rdfault/internal/bdd"
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
@@ -41,7 +42,6 @@ import (
 	"rdfault/internal/paths"
 	"rdfault/internal/pathsel"
 	"rdfault/internal/pla"
-	"rdfault/internal/scoap"
 	"rdfault/internal/sim"
 	"rdfault/internal/stabilize"
 	"rdfault/internal/synth"
@@ -111,8 +111,9 @@ func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
 
 // CountPaths returns the exact number of logical paths in c (twice the
 // physical count; arbitrary precision — c6288-style circuits exceed
-// int64).
-func CountPaths(c *Circuit) *big.Int { return paths.NewCounts(c).Logical() }
+// int64). The count is computed once per circuit and served from the
+// analysis manager thereafter; the returned big.Int is caller-owned.
+func CountPaths(c *Circuit) *big.Int { return analysis.For(c).CopyLogical() }
 
 // Criterion selects the sensitization conditions Enumerate checks; see
 // the core package constants re-exported here.
@@ -223,8 +224,10 @@ func Heuristic2SortWorkers(c *Circuit, workers int) (InputSort, *Result, *Result
 func PinOrderSort(c *Circuit) InputSort { return circuit.PinOrderSort(c) }
 
 // SCOAPSort orders gate inputs by SCOAP testability measures — the
-// library's extension heuristic alongside the paper's two.
-func SCOAPSort(c *Circuit) InputSort { return scoap.Sort(c) }
+// library's extension heuristic alongside the paper's two. Measures and
+// sort are computed once per circuit (analysis manager); the returned
+// sort is shared, treat it as read-only.
+func SCOAPSort(c *Circuit) InputSort { return analysis.For(c).SCOAPSort() }
 
 // RDCertificate is the compact prime-segment certificate of an RD-set.
 type RDCertificate = core.Certificate
@@ -332,8 +335,10 @@ func RemoveRedundant(c *Circuit, maxInputs int) (*Circuit, int, error) {
 // critical delay, longest-path extraction).
 type TimingAnalysis = timing.Analysis
 
-// AnalyzeTiming computes static timing for c under d.
-func AnalyzeTiming(c *Circuit, d Delays) *TimingAnalysis { return timing.New(c, d) }
+// AnalyzeTiming computes static timing for c under d, cached per
+// (circuit, delay vector) by the analysis manager; repeated analyses of
+// the same corner are free. The returned analysis is shared — read-only.
+func AnalyzeTiming(c *Circuit, d Delays) *TimingAnalysis { return analysis.For(c).Timing(d) }
 
 // Selector runs the Section VI path selection strategies (threshold and
 // per-lead) restricted to non-RD paths.
