@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify race fuzz cover suite clean
+.PHONY: all build test vet bench bench-identify race fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -16,10 +16,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages (work-stealing
-# enumeration, the implication engine it snapshots, and the shared
-# analysis manager).
+# enumeration, the implication engine it snapshots, the shared analysis
+# manager, the two-pattern test generator, and the oracle/differential
+# harness that drives parallel fast passes).
 race:
-	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis
+	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis \
+		./internal/tgen ./internal/oracle ./internal/oracle/diff
 
 # Cached-vs-uncached identification pipeline; writes BENCH_identify.json
 # and fails if the analysis manager is not strictly faster and
@@ -31,11 +33,20 @@ bench-identify:
 bench:
 	$(GO) test -bench=. -benchmem -timeout 30m .
 
-# Short fuzz pass over the three netlist parsers.
+# Short fuzz pass over the three netlist parsers and the differential
+# oracle harness.
 fuzz:
 	$(GO) test ./internal/circuit -run=NONE -fuzz FuzzParseBench -fuzztime 30s
 	$(GO) test ./internal/verilog -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/pla -run=NONE -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/oracle/diff -run=NONE -fuzz FuzzCrossCheck -fuzztime 30s
+
+# The seeded differential sweep: 64 random circuits through the fast
+# identifier and the exact oracle, checking soundness, Lemma 1
+# containment and metamorphic stability, and requiring at least one seed
+# with a nonzero approximation gap (exit 1 otherwise).
+crosscheck:
+	$(GO) run ./cmd/crosscheck -seeds 64
 
 cover:
 	$(GO) test -cover ./...

@@ -8,7 +8,6 @@
 package rdfault
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/big"
@@ -18,6 +17,7 @@ import (
 	"time"
 
 	"rdfault/internal/analysis"
+	"rdfault/internal/benchjson"
 	"rdfault/internal/exp"
 	"rdfault/internal/gen"
 	"rdfault/internal/paths"
@@ -206,18 +206,8 @@ func BenchmarkSortComparison(b *testing.B) {
 // across worker counts — the scheduling-independence guarantee.
 func BenchmarkEnumerateWorkers(b *testing.B) {
 	c := gen.BCDALU(4, gen.XorNAND) // c3540 analogue
-	type row struct {
-		Workers     int     `json:"workers"`
-		NsPerOp     int64   `json:"ns_per_op"`
-		PathsPerSec float64 `json:"paths_per_sec"`
-		Speedup     float64 `json:"speedup_vs_serial"`
-		Selected    int64   `json:"selected"`
-		RD          string  `json:"rd"`
-		GOMAXPROCS  int     `json:"gomaxprocs"`
-		NumCPU      int     `json:"num_cpu"`
-	}
 	total, _ := new(big.Float).SetInt(CountPaths(c)).Float64()
-	var rows []row
+	var rows []benchjson.EnumerateRow
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var res *Result
@@ -231,7 +221,7 @@ func BenchmarkEnumerateWorkers(b *testing.B) {
 			nsPerOp := b.Elapsed().Nanoseconds() / int64(b.N)
 			pps := total / (float64(nsPerOp) / 1e9)
 			b.ReportMetric(pps, "paths/sec")
-			rows = append(rows, row{
+			rows = append(rows, benchjson.EnumerateRow{
 				Workers:     workers,
 				NsPerOp:     nsPerOp,
 				PathsPerSec: pps,
@@ -252,16 +242,7 @@ func BenchmarkEnumerateWorkers(b *testing.B) {
 				rows[i].Workers, rows[i].Selected, rows[i].RD, rows[0].Selected, rows[0].RD)
 		}
 	}
-	f, err := os.Create("BENCH_enumerate.json")
-	if err != nil {
-		b.Fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rows); err != nil {
-		b.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := benchjson.WriteFile("BENCH_enumerate.json", benchjson.KindEnumerate, rows); err != nil {
 		b.Fatal(err)
 	}
 	fmt.Println("wrote BENCH_enumerate.json")
@@ -285,13 +266,8 @@ func BenchmarkIdentifyCached(b *testing.B) {
 	}
 	heuristics := []Heuristic{HeuristicFUS, Heuristic1, Heuristic2}
 
-	type counters struct {
-		Selected [3]int64  `json:"selected"`
-		RD       [3]string `json:"rd"`
-		Segments [3]int64  `json:"segments"`
-	}
-	pipeline := func(c *Circuit, workers int) counters {
-		var ct counters
+	pipeline := func(c *Circuit, workers int) benchjson.IdentifyCounters {
+		var ct benchjson.IdentifyCounters
 		for i, h := range heuristics {
 			rep, err := Identify(c, h, Options{Workers: workers})
 			if err != nil {
@@ -321,19 +297,7 @@ func BenchmarkIdentifyCached(b *testing.B) {
 			(after.TotalAlloc - before.TotalAlloc) / un
 	}
 
-	type row struct {
-		Circuit        string   `json:"circuit"`
-		UncachedNsOp   int64    `json:"uncached_ns_per_op"`
-		CachedNsOp     int64    `json:"cached_ns_per_op"`
-		CachedColdNs   int64    `json:"cached_cold_first_op_ns"`
-		Speedup        float64  `json:"speedup"`
-		UncachedAllocs uint64   `json:"uncached_allocs_per_op"`
-		CachedAllocs   uint64   `json:"cached_allocs_per_op"`
-		UncachedBytes  uint64   `json:"uncached_bytes_per_op"`
-		CachedBytes    uint64   `json:"cached_bytes_per_op"`
-		Counters       counters `json:"counters"`
-	}
-	var rows []row
+	var rows []benchjson.IdentifyRow
 	for _, nc := range suite {
 		nc := nc
 		b.Run(nc.Paper, func(b *testing.B) {
@@ -360,7 +324,7 @@ func BenchmarkIdentifyCached(b *testing.B) {
 					nc.Paper, warm, base)
 			}
 			b.ReportMetric(float64(unNs)/float64(caNs), "speedup")
-			rows = append(rows, row{
+			rows = append(rows, benchjson.IdentifyRow{
 				Circuit:        nc.Paper,
 				UncachedNsOp:   unNs,
 				CachedNsOp:     caNs,
@@ -388,16 +352,7 @@ func BenchmarkIdentifyCached(b *testing.B) {
 				r.Circuit, r.CachedAllocs, r.UncachedAllocs)
 		}
 	}
-	f, err := os.Create("BENCH_identify.json")
-	if err != nil {
-		b.Fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rows); err != nil {
-		b.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := benchjson.WriteFile("BENCH_identify.json", benchjson.KindIdentify, rows); err != nil {
 		b.Fatal(err)
 	}
 	fmt.Println("wrote BENCH_identify.json")

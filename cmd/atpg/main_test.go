@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenExample: the full flow (identify, select, generate, grade)
+// on the paper example, plus the emitted test-set file.
+func TestGoldenExample(t *testing.T) {
+	golden := goldentest.Golden(t, "example")
+	t.Chdir(t.TempDir())
+	out := goldentest.Run(t, "atpg", main, "-example", "-workers", "1", "-o", "tests.txt")
+	goldentest.Check(t, golden, out)
+	b, err := os.ReadFile("tests.txt")
+	if err != nil {
+		t.Fatalf("-o wrote no test set: %v", err)
+	}
+	if len(b) == 0 {
+		t.Fatal("-o wrote an empty test set")
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenSuite: the emitted suite listing (names, sizes, stats) is
+// the generated benchmarks' fingerprint; it must not drift silently.
+func TestGoldenSuite(t *testing.T) {
+	golden := goldentest.Golden(t, "suite")
+	t.Chdir(t.TempDir())
+	out := goldentest.Run(t, "benchgen", main, "-out", "bg")
+	goldentest.Check(t, golden, out)
+	for _, f := range []string{"paper-example.bench", "c432-like.bench", "bw-like.pla"} {
+		if _, err := os.Stat(filepath.Join("bg", f)); err != nil {
+			t.Errorf("emitted suite missing %s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenSweep: a three-seed sweep's per-seed rows and summary line.
+// The counts are scheduling-independent, so -workers 1 vs N makes no
+// difference to the snapshot; -mingap 0 because a three-seed block need
+// not contain a gap seed.
+func TestGoldenSweep(t *testing.T) {
+	golden := goldentest.Golden(t, "sweep")
+	out := goldentest.Run(t, "crosscheck", main, "-seeds", "3", "-mingap", "0", "-workers", "1")
+	goldentest.Check(t, golden, out)
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenEquivalent: a netlist is equivalent to itself, and the twin
+// BDD/SAT engines say so in one word.
+func TestGoldenEquivalent(t *testing.T) {
+	bench := goldentest.Fixture(t, "paper-example.bench")
+	golden := goldentest.Golden(t, "equivalent")
+	out := goldentest.Run(t, "equiv", main, bench, bench)
+	goldentest.Check(t, golden, out)
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenPerTest: fault simulation of a one-test set against the
+// paper example, with the per-test breakdown.
+func TestGoldenPerTest(t *testing.T) {
+	bench := goldentest.Fixture(t, "paper-example.bench")
+	tests := goldentest.Fixture(t, "tests.txt")
+	golden := goldentest.Golden(t, "per-test")
+	out := goldentest.Run(t, "grade", main, "-bench", bench, "-tests", tests, "-per-test")
+	goldentest.Check(t, golden, out)
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenBench: exact path statistics for the paper example netlist.
+func TestGoldenBench(t *testing.T) {
+	bench := goldentest.Fixture(t, "paper-example.bench")
+	golden := goldentest.Golden(t, "paper-example")
+	out := goldentest.Run(t, "pathcount", main, "-bench", bench)
+	goldentest.Check(t, golden, out)
+}

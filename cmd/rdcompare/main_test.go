@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenPLA: the Table III comparison on a tiny Espresso cover
+// (running times normalize out; the RD percentages must not move). The
+// tool echoes the file path it was given, so the fixture is passed
+// relative to the package directory to keep the snapshot portable.
+func TestGoldenPLA(t *testing.T) {
+	goldentest.Fixture(t, "tiny.pla") // existence check
+	golden := goldentest.Golden(t, "tiny")
+	out := goldentest.Run(t, "rdcompare", main, "-pla", "testdata/tiny.pla", "-workers", "1")
+	goldentest.Check(t, golden, out)
+}

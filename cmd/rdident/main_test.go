@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenExample: the paper's running example through every
+// heuristic; the Table I/II row format is the tool's contract.
+func TestGoldenExample(t *testing.T) {
+	golden := goldentest.Golden(t, "example")
+	out := goldentest.Run(t, "rdident", main, "-example", "-workers", "1")
+	goldentest.Check(t, golden, out)
+}

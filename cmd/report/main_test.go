@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenQuick: the quick experiment run announces exactly its two
+// artifacts on stdout, and both are written and well-formed.
+func TestGoldenQuick(t *testing.T) {
+	golden := goldentest.Golden(t, "quick")
+	t.Chdir(t.TempDir())
+	out := goldentest.Run(t, "report", main, "-quick", "-o", "r.html", "-json", "r.json", "-workers", "1")
+	goldentest.Check(t, golden, out)
+	html, err := os.ReadFile("r.html")
+	if err != nil {
+		t.Fatalf("no HTML report: %v", err)
+	}
+	if !strings.Contains(string(html), "<html") {
+		t.Fatal("r.html is not HTML")
+	}
+	js, err := os.ReadFile("r.json")
+	if err != nil {
+		t.Fatalf("no JSON report: %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(js)), "{") {
+		t.Fatal("r.json is not a JSON object")
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenExample: the timing simulation of one two-pattern test on
+// the default (paper example) circuit, plus the VCD artifact.
+func TestGoldenExample(t *testing.T) {
+	golden := goldentest.Golden(t, "example")
+	t.Chdir(t.TempDir())
+	out := goldentest.Run(t, "waveform", main, "-v1", "101", "-v2", "111", "-o", "w.vcd", "-seed", "1")
+	goldentest.Check(t, golden, out)
+	b, err := os.ReadFile("w.vcd")
+	if err != nil {
+		t.Fatalf("no VCD written: %v", err)
+	}
+	if !strings.Contains(string(b), "$enddefinitions") {
+		t.Fatal("w.vcd is not a VCD file")
+	}
+}

@@ -1,0 +1,113 @@
+// Package goldentest runs a command's main() in-process with a captured
+// stdout and compares the (normalized) output against a checked-in
+// golden file. Every tool under cmd/ gets a smoke test from it: a tiny
+// fixture in, a snapshot out, failing the build when an output format
+// drifts unannounced.
+//
+// Regenerate snapshots with
+//
+//	go test ./cmd/... -update-golden
+package goldentest
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update-golden", false, "rewrite the golden files with the current output")
+
+// Run invokes mainFn as if the tool had been executed as
+// `tool args...`, with a fresh flag set (so repeated runs in one test
+// binary re-register their flags cleanly) and stdout captured. The
+// test's working directory is where the tool runs; chdir first (t.Chdir)
+// to sandbox tools that write files.
+func Run(t *testing.T, tool string, mainFn func(), args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Args = append([]string{tool}, args...)
+	flag.CommandLine = flag.NewFlagSet(tool, flag.ExitOnError)
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	mainFn()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}
+
+// durRE matches Go-formatted durations ("0s", "187ms", "1m3.5s",
+// "12.4µs") so wall-clock readings normalize out of the snapshot. Units
+// are ordered longest-first and the token must start at a word boundary,
+// so "c499" or "t=0.000" survive untouched.
+var durRE = regexp.MustCompile(`\b\d+(\.\d+)?(ns|µs|us|ms|h|m|s)((\d+(\.\d+)?)(ns|µs|us|ms|h|m|s))*`)
+
+// Normalize replaces every duration token with <DUR>.
+func Normalize(s string) string {
+	return durRE.ReplaceAllString(s, "<DUR>")
+}
+
+// Check normalizes got and compares it with the golden file at path
+// (absolute, or relative to the current directory — resolve before any
+// chdir). With -update-golden it rewrites the file instead.
+func Check(t *testing.T, path, got string) {
+	t.Helper()
+	norm := Normalize(got)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(norm), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -update-golden` once): %v", err)
+	}
+	if norm != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s", path, norm, want)
+	}
+}
+
+// Fixture returns the absolute path of a file under the test package's
+// testdata directory, resolved before any chdir.
+func Fixture(t *testing.T, name string) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return p
+}
+
+// Golden returns the absolute path of the golden file for name,
+// resolved before any chdir (the file need not exist yet when
+// -update-golden is set).
+func Golden(t *testing.T, name string) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("testdata", name+".golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,21 @@
+package goldentest
+
+import "testing"
+
+// TestNormalize: duration tokens collapse; everything that merely looks
+// numeric survives.
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sort=0s enum=12ms", "sort=<DUR> enum=<DUR>"},
+		{"done in 1m3.5s flat", "done in <DUR> flat"},
+		{"12.4µs and 7us and 250ns", "<DUR> and <DUR> and <DUR>"},
+		{"c499 has 8 paths at t=0.000; 40.00% covered", "c499 has 8 paths at t=0.000; 40.00% covered"},
+		{"52 cubes, 12 in, 6 out", "52 cubes, 12 in, 6 out"},
+		{"seed 3 fuzz3 paths=466", "seed 3 fuzz3 paths=466"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

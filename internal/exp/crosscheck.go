@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"rdfault/internal/oracle/diff"
+)
+
+// CrossCheckRow is one seed's differential result (a diff.Report plus
+// the JSON field names the sweep log keeps).
+type CrossCheckRow struct {
+	Seed        int64  `json:"seed"`
+	Circuit     string `json:"circuit"`
+	Sort        string `json:"sort"`
+	Paths       int    `json:"paths"`
+	FastRD      int    `json:"fast_rd"`
+	ExactRD     int    `json:"exact_rd"`
+	Gap         int    `json:"gap"`
+	TSize       int    `json:"t_size"`
+	FSSize      int    `json:"fs_size"`
+	Sound       bool   `json:"sound"`
+	Lemma1      bool   `json:"lemma1"`
+	Metamorphic bool   `json:"metamorphic"`
+}
+
+// CrossCheckSummary aggregates a seeded sweep of the differential
+// harness — the nightly record of how far the fast identifier's local
+// approximation sits from the exact Algorithm 1 answer.
+type CrossCheckSummary struct {
+	Seeds      int             `json:"seeds"`
+	Base       int64           `json:"base_seed"`
+	Rows       []CrossCheckRow `json:"rows"`
+	Violations []string        `json:"violations,omitempty"`
+	// GapSeeds counts seeds with a nonzero approximation gap; MaxGap and
+	// TotalGap summarize its size. TotalPaths/TotalFastRD/TotalExactRD
+	// aggregate the classification volume.
+	GapSeeds     int `json:"gap_seeds"`
+	MaxGap       int `json:"max_gap"`
+	TotalGap     int `json:"total_gap"`
+	TotalPaths   int `json:"total_paths"`
+	TotalFastRD  int `json:"total_fast_rd"`
+	TotalExactRD int `json:"total_exact_rd"`
+}
+
+// RunCrossCheck sweeps seeds base..base+seeds-1 through the
+// differential harness, printing one row per seed. Invariant violations
+// are collected (and counted) rather than aborting, so a broken build's
+// sweep reports every failing seed at once; engine errors (width, tgen
+// abort) are fatal because they mean the sweep was misconfigured.
+func RunCrossCheck(w io.Writer, seeds int, base int64, opt diff.Options) (*CrossCheckSummary, error) {
+	s := &CrossCheckSummary{Seeds: seeds, Base: base}
+	fmt.Fprintf(w, "Differential cross-check: %d seeds from %d (fast identifier vs exact oracle)\n", seeds, base)
+	for i := 0; i < seeds; i++ {
+		seed := base + int64(i)
+		rep, err := diff.CheckSeed(seed, opt)
+		if err != nil {
+			if v, ok := err.(*diff.Violation); ok {
+				s.Violations = append(s.Violations, v.Error())
+				fmt.Fprintf(w, "  VIOLATION %v\n", v)
+				if rep == nil {
+					continue
+				}
+			} else {
+				return nil, fmt.Errorf("crosscheck seed %d: %w", seed, err)
+			}
+		}
+		row := CrossCheckRow{
+			Seed:        rep.Seed,
+			Circuit:     rep.Circuit,
+			Sort:        rep.Sort,
+			Paths:       rep.Total,
+			FastRD:      rep.FastRD,
+			ExactRD:     rep.ExactRD,
+			Gap:         rep.Gap,
+			TSize:       rep.TSize,
+			FSSize:      rep.FSSize,
+			Sound:       err == nil,
+			Lemma1:      err == nil,
+			Metamorphic: rep.Metamorphic,
+		}
+		s.Rows = append(s.Rows, row)
+		s.TotalPaths += row.Paths
+		s.TotalFastRD += row.FastRD
+		s.TotalExactRD += row.ExactRD
+		if row.Gap > 0 {
+			s.GapSeeds++
+			s.TotalGap += row.Gap
+			if row.Gap > s.MaxGap {
+				s.MaxGap = row.Gap
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", rep)
+	}
+	fmt.Fprintf(w, "cross-check: %d seeds, %d violations, %d with nonzero gap (max %d, total %d); %d paths, fast RD %d, exact RD %d\n",
+		seeds, len(s.Violations), s.GapSeeds, s.MaxGap, s.TotalGap, s.TotalPaths, s.TotalFastRD, s.TotalExactRD)
+	return s, nil
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfault/internal/oracle/diff"
+)
+
+// TestRunCrossCheck: a small sweep runs clean, aggregates correctly, and
+// its printed summary carries the numbers the nightly log greps for.
+func TestRunCrossCheck(t *testing.T) {
+	var buf bytes.Buffer
+	sum, err := RunCrossCheck(&buf, 8, 1, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) != 0 {
+		t.Fatalf("violations: %v", sum.Violations)
+	}
+	if len(sum.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(sum.Rows))
+	}
+	var paths, gapSeeds, totalGap int
+	for _, r := range sum.Rows {
+		paths += r.Paths
+		if !r.Sound || !r.Lemma1 || !r.Metamorphic {
+			t.Fatalf("seed %d row flags: %+v", r.Seed, r)
+		}
+		if r.Gap != r.ExactRD-r.FastRD {
+			t.Fatalf("seed %d: gap %d != exactRD−fastRD %d", r.Seed, r.Gap, r.ExactRD-r.FastRD)
+		}
+		if r.Gap > 0 {
+			gapSeeds++
+			totalGap += r.Gap
+		}
+	}
+	if paths != sum.TotalPaths || gapSeeds != sum.GapSeeds || totalGap != sum.TotalGap {
+		t.Fatalf("aggregates drifted: %+v", sum)
+	}
+	// Seed 6 of the default shape has a known nonzero gap; the sweep must
+	// see it or the harness stopped exercising the approximation.
+	if sum.GapSeeds == 0 {
+		t.Fatal("no seed with nonzero gap in the default block")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cross-check: 8 seeds, 0 violations") {
+		t.Fatalf("summary line missing from output:\n%s", out)
+	}
+}

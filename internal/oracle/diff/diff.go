@@ -1,0 +1,276 @@
+// Package diff is the differential fuzzing harness that cross-checks the
+// fast RD identifier (internal/core) against the exact oracle
+// (internal/oracle). One seed drives one check: generate a random
+// circuit, pick an input sort, and machine-check three invariants —
+//
+//	(a) soundness: every path the fast identifier marks robust dependent
+//	    is robust dependent per the oracle (exact LP(σ^π) ⊆ LP^sup(σ^π));
+//	(b) Lemma 1 containment: T(C) ⊆ LP(σ^π) ⊆ FS(C), all three computed
+//	    exactly by the oracle;
+//	(c) metamorphic stability: the fast identifier's Selected/RD counts
+//	    are invariant under input-sort-preserving gate relabeling and
+//	    fanout-free buffer insertion (internal/synth rewrites).
+//
+// A violated invariant is returned as a *Violation error naming the seed
+// and the offending path, so a fuzzer's minimized corpus entry points
+// straight at the bug. The per-seed Report also records the measured
+// approximation gap |LP^sup| − |LP(σ^π)| = |exact RD| − |fast RD|: the
+// price of checking conditions by local implications only, which the
+// nightly sweep (internal/exp.RunCrossCheck) tracks over time.
+package diff
+
+import (
+	"fmt"
+	"math/big"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+	"rdfault/internal/oracle"
+	"rdfault/internal/paths"
+	"rdfault/internal/synth"
+)
+
+// Options shapes the per-seed check.
+type Options struct {
+	// Inputs/Gates/Outputs/MaxArity shape the random circuit (defaults
+	// 6/20/3/4 — wide-fanin gates are where the local approximation
+	// actually loses paths, so this shape surfaces nonzero gaps). Inputs
+	// beyond the exhaustive limit make every seed fail with stabilize's
+	// typed width error.
+	Inputs, Gates, Outputs, MaxArity int
+	// Workers is the fast pass's worker count (0 = serial).
+	Workers int
+	// SkipMetamorphic disables invariant (c) (the fuzz targets keep it on;
+	// the resume test drives the fast pass itself and skips it).
+	SkipMetamorphic bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Inputs == 0 {
+		o.Inputs = 6
+	}
+	if o.Gates == 0 {
+		o.Gates = 20
+	}
+	if o.Outputs == 0 {
+		o.Outputs = 3
+	}
+	if o.MaxArity == 0 {
+		o.MaxArity = 4
+	}
+	return o
+}
+
+// Report summarizes one seed's cross-check.
+type Report struct {
+	Seed    int64
+	Circuit string
+	Sort    string // which sort family the seed drew
+	Total   int    // |LP(C)|
+	// Fast (approximate) counts.
+	FastSelected int // |LP^sup(σ^π)|
+	FastRD       int
+	// Exact counts.
+	ExactSelected int // |LP(σ^π)|
+	ExactRD       int
+	// Gap = FastSelected − ExactSelected ≥ 0: paths the local
+	// approximation could not prove RD.
+	Gap int
+	// Exact testability set sizes (Lemma 1's outer sets).
+	TSize, FSSize int
+	// Metamorphic reports whether invariant (c) ran.
+	Metamorphic bool
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("seed %-4d %-14s sort=%-7s paths=%-5d fastRD=%-5d exactRD=%-5d gap=%-3d T=%-4d FS=%d",
+		r.Seed, r.Circuit, r.Sort, r.Total, r.FastRD, r.ExactRD, r.Gap, r.TSize, r.FSSize)
+}
+
+// Violation is a failed invariant: a bug in the fast identifier, the
+// oracle, or (for Lemma1) the theory glue between them.
+type Violation struct {
+	Seed      int64
+	Invariant string // "soundness", "lemma1", "metamorphic"
+	Detail    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("diff: seed %d violates %s: %s", v.Seed, v.Invariant, v.Detail)
+}
+
+// Circuit returns the seed's random circuit — the shared generator, so a
+// failing seed can be replayed and minimized outside the harness.
+func Circuit(seed int64, opt Options) *circuit.Circuit {
+	opt = opt.withDefaults()
+	return gen.RandomCircuit(fmt.Sprintf("fuzz%d", seed), gen.RandomOptions{
+		Inputs:   opt.Inputs,
+		Gates:    opt.Gates,
+		Outputs:  opt.Outputs,
+		MaxArity: opt.MaxArity,
+	}, seed)
+}
+
+// SortFor returns the input sort the seed draws: seeds rotate through
+// pin order, inverse pin order and Heuristic 1, so the harness exercises
+// both arbitrary and optimized sorts.
+func SortFor(c *circuit.Circuit, seed int64) (circuit.InputSort, string) {
+	switch seed % 3 {
+	case 1:
+		return circuit.PinOrderSort(c).Inverse(), "inverse"
+	case 2:
+		return core.Heuristic1Sort(c), "heu1"
+	default:
+		return circuit.PinOrderSort(c), "pin"
+	}
+}
+
+// FastPass runs the approximate identifier and returns its surviving
+// path key set alongside the Result.
+func FastPass(c *circuit.Circuit, s *circuit.InputSort, opt core.Options) (*core.Result, map[string]bool, error) {
+	keys := make(map[string]bool)
+	opt.Sort = s
+	prev := opt.OnPath
+	opt.OnPath = func(lp paths.Logical) {
+		keys[lp.Key()] = true
+		if prev != nil {
+			prev(lp)
+		}
+	}
+	res, err := core.Enumerate(c, core.SigmaPi, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, keys, nil
+}
+
+// CheckSeed generates the seed's circuit and checks all three invariants
+// against the exact oracle. It returns the per-seed report, or a
+// *Violation (wrapped in err) when an invariant fails.
+func CheckSeed(seed int64, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	c := Circuit(seed, opt)
+	s, sortName := SortFor(c, seed)
+
+	fast, fastKeys, err := FastPass(c, &s, core.Options{Workers: opt.Workers})
+	if err != nil {
+		return nil, err
+	}
+	if !fast.Complete {
+		return nil, fmt.Errorf("diff: seed %d: fast pass incomplete (%v)", seed, fast.Status)
+	}
+
+	ex, err := oracle.Classify(c, s)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Seed:          seed,
+		Circuit:       c.Name(),
+		Sort:          sortName,
+		Total:         ex.Total(),
+		FastSelected:  int(fast.Selected),
+		ExactSelected: ex.Total() - ex.RD(),
+		ExactRD:       ex.RD(),
+		TSize:         len(ex.T),
+		FSSize:        len(ex.FS),
+	}
+	rep.FastRD = rep.Total - rep.FastSelected
+	rep.Gap = rep.FastSelected - rep.ExactSelected
+
+	if err := CheckInvariants(seed, c, ex, fast, fastKeys); err != nil {
+		return rep, err
+	}
+	if !opt.SkipMetamorphic {
+		if err := checkMetamorphic(seed, c, s, fast, opt); err != nil {
+			return rep, err
+		}
+		rep.Metamorphic = true
+	}
+	return rep, nil
+}
+
+// CheckInvariants verifies soundness (a) and Lemma 1 containment (b) for
+// an already-run fast pass against an oracle result. Exposed so the
+// resume test can drive the fast pass itself (interrupting and resuming
+// it) and still assert the same invariants on the outcome.
+func CheckInvariants(seed int64, c *circuit.Circuit, ex *oracle.Result, fast *core.Result, fastKeys map[string]bool) error {
+	if big.NewInt(int64(ex.Total())).Cmp(fast.Total) != 0 {
+		return &Violation{Seed: seed, Invariant: "soundness",
+			Detail: fmt.Sprintf("path universes differ: oracle %d, fast %v", ex.Total(), fast.Total)}
+	}
+	if int64(len(fastKeys)) != fast.Selected {
+		return &Violation{Seed: seed, Invariant: "soundness",
+			Detail: fmt.Sprintf("fast pass delivered %d distinct paths but counted %d", len(fastKeys), fast.Selected)}
+	}
+	for i, key := range ex.Keys {
+		inLP := ex.LP[key]
+		// (a) fast-RD ⊆ exact-RD, i.e. exact LP(σ^π) ⊆ LP^sup(σ^π).
+		if inLP && !fastKeys[key] {
+			return &Violation{Seed: seed, Invariant: "soundness",
+				Detail: fmt.Sprintf("path %s (final=%v) is in exact LP(σ^π) but the fast identifier marked it RD",
+					ex.Paths[i].Path.String(c), ex.Paths[i].FinalOne)}
+		}
+		// (b) T(C) ⊆ LP(σ^π) ⊆ FS(C).
+		if ex.T[key] && !inLP {
+			return &Violation{Seed: seed, Invariant: "lemma1",
+				Detail: fmt.Sprintf("non-robustly testable path %s outside exact LP(σ^π)", ex.Paths[i].Path.String(c))}
+		}
+		if inLP && !ex.FS[key] {
+			return &Violation{Seed: seed, Invariant: "lemma1",
+				Detail: fmt.Sprintf("path %s in exact LP(σ^π) but not functionally sensitizable", ex.Paths[i].Path.String(c))}
+		}
+	}
+	return nil
+}
+
+// checkMetamorphic verifies invariant (c): rerunning the fast identifier
+// on a relabeled and on a buffer-inserted isomorph (with the sort
+// transported through the gate mapping) must reproduce the Selected and
+// RD counts exactly.
+func checkMetamorphic(seed int64, c *circuit.Circuit, s circuit.InputSort, fast *core.Result, opt Options) error {
+	relabeled, perm, err := synth.Relabel(c, seed)
+	if err != nil {
+		return err
+	}
+	if err := compareRewrite(seed, "relabel", relabeled, transportSort(s, relabeled, perm), fast, opt); err != nil {
+		return err
+	}
+	buffered, gmap, err := synth.InsertBuffers(c, seed, 0.3)
+	if err != nil {
+		return err
+	}
+	return compareRewrite(seed, "buffers", buffered, transportSort(s, buffered, gmap), fast, opt)
+}
+
+// transportSort carries an input sort through a gate mapping: mapped
+// gates keep their pin positions (rewrites preserve pin order), and new
+// gates (inserted buffers) get the only possible order for their single
+// pin.
+func transportSort(s circuit.InputSort, c2 *circuit.Circuit, gmap []circuit.GateID) circuit.InputSort {
+	s2 := circuit.PinOrderSort(c2)
+	for g, ng := range gmap {
+		if ng == circuit.None {
+			continue
+		}
+		s2.Pos[ng] = append([]int(nil), s.Pos[g]...)
+	}
+	return s2
+}
+
+func compareRewrite(seed int64, rewrite string, c2 *circuit.Circuit, s2 circuit.InputSort, want *core.Result, opt Options) error {
+	got, _, err := FastPass(c2, &s2, core.Options{Workers: opt.Workers})
+	if err != nil {
+		return err
+	}
+	if !got.Complete {
+		return fmt.Errorf("diff: seed %d: %s pass incomplete (%v)", seed, rewrite, got.Status)
+	}
+	if got.Total.Cmp(want.Total) != 0 || got.Selected != want.Selected || got.RD.Cmp(want.RD) != 0 {
+		return &Violation{Seed: seed, Invariant: "metamorphic",
+			Detail: fmt.Sprintf("%s rewrite changed counts: total %v→%v, selected %d→%d, RD %v→%v",
+				rewrite, want.Total, got.Total, want.Selected, got.Selected, want.RD, got.RD)}
+	}
+	return nil
+}

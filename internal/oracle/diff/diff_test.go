@@ -1,0 +1,81 @@
+package diff
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSeedsClean: a block of seeds must cross-check clean on all three
+// invariants, at 1 and 4 workers, and at least one seed must exhibit a
+// nonzero approximation gap — otherwise the oracle proves nothing the
+// fast identifier doesn't already know, and the harness would be
+// vacuous.
+func TestSeedsClean(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		gapSeeds := 0
+		for seed := int64(1); seed <= 24; seed++ {
+			rep, err := CheckSeed(seed, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if rep.Gap < 0 {
+				t.Fatalf("workers=%d seed %d: negative gap %d (fast selected fewer than exact — unsound)",
+					workers, seed, rep.Gap)
+			}
+			if rep.Gap > 0 {
+				gapSeeds++
+			}
+			if !rep.Metamorphic {
+				t.Fatalf("workers=%d seed %d: metamorphic checks did not run", workers, seed)
+			}
+		}
+		if gapSeeds == 0 {
+			t.Errorf("workers=%d: no seed showed an approximation gap; the differential check is vacuous", workers)
+		}
+	}
+}
+
+// TestReportString: the row renderer carries the fields the sweep logs.
+func TestReportString(t *testing.T) {
+	rep, err := CheckSeed(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"seed 3", "fastRD=", "exactRD=", "gap="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+// TestViolationError: violations are typed and name the seed and the
+// invariant, so a fuzz crash is self-describing.
+func TestViolationError(t *testing.T) {
+	v := &Violation{Seed: 7, Invariant: "soundness", Detail: "x"}
+	var err error = v
+	var got *Violation
+	if !errors.As(err, &got) || got.Seed != 7 {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if !strings.Contains(v.Error(), "seed 7") || !strings.Contains(v.Error(), "soundness") {
+		t.Fatalf("unhelpful violation message %q", v.Error())
+	}
+}
+
+// TestSortRotation: the three sort families all appear over a seed block,
+// so the harness does not silently test one sort shape only.
+func TestSortRotation(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(1); seed <= 3; seed++ {
+		c := Circuit(seed, Options{})
+		_, name := SortFor(c, seed)
+		seen[name] = true
+	}
+	for _, want := range []string{"pin", "inverse", "heu1"} {
+		if !seen[want] {
+			t.Errorf("sort family %q never drawn", want)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package diff
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCrossCheck is the native fuzz entry point: any int64 is a valid
+// seed, so the fuzzer explores the circuit space directly. Run with
+//
+//	go test -fuzz FuzzCrossCheck ./internal/oracle/diff
+//
+// A crash artifact is a single seed; replay it with
+// diff.CheckSeed(seed, Options{}).
+func FuzzCrossCheck(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rep, err := CheckSeed(seed, Options{})
+		var v *Violation
+		if errors.As(err, &v) {
+			t.Fatalf("invariant violated: %v", v)
+		}
+		if err != nil {
+			// Engine capacity errors (tgen abort, BDD blowup) are not
+			// invariant violations; skip, don't crash.
+			t.Skipf("seed %d: %v", seed, err)
+		}
+		if rep.Gap < 0 {
+			t.Fatalf("seed %d: negative approximation gap %d", seed, rep.Gap)
+		}
+	})
+}

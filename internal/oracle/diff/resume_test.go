@@ -1,0 +1,123 @@
+package diff
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rdfault/internal/core"
+	"rdfault/internal/oracle"
+	"rdfault/internal/paths"
+)
+
+// TestResumeMidCrossCheck interrupts the fast pass of a cross-check
+// repeatedly (Workers=4, context cancel every few paths), resumes each
+// round from its checkpoint (round-tripped through the JSON encoding),
+// and asserts the stitched-together run is bit-identical to an
+// uninterrupted one — same Selected, RD and Segments, and the exact
+// same delivered path set, each path exactly once. The union then has
+// to pass the oracle's soundness and Lemma 1 invariants, so resume
+// correctness is checked against ground truth, not just self-agreement.
+func TestResumeMidCrossCheck(t *testing.T) {
+	const seed = 6 // a seed with a nonzero approximation gap
+	opt := Options{}.withDefaults()
+	c := Circuit(seed, opt)
+	s, _ := SortFor(c, seed)
+
+	ref, refKeys, err := FastPass(c, &s, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Status != core.StatusComplete {
+		t.Fatalf("reference status %v", ref.Status)
+	}
+
+	keys := make(map[string]bool)
+	rounds := 0
+	var cp *core.Checkpoint
+	var res *core.Result
+	for {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		var dup string
+		res, err = core.Enumerate(c, core.SigmaPi, core.Options{
+			Workers:    4,
+			Sort:       &s,
+			Context:    ctx,
+			Checkpoint: cp,
+			OnPath: func(lp paths.Logical) {
+				k := lp.Key()
+				if keys[k] && dup == "" {
+					dup = k
+				}
+				keys[k] = true
+				n++
+				if n == 10 {
+					cancel()
+					time.Sleep(2 * time.Millisecond)
+				}
+			},
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: %v", rounds, err)
+		}
+		if dup != "" {
+			t.Fatalf("round %d: path %q delivered twice across resumes", rounds, dup)
+		}
+		if res.Status == core.StatusComplete {
+			break
+		}
+		if res.Status != core.StatusCanceled {
+			t.Fatalf("round %d: status %v", rounds, res.Status)
+		}
+		rounds++
+		var buf bytes.Buffer
+		if err := res.Checkpoint.Encode(&buf); err != nil {
+			t.Fatalf("round %d: encode: %v", rounds, err)
+		}
+		if cp, err = core.DecodeCheckpoint(&buf); err != nil {
+			t.Fatalf("round %d: decode: %v", rounds, err)
+		}
+		if rounds > 10000 {
+			t.Fatal("resume did not converge")
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("run was never interrupted; shrink the interrupt interval")
+	}
+
+	if res.Selected != ref.Selected {
+		t.Errorf("Selected = %d, want %d", res.Selected, ref.Selected)
+	}
+	if res.Segments != ref.Segments {
+		t.Errorf("Segments = %d, want %d", res.Segments, ref.Segments)
+	}
+	if res.RD == nil || ref.RD == nil || res.RD.Cmp(ref.RD) != 0 {
+		t.Errorf("RD = %v, want %v", res.RD, ref.RD)
+	}
+	if len(keys) != len(refKeys) {
+		t.Fatalf("resumed run delivered %d distinct paths, reference %d", len(keys), len(refKeys))
+	}
+	for k := range refKeys {
+		if !keys[k] {
+			t.Fatalf("reference path %q missing from resumed run", k)
+		}
+	}
+
+	// The stitched run's output must satisfy the same ground-truth
+	// invariants as an uninterrupted cross-check.
+	ex, err := oracle.Classify(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(seed, c, ex, res, keys); err != nil {
+		var v *Violation
+		if errors.As(err, &v) {
+			t.Fatalf("resumed run violates %s: %s", v.Invariant, v.Detail)
+		}
+		t.Fatal(err)
+	}
+}

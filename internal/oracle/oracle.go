@@ -1,0 +1,336 @@
+// Package oracle is the exact, brute-force counterpart of the fast
+// RD identifier in internal/core: it runs Algorithm 1 semantics directly,
+// with no local-implication approximation, no prime-segment pruning and
+// no shared code with the enumerator it cross-checks.
+//
+// For every input vector v (all 2^n of them, simulated 64 lanes at a time
+// by the bit-parallel simulator) it rebuilds the stabilizing system
+// σ^π(v) from first principles — walk back from the primary outputs,
+// keeping the minimum-π controlling input of every controlled gate — and
+// unions the systems' logical paths into the exact LP(σ^π). Every
+// logical path of the circuit is then classified exactly:
+//
+//   - member of LP(σ^π) or robust dependent (the complement, Theorem 1);
+//   - non-robustly testable (T(C)), decided by the internal/tgen
+//     two-pattern test generator;
+//   - functionally sensitizable (FS(C)), decided twice over by
+//     independent engines — a SAT query and a BDD evaluation — whose
+//     verdicts must agree.
+//
+// The package exists to be disagreed with: internal/oracle/diff fuzzes
+// random circuits and fails loudly if the fast identifier ever marks a
+// path RD that the oracle proves is not, or if the Lemma 1 containment
+// T(C) ⊆ LP(σ^π) ⊆ FS(C) breaks.
+//
+// Exhaustive enumeration caps the input width; the limit (and its typed
+// error) is stabilize.CheckWidth, shared with ComputeAssignment.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfault/internal/bdd"
+	"rdfault/internal/circuit"
+	"rdfault/internal/paths"
+	"rdfault/internal/satsolver"
+	"rdfault/internal/sim"
+	"rdfault/internal/stabilize"
+	"rdfault/internal/tgen"
+)
+
+// Result is the exact classification of every logical path of one
+// circuit under one input sort. Sets are keyed by paths.Logical.Key().
+type Result struct {
+	// Paths lists every logical path of the circuit (cloned, stable
+	// iteration order); Keys[i] is Paths[i].Key().
+	Paths []paths.Logical
+	Keys  []string
+	// LP is the exact LP(σ^π): the union over all input vectors v of the
+	// logical paths of the stabilizing system σ^π(v).
+	LP map[string]bool
+	// T is the exact non-robustly-testable set T(C) (tgen verdicts).
+	T map[string]bool
+	// FS is the exact functionally sensitizable set FS(C) (SAT and BDD
+	// verdicts, cross-checked).
+	FS map[string]bool
+}
+
+// Total returns |LP(C)|, the number of logical paths.
+func (r *Result) Total() int { return len(r.Paths) }
+
+// RD returns |RD(σ^π)| = |LP(C)| − |LP(σ^π)|: the exact count of robust
+// dependent paths under the sort.
+func (r *Result) RD() int { return len(r.Paths) - len(r.LP) }
+
+// IsRD reports whether the logical path with the given key is exactly
+// robust dependent (outside LP(σ^π)).
+func (r *Result) IsRD(key string) bool { return !r.LP[key] }
+
+// Classify runs the exact oracle on c under input sort s. It refuses
+// circuits wider than the exhaustive limit with the same typed error as
+// stabilize.ComputeAssignment (*stabilize.TooManyInputsError).
+func Classify(c *circuit.Circuit, s circuit.InputSort) (*Result, error) {
+	if err := stabilize.CheckWidth(len(c.Inputs())); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(c); err != nil {
+		return nil, fmt.Errorf("oracle: %v", err)
+	}
+	r := &Result{
+		LP: make(map[string]bool),
+		T:  make(map[string]bool),
+		FS: make(map[string]bool),
+	}
+	paths.ForEachLogical(c, func(lp paths.Logical) bool {
+		cl := paths.Logical{Path: lp.Path.Clone(), FinalOne: lp.FinalOne}
+		r.Paths = append(r.Paths, cl)
+		r.Keys = append(r.Keys, cl.Key())
+		return true
+	})
+
+	if err := exactLP(c, s, r.LP); err != nil {
+		return nil, err
+	}
+	if err := exactTestability(c, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// exactLP fills dst with the keys of the exact LP(σ^π), by exhaustive
+// vector enumeration. Stable values come from the 64-lane bit-parallel
+// simulator — an implementation the implication engine of the fast
+// identifier never touches — and the stabilizing system of each vector is
+// rebuilt by a literal reading of Algorithm 1.
+func exactLP(c *circuit.Circuit, s circuit.InputSort, dst map[string]bool) error {
+	n := len(c.Inputs())
+	words := make([]uint64, n)
+	numVec := uint64(1) << n
+
+	// Scratch per vector: membership bitmaps for the system's gates and
+	// leads, reused across vectors.
+	inSys := make([]bool, c.NumGates())
+	inLead := make([]bool, c.NumLeads())
+	val := make([]bool, c.NumGates())
+	var queue []circuit.GateID
+
+	// Path DFS scratch.
+	var gates []circuit.GateID
+	var pins []int
+	piIdx := make(map[circuit.GateID]int, n)
+	for i, pi := range c.Inputs() {
+		piIdx[pi] = i
+	}
+
+	for base := uint64(0); base < numVec; base += 64 {
+		lanes := numVec - base
+		if lanes > 64 {
+			lanes = 64
+		}
+		// Lane k simulates vector base+k: bit k of words[i] is input i.
+		for i := range words {
+			var w uint64
+			for k := uint64(0); k < lanes; k++ {
+				if (base+k)>>uint(i)&1 == 1 {
+					w |= 1 << k
+				}
+			}
+			words[i] = w
+		}
+		sim64 := sim.EvalParallel(c, words)
+
+		for k := uint64(0); k < lanes; k++ {
+			for g := range val {
+				val[g] = sim64[g]>>k&1 == 1
+			}
+			// Algorithm 1, Steps 1–3: include every PO, then walk each
+			// included gate's fanin. A simple gate with at least one
+			// controlling input keeps exactly the minimum-π one; a gate
+			// with none keeps all of its inputs.
+			for i := range inSys {
+				inSys[i] = false
+			}
+			for i := range inLead {
+				inLead[i] = false
+			}
+			queue = queue[:0]
+			add := func(g circuit.GateID) {
+				if !inSys[g] {
+					inSys[g] = true
+					queue = append(queue, g)
+				}
+			}
+			keep := func(g circuit.GateID, pin int) {
+				inLead[c.LeadIndex(g, pin)] = true
+				add(c.Fanin(g)[pin])
+			}
+			for _, po := range c.Outputs() {
+				add(po)
+			}
+			for len(queue) > 0 {
+				g := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				t := c.Type(g)
+				if t == circuit.Input {
+					continue
+				}
+				ctrl, hasCtrl := t.Controlling()
+				best := -1
+				if hasCtrl {
+					for pin, f := range c.Fanin(g) {
+						if val[f] != ctrl {
+							continue
+						}
+						if best < 0 || s.Pos[g][pin] < s.Pos[g][best] {
+							best = pin
+						}
+					}
+				}
+				if best >= 0 {
+					keep(g, best)
+					continue
+				}
+				for pin := range c.Fanin(g) {
+					keep(g, pin)
+				}
+			}
+
+			// LP(v, σ^π(v)): every PI-to-PO walk over kept leads, paired
+			// with the transition ending on the PI's value under v.
+			var dfs func(g circuit.GateID)
+			dfs = func(g circuit.GateID) {
+				gates = append(gates, g)
+				if c.Type(g) == circuit.Output {
+					lp := paths.Logical{
+						Path:     paths.Path{Gates: gates, Pins: pins},
+						FinalOne: val[gates[0]],
+					}
+					dst[lp.Key()] = true
+				} else {
+					for _, e := range c.Fanout(g) {
+						if !inLead[c.LeadIndex(e.To, e.Pin)] {
+							continue
+						}
+						pins = append(pins, e.Pin)
+						dfs(e.To)
+						pins = pins[:len(pins)-1]
+					}
+				}
+				gates = gates[:len(gates)-1]
+			}
+			for _, pi := range c.Inputs() {
+				if inSys[pi] {
+					dfs(pi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exactTestability fills r.T and r.FS. Non-robust testability comes from
+// the tgen two-pattern generator; functional sensitizability is decided
+// by a SAT query over the whole circuit and re-decided by a BDD
+// evaluation — two independent exact engines that must agree.
+func exactTestability(c *circuit.Circuit, r *Result) error {
+	gn := tgen.NewGenerator(c)
+	gn.MaxBacktracks = 10_000_000
+
+	sat := satsolver.New()
+	vars := satsolver.AddCircuit(sat, c)
+	m := bdd.New(len(c.Inputs()))
+	m.SetNodeLimit(8 << 20)
+	fn := bdd.FromCircuit(m, c)
+
+	for i, lp := range r.Paths {
+		key := r.Keys[i]
+		switch cl := gn.Classify(lp); cl {
+		case tgen.Robust, tgen.NonRobust:
+			r.T[key] = true
+		case tgen.Unknown:
+			return fmt.Errorf("oracle: tgen classification aborted on %s", lp.Path.String(c))
+		}
+
+		bySAT := fsBySAT(c, sat, vars, lp)
+		byBDD := fsByBDD(c, m, fn, lp)
+		if bySAT != byBDD {
+			return fmt.Errorf("oracle: FS engines disagree on %s (sat=%v bdd=%v)",
+				lp.Path.String(c), bySAT, byBDD)
+		}
+		if bySAT {
+			r.FS[key] = true
+		}
+	}
+	return nil
+}
+
+// fsConditions calls fn(g, v) for every stable-value condition of the
+// functional sensitization of lp (Definition 4): the on-path values
+// implied by the transition, plus non-controlling side inputs wherever
+// the on-path input is non-controlling. It reports false if fn rejects.
+func fsConditions(c *circuit.Circuit, lp paths.Logical, fn func(g circuit.GateID, v bool) bool) bool {
+	v := lp.FinalOne
+	if !fn(lp.Path.Gates[0], v) {
+		return false
+	}
+	for i := 1; i < len(lp.Path.Gates); i++ {
+		g := lp.Path.Gates[i]
+		t := c.Type(g)
+		onPath := v
+		v = v != t.Inverting()
+		if !fn(g, v) {
+			return false
+		}
+		ctrl, hasCtrl := t.Controlling()
+		if !hasCtrl || onPath == ctrl {
+			continue
+		}
+		for pin, f := range c.Fanin(g) {
+			if pin != lp.Path.Pins[i-1] && !fn(f, !ctrl) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fsBySAT decides FS membership with one incremental SAT query: assume
+// every condition literal and ask for a satisfying input vector.
+func fsBySAT(c *circuit.Circuit, sat *satsolver.Solver, vars satsolver.CircuitVars, lp paths.Logical) bool {
+	var assume []satsolver.Lit
+	fsConditions(c, lp, func(g circuit.GateID, v bool) bool {
+		assume = append(assume, vars.Lit(g, v))
+		return true
+	})
+	return sat.Solve(assume...)
+}
+
+// fsByBDD decides the same membership by conjoining the condition
+// functions' BDDs: the conjunction is non-false iff some input vector
+// meets every condition.
+func fsByBDD(c *circuit.Circuit, m *bdd.Manager, fn []bdd.Ref, lp paths.Logical) bool {
+	acc := bdd.True
+	fsConditions(c, lp, func(g circuit.GateID, v bool) bool {
+		f := fn[g]
+		if !v {
+			f = m.Not(f)
+		}
+		acc = m.And(acc, f)
+		return acc != bdd.False
+	})
+	return acc != bdd.False
+}
+
+// SortedRD returns the exact RD set's keys in sorted order (for
+// deterministic reporting and diffs).
+func (r *Result) SortedRD() []string {
+	var out []string
+	for _, k := range r.Keys {
+		if !r.LP[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,137 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+	"rdfault/internal/stabilize"
+)
+
+func randCircuit(seed int64) *circuit.Circuit {
+	return gen.RandomCircuit("rnd", gen.RandomOptions{Inputs: 5, Gates: 14, Outputs: 2}, seed)
+}
+
+func sortsFor(c *circuit.Circuit) []circuit.InputSort {
+	return []circuit.InputSort{
+		circuit.PinOrderSort(c),
+		circuit.PinOrderSort(c).Inverse(),
+		core.Heuristic1Sort(c),
+	}
+}
+
+// TestMatchesStabilizeAssignment: the oracle's LP(σ^π) — rebuilt from
+// bit-parallel simulation and a fresh Algorithm 1 walk — must equal the
+// set computed by the independent stabilize.ComputeAssignment
+// implementation, for every seed and sort.
+func TestMatchesStabilizeAssignment(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := randCircuit(seed)
+		for si, s := range sortsFor(c) {
+			r, err := Classify(c, s)
+			if err != nil {
+				t.Fatalf("seed %d sort %d: %v", seed, si, err)
+			}
+			a, err := stabilize.ComputeAssignment(c, stabilize.ChooseBySort(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := a.LogicalPaths()
+			if len(r.LP) != len(want) {
+				t.Fatalf("seed %d sort %d: oracle |LP|=%d, stabilize |LP|=%d",
+					seed, si, len(r.LP), len(want))
+			}
+			for k := range want {
+				if !r.LP[k] {
+					t.Fatalf("seed %d sort %d: stabilize path %q missing from oracle LP", seed, si, k)
+				}
+			}
+			if rd := len(a.RDSet()); rd != r.RD() {
+				t.Fatalf("seed %d sort %d: oracle RD=%d, stabilize RD=%d", seed, si, r.RD(), rd)
+			}
+		}
+	}
+}
+
+// TestLemma1Containment: the oracle's own three exact sets must satisfy
+// T(C) ⊆ LP(σ^π) ⊆ FS(C) for every sort (Lemma 1).
+func TestLemma1Containment(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := randCircuit(seed)
+		for si, s := range sortsFor(c) {
+			r, err := Classify(c, s)
+			if err != nil {
+				t.Fatalf("seed %d sort %d: %v", seed, si, err)
+			}
+			for k := range r.T {
+				if !r.LP[k] {
+					t.Fatalf("seed %d sort %d: T ⊄ LP(σ^π) at %q", seed, si, k)
+				}
+			}
+			for k := range r.LP {
+				if !r.FS[k] {
+					t.Fatalf("seed %d sort %d: LP(σ^π) ⊄ FS at %q", seed, si, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperExample pins the running example's exact numbers: 8 logical
+// paths, |LP(σ^π)| = 5 under the optimum sort the paper derives in
+// Figure 5, hence 3 exact-RD paths.
+func TestPaperExample(t *testing.T) {
+	c := gen.PaperExample()
+	best := 1 << 30
+	for _, s := range sortsFor(c) {
+		r, err := Classify(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Total() != 8 {
+			t.Fatalf("paper example: %d logical paths, want 8", r.Total())
+		}
+		if n := len(r.LP); n < best {
+			best = n
+		}
+	}
+	if best != 5 {
+		t.Fatalf("best |LP(σ^π)| over sorts = %d, want the paper's optimum 5", best)
+	}
+}
+
+// TestWidthLimit: the oracle must refuse over-wide circuits with the
+// same typed error as stabilize.ComputeAssignment.
+func TestWidthLimit(t *testing.T) {
+	b := circuit.NewBuilder("wide")
+	var ins []circuit.GateID
+	for i := 0; i < stabilize.MaxAssignmentInputs+1; i++ {
+		ins = append(ins, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	b.Output("o", b.Gate(circuit.Or, "or", ins...))
+	c := b.MustBuild()
+
+	_, err := Classify(c, circuit.PinOrderSort(c))
+	if !errors.Is(err, stabilize.ErrTooManyInputs) {
+		t.Fatalf("Classify on %d inputs: err = %v, want ErrTooManyInputs", len(c.Inputs()), err)
+	}
+	var wide *stabilize.TooManyInputsError
+	if !errors.As(err, &wide) {
+		t.Fatalf("err %v is not a *stabilize.TooManyInputsError", err)
+	}
+	if wide.Inputs != stabilize.MaxAssignmentInputs+1 || wide.Max != stabilize.MaxAssignmentInputs {
+		t.Fatalf("error fields = %+v, want Inputs=%d Max=%d",
+			wide, stabilize.MaxAssignmentInputs+1, stabilize.MaxAssignmentInputs)
+	}
+}
+
+// TestInvalidSort: a malformed sort is rejected, not silently misread.
+func TestInvalidSort(t *testing.T) {
+	c := randCircuit(1)
+	if _, err := Classify(c, circuit.InputSort{}); err == nil {
+		t.Fatal("Classify accepted an empty input sort")
+	}
+}

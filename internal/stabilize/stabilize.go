@@ -247,13 +247,25 @@ func (e *TooManyInputsError) Error() string {
 
 func (e *TooManyInputsError) Unwrap() error { return ErrTooManyInputs }
 
+// CheckWidth reports whether a circuit with n primary inputs fits an
+// exhaustive 2^n vector enumeration, returning the typed
+// *TooManyInputsError otherwise. Every exhaustive entry point — here and
+// the exact oracle in internal/oracle — shares this single limit check,
+// so callers can match one error shape regardless of which layer refused.
+func CheckWidth(n int) error {
+	if n > MaxAssignmentInputs {
+		return &TooManyInputsError{Inputs: n, Max: MaxAssignmentInputs}
+	}
+	return nil
+}
+
 // ComputeAssignment builds σ by running Algorithm 1 for all 2^n input
 // vectors. Circuits wider than MaxAssignmentInputs get ErrTooManyInputs
 // instead of an attempt that could not finish.
 func ComputeAssignment(c *circuit.Circuit, choose Chooser) (*Assignment, error) {
 	n := len(c.Inputs())
-	if n > MaxAssignmentInputs {
-		return nil, &TooManyInputsError{Inputs: n, Max: MaxAssignmentInputs}
+	if err := CheckWidth(n); err != nil {
+		return nil, err
 	}
 	a := &Assignment{c: c, systems: make([]*System, 1<<n)}
 	in := make([]bool, n)

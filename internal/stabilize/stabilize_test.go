@@ -2,6 +2,7 @@ package stabilize
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"rdfault/internal/circuit"
@@ -260,6 +261,39 @@ func TestComputeAssignmentRejectsWideCircuits(t *testing.T) {
 	}
 	if wide.Inputs != 25 || wide.Max != MaxAssignmentInputs {
 		t.Errorf("TooManyInputsError = %+v, want Inputs=25 Max=%d", wide, MaxAssignmentInputs)
+	}
+}
+
+// TestCheckWidthBoundary pins the exhaustive limit exactly: 24 inputs is
+// the last width CheckWidth admits and 25 the first it refuses, with the
+// typed error carrying both numbers. Every exhaustive entry point
+// (ComputeAssignment here, oracle.Classify elsewhere) funnels through
+// CheckWidth, so this boundary is the system-wide one.
+func TestCheckWidthBoundary(t *testing.T) {
+	if MaxAssignmentInputs != 24 {
+		t.Fatalf("MaxAssignmentInputs = %d, want 24 (update this test with the limit)", MaxAssignmentInputs)
+	}
+	if err := CheckWidth(24); err != nil {
+		t.Fatalf("CheckWidth(24) = %v, want nil at the boundary", err)
+	}
+	err := CheckWidth(25)
+	if err == nil {
+		t.Fatal("CheckWidth(25) = nil, want the typed width error")
+	}
+	if !errors.Is(err, ErrTooManyInputs) {
+		t.Errorf("CheckWidth(25) err = %v, want errors.Is ErrTooManyInputs", err)
+	}
+	var wide *TooManyInputsError
+	if !errors.As(err, &wide) {
+		t.Fatalf("CheckWidth(25) err = %v, want a *TooManyInputsError", err)
+	}
+	if wide.Inputs != 25 || wide.Max != 24 {
+		t.Errorf("TooManyInputsError = %+v, want Inputs=25 Max=24", wide)
+	}
+	for _, e := range []string{"25", "24"} {
+		if !strings.Contains(wide.Error(), e) {
+			t.Errorf("error message %q omits %s", wide.Error(), e)
+		}
 	}
 }
 

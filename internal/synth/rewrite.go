@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfault/internal/circuit"
+)
+
+// Relabel returns a structurally isomorphic copy of c: every gate is
+// renamed and the internal gates are re-declared in a different (still
+// topologically valid) order drawn from the seed. Primary inputs and
+// outputs keep their declaration order, and every gate's fanin pin order
+// is preserved, so an input sort transports through the returned mapping
+// unchanged — which makes this the "gate relabeling" metamorphic rewrite
+// of the differential harness: RD identification must be invariant under
+// it.
+//
+// The second return value maps each old GateID to its counterpart in the
+// new circuit.
+func Relabel(c *circuit.Circuit, seed int64) (*circuit.Circuit, []circuit.GateID, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(c.Name() + "_relabel")
+	perm := make([]circuit.GateID, c.NumGates())
+	for i := range perm {
+		perm[i] = circuit.None
+	}
+
+	for i, pi := range c.Inputs() {
+		perm[pi] = b.Input(fmt.Sprintf("ri%d", i))
+	}
+
+	// Kahn's algorithm over the internal gates with a seeded random pick
+	// from the ready set: any run is a valid declaration order, and the
+	// seed decides which.
+	missing := make([]int, c.NumGates())
+	var ready []circuit.GateID
+	var internal int
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		switch c.Type(g) {
+		case circuit.Input, circuit.Output:
+			continue
+		}
+		internal++
+		n := 0
+		for _, f := range c.Fanin(g) {
+			if c.Type(f) != circuit.Input {
+				n++
+			}
+		}
+		missing[g] = n
+		if n == 0 {
+			ready = append(ready, g)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		g := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		fanin := make([]circuit.GateID, len(c.Fanin(g)))
+		for pin, f := range c.Fanin(g) {
+			fanin[pin] = perm[f]
+		}
+		perm[g] = b.Gate(c.Type(g), fmt.Sprintf("rg%d", done), fanin...)
+		done++
+		for _, e := range c.Fanout(g) {
+			to := e.To
+			if c.Type(to) == circuit.Output {
+				continue
+			}
+			// A multi-pin consumer appears once per connected pin; count
+			// each edge exactly once.
+			missing[to]--
+			if missing[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	if done != internal {
+		return nil, nil, fmt.Errorf("synth: relabel scheduled %d of %d gates", done, internal)
+	}
+
+	for i, po := range c.Outputs() {
+		perm[po] = b.Output(fmt.Sprintf("ro%d", i), perm[c.Fanin(po)[0]])
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: relabel: %v", err)
+	}
+	return out, perm, nil
+}
+
+// InsertBuffers returns a copy of c with a fanout-free buffer spliced
+// into a seeded-random fraction of its leads. Buffers neither invert nor
+// choose between inputs, so the logical path set bijects onto the
+// original's and RD identification must be invariant — the second
+// metamorphic rewrite of the differential harness.
+//
+// The returned mapping covers the original gates (buffers are new and
+// have no preimage). frac is clamped to [0,1]; 0 inserts nothing.
+func InsertBuffers(c *circuit.Circuit, seed int64, frac float64) (*circuit.Circuit, []circuit.GateID, error) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(c.Name() + "_buf")
+	gmap := make([]circuit.GateID, c.NumGates())
+	bufs := 0
+	// GateIDs are assigned in declaration order, which the builder has
+	// already verified to be topological: a single increasing scan sees
+	// every fanin before its consumer.
+	for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+		gate := c.Gate(g)
+		switch gate.Type {
+		case circuit.Input:
+			gmap[g] = b.Input("b_" + gate.Name)
+		case circuit.Output:
+			gmap[g] = b.Output("b_"+gate.Name, gmap[gate.Fanin[0]])
+		default:
+			fanin := make([]circuit.GateID, len(gate.Fanin))
+			for pin, f := range gate.Fanin {
+				src := gmap[f]
+				if rng.Float64() < frac {
+					src = b.Gate(circuit.Buf, fmt.Sprintf("bb%d", bufs), src)
+					bufs++
+				}
+				fanin[pin] = src
+			}
+			gmap[g] = b.Gate(gate.Type, "b_"+gate.Name, fanin...)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: insert buffers: %v", err)
+	}
+	return out, gmap, nil
+}

@@ -1,0 +1,140 @@
+package synth
+
+import (
+	"testing"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/gen"
+	"rdfault/internal/sim"
+)
+
+func rewriteCircuit(seed int64) *circuit.Circuit {
+	return gen.RandomCircuit("rw", gen.RandomOptions{Inputs: 6, Gates: 24, Outputs: 3, MaxArity: 4}, seed)
+}
+
+// sameFunction exhaustively compares the two circuits' input-output
+// behavior (inputs and outputs matched by declaration order).
+func sameFunction(t *testing.T, a, b *circuit.Circuit) {
+	t.Helper()
+	n := len(a.Inputs())
+	if len(b.Inputs()) != n || len(b.Outputs()) != len(a.Outputs()) {
+		t.Fatalf("interface changed: %d/%d inputs, %d/%d outputs",
+			n, len(b.Inputs()), len(a.Outputs()), len(b.Outputs()))
+	}
+	words := make([]uint64, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range words {
+			if v>>i&1 == 1 {
+				words[i] = ^uint64(0)
+			} else {
+				words[i] = 0
+			}
+		}
+		va, vb := sim.EvalParallel(a, words), sim.EvalParallel(b, words)
+		for i, po := range a.Outputs() {
+			if va[po]&1 != vb[b.Outputs()[i]]&1 {
+				t.Fatalf("vector %b: output %d differs", v, i)
+			}
+		}
+	}
+}
+
+// TestRelabel: the relabeled circuit is a true isomorph — same function,
+// same per-gate type/arity through the mapping, different declaration
+// order for at least one seed pair, and the mapping covers every gate.
+func TestRelabel(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := rewriteCircuit(seed)
+		r, perm, err := Relabel(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFunction(t, c, r)
+		if r.NumGates() != c.NumGates() {
+			t.Fatalf("seed %d: gate count %d -> %d", seed, c.NumGates(), r.NumGates())
+		}
+		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+			ng := perm[g]
+			if ng == circuit.None {
+				t.Fatalf("seed %d: gate %d unmapped", seed, g)
+			}
+			if c.Type(g) != r.Type(ng) || len(c.Fanin(g)) != len(r.Fanin(ng)) {
+				t.Fatalf("seed %d: gate %d changed type/arity under relabeling", seed, g)
+			}
+			// Pin order is preserved gate by gate — the property that lets
+			// an input sort transport through the mapping unchanged.
+			for pin, f := range c.Fanin(g) {
+				if r.Fanin(ng)[pin] != perm[f] {
+					t.Fatalf("seed %d: gate %d pin %d rewired", seed, g, pin)
+				}
+			}
+		}
+	}
+	// The relabeling must actually shuffle something, or the metamorphic
+	// check compares a circuit with itself.
+	c := rewriteCircuit(1)
+	shuffled := false
+	for seed := int64(1); seed <= 8 && !shuffled; seed++ {
+		r, perm, err := Relabel(c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+			if perm[g] != g {
+				shuffled = true
+				break
+			}
+		}
+		_ = r
+	}
+	if !shuffled {
+		t.Fatal("no seed produced a nontrivial relabeling")
+	}
+}
+
+// TestInsertBuffers: buffers change structure but not function; the path
+// set bijects (same logical path count through each original gate
+// chain), and frac=0 is the identity up to renaming.
+func TestInsertBuffers(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := rewriteCircuit(seed)
+		b, gmap, err := InsertBuffers(c, seed, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFunction(t, c, b)
+		if b.NumGates() <= c.NumGates() {
+			t.Fatalf("seed %d: no buffer inserted (%d -> %d gates); raise frac", seed, c.NumGates(), b.NumGates())
+		}
+		inserted := 0
+		for g := circuit.GateID(0); int(g) < b.NumGates(); g++ {
+			if b.Type(g) == circuit.Buf {
+				if n := len(b.Fanout(g)); n != 1 {
+					t.Fatalf("seed %d: inserted buffer with fanout %d, want 1 (fanout-free)", seed, n)
+				}
+				inserted++
+			}
+		}
+		if inserted != b.NumGates()-c.NumGates() {
+			t.Fatalf("seed %d: %d new gates but %d buffers", seed, b.NumGates()-c.NumGates(), inserted)
+		}
+		for g := circuit.GateID(0); int(g) < c.NumGates(); g++ {
+			if gmap[g] == circuit.None {
+				t.Fatalf("seed %d: original gate %d unmapped", seed, g)
+			}
+			if c.Type(g) != b.Type(gmap[g]) {
+				t.Fatalf("seed %d: gate %d changed type", seed, g)
+			}
+		}
+	}
+
+	c := rewriteCircuit(2)
+	id, _, err := InsertBuffers(c, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.NumGates() != c.NumGates() {
+		t.Fatalf("frac=0 inserted %d gates", id.NumGates()-c.NumGates())
+	}
+	sameFunction(t, c, id)
+}
