@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify race fuzz crosscheck cover suite clean
+.PHONY: all build test vet bench bench-identify race chaos fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -21,7 +21,16 @@ test:
 # harness that drives parallel fast passes).
 race:
 	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis \
-		./internal/tgen ./internal/oracle ./internal/oracle/diff
+		./internal/tgen ./internal/oracle ./internal/oracle/diff \
+		./internal/serve ./internal/faultinject ./internal/cliutil
+
+# The deterministic fault-injection suite under the race detector:
+# admission failures, worker panics, budget evictions mid-run, spill
+# corruption, clock skew — every injected fault must map to a typed
+# error or a correctly-labeled degraded tier, never a wrong answer.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/serve \
+		./internal/cliutil -run 'Test'
 
 # Cached-vs-uncached identification pipeline; writes BENCH_identify.json
 # and fails if the analysis manager is not strictly faster and

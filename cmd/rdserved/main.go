@@ -1,0 +1,215 @@
+// Command rdserved runs the RD identification service: a long-lived
+// daemon that accepts circuits over HTTP+JSON, queues identification
+// jobs with admission control and load shedding, and degrades gracefully
+// down the exact → fast → certificate → count ladder under memory
+// pressure instead of falling over.
+//
+// Usage:
+//
+//	rdserved [-addr 127.0.0.1:8341] [-budget 268435456] [-queue 16] ...
+//	rdserved -selftest   # bind an ephemeral port, run one end-to-end
+//	                     # job through the real HTTP surface, exit
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/result,
+// POST /v1/count, POST /v1/budget, GET /healthz. See internal/serve.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/cliutil"
+	"rdfault/internal/gen"
+	"rdfault/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8341", "listen address")
+		queue    = flag.Int("queue", 16, "heavy-lane queue depth (full queue sheds load with 429)")
+		inflight = flag.Int("inflight", 2, "concurrently running identification jobs")
+		cheap    = flag.Int("cheap", 8, "concurrent cheap-lane (path count) requests")
+		budget   = flag.Int64("budget", 256<<20, "memory budget in bytes shared by running jobs")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration goroutines per job")
+		maxGates = flag.Int("max-gates", 200000, "admission limit on circuit size")
+		spill    = flag.String("spill", "", "directory for evicted-job checkpoints (default: system temp)")
+		retry    = flag.Duration("retry-after", time.Second, "backoff hint attached to shed load")
+		selftest = flag.Bool("selftest", false, "bind an ephemeral port, exercise the service end to end, exit")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		QueueDepth:       *queue,
+		MaxInFlight:      *inflight,
+		MaxCheapInFlight: *cheap,
+		MemoryBudget:     *budget,
+		MaxGates:         *maxGates,
+		Workers:          *workers,
+		SpillDir:         *spill,
+		RetryAfter:       *retry,
+	}
+
+	if *selftest {
+		if err := runSelftest(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s := serve.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := (&cliutil.Flags{}).SignalContext()
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rdserved: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rdserved: http shutdown: %v\n", err)
+	}
+	s.Close()
+	fmt.Fprintln(os.Stderr, "rdserved: drained")
+}
+
+// runSelftest drives the full service — real listener, real HTTP client
+// — through one deterministic end-to-end pass on the paper's example
+// circuit. Its stdout is the golden smoke-test contract.
+func runSelftest(cfg serve.Config) error {
+	cfg.Workers = 1 // deterministic scheduling for the golden output
+	s := serve.New(cfg)
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	fmt.Println("rdserved selftest")
+
+	var health serve.Health
+	if err := getJSON(client, base+"/healthz", &health); err != nil {
+		return err
+	}
+	fmt.Printf("health: %s (queued=%d running=%d)\n", health.Status, health.Queued, health.Running)
+
+	var bench strings.Builder
+	if err := circuit.WriteBench(&bench, gen.PaperExample()); err != nil {
+		return err
+	}
+	req := map[string]any{"bench": bench.String(), "name": "paper-example", "heuristic": "heu2", "tier": "fast"}
+
+	var count serve.Answer
+	if err := postJSON(client, base+"/v1/count", req, http.StatusOK, &count); err != nil {
+		return err
+	}
+	fmt.Printf("count: tier=%s paths=%s\n", count.Tier, count.TotalPaths)
+
+	var info serve.Info
+	if err := postJSON(client, base+"/v1/jobs", req, http.StatusAccepted, &info); err != nil {
+		return err
+	}
+	fmt.Printf("submit: %s (%s tier requested)\n", info.ID, info.Tier)
+
+	ans, err := pollResult(client, base+"/v1/jobs/"+info.ID+"/result")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result: tier=%s reason=%s paths=%s selected=%d rd=%s (%.2f%%)\n",
+		ans.Tier, ans.TierReason, ans.TotalPaths, ans.Selected, ans.RD, ans.RDPercent)
+
+	var resized map[string]int64
+	if err := postJSON(client, base+"/v1/budget", map[string]int64{"bytes": cfg.MemoryBudget / 2},
+		http.StatusOK, &resized); err != nil {
+		return err
+	}
+	fmt.Printf("budget: %d -> %d\n", resized["previous"], resized["bytes"])
+
+	fmt.Println("selftest ok")
+	return nil
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, http.StatusOK, v)
+}
+
+func postJSON(c *http.Client, url string, body any, wantCode int, v any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, wantCode, v)
+}
+
+func decodeJSON(resp *http.Response, wantCode int, v any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantCode {
+		return fmt.Errorf("%s: status %d (want %d): %s", resp.Request.URL, resp.StatusCode, wantCode, raw)
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func pollResult(c *http.Client, url string) (*serve.Answer, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := c.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusConflict {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if time.Now().After(deadline) {
+				return nil, errors.New("selftest job never finished")
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		var ans serve.Answer
+		if err := decodeJSON(resp, http.StatusOK, &ans); err != nil {
+			return nil, err
+		}
+		return &ans, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rdserved: %v\n", err)
+	os.Exit(1)
+}

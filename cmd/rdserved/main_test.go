@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenSelftest boots the real daemon on an ephemeral port and
+// drives one end-to-end pass through its HTTP surface; the printed
+// health/count/submit/result/budget lines are the service's output
+// contract.
+func TestGoldenSelftest(t *testing.T) {
+	golden := goldentest.Golden(t, "selftest")
+	t.Chdir(t.TempDir())
+	out := goldentest.Run(t, "rdserved", main, "-selftest", "-budget", "67108864")
+	goldentest.Check(t, golden, out)
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"rdfault/internal/circuit"
+	"rdfault/internal/faultinject"
 	"rdfault/internal/logic"
 	"rdfault/internal/paths"
 	"rdfault/internal/scoap"
@@ -68,7 +69,7 @@ type Analysis struct {
 	engines sync.Pool
 
 	memoMu sync.Mutex
-	memo   map[string]*memoCell
+	memo   map[string]any // completed memo values only
 }
 
 type timingEntry struct {
@@ -76,11 +77,32 @@ type timingEntry struct {
 	an   *timing.Analysis
 }
 
+// memoCell is one in-flight singleflight computation. Cells live in the
+// global version-keyed inflight table (not in the handle) for exactly as
+// long as the computation runs, so concurrent demand joins one
+// computation even when Drop/SetCapacity retired the handle mid-flight
+// and a later For minted a new one.
 type memoCell struct {
 	mu   sync.Mutex
-	done bool
+	ran  bool
 	v    any
+	err  error
 }
+
+// inflightKey identifies one (circuit version, analysis) computation.
+type inflightKey struct {
+	version uint64
+	key     string
+}
+
+// inflight is the cross-handle singleflight table. Entries are removed
+// the moment their computation finishes (success or failure): completed
+// values live only in handle-local caches, which is what keeps Drop's
+// "forget this version" semantics intact.
+var inflight = struct {
+	mu sync.Mutex
+	m  map[inflightKey]*memoCell
+}{m: make(map[inflightKey]*memoCell)}
 
 func newAnalysis(c *circuit.Circuit) *Analysis {
 	a := &Analysis{c: c}
@@ -219,32 +241,71 @@ func (a *Analysis) PutEngine(e *logic.Engine) {
 // returns a non-nil error nothing is cached and the error is returned —
 // a later call retries. f must not recursively Memo the same key.
 //
+// The singleflight holds across registry churn: coordination is keyed on
+// (circuit version, key) in a global in-flight table rather than on the
+// handle, so a Drop/SetCapacity eviction racing with a long computation
+// cannot let a freshly-minted handle start a second concurrent run of
+// the same analysis. Completed values are cached per handle only — an
+// explicit Drop still forgets them, and the next demand recomputes.
+//
 // Memo is the extension point for analyses that live in higher layers
 // (input sorts, Algorithm 3's enumeration passes) and therefore cannot
 // be named here without an import cycle. Keys are namespaced by
-// convention: "<package>.<analysis>".
+// convention: "<package>.<analysis>". Fault-injection point:
+// faultinject.PointAnalysisMemo (a KindError rule makes the derived-data
+// computation fail like an allocation would).
 func (a *Analysis) Memo(key string, f func() (any, error)) (any, error) {
 	a.memoMu.Lock()
-	cell, ok := a.memo[key]
-	if !ok {
-		if a.memo == nil {
-			a.memo = make(map[string]*memoCell)
-		}
-		cell = &memoCell{}
-		a.memo[key] = cell
+	if v, ok := a.memo[key]; ok {
+		a.memoMu.Unlock()
+		return v, nil
 	}
 	a.memoMu.Unlock()
 
-	cell.mu.Lock()
-	defer cell.mu.Unlock()
-	if cell.done {
-		return cell.v, nil
+	if err := faultinject.Fire(faultinject.PointAnalysisMemo); err != nil {
+		return nil, err
 	}
-	v, err := f()
+
+	k := inflightKey{a.c.Version(), key}
+	inflight.mu.Lock()
+	cell, ok := inflight.m[k]
+	if !ok {
+		cell = &memoCell{}
+		inflight.m[k] = cell
+	}
+	inflight.mu.Unlock()
+
+	cell.mu.Lock()
+	if !cell.ran {
+		// Leader: run the computation, then retire the cell so completed
+		// state lives only in handle caches (Drop must stay able to
+		// forget it, and a failed run must be retryable).
+		cell.ran = true
+		cell.v, cell.err = f()
+		inflight.mu.Lock()
+		if inflight.m[k] == cell {
+			delete(inflight.m, k)
+		}
+		inflight.mu.Unlock()
+	}
+	v, err := cell.v, cell.err
+	cell.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	cell.v, cell.done = v, true
+
+	a.memoMu.Lock()
+	if a.memo == nil {
+		a.memo = make(map[string]any)
+	}
+	if prev, ok := a.memo[key]; ok {
+		// A racing follower cached first; serve the one value every
+		// earlier caller of this handle already saw.
+		v = prev
+	} else {
+		a.memo[key] = v
+	}
+	a.memoMu.Unlock()
 	return v, nil
 }
 

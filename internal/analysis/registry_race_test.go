@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rdfault/internal/analysis"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// TestEvictionDoesNotForkSingleflight targets the registry race window
+// between Drop/SetCapacity and a concurrent For on the same circuit
+// version: an eviction that lands while a Memo computation is in flight
+// used to let the next For mint a second handle whose Memo cell
+// "resurrects" the same computation, running it a second time in
+// parallel. The guarantee under test: for one circuit version, two
+// executions of the same memoized computation never overlap in time, no
+// matter how the registry churns underneath. (Total executions may
+// exceed one — an explicit Drop forgets completed values by design —
+// but they must be strictly sequential.)
+//
+// Run it under the race detector (make race) to also exercise the
+// registry/memo locking.
+func TestEvictionDoesNotForkSingleflight(t *testing.T) {
+	analysis.Reset()
+	defer analysis.Reset()
+	c := gen.PaperExample()
+
+	var running, overlaps, runs atomic.Int64
+	compute := func() (any, error) {
+		if running.Add(1) > 1 {
+			overlaps.Add(1)
+		}
+		runs.Add(1)
+		time.Sleep(200 * time.Microsecond) // widen the window
+		running.Add(-1)
+		return "value", nil
+	}
+
+	const workers = 8
+	const iters = 200
+	stop := make(chan struct{})
+
+	// Churn goroutine: evict the version as fast as possible, both ways.
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			analysis.Drop(c)
+			analysis.SetCapacity(1)
+			analysis.SetCapacity(analysis.DefaultCapacity)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v, err := analysis.For(c).Memo("test.race", compute)
+				if err != nil {
+					t.Errorf("Memo: %v", err)
+					return
+				}
+				if v.(string) != "value" {
+					t.Errorf("Memo returned %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-churnDone
+
+	if n := overlaps.Load(); n != 0 {
+		t.Fatalf("singleflight forked: %d overlapping executions (runs=%d)", n, runs.Load())
+	}
+	if runs.Load() == 0 {
+		t.Fatal("computation never ran")
+	}
+}
+
+// TestMemoErrorRetriesAfterInjectedFailure: a KindError fault at
+// PointAnalysisMemo fails the computation with a typed error; nothing is
+// cached, and the next call succeeds.
+func TestMemoErrorRetriesAfterInjectedFailure(t *testing.T) {
+	analysis.Reset()
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+
+	func() {
+		defer faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+			Point: faultinject.PointAnalysisMemo,
+			Kind:  faultinject.KindError,
+		}))()
+		_, err := a.Memo("test.inject", func() (any, error) { return 1, nil })
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("got %v, want ErrInjected", err)
+		}
+	}()
+
+	v, err := a.Memo("test.inject", func() (any, error) { return 2, nil })
+	if err != nil || v.(int) != 2 {
+		t.Fatalf("retry after injected failure: v=%v err=%v", v, err)
+	}
+}
+
+// TestMemoDropForgetsCompletedValues: an explicit Drop still forgets —
+// the next handle recomputes (sequentially) rather than resurrecting the
+// dropped handle's cache.
+func TestMemoDropForgetsCompletedValues(t *testing.T) {
+	analysis.Reset()
+	defer analysis.Reset()
+	c := gen.PaperExample()
+
+	var runs atomic.Int64
+	f := func() (any, error) { runs.Add(1); return runs.Load(), nil }
+
+	a := analysis.For(c)
+	if v, _ := a.Memo("test.drop", f); v.(int64) != 1 {
+		t.Fatalf("first compute returned %v", v)
+	}
+	if v, _ := a.Memo("test.drop", f); v.(int64) != 1 {
+		t.Fatalf("same handle recomputed: %v", v)
+	}
+	analysis.Drop(c)
+	b := analysis.For(c)
+	if b == a {
+		t.Fatal("Drop did not forget the handle")
+	}
+	if v, _ := b.Memo("test.drop", f); v.(int64) != 2 {
+		t.Fatalf("post-Drop handle served stale value %v", v)
+	}
+}

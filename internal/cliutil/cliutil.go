@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -44,13 +45,59 @@ func Register() *Flags {
 	return f
 }
 
+// forceExit is the second-signal escape hatch, swappable by tests (the
+// real one never returns).
+var forceExit = func(code int) { os.Exit(code) }
+
 // SignalContext returns a context canceled by SIGINT/SIGTERM, so an
 // interactive ^C lands in the same graceful-degradation path as a
 // timeout: workers stop at the next branch, the frontier is checkpointed
-// (when -checkpoint is set) and the tool exits cleanly. A second signal
-// kills the process the usual way.
+// (when -checkpoint is set) and the tool exits cleanly.
+//
+// A second signal forces an immediate exit (status 130). This must not
+// depend on the main goroutine making progress: the graceful path can
+// wedge in the checkpoint write (full disk, dead NFS), and the old
+// signal.NotifyContext plumbing stopped listening after the first
+// signal, leaving ^C^C hanging with the run. The force-exit therefore
+// runs on the watcher goroutine, unconditionally.
 func (f *Flags) SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return signalContext(ch, func() { signal.Stop(ch) }, forceExit)
+}
+
+// signalContext is the testable core of SignalContext: first signal
+// cancels the context (graceful drain), second signal calls exit(130)
+// from the watcher goroutine regardless of what the main goroutine is
+// blocked on. The returned CancelFunc releases the watcher and the
+// signal registration; it is safe to call multiple times.
+func signalContext(ch <-chan os.Signal, unregister func(), exit func(int)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			unregister()
+			close(done)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "received %v: stopping gracefully (repeat to force exit)\n", sig)
+		case <-done:
+			return
+		}
+		cancel()
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "second %v: forcing immediate exit; a checkpoint being written may be incomplete\n", sig)
+			exit(130)
+		case <-done:
+		}
+	}()
+	return ctx, stop
 }
 
 // Load reads the -resume checkpoint; it returns nil when the flag is

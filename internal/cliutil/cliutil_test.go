@@ -1,0 +1,103 @@
+package cliutil
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// wedgedWrite simulates a checkpoint writer stuck in a blocked syscall:
+// it blocks until released, like a write to a dead NFS mount.
+type wedgedWrite struct{ release chan struct{} }
+
+func (w *wedgedWrite) write() { <-w.release }
+
+// TestSecondSignalForcesExitWhileCheckpointWedged is the regression test
+// for the ^C^C hang: the first signal starts the graceful drain, the
+// "main goroutine" wedges in the checkpoint write, and the second signal
+// must still force an exit — from the watcher goroutine, without waiting
+// on the wedged writer.
+func TestSecondSignalForcesExitWhileCheckpointWedged(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, stop := signalContext(ch, func() {}, func(code int) { exited <- code })
+	defer stop()
+
+	// First signal: graceful cancellation.
+	ch <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+
+	// The tool reacts to cancellation by writing a checkpoint — which
+	// wedges. (Run it on a goroutine standing in for main.)
+	w := &wedgedWrite{release: make(chan struct{})}
+	writerDone := make(chan struct{})
+	go func() {
+		w.write()
+		close(writerDone)
+	}()
+
+	// Second signal: must force exit even though the writer is stuck.
+	ch <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("forced exit with status %d, want 130", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force exit while the checkpoint write was wedged")
+	}
+
+	select {
+	case <-writerDone:
+		t.Fatal("writer unwedged itself — the test did not exercise the hang")
+	default:
+	}
+	close(w.release)
+	<-writerDone
+}
+
+// TestCancelFuncReleasesWatcher: stopping before any signal unregisters
+// cleanly, and later "signals" are ignored (no exit, no panic).
+func TestCancelFuncReleasesWatcher(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	unregistered := false
+	exited := make(chan int, 1)
+	ctx, stop := signalContext(ch, func() { unregistered = true }, func(code int) { exited <- code })
+	stop()
+	stop() // idempotent
+	if !unregistered {
+		t.Fatal("CancelFunc did not unregister the signal handler")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("CancelFunc did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("exit(%d) called after stop", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestRealSignalCancels wires the real SignalContext to an actual SIGINT
+// delivered to this process: the first signal must land in the graceful
+// path (context canceled, process alive).
+func TestRealSignalCancels(t *testing.T) {
+	var f Flags
+	ctx, stop := f.SignalContext()
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real SIGINT did not cancel the context")
+	}
+}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
 
 	"rdfault/internal/circuit"
+	"rdfault/internal/faultinject"
 	"rdfault/internal/logic"
 )
 
@@ -72,36 +75,119 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 	return enc.Encode(cp)
 }
 
+// ErrCorruptCheckpoint is the sentinel for a checkpoint file whose bytes
+// cannot be trusted — truncation, garbage, a flipped byte, trailing
+// junk, or structurally impossible contents. Match with errors.Is; the
+// concrete *CorruptCheckpointError carries the byte offset.
+var ErrCorruptCheckpoint = errors.New("core: corrupt checkpoint")
+
+// CorruptCheckpointError reports where and why a checkpoint failed to
+// decode. A corrupt checkpoint is never returned as a zero-value
+// resumable state: the caller gets this error or a valid frontier,
+// nothing in between.
+type CorruptCheckpointError struct {
+	// Path is the file read, when known ("" for stream decodes).
+	Path string
+	// Offset is the byte offset at which decoding failed; -1 when the
+	// position is unknowable (e.g. an empty file).
+	Offset int64
+	// Reason says what was wrong.
+	Reason string
+}
+
+// Error renders the corruption report.
+func (e *CorruptCheckpointError) Error() string {
+	where := "checkpoint"
+	if e.Path != "" {
+		where = fmt.Sprintf("checkpoint %s", e.Path)
+	}
+	if e.Offset >= 0 {
+		return fmt.Sprintf("core: corrupt %s at byte %d: %s", where, e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("core: corrupt %s: %s", where, e.Reason)
+}
+
+// Unwrap matches errors.Is(err, ErrCorruptCheckpoint).
+func (e *CorruptCheckpointError) Unwrap() error { return ErrCorruptCheckpoint }
+
+// corruptErr builds the typed error from a decoder position.
+func corruptErr(off int64, format string, args ...any) error {
+	return &CorruptCheckpointError{Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
 // DecodeCheckpoint reads a checkpoint written by Encode, validating the
 // version and basic structural sanity (index ranges are checked again at
-// resume time against the actual circuit).
+// resume time against the actual circuit). Truncated, mutated or
+// trailing-garbage input returns a *CorruptCheckpointError with the byte
+// offset of the damage — never a decode panic, and never a silently
+// empty checkpoint that would "resume" as a no-op.
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	cp := &Checkpoint{}
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(cp); err != nil {
-		return nil, fmt.Errorf("core: decoding checkpoint: %v", err)
+		off := dec.InputOffset()
+		switch e := err.(type) {
+		case *json.SyntaxError:
+			return nil, corruptErr(e.Offset, "invalid JSON: %v", err)
+		case *json.UnmarshalTypeError:
+			return nil, corruptErr(e.Offset, "field %s has impossible type: %v", e.Field, err)
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, corruptErr(off, "truncated checkpoint")
+		}
+		return nil, corruptErr(off, "decoding checkpoint: %v", err)
+	}
+	// Version 0 means the field is absent entirely — a zeroed or foreign
+	// file, not honest skew from another build.
+	if cp.Version == 0 {
+		return nil, corruptErr(-1, "checkpoint has no version field")
 	}
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d",
 			cp.Version, CheckpointVersion)
+	}
+	// Trailing garbage means the file is not what Encode wrote; a partial
+	// overwrite or concatenation must not resume as if intact.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, corruptErr(dec.InputOffset(), "trailing garbage after checkpoint object")
+	}
+	// Structural sanity that does not need the circuit: a real checkpoint
+	// names its circuit and counts nothing negative. Catching these here
+	// stops a zeroed or bit-rotted file from looking like a fresh state.
+	if cp.Circuit == "" {
+		return nil, corruptErr(-1, "checkpoint names no circuit")
+	}
+	ctr := cp.Counters
+	if ctr.Selected < 0 || ctr.Segments < 0 || ctr.Pruned < 0 || ctr.SATRejects < 0 {
+		return nil, corruptErr(-1, "negative counters (selected=%d segments=%d pruned=%d sat=%d)",
+			ctr.Selected, ctr.Segments, ctr.Pruned, ctr.SATRejects)
+	}
+	for _, lc := range ctr.LeadCounts {
+		if lc < 0 {
+			return nil, corruptErr(-1, "negative lead counter %d", lc)
+		}
 	}
 	return cp, nil
 }
 
 // WriteCheckpointFile stores the checkpoint at path (0644), atomically
 // via a temp file in the same directory.
+//
+// Fault-injection points: PointCheckpointWrite (slow/failed I/O) and
+// PointCheckpointBytes (byte corruption on the way to disk) let chaos
+// tests prove a rotten spill is detected at read time instead of
+// resuming wrong.
 func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	if err := faultinject.Fire(faultinject.PointCheckpointWrite); err != nil {
+		return fmt.Errorf("core: writing checkpoint %s: %w", path, err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		return err
+	}
+	data := faultinject.Corrupt(faultinject.PointCheckpointBytes, buf.Bytes())
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := cp.Encode(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -109,13 +195,23 @@ func WriteCheckpointFile(path string, cp *Checkpoint) error {
 }
 
 // ReadCheckpointFile loads a checkpoint stored by WriteCheckpointFile.
+// Corrupt files return a *CorruptCheckpointError carrying the path and
+// byte offset (errors.Is(err, ErrCorruptCheckpoint)).
 func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	if err := faultinject.Fire(faultinject.PointCheckpointRead); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return DecodeCheckpoint(f)
+	cp, err := DecodeCheckpoint(f)
+	var ce *CorruptCheckpointError
+	if errors.As(err, &ce) {
+		ce.Path = path
+	}
+	return cp, err
 }
 
 // circuitFingerprint hashes the structure a checkpoint depends on: gate

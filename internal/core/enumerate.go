@@ -12,6 +12,7 @@ import (
 
 	"rdfault/internal/analysis"
 	"rdfault/internal/circuit"
+	"rdfault/internal/faultinject"
 	"rdfault/internal/logic"
 	"rdfault/internal/paths"
 	"rdfault/internal/satsolver"
@@ -596,6 +597,12 @@ func (w *walker) runTaskGuarded(t task, we *workerErrors) {
 			})
 		}
 	}()
+	// Chaos hook: an armed PointWorker rule crashes this task exactly like
+	// a real walker bug would, exercising the recovery above end to end.
+	// Error-kind rules crash too — a worker has no error channel.
+	if err := faultinject.Fire(faultinject.PointWorker); err != nil {
+		panic(err)
+	}
 	w.runTask(t)
 }
 

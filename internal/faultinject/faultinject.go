@@ -1,0 +1,319 @@
+// Package faultinject is the deterministic chaos layer of the RD
+// pipeline: named injection points threaded through the service
+// (internal/serve), the enumeration engine (internal/core) and the
+// analysis manager (internal/analysis) that, when armed, fire seeded
+// faults — allocation/admission failures, worker panics, slow I/O,
+// checkpoint byte corruption and clock skew.
+//
+// The package exists so resilience claims are proved, not asserted: a
+// chaos test activates a Plan, drives the real code path, and checks
+// that every injected fault maps to a typed error or a correctly-labeled
+// degraded answer — never a wrong one.
+//
+// Design constraints:
+//
+//   - Zero overhead when disarmed. Every hook starts with one atomic
+//     pointer load; production binaries never activate a plan, so the
+//     hooks cost a predictable branch on a nil.
+//   - Deterministic. A Rule fires on explicit hit numbers of its point
+//     (per-point atomic hit counters), and byte corruption is drawn from
+//     a splitmix64 stream seeded by the Rule — the same plan against the
+//     same (serial) execution corrupts the same bytes. Under concurrency
+//     the hit *order* follows the schedule, which is why chaos tests arm
+//     points that are serial (admission, spill) or fire on every hit.
+//   - One process-global active plan. Activation returns a restore
+//     function; tests activate/restore around a scenario. Nested
+//     activation is rejected — overlapping chaos runs would make hit
+//     accounting meaningless.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Kind says what a rule does when it fires.
+type Kind uint8
+
+const (
+	// KindError makes Fire return an *Error (a failed allocation, a
+	// refused admission, a failed write — the caller's error path).
+	KindError Kind = iota
+	// KindPanic makes Fire panic with an *Error (a crashed worker).
+	KindPanic
+	// KindSleep makes Fire block for Rule.Delay before returning nil
+	// (slow I/O, a wedged disk).
+	KindSleep
+	// KindCorrupt applies to Corrupt only: the rule mutates the byte
+	// slice passing through the point (checkpoint rot).
+	KindCorrupt
+	// KindSkew applies to Now only: the rule shifts the clock the point
+	// observes by Rule.Skew (NTP step, VM pause).
+	KindSkew
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindSleep:
+		return "sleep"
+	case KindCorrupt:
+		return "corrupt"
+	case KindSkew:
+		return "skew"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Rule arms one fault at one injection point.
+type Rule struct {
+	// Point is the injection point name, e.g. "core.checkpoint.write".
+	// The point name is the contract between the hook site and the test;
+	// the Points table below lists every point this repo threads.
+	Point string
+	// Kind selects the fault; see the Kind constants.
+	Kind Kind
+	// Hit fires the rule on the Nth arrival at the point only (1-based).
+	// 0 fires on every arrival (subject to Count).
+	Hit uint64
+	// Count caps how many times the rule fires (0 = unlimited).
+	Count uint64
+	// Delay is the KindSleep blocking time.
+	Delay time.Duration
+	// Skew is the KindSkew clock shift (may be negative).
+	Skew time.Duration
+	// Seed drives KindCorrupt's deterministic byte mutations.
+	Seed int64
+}
+
+// Points threaded through this repository, for reference and for tests
+// that want to iterate over every scenario.
+const (
+	// PointWorker fires inside every enumeration worker task
+	// (core.Enumerate); KindPanic there exercises the panic-isolation
+	// path (StatusDegraded).
+	PointWorker = "core.enumerate.worker"
+	// PointCheckpointWrite fires before a checkpoint file write;
+	// KindSleep wedges the writer, KindError fails it.
+	PointCheckpointWrite = "core.checkpoint.write"
+	// PointCheckpointRead fires before a checkpoint file read.
+	PointCheckpointRead = "core.checkpoint.read"
+	// PointCheckpointBytes corrupts the serialized checkpoint bytes on
+	// their way to disk (KindCorrupt).
+	PointCheckpointBytes = "core.checkpoint.bytes"
+	// PointAnalysisMemo fires inside analysis.(*Analysis).Memo before
+	// the memoized computation runs; KindError simulates a failed
+	// derived-data allocation.
+	PointAnalysisMemo = "analysis.memo"
+	// PointBudgetReserve fires inside serve's budget reservation;
+	// KindError simulates memory exhaustion at admission.
+	PointBudgetReserve = "serve.budget.reserve"
+	// PointSpill fires around serve's checkpoint spill-to-disk.
+	PointSpill = "serve.spill"
+	// PointClock shifts the clock serve uses for deadlines and
+	// Retry-After arithmetic (KindSkew).
+	PointClock = "serve.clock"
+)
+
+// ErrInjected is the sentinel all injected errors unwrap to; match with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Error is one fired fault: which point, which arrival.
+type Error struct {
+	Point string
+	Kind  Kind
+	Hit   uint64
+}
+
+// Error renders the fault.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: %s fault at %s (hit %d)", e.Kind, e.Point, e.Hit)
+}
+
+// Unwrap matches errors.Is(err, ErrInjected).
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// armedRule is a Rule plus its firing state.
+type armedRule struct {
+	Rule
+	fired atomic.Uint64
+}
+
+// Plan is a set of armed rules, indexed by point.
+type Plan struct {
+	byPoint map[string][]*armedRule
+	hits    map[string]*atomic.Uint64
+}
+
+// NewPlan arms the given rules into a plan. Points not named by any rule
+// are unaffected.
+func NewPlan(rules ...Rule) *Plan {
+	p := &Plan{
+		byPoint: make(map[string][]*armedRule),
+		hits:    make(map[string]*atomic.Uint64),
+	}
+	for _, r := range rules {
+		p.byPoint[r.Point] = append(p.byPoint[r.Point], &armedRule{Rule: r})
+		if p.hits[r.Point] == nil {
+			p.hits[r.Point] = &atomic.Uint64{}
+		}
+	}
+	return p
+}
+
+// Fired reports how many times any rule at point has fired under this
+// plan; chaos tests use it to assert the scenario actually happened.
+func (p *Plan) Fired(point string) uint64 {
+	var n uint64
+	for _, r := range p.byPoint[point] {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+// Hits reports how many times point was reached while the plan was
+// active (fired or not).
+func (p *Plan) Hits(point string) uint64 {
+	h := p.hits[point]
+	if h == nil {
+		return 0
+	}
+	return h.Load()
+}
+
+// active is the process-global armed plan; nil means every hook is a
+// no-op after one atomic load.
+var active atomic.Pointer[Plan]
+
+// Activate arms p globally and returns the restore function that
+// disarms it. Activating while another plan is active panics — chaos
+// scenarios must not overlap.
+func Activate(p *Plan) (restore func()) {
+	if !active.CompareAndSwap(nil, p) {
+		panic("faultinject: a plan is already active")
+	}
+	return func() { active.CompareAndSwap(p, nil) }
+}
+
+// Active reports whether a plan is armed.
+func Active() bool { return active.Load() != nil }
+
+// match returns the rule firing at this arrival of point, if any, and
+// bumps the point's hit counter.
+func (p *Plan) match(point string) (*armedRule, uint64) {
+	rules := p.byPoint[point]
+	if rules == nil {
+		return nil, 0
+	}
+	hit := p.hits[point].Add(1)
+	for _, r := range rules {
+		if r.Hit != 0 && r.Hit != hit {
+			continue
+		}
+		if r.Count != 0 && r.fired.Load() >= r.Count {
+			continue
+		}
+		r.fired.Add(1)
+		return r, hit
+	}
+	return nil, hit
+}
+
+// Fire is the generic hook: a KindError rule returns an *Error, a
+// KindPanic rule panics with one, a KindSleep rule blocks for its Delay
+// and returns nil. Disarmed (or unmatched) points return nil.
+func Fire(point string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	r, hit := p.match(point)
+	if r == nil {
+		return nil
+	}
+	switch r.Kind {
+	case KindError:
+		return &Error{Point: point, Kind: KindError, Hit: hit}
+	case KindPanic:
+		panic(&Error{Point: point, Kind: KindPanic, Hit: hit})
+	case KindSleep:
+		time.Sleep(r.Delay)
+	}
+	return nil
+}
+
+// Corrupt passes b through the point: a matching KindCorrupt rule
+// returns a deterministically mutated copy (b itself is never modified);
+// otherwise b comes back unchanged.
+func Corrupt(point string, b []byte) []byte {
+	p := active.Load()
+	if p == nil {
+		return b
+	}
+	r, _ := p.match(point)
+	if r == nil || r.Kind != KindCorrupt {
+		return r.maybeNil(b)
+	}
+	return corruptBytes(r.Seed, r.fired.Load(), b)
+}
+
+// maybeNil lets non-corrupt rules at a Corrupt point pass bytes through
+// untouched (r may be nil).
+func (r *armedRule) maybeNil(b []byte) []byte { return b }
+
+// corruptBytes applies one seeded mutation: truncation, a byte flip, or
+// appended garbage, chosen and placed by a splitmix64 stream so the same
+// (seed, firing) corrupts the same way.
+func corruptBytes(seed int64, firing uint64, b []byte) []byte {
+	s := splitmix{x: uint64(seed) ^ (firing * 0x9e3779b97f4a7c15)}
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return []byte{0xff}
+	}
+	switch s.next() % 3 {
+	case 0: // truncate
+		out = out[:s.next()%uint64(len(out))]
+	case 1: // flip a byte
+		i := s.next() % uint64(len(out))
+		out[i] ^= byte(1 + s.next()%255)
+	default: // trailing garbage
+		n := 1 + s.next()%16
+		for i := uint64(0); i < n; i++ {
+			out = append(out, byte(s.next()))
+		}
+	}
+	return out
+}
+
+// Now returns the current time as observed through the point: a matching
+// KindSkew rule shifts it by Rule.Skew.
+func Now(point string) time.Time {
+	now := time.Now()
+	p := active.Load()
+	if p == nil {
+		return now
+	}
+	r, _ := p.match(point)
+	if r == nil || r.Kind != KindSkew {
+		return now
+	}
+	return now.Add(r.Skew)
+}
+
+// splitmix is splitmix64: tiny, seedable, deterministic.
+type splitmix struct{ x uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

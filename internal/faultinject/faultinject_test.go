@@ -1,0 +1,156 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDisarmedHooksAreNoOps: with no active plan every hook is inert.
+func TestDisarmedHooksAreNoOps(t *testing.T) {
+	if Active() {
+		t.Fatal("plan active at test start")
+	}
+	if err := Fire("any.point"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	b := []byte("abc")
+	if got := Corrupt("any.point", b); !bytes.Equal(got, b) {
+		t.Fatalf("disarmed Corrupt mutated bytes: %q", got)
+	}
+	if d := time.Since(Now("any.point")); d < -time.Second || d > time.Second {
+		t.Fatalf("disarmed Now far from wall clock: %v", d)
+	}
+}
+
+// TestErrorRuleFiresOnChosenHit: Hit selects the exact arrival; the
+// error is typed and unwraps to ErrInjected.
+func TestErrorRuleFiresOnChosenHit(t *testing.T) {
+	p := NewPlan(Rule{Point: "p", Kind: KindError, Hit: 3})
+	defer Activate(p)()
+	for i := 1; i <= 5; i++ {
+		err := Fire("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not match ErrInjected: %v", err)
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != "p" || fe.Hit != 3 {
+				t.Fatalf("bad typed error: %+v", err)
+			}
+		}
+	}
+	if p.Fired("p") != 1 || p.Hits("p") != 5 {
+		t.Fatalf("fired=%d hits=%d, want 1/5", p.Fired("p"), p.Hits("p"))
+	}
+}
+
+// TestPanicRule: KindPanic panics with the typed error.
+func TestPanicRule(t *testing.T) {
+	defer Activate(NewPlan(Rule{Point: "p", Kind: KindPanic}))()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		err, ok := r.(*Error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	Fire("p")
+}
+
+// TestCountCapsFirings: Count bounds repeated firing of an every-hit
+// rule.
+func TestCountCapsFirings(t *testing.T) {
+	p := NewPlan(Rule{Point: "p", Kind: KindError, Count: 2})
+	defer Activate(p)()
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+// TestSleepRuleBlocks: KindSleep delays at least Delay.
+func TestSleepRuleBlocks(t *testing.T) {
+	defer Activate(NewPlan(Rule{Point: "p", Kind: KindSleep, Delay: 30 * time.Millisecond}))()
+	t0 := time.Now()
+	if err := Fire("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+}
+
+// TestCorruptIsDeterministicAndNonMutating: same seed, same mutation;
+// the input slice is untouched.
+func TestCorruptIsDeterministicAndNonMutating(t *testing.T) {
+	in := []byte("the quick brown fox jumps over the lazy dog")
+	orig := append([]byte(nil), in...)
+
+	run := func() []byte {
+		p := NewPlan(Rule{Point: "p", Kind: KindCorrupt, Seed: 42})
+		defer Activate(p)()
+		out := Corrupt("p", in)
+		if p.Fired("p") != 1 {
+			t.Fatalf("corrupt rule fired %d times", p.Fired("p"))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("corruption not deterministic:\n%q\n%q", a, b)
+	}
+	if bytes.Equal(a, orig) {
+		t.Fatal("corruption changed nothing")
+	}
+	if !bytes.Equal(in, orig) {
+		t.Fatal("Corrupt mutated its input")
+	}
+}
+
+// TestSkewShiftsNow: the skewed clock differs from the wall clock by
+// about Rule.Skew.
+func TestSkewShiftsNow(t *testing.T) {
+	skew := -2 * time.Hour
+	defer Activate(NewPlan(Rule{Point: "p", Kind: KindSkew, Skew: skew}))()
+	d := time.Until(Now("p"))
+	if d > skew+time.Minute || d < skew-time.Minute {
+		t.Fatalf("skewed Now off by %v, want about %v", d, skew)
+	}
+}
+
+// TestNestedActivationPanics: overlapping plans are a test bug.
+func TestNestedActivationPanics(t *testing.T) {
+	restore := Activate(NewPlan())
+	defer restore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Activate did not panic")
+		}
+	}()
+	Activate(NewPlan())
+}
+
+// TestRestoreDisarms: after restore, hooks are inert again.
+func TestRestoreDisarms(t *testing.T) {
+	restore := Activate(NewPlan(Rule{Point: "p", Kind: KindError}))
+	if Fire("p") == nil {
+		t.Fatal("armed rule did not fire")
+	}
+	restore()
+	if Fire("p") != nil {
+		t.Fatal("rule fired after restore")
+	}
+}

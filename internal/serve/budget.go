@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rdfault/internal/faultinject"
+)
+
+// ErrBudget is the sentinel for a denied or revoked memory reservation;
+// match with errors.Is. The concrete *BudgetError carries the numbers.
+var ErrBudget = errors.New("serve: memory budget exhausted")
+
+// BudgetError reports a reservation the budget could not honor.
+type BudgetError struct {
+	Need  int64
+	Used  int64
+	Total int64
+}
+
+// Error renders the accounting.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("serve: memory budget exhausted (need %d, used %d of %d)",
+		e.Need, e.Used, e.Total)
+}
+
+// Unwrap matches errors.Is(err, ErrBudget).
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// Budget is the service's declared-memory ledger. Jobs reserve the
+// estimated live bytes of the tier they are about to run (see
+// estimateBytes); the ladder steps a job down a tier when its
+// reservation is denied. Shrinking the budget below the outstanding
+// total (SetTotal — the memory-pressure hook) revokes reservations
+// largest-first: each revoked holder is signalled through its Evicted
+// channel and is expected to cancel, checkpoint and degrade.
+//
+// The ledger tracks declared estimates, not malloc truth — the point is
+// admission control and orderly degradation, not byte-exact accounting.
+type Budget struct {
+	mu    sync.Mutex
+	total int64
+	used  int64
+	resvs map[*Reservation]struct{}
+}
+
+// Reservation is one job's claim on the budget.
+type Reservation struct {
+	b     *Budget
+	bytes int64
+	evict chan struct{}
+	done  bool // released or evicted (under b.mu)
+}
+
+// NewBudget returns a ledger with the given capacity in bytes.
+func NewBudget(total int64) *Budget {
+	return &Budget{total: total, resvs: make(map[*Reservation]struct{})}
+}
+
+// Reserve claims n bytes, or returns a *BudgetError when they are not
+// available. Fault-injection point: faultinject.PointBudgetReserve (a
+// KindError rule makes the reservation fail like memory exhaustion).
+func (b *Budget) Reserve(n int64) (*Reservation, error) {
+	if err := faultinject.Fire(faultinject.PointBudgetReserve); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBudget, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.used+n > b.total {
+		return nil, &BudgetError{Need: n, Used: b.used, Total: b.total}
+	}
+	r := &Reservation{b: b, bytes: n, evict: make(chan struct{})}
+	b.used += n
+	b.resvs[r] = struct{}{}
+	return r, nil
+}
+
+// Bytes returns the reserved size.
+func (r *Reservation) Bytes() int64 { return r.bytes }
+
+// Evicted is closed when the budget revokes this reservation; the
+// holder must stop, checkpoint and degrade. The bytes are returned to
+// the ledger at revocation, not at Release.
+func (r *Reservation) Evicted() <-chan struct{} { return r.evict }
+
+// Release returns the bytes to the ledger; idempotent, and a no-op
+// after eviction (the evictor already reclaimed them).
+func (r *Reservation) Release() {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.done {
+		return
+	}
+	r.done = true
+	b.used -= r.bytes
+	delete(b.resvs, r)
+}
+
+// Used reports the outstanding reserved bytes.
+func (b *Budget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Total reports the capacity.
+func (b *Budget) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// SetTotal resizes the budget and returns the previous capacity.
+// Shrinking below the outstanding total revokes reservations
+// largest-first until the ledger fits; each victim's Evicted channel is
+// closed. This is the external memory-pressure hook (watchdog, cgroup
+// notification, operator).
+func (b *Budget) SetTotal(n int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev := b.total
+	b.total = n
+	for b.used > b.total {
+		var victim *Reservation
+		for r := range b.resvs {
+			if victim == nil || r.bytes > victim.bytes ||
+				(r.bytes == victim.bytes && victim.done) {
+				victim = r
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.done = true
+		b.used -= victim.bytes
+		delete(b.resvs, victim)
+		close(victim.evict)
+	}
+	return prev
+}

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// runEvictionScenario submits an exact-tier job, waits for it to be
+// running with its reservation on the ledger, then shrinks the budget to
+// exactly what the fast tier needs — forcing one step down. extraRules
+// layer additional faults onto the spill/resume path.
+func runEvictionScenario(t *testing.T, extraRules ...faultinject.Rule) (*Answer, *faultinject.Plan) {
+	t.Helper()
+	c := gen.RippleAdder(8, gen.XorNAND)
+
+	rules := append([]faultinject.Rule{{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: 15 * time.Millisecond,
+		Count: 30,
+	}}, extraRules...)
+	plan := faultinject.NewPlan(rules...)
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	s := newTestServer(t, Config{Workers: 2, MaxInFlight: 1})
+	j, err := s.Submit(Request{Bench: benchOf(t, c), Name: "evict", Heuristic: "heu1", Tier: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 5*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Budget().Used() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("exact tier never reserved")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Let the exact tier get into the walk, then breach the budget: keep
+	// room for the fast tier but not for the exact one.
+	time.Sleep(80 * time.Millisecond)
+	s.Budget().SetTotal(estimateBytes(j.circuit, TierFast, s.cfg.Workers) + 1<<16)
+
+	ans, err := waitJob(t, j, 60*time.Second)
+	if err != nil {
+		t.Fatalf("evicted job failed instead of degrading: %v", err)
+	}
+	return ans, plan
+}
+
+// TestBudgetBreachStepsDownOneTier is the graceful-degradation
+// acceptance test: a memory-budget breach steps the running exact job
+// down exactly one rung, the response says so, and — because exact and
+// fast share criterion and sort — the evicted walk resumes from its
+// spilled checkpoint instead of restarting, with counters identical to
+// a clean fast run.
+func TestBudgetBreachStepsDownOneTier(t *testing.T) {
+	ans, _ := runEvictionScenario(t)
+
+	if ans.Tier != "fast" {
+		t.Fatalf("degraded to %s, want fast (one rung below exact)", ans.Tier)
+	}
+	if !strings.Contains(ans.TierReason, "degraded") ||
+		!strings.Contains(ans.TierReason, "exact->fast") ||
+		!strings.Contains(ans.TierReason, "memory budget") {
+		t.Fatalf("tier reason %q does not name the step and its cause", ans.TierReason)
+	}
+	if !ans.Resumed {
+		t.Fatal("evicted job restarted instead of resuming from its spilled checkpoint")
+	}
+
+	ref, err := core.Identify(gen.RippleAdder(8, gen.XorNAND), core.Heuristic1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.RD != ref.RD.String() || ans.Selected != ref.Selected || ans.TotalPaths != ref.TotalLogicalPaths.String() {
+		t.Fatalf("resumed degraded answer RD=%s selected=%d total=%s; clean fast run RD=%v selected=%d total=%v",
+			ans.RD, ans.Selected, ans.TotalPaths, ref.RD, ref.Selected, ref.TotalLogicalPaths)
+	}
+}
+
+// TestEvictionSurvivesSpillFailure: when the checkpoint spill itself
+// fails (injected at serve.spill), the job still degrades — the fast
+// tier restarts from scratch instead of resuming, and the answer is
+// still correct.
+func TestEvictionSurvivesSpillFailure(t *testing.T) {
+	ans, plan := runEvictionScenario(t, faultinject.Rule{
+		Point: faultinject.PointSpill,
+		Kind:  faultinject.KindError,
+		Hit:   1,
+	})
+	if plan.Fired(faultinject.PointSpill) == 0 {
+		t.Fatal("spill fault never fired — scenario did not run")
+	}
+	if ans.Tier != "fast" || ans.Resumed {
+		t.Fatalf("tier=%s resumed=%v, want fast without resume", ans.Tier, ans.Resumed)
+	}
+	ref, err := core.Identify(gen.RippleAdder(8, gen.XorNAND), core.Heuristic1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.RD != ref.RD.String() {
+		t.Fatalf("RD=%s after spill failure, clean run says %v", ans.RD, ref.RD)
+	}
+}
+
+// TestEvictionSurvivesUnreadableSpill: the spill is written but cannot
+// be read back (injected at core.checkpoint.read); the fast tier must
+// detect it, restart, and still serve the correct counters.
+func TestEvictionSurvivesUnreadableSpill(t *testing.T) {
+	ans, plan := runEvictionScenario(t, faultinject.Rule{
+		Point: faultinject.PointCheckpointRead,
+		Kind:  faultinject.KindError,
+		Hit:   1,
+	})
+	if plan.Fired(faultinject.PointCheckpointRead) == 0 {
+		t.Fatal("read fault never fired — scenario did not run")
+	}
+	if ans.Tier != "fast" || ans.Resumed {
+		t.Fatalf("tier=%s resumed=%v, want fast restarted", ans.Tier, ans.Resumed)
+	}
+	ref, err := core.Identify(gen.RippleAdder(8, gen.XorNAND), core.Heuristic1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.RD != ref.RD.String() {
+		t.Fatalf("RD=%s after unreadable spill, clean run says %v", ans.RD, ref.RD)
+	}
+}
+
+// chaosReference holds the clean per-tier answers a chaotic run is
+// checked against: whatever tier the service claims to have served, its
+// numbers must match that tier's clean run — a fault may cost precision
+// (a lower tier) but never correctness.
+type chaosReference struct {
+	rd       map[string]string
+	selected map[string]int64
+	total    string
+}
+
+func buildChaosReference(t *testing.T, h core.Heuristic) *chaosReference {
+	t.Helper()
+	c := gen.PaperExample()
+	ref := &chaosReference{rd: map[string]string{}, selected: map[string]int64{}}
+
+	exact, err := core.Identify(c, h, core.Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := core.Identify(c, h, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.total = fast.TotalLogicalPaths.String()
+	ref.rd["exact"] = exact.RD.String()
+	ref.selected["exact"] = exact.Selected
+	ref.rd["fast"] = fast.RD.String()
+	ref.selected["fast"] = fast.Selected
+	// The certificate rung shares the fast rung's sort, hence its RD set.
+	ref.rd["certificate"] = fast.RD.String()
+	ref.selected["certificate"] = fast.Selected
+	ref.rd["count"] = "0"
+	ref.selected["count"] = 0
+	return ref
+}
+
+// TestChaosSuite drives the service through every injected-fault family
+// and asserts the resilience contract: each fault maps to a typed error
+// or to a correctly-labeled lower tier whose numbers match that tier's
+// clean run — never a silently wrong answer, never a crash.
+func TestChaosSuite(t *testing.T) {
+	bench := benchOf(t, gen.PaperExample())
+
+	scenarios := []struct {
+		name      string
+		heuristic string
+		tier      string
+		timeout   time.Duration
+		rules     []faultinject.Rule
+		// wantTier, when set, pins the rung the scenario must land on;
+		// wantReason must appear in the TierReason chain.
+		wantTier   string
+		wantReason string
+		// wantErr, when set, expects the job to fail typed instead.
+		wantErr error
+	}{
+		{
+			name:      "worker-panic-degrades",
+			heuristic: "heu1",
+			tier:      "fast",
+			rules: []faultinject.Rule{{
+				Point: faultinject.PointWorker,
+				Kind:  faultinject.KindPanic,
+				Hit:   1,
+				Count: 1,
+			}},
+			wantTier:   "certificate",
+			wantReason: "worker panic",
+		},
+		{
+			name:      "alloc-failure-degrades",
+			heuristic: "heu2",
+			tier:      "fast",
+			rules: []faultinject.Rule{{
+				Point: faultinject.PointBudgetReserve,
+				Kind:  faultinject.KindError,
+				Count: 1,
+			}},
+			wantTier:   "certificate",
+			wantReason: "memory budget",
+		},
+		{
+			name:      "repeated-alloc-failure-hits-the-floor",
+			heuristic: "heu2",
+			tier:      "exact",
+			rules: []faultinject.Rule{{
+				Point: faultinject.PointBudgetReserve,
+				Kind:  faultinject.KindError,
+				Count: 3,
+			}},
+			wantTier:   "count",
+			wantReason: "memory budget",
+		},
+		{
+			name:      "alloc-failure-below-the-floor-is-a-typed-error",
+			heuristic: "heu2",
+			tier:      "count",
+			rules: []faultinject.Rule{{
+				Point: faultinject.PointBudgetReserve,
+				Kind:  faultinject.KindError,
+			}},
+			wantErr: ErrBudget,
+		},
+		{
+			name:      "memo-failure-is-a-typed-error",
+			heuristic: "heu2",
+			tier:      "fast",
+			rules: []faultinject.Rule{{
+				Point: faultinject.PointAnalysisMemo,
+				Kind:  faultinject.KindError,
+			}},
+			wantErr: faultinject.ErrInjected,
+		},
+		{
+			name:      "clock-skew-degrades-to-count",
+			heuristic: "heu2",
+			tier:      "fast",
+			timeout:   5 * time.Second,
+			rules: []faultinject.Rule{{
+				Point: faultinject.PointClock,
+				Kind:  faultinject.KindSkew,
+				Skew:  -time.Hour,
+			}},
+			wantTier:   "count",
+			wantReason: "deadline",
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			h := core.Heuristic2
+			if sc.heuristic == "heu1" {
+				h = core.Heuristic1
+			}
+			ref := buildChaosReference(t, h)
+
+			plan := faultinject.NewPlan(sc.rules...)
+			restore := faultinject.Activate(plan)
+			defer restore()
+
+			s := newTestServer(t, Config{Workers: 2, MaxInFlight: 1})
+			j, err := s.Submit(Request{
+				Bench:     bench,
+				Name:      "chaos",
+				Heuristic: sc.heuristic,
+				Tier:      sc.tier,
+				Timeout:   sc.timeout,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, err := waitJob(t, j, 60*time.Second)
+
+			if sc.wantErr != nil {
+				if !errors.Is(err, sc.wantErr) {
+					t.Fatalf("got (%v, %v), want typed error %v", ans, err, sc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("job failed instead of degrading: %v", err)
+			}
+			if ans.Tier != sc.wantTier {
+				t.Fatalf("served tier %s, want %s (reason %q)", ans.Tier, sc.wantTier, ans.TierReason)
+			}
+			if !strings.Contains(ans.TierReason, "degraded") || !strings.Contains(ans.TierReason, sc.wantReason) {
+				t.Fatalf("tier reason %q does not carry cause %q", ans.TierReason, sc.wantReason)
+			}
+			// The label must match the work performed: the numbers of the
+			// tier it claims, never a mixture.
+			if ans.RD != ref.rd[ans.Tier] || ans.Selected != ref.selected[ans.Tier] {
+				t.Fatalf("tier %s served RD=%s selected=%d; clean %s run says RD=%s selected=%d",
+					ans.Tier, ans.RD, ans.Selected, ans.Tier, ref.rd[ans.Tier], ref.selected[ans.Tier])
+			}
+			if ans.TotalPaths != ref.total {
+				t.Fatalf("total=%s, want %s", ans.TotalPaths, ref.total)
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// httpRequest is the JSON body of POST /v1/jobs and POST /v1/count.
+type httpRequest struct {
+	Bench     string `json:"bench"`
+	Name      string `json:"name,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Tier      string `json:"tier,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// httpError is every non-2xx body.
+type httpError struct {
+	Error      string `json:"error"`
+	RetryAfter int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Handler exposes the service over HTTP+JSON:
+//
+//	POST /v1/jobs            submit an identification job (heavy lane)
+//	GET  /v1/jobs/{id}       job status
+//	GET  /v1/jobs/{id}/result  the answer (409 while in flight)
+//	POST /v1/count           synchronous path count (cheap lane)
+//	POST /v1/budget          resize the memory budget (pressure hook)
+//	GET  /healthz            liveness + queue/budget numbers
+//
+// Saturation answers 429 with a Retry-After header — immediately, not
+// after a queueing delay.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/count", s.handleCount)
+	mux.HandleFunc("POST /v1/budget", s.handleBudget)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps the service's typed errors onto status codes.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var sat *SaturatedError
+	switch {
+	case errors.As(err, &sat):
+		secs := int64(sat.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, httpError{
+			Error:      sat.Error(),
+			RetryAfter: sat.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, ErrTooLarge):
+		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: err.Error()})
+	case errors.Is(err, ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+	case errors.Is(err, ErrShutdown):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case errors.Is(err, ErrBudget):
+		// Even the cheapest tier could not be admitted.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+	}
+}
+
+// decodeBody parses a JSON request body, bounded by the admission byte
+// limit (the netlist limit is re-checked precisely at admit).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes+4096)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("%w: request body over %d bytes", ErrTooLarge, tooBig.Limit)
+		}
+		return fmt.Errorf("%w: reading body: %v", ErrBadRequest, err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req httpRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.Submit(Request{
+		Bench:     req.Bench,
+		Name:      req.Name,
+		Heuristic: req.Heuristic,
+		Tier:      req.Tier,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ans, err := j.Result()
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ans)
+	case errors.Is(err, ErrNotDone):
+		writeJSON(w, http.StatusConflict, httpError{Error: fmt.Sprintf("job %s is %s", j.ID, j.Info().State)})
+	default:
+		// The job itself failed; its typed error is the result.
+		writeJSON(w, http.StatusBadGateway, httpError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req httpRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ans, err := s.Count(req.Name, req.Bench)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+// handleBudget is the external memory-pressure hook: POST {"bytes": N}
+// resizes the ledger; shrinking it evicts running jobs (largest
+// reservation first), which degrade down the ladder rather than die.
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Bytes int64 `json:"bytes"`
+	}
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Bytes <= 0 {
+		s.writeError(w, fmt.Errorf("%w: budget must be positive", ErrBadRequest))
+		return
+	}
+	prev := s.budget.SetTotal(req.Bytes)
+	writeJSON(w, http.StatusOK, map[string]int64{"bytes": req.Bytes, "previous": prev})
+}

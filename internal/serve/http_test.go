@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// do runs one request through the handler without opening a socket.
+func do(h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func submitBody(t *testing.T, bench, tier string) string {
+	t.Helper()
+	b, err := json.Marshal(httpRequest{Bench: bench, Name: "http", Heuristic: "heu2", Tier: tier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	bench := benchOf(t, gen.PaperExample())
+
+	rec := do(h, "POST", "/v1/jobs", submitBody(t, bench, "fast"))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body)
+	}
+	var info Info
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "job-1" || info.State == "" {
+		t.Fatalf("submit returned %+v", info)
+	}
+
+	if rec := do(h, "GET", "/v1/jobs/"+info.ID, ""); rec.Code != http.StatusOK {
+		t.Fatalf("status: %d %s", rec.Code, rec.Body)
+	}
+
+	var ans Answer
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec = do(h, "GET", "/v1/jobs/"+info.ID+"/result", "")
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &ans); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if rec.Code != http.StatusConflict {
+			t.Fatalf("result while in flight: %d %s", rec.Code, rec.Body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ans.Tier != "fast" || ans.TierReason != "requested" {
+		t.Fatalf("answer %+v", ans)
+	}
+
+	rec = do(h, "POST", "/v1/count", submitBody(t, bench, ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("count: %d %s", rec.Code, rec.Body)
+	}
+	var cnt Answer
+	if err := json.Unmarshal(rec.Body.Bytes(), &cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Tier != "count" || cnt.TotalPaths != ans.TotalPaths {
+		t.Fatalf("count lane says %+v, identify says total=%s", cnt, ans.TotalPaths)
+	}
+
+	rec = do(h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestServer(t, Config{MaxRequestBytes: 2048})
+	h := s.Handler()
+
+	if rec := do(h, "POST", "/v1/jobs", "{not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", rec.Code)
+	}
+	if rec := do(h, "POST", "/v1/jobs", submitBody(t, "INPUT(a", "fast")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad netlist: %d", rec.Code)
+	}
+	big := strings.Repeat("# padding\n", 1024)
+	if rec := do(h, "POST", "/v1/jobs", submitBody(t, big, "fast")); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: %d", rec.Code)
+	}
+	if rec := do(h, "GET", "/v1/jobs/job-99", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", rec.Code)
+	}
+	if rec := do(h, "POST", "/v1/budget", `{"bytes":-1}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad budget: %d", rec.Code)
+	}
+}
+
+// TestHTTPSaturation429 is the HTTP face of the load-shedding
+// acceptance criterion: queue full ⇒ 429 with a Retry-After header,
+// answered within 100ms.
+func TestHTTPSaturation429(t *testing.T) {
+	restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointBudgetReserve,
+		Kind:  faultinject.KindSleep,
+		Delay: 1200 * time.Millisecond,
+		Hit:   1,
+	}))
+	defer restore()
+
+	s := newTestServer(t, Config{QueueDepth: 1, MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	h := s.Handler()
+	body := submitBody(t, benchOf(t, gen.PaperExample()), "fast")
+
+	if rec := do(h, "POST", "/v1/jobs", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", rec.Code, rec.Body)
+	}
+	j, err := s.Job("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 2*time.Second)
+	if rec := do(h, "POST", "/v1/jobs", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("queue-filling submit: %d %s", rec.Code, rec.Body)
+	}
+
+	start := time.Now()
+	rec := do(h, "POST", "/v1/jobs", body)
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After header = %q, want \"2\"", got)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("429 took %v, must be under 100ms", elapsed)
+	}
+}
+
+// TestHTTPBudgetEndpointEvicts: the memory-pressure hook over HTTP
+// resizes the ledger and reports the previous size.
+func TestHTTPBudgetEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{MemoryBudget: 1 << 20})
+	h := s.Handler()
+	rec := do(h, "POST", "/v1/budget", fmt.Sprintf(`{"bytes":%d}`, 2<<20))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budget resize: %d %s", rec.Code, rec.Body)
+	}
+	var resp map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["previous"] != 1<<20 || resp["bytes"] != 2<<20 {
+		t.Fatalf("budget response %v", resp)
+	}
+	if s.Budget().Total() != 2<<20 {
+		t.Fatalf("ledger total %d, want %d", s.Budget().Total(), 2<<20)
+	}
+}

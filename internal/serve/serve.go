@@ -1,0 +1,500 @@
+// Package serve turns the RD identification pipeline into a resilient
+// long-running service: a bounded job queue with admission control and
+// load shedding, a memory budget that steps running jobs down a
+// graceful-degradation ladder instead of OOM-killing them, and per-job
+// isolation (panic containment, deadlines, checkpoint spill/resume) so
+// one bad job never takes the process down.
+//
+// Two priority lanes keep cheap requests responsive under heavy load:
+// path counting (linear time) runs synchronously on its own semaphore,
+// while Identify/certificate jobs queue for a fixed pool of runners.
+// When the queue is full the service sheds load immediately — a typed
+// ErrSaturated carrying a Retry-After hint, never an unbounded wait.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfault/internal/analysis"
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+)
+
+// Config sizes the service. Zero values take the documented defaults.
+type Config struct {
+	// QueueDepth bounds the heavy-lane job queue (default 16). A full
+	// queue sheds load with ErrSaturated instead of buffering unboundedly.
+	QueueDepth int
+	// MaxInFlight is the number of heavy jobs running concurrently
+	// (default 2 — each job already parallelizes internally).
+	MaxInFlight int
+	// MaxCheapInFlight bounds the synchronous counting lane (default 8).
+	MaxCheapInFlight int
+	// MemoryBudget is the declared-bytes ledger shared by all running
+	// jobs (default 256 MiB); see Budget.
+	MemoryBudget int64
+	// MaxGates and MaxRequestBytes are per-request admission limits
+	// (defaults 200000 gates, 8 MiB of netlist).
+	MaxGates        int
+	MaxRequestBytes int64
+	// Workers is the enumeration worker count per heavy job (default
+	// GOMAXPROCS).
+	Workers int
+	// DefaultTimeout bounds a job that asked for none (default 0 = no
+	// bound; the ladder still degrades on explicit request timeouts).
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint attached to shed load (default 1s).
+	RetryAfter time.Duration
+	// SpillDir receives checkpoints of evicted jobs (default os.TempDir()).
+	SpillDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxCheapInFlight <= 0 {
+		c.MaxCheapInFlight = 8
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 256 << 20
+	}
+	if c.MaxGates <= 0 {
+		c.MaxGates = 200000
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
+	}
+	return c
+}
+
+// Typed service errors; match with errors.Is.
+var (
+	// ErrSaturated: the lane's capacity is exhausted; retry later. The
+	// concrete *SaturatedError carries the Retry-After hint.
+	ErrSaturated = errors.New("serve: saturated")
+	// ErrTooLarge: the request exceeds an admission limit.
+	ErrTooLarge = errors.New("serve: request exceeds admission limits")
+	// ErrBadRequest: the request is malformed (unparsable netlist,
+	// unknown heuristic or tier).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrShutdown: the server is draining; no new work is accepted and
+	// unfinished jobs fail with this.
+	ErrShutdown = errors.New("serve: shutting down")
+	// ErrNotFound: no such job.
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrNotDone: the job has not produced its answer yet.
+	ErrNotDone = errors.New("serve: job not done")
+)
+
+// SaturatedError is load shedding with a backoff hint.
+type SaturatedError struct {
+	Lane       string
+	RetryAfter time.Duration
+}
+
+// Error names the saturated lane.
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("serve: %s lane saturated, retry after %v", e.Lane, e.RetryAfter)
+}
+
+// Unwrap matches errors.Is(err, ErrSaturated).
+func (e *SaturatedError) Unwrap() error { return ErrSaturated }
+
+// Request is one identification job submission.
+type Request struct {
+	// Bench is the circuit netlist in .bench format.
+	Bench string
+	// Name labels the circuit (default "job").
+	Name string
+	// Heuristic is fus|heu1|heu2|inverse|pin (default heu2).
+	Heuristic string
+	// Tier is the requested ladder rung: exact|fast|certificate|count
+	// (default fast). The service may serve a lower rung; the answer
+	// says which and why.
+	Tier string
+	// Timeout bounds the job (0 = Config.DefaultTimeout).
+	Timeout time.Duration
+}
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is one queued or running identification request.
+type Job struct {
+	// ID is the job's handle, sequential per server ("job-1", ...).
+	ID string
+
+	circuit   *circuit.Circuit
+	heuristic core.Heuristic
+	tier      Tier
+	timeout   time.Duration
+
+	mu     sync.Mutex
+	state  JobState
+	answer *Answer
+	err    error
+	notes  []string
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(a *Answer, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		return
+	}
+	j.state = StateDone
+	j.answer = a
+}
+
+// note records an operational footnote (spill failure, corrupt
+// checkpoint) surfaced in the job's status.
+func (j *Job) note(s string) {
+	j.mu.Lock()
+	j.notes = append(j.notes, s)
+	j.mu.Unlock()
+}
+
+// Info is a point-in-time snapshot of a job.
+type Info struct {
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	Circuit string   `json:"circuit"`
+	Tier    string   `json:"tier_requested"`
+	Error   string   `json:"error,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+// Info snapshots the job.
+func (j *Job) Info() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	in := Info{
+		ID:      j.ID,
+		State:   j.state,
+		Circuit: j.circuit.Name(),
+		Tier:    j.tier.String(),
+		Notes:   append([]string(nil), j.notes...),
+	}
+	if j.err != nil {
+		in.Error = j.err.Error()
+	}
+	return in
+}
+
+// Result returns the job's answer, ErrNotDone while it is in flight, or
+// the job's failure error.
+func (j *Job) Result() (*Answer, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.answer, nil
+	case StateFailed:
+		return nil, j.err
+	}
+	return nil, ErrNotDone
+}
+
+// Server is the RD identification service.
+type Server struct {
+	cfg    Config
+	budget *Budget
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue    chan *Job
+	cheapSem chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int64
+	closed bool
+
+	running atomic.Int64
+	done    atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a server with cfg's limits and MaxInFlight runner
+// goroutines. Close releases them.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		budget:     NewBudget(cfg.MemoryBudget),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		cheapSem:   make(chan struct{}, cfg.MaxCheapInFlight),
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Budget exposes the memory ledger (for the memory-pressure hook and
+// health reporting).
+func (s *Server) Budget() *Budget { return s.budget }
+
+// admit parses and size-checks a netlist.
+func (s *Server) admit(name, bench string) (*circuit.Circuit, error) {
+	if int64(len(bench)) > s.cfg.MaxRequestBytes {
+		return nil, fmt.Errorf("%w: netlist is %d bytes (limit %d)",
+			ErrTooLarge, len(bench), s.cfg.MaxRequestBytes)
+	}
+	if name == "" {
+		name = "job"
+	}
+	c, err := circuit.ParseBench(name, strings.NewReader(bench))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if c.NumGates() > s.cfg.MaxGates {
+		return nil, fmt.Errorf("%w: circuit has %d gates (limit %d)",
+			ErrTooLarge, c.NumGates(), s.cfg.MaxGates)
+	}
+	return c, nil
+}
+
+var heuristicNames = map[string]core.Heuristic{
+	"":        core.Heuristic2,
+	"fus":     core.HeuristicFUS,
+	"heu1":    core.Heuristic1,
+	"heu2":    core.Heuristic2,
+	"inverse": core.Heuristic2Inverse,
+	"pin":     core.HeuristicPinOrder,
+}
+
+// Submit admits a job into the heavy lane. It never blocks: a full
+// queue returns *SaturatedError immediately (load shedding), a bad or
+// oversized request returns ErrBadRequest/ErrTooLarge, and an accepted
+// job comes back queued with its ID assigned.
+func (s *Server) Submit(req Request) (*Job, error) {
+	h, ok := heuristicNames[req.Heuristic]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown heuristic %q", ErrBadRequest, req.Heuristic)
+	}
+	tier := TierFast
+	if req.Tier != "" {
+		var err error
+		if tier, err = ParseTier(req.Tier); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	c, err := s.admit(req.Name, req.Bench)
+	if err != nil {
+		return nil, err
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		circuit:   c,
+		heuristic: h,
+		tier:      tier,
+		timeout:   timeout,
+		state:     StateQueued,
+	}
+	s.jobs[j.ID] = j
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		return j, nil
+	default:
+		delete(s.jobs, j.ID)
+		s.nextID--
+		s.mu.Unlock()
+		return nil, &SaturatedError{Lane: "identify", RetryAfter: s.cfg.RetryAfter}
+	}
+}
+
+// Job looks up a submitted job by ID.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Count is the cheap lane: a synchronous linear-time path count, capped
+// by its own semaphore so heavy jobs can never starve it (and it can
+// never starve them).
+func (s *Server) Count(name, bench string) (*Answer, error) {
+	select {
+	case s.cheapSem <- struct{}{}:
+	default:
+		return nil, &SaturatedError{Lane: "count", RetryAfter: s.cfg.RetryAfter}
+	}
+	defer func() { <-s.cheapSem }()
+	if err := s.baseCtx.Err(); err != nil {
+		return nil, ErrShutdown
+	}
+	c, err := s.admit(name, bench)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resv, err := s.budget.Reserve(estimateBytes(c, TierCount, 1))
+	if err != nil {
+		return nil, err
+	}
+	defer resv.Release()
+	total := analysis.For(c).CopyLogical()
+	return &Answer{
+		Tier:       TierCount.String(),
+		TierReason: "requested",
+		Circuit:    c.Name(),
+		TotalPaths: total.String(),
+		RD:         "0",
+		DurationMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+// runner is one heavy-lane worker goroutine.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// runJob executes one job with full isolation: its own context and
+// deadline, panic containment (a panic that escapes even the
+// enumeration's own worker isolation fails this job, not the process),
+// and the degradation ladder.
+func (s *Server) runJob(j *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	defer s.done.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(nil, fmt.Errorf("serve: job panicked: %v", r))
+		}
+	}()
+	j.setState(StateRunning)
+
+	ctx := s.baseCtx
+	if j.timeout > 0 {
+		// The deadline is anchored at the injectable clock so chaos tests
+		// can skew it; a skewed clock degrades the job, never corrupts it.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, faultinject.Now(faultinject.PointClock).Add(j.timeout))
+		defer cancel()
+	}
+	ans, err := s.runLadder(ctx, j)
+	j.finish(ans, err)
+}
+
+// Health is the service's self-report.
+type Health struct {
+	Status      string `json:"status"`
+	Queued      int    `json:"queued"`
+	Running     int64  `json:"running"`
+	JobsDone    int64  `json:"jobs_done"`
+	BudgetUsed  int64  `json:"budget_used"`
+	BudgetTotal int64  `json:"budget_total"`
+}
+
+// Health snapshots queue depth, in-flight work and the memory ledger.
+func (s *Server) Health() Health {
+	st := "ok"
+	if s.baseCtx.Err() != nil {
+		st = "draining"
+	}
+	return Health{
+		Status:      st,
+		Queued:      len(s.queue),
+		Running:     s.running.Load(),
+		JobsDone:    s.done.Load(),
+		BudgetUsed:  s.budget.Used(),
+		BudgetTotal: s.budget.Total(),
+	}
+}
+
+// Close drains the server: intake stops (Submit returns ErrShutdown),
+// running jobs are canceled and fail typed, queued jobs fail without
+// running, and all runner goroutines exit before Close returns.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.baseCancel()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(nil, ErrShutdown)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// benchOf serializes a generated circuit into the .bench text a client
+// would POST.
+func benchOf(t *testing.T, c *circuit.Circuit) string {
+	t.Helper()
+	var b strings.Builder
+	if err := circuit.WriteBench(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// newTestServer builds a server with test-friendly sizes; Close is
+// registered as cleanup.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.SpillDir == "" {
+		cfg.SpillDir = t.TempDir()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitJob polls until the job leaves the queue/run states.
+func waitJob(t *testing.T, j *Job, timeout time.Duration) (*Answer, error) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		ans, err := j.Result()
+		if !errors.Is(err, ErrNotDone) {
+			return ans, err
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", j.ID, j.Info().State, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, j *Job, want JobState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for j.Info().State != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s", j.ID, j.Info().State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubmitIdentifyEndToEnd(t *testing.T) {
+	c := gen.PaperExample()
+	ref, err := core.Identify(c, core.Heuristic2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{})
+	j, err := s.Submit(Request{Bench: benchOf(t, c), Name: "paper", Heuristic: "heu2", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "job-1" {
+		t.Fatalf("first job ID = %s, want job-1", j.ID)
+	}
+	ans, err := waitJob(t, j, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Tier != "fast" || ans.TierReason != "requested" {
+		t.Fatalf("served tier=%s reason=%q, want fast/requested", ans.Tier, ans.TierReason)
+	}
+	if ans.RD != ref.RD.String() || ans.Selected != ref.Selected {
+		t.Fatalf("served RD=%s selected=%d, reference RD=%v selected=%d",
+			ans.RD, ans.Selected, ref.RD, ref.Selected)
+	}
+	if ans.TotalPaths != ref.TotalLogicalPaths.String() {
+		t.Fatalf("served total=%s, reference %v", ans.TotalPaths, ref.TotalLogicalPaths)
+	}
+}
+
+// TestSaturationShedsImmediately is the load-shedding acceptance test:
+// with the single runner wedged and the queue full, the next submission
+// must come back ErrSaturated with a Retry-After hint well within 100ms
+// — load is shed at the door, not after a queueing delay. The cheap
+// lane must keep answering while the heavy lane is saturated.
+func TestSaturationShedsImmediately(t *testing.T) {
+	// Wedge the only runner: the first budget reservation sleeps.
+	restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointBudgetReserve,
+		Kind:  faultinject.KindSleep,
+		Delay: 1200 * time.Millisecond,
+		Hit:   1,
+	}))
+	defer restore()
+
+	s := newTestServer(t, Config{QueueDepth: 1, MaxInFlight: 1, RetryAfter: 3 * time.Second})
+	bench := benchOf(t, gen.PaperExample())
+
+	a, err := s.Submit(Request{Bench: bench, Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, a, StateRunning, 2*time.Second) // runner picked it up, now wedged
+	if _, err := s.Submit(Request{Bench: bench, Tier: "fast"}); err != nil {
+		t.Fatalf("queue-filling submit failed: %v", err)
+	}
+
+	start := time.Now()
+	_, err = s.Submit(Request{Bench: bench, Tier: "fast"})
+	elapsed := time.Since(start)
+	var sat *SaturatedError
+	if !errors.As(err, &sat) || !errors.Is(err, ErrSaturated) {
+		t.Fatalf("submit on a full queue returned %v, want SaturatedError", err)
+	}
+	if sat.RetryAfter != 3*time.Second {
+		t.Fatalf("Retry-After hint = %v, want 3s", sat.RetryAfter)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("load shedding took %v, must be under 100ms", elapsed)
+	}
+
+	// The cheap lane is an independent priority lane: still serving.
+	if _, err := s.Count("cheap", bench); err != nil {
+		t.Fatalf("count lane refused while identify lane saturated: %v", err)
+	}
+}
+
+func TestCountLane(t *testing.T) {
+	c := gen.PaperExample()
+	s := newTestServer(t, Config{})
+	ans, err := s.Count("paper", benchOf(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Identify(c, core.Heuristic2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Tier != "count" || ans.RD != "0" {
+		t.Fatalf("count lane served tier=%s RD=%s, want count/0", ans.Tier, ans.RD)
+	}
+	if ans.TotalPaths != ref.TotalLogicalPaths.String() {
+		t.Fatalf("count lane total=%s, want %v", ans.TotalPaths, ref.TotalLogicalPaths)
+	}
+}
+
+func TestAdmissionLimits(t *testing.T) {
+	s := newTestServer(t, Config{MaxGates: 5, MaxRequestBytes: 1 << 20})
+	bench := benchOf(t, gen.PaperExample())
+	if _, err := s.Submit(Request{Bench: bench}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized circuit admitted: %v", err)
+	}
+	if _, err := s.Submit(Request{Bench: "INPUT(a"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("malformed netlist: got %v, want ErrBadRequest", err)
+	}
+	if _, err := s.Submit(Request{Bench: bench, Heuristic: "nope"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown heuristic: got %v, want ErrBadRequest", err)
+	}
+	if _, err := s.Submit(Request{Bench: bench, Tier: "nope"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown tier: got %v, want ErrBadRequest", err)
+	}
+}
+
+// TestCloseFailsPendingAndLeaksNothing: shutdown mid-flight cancels the
+// running job, fails the queued ones with the typed shutdown error, and
+// releases every goroutine the server started.
+func TestCloseFailsPendingAndLeaksNothing(t *testing.T) {
+	time.Sleep(20 * time.Millisecond) // let earlier tests' goroutines drain
+	before := runtime.NumGoroutine()
+
+	// Slow every enumeration task so the first job is reliably mid-run
+	// at Close.
+	restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: 5 * time.Millisecond,
+	}))
+	defer restore()
+
+	s := New(Config{QueueDepth: 4, MaxInFlight: 1, Workers: 2, SpillDir: t.TempDir()})
+	bench := benchOf(t, gen.RippleAdder(8, gen.XorNAND))
+	running, err := s.Submit(Request{Bench: bench, Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning, 5*time.Second)
+	queued, err := s.Submit(Request{Bench: bench, Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Close()
+
+	if _, err := s.Submit(Request{Bench: bench}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("submit after Close: got %v, want ErrShutdown", err)
+	}
+	if _, err := queued.Result(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("queued job after Close: got %v, want ErrShutdown", err)
+	}
+	if _, err := running.Result(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("running job after Close: got %v, want ErrShutdown", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak: %d before, %d after Close", before, n)
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(1000)
+	r1, err := b.Reserve(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Reserve(600); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-reservation: got %v, want ErrBudget", err)
+	}
+	var be *BudgetError
+	if _, err := b.Reserve(600); !errors.As(err, &be) || be.Need != 600 || be.Used != 600 {
+		t.Fatalf("budget error detail: %v", err)
+	}
+	r2, err := b.Reserve(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Release()
+	r1.Release() // idempotent
+	if b.Used() != 400 {
+		t.Fatalf("used=%d after release, want 400", b.Used())
+	}
+
+	// Shrink: the remaining reservation is the largest, so it is evicted.
+	b.SetTotal(300)
+	select {
+	case <-r2.Evicted():
+	default:
+		t.Fatal("shrinking below the outstanding total did not evict")
+	}
+	if b.Used() != 0 {
+		t.Fatalf("used=%d after eviction, want 0", b.Used())
+	}
+	r2.Release() // no-op after eviction
+	if b.Used() != 0 {
+		t.Fatalf("release after eviction double-freed: used=%d", b.Used())
+	}
+}
+
+func TestBudgetEvictsLargestFirst(t *testing.T) {
+	b := NewBudget(1000)
+	small, _ := b.Reserve(200)
+	large, _ := b.Reserve(700)
+	b.SetTotal(400)
+	select {
+	case <-large.Evicted():
+	default:
+		t.Fatal("largest reservation not evicted")
+	}
+	select {
+	case <-small.Evicted():
+		t.Fatal("small reservation evicted although the ledger already fit")
+	default:
+	}
+	if b.Used() != 200 {
+		t.Fatalf("used=%d, want 200", b.Used())
+	}
+}
+
+func TestBudgetInjectedReserveFailure(t *testing.T) {
+	restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointBudgetReserve,
+		Kind:  faultinject.KindError,
+		Count: 1,
+	}))
+	defer restore()
+	b := NewBudget(1000)
+	if _, err := b.Reserve(10); !errors.Is(err, ErrBudget) || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected reserve failure: got %v, want ErrBudget+ErrInjected", err)
+	}
+	if _, err := b.Reserve(10); err != nil {
+		t.Fatalf("reserve after injected failure: %v", err)
+	}
+}
+
+func TestEstimateMonotoneDownTheLadder(t *testing.T) {
+	for _, c := range []*circuit.Circuit{gen.PaperExample(), gen.RippleAdder(8, gen.XorNAND)} {
+		for _, workers := range []int{1, 2, 8} {
+			prev := int64(-1)
+			for tier := TierCount; ; tier-- {
+				est := estimateBytes(c, tier, workers)
+				if est <= prev {
+					t.Fatalf("%s workers=%d: estimate(%v)=%d not above the tier below (%d)",
+						c.Name(), workers, tier, est, prev)
+				}
+				prev = est
+				if tier == TierExact {
+					break
+				}
+			}
+		}
+	}
+}

@@ -166,6 +166,16 @@ type WorkerError = core.WorkerError
 // run's counters exactly.
 type Checkpoint = core.Checkpoint
 
+// ErrCorruptCheckpoint is the sentinel for a checkpoint file whose bytes
+// cannot be trusted (truncation, garbage, flipped bytes, trailing junk);
+// match with errors.Is. A corrupt file is never decoded into a zero-value
+// resumable state.
+var ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
+
+// CorruptCheckpointError reports where (path, byte offset) and why a
+// checkpoint failed to decode; it unwraps to ErrCorruptCheckpoint.
+type CorruptCheckpointError = core.CorruptCheckpointError
+
 // ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
 func ReadCheckpointFile(path string) (*Checkpoint, error) {
 	return core.ReadCheckpointFile(path)
