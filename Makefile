@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify race chaos fuzz crosscheck cover suite clean
+.PHONY: all build test vet bench bench-identify bench-compare race chaos fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -38,6 +38,20 @@ chaos:
 bench-identify:
 	$(GO) test -run '^$$' -bench BenchmarkIdentifyCached -benchtime 1x -timeout 30m .
 
+# Perf-regression gate: regenerate the identification artifact and fail
+# if any circuit's speedup or paths/sec throughput regressed beyond
+# tolerance against the committed baseline (readable in any artifact
+# version, including the pre-envelope format). The committed file is
+# stashed first because bench-identify overwrites it in place.
+bench-compare:
+	cp BENCH_identify.json BENCH_identify.baseline.json
+	$(MAKE) bench-identify; status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		$(GO) run ./cmd/benchcompare -baseline BENCH_identify.baseline.json -current BENCH_identify.json; \
+		status=$$?; \
+	fi; \
+	rm -f BENCH_identify.baseline.json; exit $$status
+
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -timeout 30m .
@@ -49,6 +63,7 @@ fuzz:
 	$(GO) test ./internal/verilog -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/pla -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/oracle/diff -run=NONE -fuzz FuzzCrossCheck -fuzztime 30s
+	$(GO) test ./internal/logic -run=NONE -fuzz FuzzEngineDiff -fuzztime 30s
 
 # The seeded differential sweep: 64 random circuits through the fast
 # identifier and the exact oracle, checking soundness, Lemma 1

@@ -323,13 +323,31 @@ func BenchmarkIdentifyCached(b *testing.B) {
 				b.Fatalf("%s: cached counters diverge from baseline:\ncached   %+v\nuncached %+v",
 					nc.Paper, warm, base)
 			}
+
+			// Headline throughput: logical paths covered per second of warm
+			// pipeline time. Hot-loop allocations: one warm single-worker
+			// enumeration pass (Heuristic 2, the deepest one) on the shared
+			// analyses — the flat engine's assign/backtrack path is
+			// allocation-free, so this counts only per-run envelope work.
+			total, _ := new(big.Float).SetInt(CountPaths(nc.C)).Float64()
+			pps := total / (float64(caNs) / 1e9)
+			var hb, ha runtime.MemStats
+			runtime.ReadMemStats(&hb)
+			if _, err := Identify(nc.C, Heuristic2, Options{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+			runtime.ReadMemStats(&ha)
+
 			b.ReportMetric(float64(unNs)/float64(caNs), "speedup")
+			b.ReportMetric(pps, "paths/sec")
 			rows = append(rows, benchjson.IdentifyRow{
 				Circuit:        nc.Paper,
 				UncachedNsOp:   unNs,
 				CachedNsOp:     caNs,
 				CachedColdNs:   coldNs,
 				Speedup:        float64(unNs) / float64(caNs),
+				PathsPerSec:    pps,
+				HotLoopAllocs:  ha.Mallocs - hb.Mallocs,
 				UncachedAllocs: unAllocs,
 				CachedAllocs:   caAllocs,
 				UncachedBytes:  unBytes,

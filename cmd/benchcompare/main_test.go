@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rdfault/internal/benchjson"
+	"rdfault/internal/cliutil/goldentest"
+)
+
+func row(circuit string, speedup, pps float64) benchjson.IdentifyRow {
+	return benchjson.IdentifyRow{Circuit: circuit, Speedup: speedup, PathsPerSec: pps}
+}
+
+// TestCompareGate: the regression arithmetic — within-tolerance drift
+// passes, beyond-tolerance drift fails, missing circuits fail, metrics
+// the baseline lacks are skipped.
+func TestCompareGate(t *testing.T) {
+	base := []benchjson.IdentifyRow{row("c432", 2.0, 1e6), row("c880", 3.0, 2e6)}
+
+	t.Run("clean", func(t *testing.T) {
+		cur := []benchjson.IdentifyRow{row("c432", 2.1, 1.1e6), row("c880", 2.9, 1.9e6)}
+		if n := compare(&strings.Builder{}, base, cur, 0.85); n != 0 {
+			t.Fatalf("clean run reported %d regressions", n)
+		}
+	})
+	t.Run("speedup-regressed", func(t *testing.T) {
+		cur := []benchjson.IdentifyRow{row("c432", 1.5, 1e6), row("c880", 3.0, 2e6)}
+		var out strings.Builder
+		if n := compare(&out, base, cur, 0.85); n != 1 {
+			t.Fatalf("want 1 regression, got %d\n%s", n, out.String())
+		}
+		if !strings.Contains(out.String(), "REGRESSED") {
+			t.Fatalf("regression not flagged in output:\n%s", out.String())
+		}
+	})
+	t.Run("pps-regressed", func(t *testing.T) {
+		cur := []benchjson.IdentifyRow{row("c432", 2.0, 0.5e6), row("c880", 3.0, 2e6)}
+		if n := compare(&strings.Builder{}, base, cur, 0.85); n != 1 {
+			t.Fatalf("want 1 regression, got %d", n)
+		}
+	})
+	t.Run("missing-circuit", func(t *testing.T) {
+		cur := []benchjson.IdentifyRow{row("c432", 2.0, 1e6)}
+		if n := compare(&strings.Builder{}, base, cur, 0.85); n != 1 {
+			t.Fatalf("dropped circuit must gate: got %d", n)
+		}
+	})
+	t.Run("legacy-baseline-skips-pps", func(t *testing.T) {
+		legacy := []benchjson.IdentifyRow{row("c432", 2.0, 0)} // no paths/sec in old artifacts
+		cur := []benchjson.IdentifyRow{row("c432", 2.0, 1e6)}
+		var out strings.Builder
+		if n := compare(&out, legacy, cur, 0.85); n != 0 {
+			t.Fatalf("legacy baseline must skip paths/sec, got %d regressions", n)
+		}
+		if !strings.Contains(out.String(), "skipped") {
+			t.Fatalf("skip not reported:\n%s", out.String())
+		}
+	})
+}
+
+// TestGoldenCompare: the passing-path output format against fixtures in
+// the three artifact generations (legacy bare-array baseline included —
+// the committed BENCH_identify.json predates the envelope).
+func TestGoldenCompare(t *testing.T) {
+	golden := goldentest.Golden(t, "compare")
+	baseline := goldentest.Fixture(t, "baseline.json")
+	current := goldentest.Fixture(t, "current.json")
+	out := goldentest.Run(t, "benchcompare", main,
+		"-baseline", baseline, "-current", current, "-tolerance", "0.85")
+	goldentest.Check(t, golden, out)
+}

@@ -36,7 +36,13 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "circuits counted concurrently in suite mode")
 	)
 	rf := cliutil.Register()
+	pf := cliutil.RegisterProfile()
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	rf.WarnCheckpointUnused("pathcount", "counting is linear-time; -timeout skips not-yet-started circuits")
 	ctx, stop := rf.SignalContext()
 	defer stop()

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rdfault/internal/cliutil/goldentest"
@@ -12,4 +14,27 @@ func TestGoldenBench(t *testing.T) {
 	golden := goldentest.Golden(t, "paper-example")
 	out := goldentest.Run(t, "pathcount", main, "-bench", bench)
 	goldentest.Check(t, golden, out)
+}
+
+// TestGoldenWithProfiles: the golden exemption for -cpuprofile and
+// -memprofile — profiling must not perturb stdout (the same golden file
+// must match) while the profile files land on disk non-empty.
+func TestGoldenWithProfiles(t *testing.T) {
+	bench := goldentest.Fixture(t, "paper-example.bench")
+	golden := goldentest.Golden(t, "paper-example")
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := goldentest.Run(t, "pathcount", main, "-bench", bench,
+		"-cpuprofile", cpu, "-memprofile", mem)
+	goldentest.Check(t, golden, out)
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
 }

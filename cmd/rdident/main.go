@@ -38,7 +38,13 @@ func main() {
 		cert      = flag.Bool("cert", false, "print the prime-segment RD certificate (Heuristic 2 sort)")
 	)
 	rf := cliutil.Register()
+	pf := cliutil.RegisterProfile()
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	ctx, stop := rf.SignalContext()
 	defer stop()
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rdfault/internal/cliutil/goldentest"
@@ -12,4 +14,27 @@ func TestGoldenExample(t *testing.T) {
 	golden := goldentest.Golden(t, "example")
 	out := goldentest.Run(t, "rdident", main, "-example", "-workers", "1")
 	goldentest.Check(t, golden, out)
+}
+
+// TestGoldenExampleWithProfiles: the golden exemption for -cpuprofile
+// and -memprofile — the flags must leave stdout byte-identical to the
+// unprofiled run (same golden file) while writing non-empty pprof files;
+// profiler chatter is stderr-only.
+func TestGoldenExampleWithProfiles(t *testing.T) {
+	golden := goldentest.Golden(t, "example")
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := goldentest.Run(t, "rdident", main, "-example", "-workers", "1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	goldentest.Check(t, golden, out)
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
 }

@@ -66,7 +66,13 @@ type Analysis struct {
 	// engines is the logic.Engine free-list: enumeration workers and the
 	// DFT analyses borrow engines instead of reallocating value arrays,
 	// trails and watch queues per run. Engines are returned fully reset.
-	engines sync.Pool
+	// An explicit list (not a sync.Pool) so pooled engines survive GC
+	// cycles and a steady-state borrow/return round trip performs zero
+	// allocations — a sync.Pool may drop its contents at any GC and then
+	// silently re-run NewEngine (val/queued/trail/queue arena allocations)
+	// in the middle of the enumeration hot loop.
+	engineMu sync.Mutex
+	engines  []*logic.Engine
 
 	memoMu sync.Mutex
 	memo   map[string]any // completed memo values only
@@ -83,10 +89,10 @@ type timingEntry struct {
 // computation even when Drop/SetCapacity retired the handle mid-flight
 // and a later For minted a new one.
 type memoCell struct {
-	mu   sync.Mutex
-	ran  bool
-	v    any
-	err  error
+	mu  sync.Mutex
+	ran bool
+	v   any
+	err error
 }
 
 // inflightKey identifies one (circuit version, analysis) computation.
@@ -105,9 +111,7 @@ var inflight = struct {
 }{m: make(map[inflightKey]*memoCell)}
 
 func newAnalysis(c *circuit.Circuit) *Analysis {
-	a := &Analysis{c: c}
-	a.engines.New = func() any { return logic.NewEngine(c) }
-	return a
+	return &Analysis{c: c}
 }
 
 // Circuit returns the circuit this handle set is bound to.
@@ -115,6 +119,12 @@ func (a *Analysis) Circuit() *circuit.Circuit { return a.c }
 
 // Version returns the circuit version the handles are keyed on.
 func (a *Analysis) Version() uint64 { return a.c.Version() }
+
+// Flat returns the circuit's cache-flat netlist layout (CSR adjacency,
+// type and level arrays). Like every derived artifact it is built once
+// per circuit version and shared read-only; the call merely forwards to
+// the layout cached on the circuit itself.
+func (a *Analysis) Flat() *circuit.Flat { return a.c.Flat() }
 
 // Counts returns the exact per-gate path counts, computed once per
 // circuit version. The returned Counts (and the big.Ints it exposes) are
@@ -220,8 +230,20 @@ func delaysEqual(x, y []float64) bool {
 // free-list (allocating one only when the list is empty). The engine is
 // clean: all gates at X, empty trail. Return it with PutEngine when
 // done; an engine borrowed and never returned is simply garbage.
+// Steady-state borrow/return round trips are allocation-free: popping
+// reuses the retained list storage and the pooled engines are never
+// dropped behind the caller's back.
 func (a *Analysis) Engine() *logic.Engine {
-	return a.engines.Get().(*logic.Engine)
+	a.engineMu.Lock()
+	if n := len(a.engines); n > 0 {
+		e := a.engines[n-1]
+		a.engines[n-1] = nil
+		a.engines = a.engines[:n-1]
+		a.engineMu.Unlock()
+		return e
+	}
+	a.engineMu.Unlock()
+	return logic.NewEngine(a.c)
 }
 
 // PutEngine resets e (O(trail), never O(circuit)) and returns it to the
@@ -232,7 +254,9 @@ func (a *Analysis) PutEngine(e *logic.Engine) {
 		return
 	}
 	e.Reset()
-	a.engines.Put(e)
+	a.engineMu.Lock()
+	a.engines = append(a.engines, e)
+	a.engineMu.Unlock()
 }
 
 // Memo returns the compute-once value for key on this circuit version,

@@ -214,6 +214,42 @@ func TestEnginePoolNoLeakage(t *testing.T) {
 	a.PutEngine(nil) // tolerated
 }
 
+// TestEnginePoolZeroAllocSteadyState: once an engine exists, a
+// borrow/work/return round trip is allocation-free and hands back the
+// same retained engine — the free-list is an explicit list, so neither
+// GC pressure nor the round trip itself can trigger a hidden NewEngine
+// (val/queued/trail arena allocations) inside the enumeration hot loop.
+func TestEnginePoolZeroAllocSteadyState(t *testing.T) {
+	defer analysis.Reset()
+	c := gen.PaperExample()
+	a := analysis.For(c)
+	pi := c.Inputs()
+
+	seed := a.Engine()
+	a.PutEngine(seed)
+
+	got := a.Engine()
+	if got != seed {
+		t.Fatal("free-list did not retain the returned engine")
+	}
+	a.PutEngine(got)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		e := a.Engine()
+		m := e.Mark()
+		for _, g := range pi {
+			if !e.Assign(g, true) {
+				break
+			}
+		}
+		e.BacktrackTo(m)
+		a.PutEngine(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state borrow/assign/return allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestTimingMemo: one analysis per (circuit, delay vector); equal
 // content shares, distinct content does not, and caller-side mutation of
 // the delay slice cannot corrupt the cache.

@@ -13,6 +13,7 @@ package circuit
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // GateID identifies a gate within one Circuit. IDs are dense indices in
@@ -148,6 +149,11 @@ type Circuit struct {
 	fanout  [][]Edge // fanout leads per gate
 	leadOff []int32  // leadOff[g] = first lead index of gate g's input pins
 	byName  map[string]GateID
+
+	// flat is the lazily-built struct-of-arrays view (see Flat); the
+	// circuit is immutable after Build, so one build serves every reader.
+	flatOnce sync.Once
+	flat     *Flat
 }
 
 // Name returns the circuit name.

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"time"
@@ -43,6 +45,68 @@ func Register() *Flags {
 	flag.StringVar(&f.ResumePath, "resume", "",
 		"resume an interrupted run from a checkpoint file written via -checkpoint")
 	return f
+}
+
+// ProfileFlags is the shared -cpuprofile/-memprofile pair: every tool
+// that hosts a hot loop (rdident's enumeration, pathcount's counting)
+// registers it so a slow run can be profiled in place instead of being
+// re-created inside a benchmark harness.
+type ProfileFlags struct {
+	// CPUProfile, when set, receives a pprof CPU profile covering the run.
+	CPUProfile string
+	// MemProfile, when set, receives a pprof heap profile taken at exit.
+	MemProfile string
+}
+
+// RegisterProfile adds -cpuprofile and -memprofile to the default flag
+// set; call before flag.Parse.
+func RegisterProfile() *ProfileFlags {
+	p := &ProfileFlags{}
+	flag.StringVar(&p.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	flag.StringVar(&p.MemProfile, "memprofile", "",
+		"write a pprof heap profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling (when requested) and returns a stop
+// function that ends it and writes the heap profile (when requested).
+// Call immediately after flag.Parse and defer the stop. All status
+// messages go to stderr — stdout is the tool's data channel and stays
+// byte-identical with and without profiling (the golden tests assert
+// exactly this).
+func (p *ProfileFlags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", p.CPUProfile)
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the retained heap before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", p.MemProfile)
+		}
+	}, nil
 }
 
 // forceExit is the second-signal escape hatch, swappable by tests (the

@@ -10,26 +10,55 @@ import (
 // enumerator asserts side-input requirements as it extends a path and
 // backtracks the engine when it retreats.
 //
+// The engine runs on the circuit's cache-flat layout (circuit.Flat):
+// gate types, levels and the fanin/fanout adjacency live in dense CSR
+// arrays shared read-only by every engine of the circuit, and the
+// 3-valued domain is packed 2 bits per signal into uint64 words — 32
+// signals per word, so the whole stable-value state of a 10k-gate
+// circuit is ~2.5KB and stays L1-resident through a DFS walk, and
+// full-state sweeps (deep backtracks, queue wipes) run word-parallel.
+// The trail and work queue are arena-allocated once at construction
+// (their length is bounded by the gate count), so the assign/backtrack
+// hot path performs zero allocations.
+//
+// RefEngine is the retained pointer-structure implementation; the two
+// are kept behaviorally identical (same implication rules, same LIFO
+// propagation order) and cross-checked by differential and fuzz tests.
+//
 // An Engine is not safe for concurrent use; create one per goroutine.
 type Engine struct {
-	c     *circuit.Circuit
-	val   []Value
-	trail []circuit.GateID
+	c *circuit.Circuit
+	f *circuit.Flat
 
-	queue   []circuit.GateID
-	queued  []bool
+	// val packs one 2-bit Value per gate, 32 gates per word.
+	val []uint64
+	// queued is a 1-bit-per-gate membership mask for the work queue.
+	queued []uint64
+	// trail and queue are fixed-capacity arenas: a gate appears at most
+	// once on each between backtracks, so capacity NumGates suffices and
+	// append never reallocates.
+	trail []circuit.GateID
+	queue []circuit.GateID
+
 	confl   bool
 	nAssign int64 // statistics: total value assignments performed
-	nImply  int64 // statistics: assignments derived by implication
+	nImply  int64 // assignments derived by implication
 }
 
-// NewEngine returns an implication engine for c with all gates at X.
+// NewEngine returns an implication engine for c with all gates at X. The
+// immutable flat netlist layout is shared across every engine of the
+// circuit (built once per circuit version); only the small mutable
+// state — packed values, queue mask, trail and queue arenas — is
+// allocated here.
 func NewEngine(c *circuit.Circuit) *Engine {
 	n := c.NumGates()
 	return &Engine{
 		c:      c,
-		val:    make([]Value, n),
-		queued: make([]bool, n),
+		f:      c.Flat(),
+		val:    make([]uint64, (n+31)/32),
+		queued: make([]uint64, (n+63)/64),
+		trail:  make([]circuit.GateID, 0, n),
+		queue:  make([]circuit.GateID, 0, n),
 	}
 }
 
@@ -37,7 +66,21 @@ func NewEngine(c *circuit.Circuit) *Engine {
 func (e *Engine) Circuit() *circuit.Circuit { return e.c }
 
 // Value returns the current stable value of gate g.
-func (e *Engine) Value(g circuit.GateID) Value { return e.val[g] }
+func (e *Engine) Value(g circuit.GateID) Value {
+	return Value((e.val[g>>5] >> ((uint32(g) & 31) * 2)) & 3)
+}
+
+// setVal stores v in gate g's 2-bit lane.
+func (e *Engine) setVal(g circuit.GateID, v Value) {
+	sh := (uint32(g) & 31) * 2
+	w := &e.val[g>>5]
+	*w = *w&^(3<<sh) | uint64(v)<<sh
+}
+
+// clearVal resets gate g's lane to X.
+func (e *Engine) clearVal(g circuit.GateID) {
+	e.val[g>>5] &^= 3 << ((uint32(g) & 31) * 2)
+}
 
 // Mark returns the current trail position for a later BacktrackTo.
 func (e *Engine) Mark() int { return len(e.trail) }
@@ -45,10 +88,17 @@ func (e *Engine) Mark() int { return len(e.trail) }
 // BacktrackTo undoes every assignment made after the corresponding Mark
 // call and clears any recorded conflict. Cost is proportional to the
 // number of assignments undone plus any pending queue entries — never to
-// the circuit size — so deep DFS walks pay O(1) amortized per edge.
+// the circuit size — so deep DFS walks pay O(1) amortized per edge. A
+// full unwind with a long trail short-circuits to a word-parallel wipe
+// of the packed value array (32 signals per store), which is cheaper
+// than per-entry clears once the trail covers most of the circuit.
 func (e *Engine) BacktrackTo(mark int) {
-	for i := len(e.trail) - 1; i >= mark; i-- {
-		e.val[e.trail[i]] = X
+	if mark == 0 && len(e.trail) >= len(e.val) {
+		clear(e.val)
+	} else {
+		for i := len(e.trail) - 1; i >= mark; i-- {
+			e.clearVal(e.trail[i])
+		}
 	}
 	e.trail = e.trail[:mark]
 	e.confl = false
@@ -56,10 +106,14 @@ func (e *Engine) BacktrackTo(mark int) {
 }
 
 // drainQueue discards pending work, unmarking only the gates actually
-// enqueued instead of sweeping the whole per-gate queued array.
+// enqueued (or wiping the mask word-parallel when the queue is long).
 func (e *Engine) drainQueue() {
-	for _, g := range e.queue {
-		e.queued[g] = false
+	if len(e.queue) >= len(e.queued) {
+		clear(e.queued)
+	} else {
+		for _, g := range e.queue {
+			e.queued[g>>6] &^= 1 << (uint32(g) & 63)
+		}
 	}
 	e.queue = e.queue[:0]
 }
@@ -96,7 +150,7 @@ func (e *Engine) AssignValue(g circuit.GateID, v Value) bool {
 // set records a single assignment without propagating. It returns false on
 // immediate conflict.
 func (e *Engine) set(g circuit.GateID, v Value) bool {
-	cur := e.val[g]
+	cur := e.Value(g)
 	if cur == v {
 		return true
 	}
@@ -104,19 +158,38 @@ func (e *Engine) set(g circuit.GateID, v Value) bool {
 		e.confl = true
 		return false
 	}
-	e.val[g] = v
+	e.setVal(g, v)
 	e.trail = append(e.trail, g)
 	e.nAssign++
 	e.enqueue(g)
-	for _, edge := range e.c.Fanout(g) {
-		e.enqueue(edge.To)
+	f := e.f
+	for _, to := range f.Fanout[f.FanoutOff[g]:f.FanoutOff[g+1]] {
+		e.enqueue(to)
 	}
 	return true
 }
 
+// setSelf records a forward implication derived by eval(g) for g itself.
+// The caller is mid-eval of g and applies g's remaining rules against the
+// fresh value in the same pass, so re-enqueueing g would only buy a
+// no-op re-eval — only the fanout destinations are scheduled. The caller
+// guarantees e.Value(g) == X.
+func (e *Engine) setSelf(g circuit.GateID, v Value) {
+	e.setVal(g, v)
+	e.trail = append(e.trail, g)
+	e.nAssign++
+	e.nImply++
+	f := e.f
+	for _, to := range f.Fanout[f.FanoutOff[g]:f.FanoutOff[g+1]] {
+		e.enqueue(to)
+	}
+}
+
 func (e *Engine) enqueue(g circuit.GateID) {
-	if !e.queued[g] {
-		e.queued[g] = true
+	w := g >> 6
+	b := uint64(1) << (uint32(g) & 63)
+	if e.queued[w]&b == 0 {
+		e.queued[w] |= b
 		e.queue = append(e.queue, g)
 	}
 }
@@ -126,7 +199,7 @@ func (e *Engine) propagate() bool {
 	for len(e.queue) > 0 {
 		g := e.queue[len(e.queue)-1]
 		e.queue = e.queue[:len(e.queue)-1]
-		e.queued[g] = false
+		e.queued[g>>6] &^= 1 << (uint32(g) & 63)
 		if !e.eval(g) {
 			e.drainQueue()
 			return false
@@ -147,79 +220,123 @@ func (e *Engine) imply(g circuit.GateID, v Value) bool {
 	return true
 }
 
+// gateMeta caches the per-type constants the implication rules need so
+// eval never re-derives them through Controlling/Inverting/Not on the
+// hot path.
+type gateMeta struct {
+	ctrl      Value // controlling input value
+	nonCtrl   Value // non-controlling input value
+	outIfCtrl Value // output when any input is controlling
+	outIfNon  Value // output when all inputs are non-controlling
+}
+
+// typeMeta is indexed by circuit.GateType; only the simple gates
+// AND/OR/NAND/NOR have meaningful entries.
+var typeMeta = func() [8]gateMeta {
+	var m [8]gateMeta
+	for _, t := range []circuit.GateType{circuit.And, circuit.Or, circuit.Nand, circuit.Nor} {
+		cb, _ := t.Controlling()
+		ctrl := FromBool(cb)
+		nonCtrl := ctrl.Not()
+		oc, on := ctrl, nonCtrl
+		if t.Inverting() {
+			oc, on = oc.Not(), on.Not()
+		}
+		m[t] = gateMeta{ctrl: ctrl, nonCtrl: nonCtrl, outIfCtrl: oc, outIfNon: on}
+	}
+	return m
+}()
+
+// notTab maps a Value to its negation without branching (X stays X).
+var notTab = [3]Value{X: X, Zero: One, One: Zero}
+
 // eval applies all direct implication rules available at gate g: forward
 // evaluation from its fanins and backward justification from its own
-// value toward its fanins.
+// value toward its fanins. The rule set is identical to RefEngine.eval;
+// forward implications for g itself go through setSelf because the
+// backward rules below already run against the fresh value in this same
+// pass (the implication closure is a unique fixpoint, so skipping the
+// redundant re-eval cannot change values, verdicts or trail lengths).
 func (e *Engine) eval(g circuit.GateID) bool {
-	t := e.c.Type(g)
+	f := e.f
+	t := f.Types[g]
 	switch t {
 	case circuit.Input:
 		return true
 	case circuit.Output, circuit.Buf, circuit.Not:
-		in := e.c.Fanin(g)[0]
-		inv := t == circuit.Not
-		iv := e.val[in]
-		ov := e.val[g]
-		if inv {
-			iv = iv.Not()
+		in := f.Fanin[f.FaninOff[g]]
+		iv := e.Value(in)
+		ov := e.Value(g)
+		if t == circuit.Not {
+			iv = notTab[iv]
 		}
-		// Forward: out := f(in).
-		if iv.Known() && !e.imply(g, iv) {
-			return false
+		// Forward: out := f(in). Backward below justifies from the value g
+		// had on entry (a freshly forwarded value needs no justification —
+		// its source is the very input it came from).
+		if iv != X {
+			if ov == X {
+				e.setSelf(g, iv)
+			} else if ov != iv {
+				e.confl = true
+				return false
+			}
 		}
 		// Backward: in := f^-1(out).
 		want := ov
-		if inv {
-			want = want.Not()
+		if t == circuit.Not {
+			want = notTab[want]
 		}
-		if want.Known() && !e.imply(in, want) {
+		if want != X && !e.imply(in, want) {
 			return false
 		}
 		return true
 	}
 
-	// Simple gates AND/OR/NAND/NOR.
-	ctrlB, _ := t.Controlling()
-	ctrl := FromBool(ctrlB)
-	nonCtrl := ctrl.Not()
-	inv := t.Inverting()
-	outIfCtrl := ctrl
-	outIfNon := nonCtrl
-	if inv {
-		outIfCtrl, outIfNon = outIfCtrl.Not(), outIfNon.Not()
-	}
+	// Simple gates AND/OR/NAND/NOR: constants from the per-type table.
+	md := &typeMeta[t]
+	ctrl, nonCtrl := md.ctrl, md.nonCtrl
+	outIfCtrl, outIfNon := md.outIfCtrl, md.outIfNon
 
-	fanin := e.c.Fanin(g)
+	fanin := f.Fanin[f.FaninOff[g]:f.FaninOff[g+1]]
 	unknown := 0
 	var lastUnknown circuit.GateID
 	anyCtrl := false
-	for _, f := range fanin {
-		switch e.val[f] {
+	for _, fi := range fanin {
+		switch e.Value(fi) {
 		case ctrl:
 			anyCtrl = true
 		case X:
 			unknown++
-			lastUnknown = f
+			lastUnknown = fi
 		}
 	}
 
 	// Forward implications.
+	ov := e.Value(g)
 	if anyCtrl {
-		if !e.imply(g, outIfCtrl) {
+		if ov == X {
+			e.setSelf(g, outIfCtrl)
+			ov = outIfCtrl
+		} else if ov != outIfCtrl {
+			e.confl = true
 			return false
 		}
 	} else if unknown == 0 {
-		if !e.imply(g, outIfNon) {
+		if ov == X {
+			e.setSelf(g, outIfNon)
+			ov = outIfNon
+		} else if ov != outIfNon {
+			e.confl = true
 			return false
 		}
 	}
 
 	// Backward implications.
-	switch e.val[g] {
+	switch ov {
 	case outIfNon:
 		// No input may be controlling.
-		for _, f := range fanin {
-			if !e.imply(f, nonCtrl) {
+		for _, fi := range fanin {
+			if !e.imply(fi, nonCtrl) {
 				return false
 			}
 		}
@@ -244,7 +361,8 @@ func (e *Engine) eval(g circuit.GateID) bool {
 // with Engine.Snapshot and installed with Engine.Restore. It is the
 // handoff unit of parallel path enumeration: a walker packages its
 // mid-DFS state so an idle goroutine can continue an untaken branch.
-// A Snapshot is safe to share across goroutines.
+// A Snapshot is safe to share across goroutines, and transports between
+// Engine and RefEngine (the differential tests rely on this).
 type Snapshot struct {
 	gates []circuit.GateID
 	vals  []Value
@@ -285,7 +403,7 @@ func (e *Engine) Snapshot() Snapshot {
 		vals:  make([]Value, len(e.trail)),
 	}
 	for i, g := range e.trail {
-		s.vals[i] = e.val[g]
+		s.vals[i] = e.Value(g)
 	}
 	return s
 }
@@ -299,7 +417,7 @@ func (e *Engine) Snapshot() Snapshot {
 func (e *Engine) Restore(s Snapshot) {
 	e.BacktrackTo(0)
 	for i, g := range s.gates {
-		e.val[g] = s.vals[i]
+		e.setVal(g, s.vals[i])
 	}
 	e.trail = append(e.trail, s.gates...)
 }

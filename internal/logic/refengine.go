@@ -1,0 +1,276 @@
+package logic
+
+import (
+	"rdfault/internal/circuit"
+)
+
+// RefEngine is the retained pointer-structure implication engine: the
+// implementation Engine had before the cache-flat rewrite, walking
+// Gate.Fanin slices and per-gate []Edge fanout lists with one byte-wide
+// Value per gate. It exists as the behavioral reference for the fast
+// engine — the differential property tests and the native fuzz target
+// drive both engines through identical scripts and require identical
+// values, conflicts and trail lengths at every step — and as the
+// fallback documentation of the implication rules in their most readable
+// form. Production call sites use Engine; nothing outside the tests
+// should need a RefEngine.
+//
+// A RefEngine is not safe for concurrent use.
+type RefEngine struct {
+	c     *circuit.Circuit
+	val   []Value
+	trail []circuit.GateID
+
+	queue   []circuit.GateID
+	queued  []bool
+	confl   bool
+	nAssign int64
+	nImply  int64
+}
+
+// NewRefEngine returns a reference implication engine for c with all
+// gates at X.
+func NewRefEngine(c *circuit.Circuit) *RefEngine {
+	n := c.NumGates()
+	return &RefEngine{
+		c:      c,
+		val:    make([]Value, n),
+		queued: make([]bool, n),
+	}
+}
+
+// Circuit returns the circuit the engine operates on.
+func (e *RefEngine) Circuit() *circuit.Circuit { return e.c }
+
+// Value returns the current stable value of gate g.
+func (e *RefEngine) Value(g circuit.GateID) Value { return e.val[g] }
+
+// Mark returns the current trail position for a later BacktrackTo.
+func (e *RefEngine) Mark() int { return len(e.trail) }
+
+// BacktrackTo undoes every assignment made after the corresponding Mark
+// call and clears any recorded conflict.
+func (e *RefEngine) BacktrackTo(mark int) {
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		e.val[e.trail[i]] = X
+	}
+	e.trail = e.trail[:mark]
+	e.confl = false
+	e.drainQueue()
+}
+
+// drainQueue discards pending work, unmarking only the gates actually
+// enqueued instead of sweeping the whole per-gate queued array.
+func (e *RefEngine) drainQueue() {
+	for _, g := range e.queue {
+		e.queued[g] = false
+	}
+	e.queue = e.queue[:0]
+}
+
+// Reset clears all assignments.
+func (e *RefEngine) Reset() { e.BacktrackTo(0) }
+
+// Stats returns the number of explicit+implied assignments and the number
+// of implied assignments alone, since engine creation.
+func (e *RefEngine) Stats() (assignments, implications int64) {
+	return e.nAssign, e.nImply
+}
+
+// Assign asserts that gate g has stable value v (a boolean) and runs
+// direct implications to closure; false means a contradiction.
+func (e *RefEngine) Assign(g circuit.GateID, v bool) bool {
+	return e.AssignValue(g, FromBool(v))
+}
+
+// AssignValue is Assign for a Value; asserting X is a no-op.
+func (e *RefEngine) AssignValue(g circuit.GateID, v Value) bool {
+	if v == X {
+		return !e.confl
+	}
+	if !e.set(g, v) {
+		return false
+	}
+	return e.propagate()
+}
+
+// set records a single assignment without propagating. It returns false on
+// immediate conflict.
+func (e *RefEngine) set(g circuit.GateID, v Value) bool {
+	cur := e.val[g]
+	if cur == v {
+		return true
+	}
+	if cur != X {
+		e.confl = true
+		return false
+	}
+	e.val[g] = v
+	e.trail = append(e.trail, g)
+	e.nAssign++
+	e.enqueue(g)
+	for _, edge := range e.c.Fanout(g) {
+		e.enqueue(edge.To)
+	}
+	return true
+}
+
+func (e *RefEngine) enqueue(g circuit.GateID) {
+	if !e.queued[g] {
+		e.queued[g] = true
+		e.queue = append(e.queue, g)
+	}
+}
+
+// propagate runs the work list to fixpoint or first conflict.
+func (e *RefEngine) propagate() bool {
+	for len(e.queue) > 0 {
+		g := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.queued[g] = false
+		if !e.eval(g) {
+			e.drainQueue()
+			return false
+		}
+	}
+	return true
+}
+
+// imply records a derived assignment.
+func (e *RefEngine) imply(g circuit.GateID, v Value) bool {
+	before := e.nAssign
+	if !e.set(g, v) {
+		return false
+	}
+	if e.nAssign > before {
+		e.nImply++
+	}
+	return true
+}
+
+// eval applies all direct implication rules available at gate g: forward
+// evaluation from its fanins and backward justification from its own
+// value toward its fanins.
+func (e *RefEngine) eval(g circuit.GateID) bool {
+	t := e.c.Type(g)
+	switch t {
+	case circuit.Input:
+		return true
+	case circuit.Output, circuit.Buf, circuit.Not:
+		in := e.c.Fanin(g)[0]
+		inv := t == circuit.Not
+		iv := e.val[in]
+		ov := e.val[g]
+		if inv {
+			iv = iv.Not()
+		}
+		// Forward: out := f(in).
+		if iv.Known() && !e.imply(g, iv) {
+			return false
+		}
+		// Backward: in := f^-1(out).
+		want := ov
+		if inv {
+			want = want.Not()
+		}
+		if want.Known() && !e.imply(in, want) {
+			return false
+		}
+		return true
+	}
+
+	// Simple gates AND/OR/NAND/NOR.
+	ctrlB, _ := t.Controlling()
+	ctrl := FromBool(ctrlB)
+	nonCtrl := ctrl.Not()
+	inv := t.Inverting()
+	outIfCtrl := ctrl
+	outIfNon := nonCtrl
+	if inv {
+		outIfCtrl, outIfNon = outIfCtrl.Not(), outIfNon.Not()
+	}
+
+	fanin := e.c.Fanin(g)
+	unknown := 0
+	var lastUnknown circuit.GateID
+	anyCtrl := false
+	for _, f := range fanin {
+		switch e.val[f] {
+		case ctrl:
+			anyCtrl = true
+		case X:
+			unknown++
+			lastUnknown = f
+		}
+	}
+
+	// Forward implications.
+	if anyCtrl {
+		if !e.imply(g, outIfCtrl) {
+			return false
+		}
+	} else if unknown == 0 {
+		if !e.imply(g, outIfNon) {
+			return false
+		}
+	}
+
+	// Backward implications.
+	switch e.val[g] {
+	case outIfNon:
+		// No input may be controlling.
+		for _, f := range fanin {
+			if !e.imply(f, nonCtrl) {
+				return false
+			}
+		}
+	case outIfCtrl:
+		// At least one input controlling; unit-propagate when forced.
+		if !anyCtrl {
+			if unknown == 0 {
+				e.confl = true
+				return false
+			}
+			if unknown == 1 {
+				if !e.imply(lastUnknown, ctrl) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Snapshot captures the engine's current assignments; the result is
+// interchangeable with Engine.Snapshot.
+func (e *RefEngine) Snapshot() Snapshot {
+	s := Snapshot{
+		gates: append([]circuit.GateID(nil), e.trail...),
+		vals:  make([]Value, len(e.trail)),
+	}
+	for i, g := range e.trail {
+		s.vals[i] = e.val[g]
+	}
+	return s
+}
+
+// Restore resets e and installs s verbatim, without re-running
+// implications (snapshots are implication-closed by construction).
+func (e *RefEngine) Restore(s Snapshot) {
+	e.BacktrackTo(0)
+	for i, g := range s.gates {
+		e.val[g] = s.vals[i]
+	}
+	e.trail = append(e.trail, s.gates...)
+}
+
+// AssignAll asserts a set of (gate, value) requirements in order, stopping
+// at the first conflict. It reports whether all assertions succeeded.
+func (e *RefEngine) AssignAll(gates []circuit.GateID, vals []Value) bool {
+	for i, g := range gates {
+		if !e.AssignValue(g, vals[i]) {
+			return false
+		}
+	}
+	return true
+}
