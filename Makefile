@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify bench-compare race chaos fuzz crosscheck cover suite clean
+.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -22,7 +22,8 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis \
 		./internal/tgen ./internal/oracle ./internal/oracle/diff \
-		./internal/serve ./internal/faultinject ./internal/cliutil
+		./internal/serve ./internal/faultinject ./internal/cliutil \
+		./internal/fleet ./internal/retry
 
 # The deterministic fault-injection suite under the race detector:
 # admission failures, worker panics, budget evictions mid-run, spill
@@ -31,6 +32,13 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/serve \
 		./internal/cliutil -run 'Test'
+
+# The killed-node chaos suite: worker kills, dropped dispatches,
+# corrupted responses, zombie replies and checkpoint migration injected
+# into the fleet coordinator, with merged counters required to stay
+# bit-identical to a single-process run under every schedule.
+chaos-fleet:
+	$(GO) test -race -count=1 ./internal/fleet ./internal/retry -run 'Test'
 
 # Cached-vs-uncached identification pipeline; writes BENCH_identify.json
 # and fails if the analysis manager is not strictly faster and

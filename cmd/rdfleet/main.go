@@ -1,0 +1,175 @@
+// Command rdfleet distributes RD identification across a pool of
+// rdserved workers. The circuit is sharded by output cone, the input
+// sort is computed once globally and projected onto every cone, and the
+// per-cone answers are merged in deterministic cone order — so the
+// merged Selected/RD/Total counters are bit-identical to a
+// single-process rdident run at any worker count, under worker kills,
+// dropped dispatches, corrupt responses and zombie replies (see
+// internal/fleet and its chaos suite).
+//
+// Usage:
+//
+//	rdfleet -example -local 4                 # 4 in-process loopback workers
+//	rdfleet -bench file.bench -workers host:a,host:b
+//	rdfleet -example -local 2 -slice 50 -events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"rdfault"
+	"rdfault/internal/circuit"
+	"rdfault/internal/cliutil"
+	"rdfault/internal/fleet"
+	"rdfault/internal/loader"
+	"rdfault/internal/retry"
+	"rdfault/internal/serve"
+)
+
+func main() {
+	var (
+		benchFile = flag.String("bench", "", "read circuit from a netlist file (.bench, .v or .pla)")
+		example   = flag.Bool("example", false, "run on the paper's example circuit")
+		heuristic = flag.String("heuristic", "heu2", "fus|heu1|heu2|inverse|pin")
+		local     = flag.Int("local", 0, "spawn N in-process rdserved workers on loopback")
+		workers   = flag.String("workers", "", "comma-separated rdserved worker addresses (host:port,...)")
+		sliceMS   = flag.Int64("slice", 0, "per-dispatch slice budget in ms; workers stream checkpoints back (0 = whole cones)")
+		enum      = flag.Int("enum-workers", runtime.GOMAXPROCS(0), "enumeration goroutines per dispatched slice")
+		dispatch  = flag.Duration("dispatch-timeout", 60*time.Second, "abandon a dispatch after this long (the reply is discarded as a zombie)")
+		failures  = flag.Int("fail-threshold", 3, "consecutive failures that quarantine a worker")
+		budget    = flag.Int64("budget", 256<<20, "per-local-worker memory budget in bytes")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful drain deadline for local workers on exit")
+		events    = flag.Bool("events", false, "print the coordinator's event log")
+	)
+	flag.Parse()
+	ctx, stop := (&cliutil.Flags{}).SignalContext()
+	defer stop()
+
+	c, err := loadCircuit(*benchFile, *example)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := fleet.Config{
+		SliceMS:         *sliceMS,
+		EnumWorkers:     *enum,
+		DispatchTimeout: *dispatch,
+		FailThreshold:   *failures,
+	}
+	tr := &fleet.HTTPTransport{}
+	cfg.Transport = tr
+
+	switch {
+	case *local > 0 && *workers != "":
+		fatal(fmt.Errorf("-local and -workers are mutually exclusive"))
+	case *local > 0:
+		pool, err := fleet.NewLocalPool(*local, serve.Config{
+			Workers:         runtime.GOMAXPROCS(0),
+			MemoryBudget:    *budget,
+			MaxConeInFlight: 2,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer pool.Drain(*drain)
+		cfg.Workers = pool.Addrs()
+		fmt.Fprintf(os.Stderr, "rdfleet: %d local workers on %s\n", *local, strings.Join(cfg.Workers, " "))
+	case *workers != "":
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Workers = append(cfg.Workers, w)
+			}
+		}
+		// Remote pools ride over real networks; give the breaker more
+		// patience than the loopback default.
+		cfg.Backoff = retry.Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+		cfg.Probe = retry.Policy{Attempts: 8, Base: 250 * time.Millisecond, Cap: 5 * time.Second}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := fleet.Run(ctx, cfg, c, h)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res, *events)
+}
+
+func loadCircuit(benchFile string, example bool) (*circuit.Circuit, error) {
+	switch {
+	case example:
+		return rdfault.PaperExample(), nil
+	case benchFile != "":
+		return loader.Load(benchFile)
+	}
+	return nil, fmt.Errorf("need -bench or -example")
+}
+
+func parseHeuristic(name string) (rdfault.Heuristic, error) {
+	hs := map[string]rdfault.Heuristic{
+		"fus":     rdfault.HeuristicFUS,
+		"heu1":    rdfault.Heuristic1,
+		"heu2":    rdfault.Heuristic2,
+		"inverse": rdfault.Heuristic2Inverse,
+		"pin":     rdfault.HeuristicPinOrder,
+	}
+	h, ok := hs[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("unknown heuristic %q (want fus|heu1|heu2|inverse|pin)", name)
+	}
+	return h, nil
+}
+
+func printResult(res *fleet.Result, events bool) {
+	fmt.Printf("circuit:   %s (%d cones)\n", res.Circuit, res.Stats.Cones)
+	fmt.Printf("heuristic: %s  criterion: %s\n", res.Heuristic, res.Criterion)
+	fmt.Printf("paths:     %s\n", res.Total)
+	fmt.Printf("selected:  %d\n", res.Selected)
+	fmt.Printf("rd:        %s (%s%%)\n", res.RD, rdPercent(res.RD, res.Total))
+	fmt.Printf("segments:  %d  pruned: %d\n", res.Segments, res.Pruned)
+	fmt.Printf("stats:     dispatches=%d slices=%d failures=%d abandoned=%d zombies=%d restarts=%d quarantines=%d rejoins=%d dead=%d\n",
+		res.Stats.Dispatches, res.Stats.Slices, res.Stats.Failures, res.Stats.Abandoned,
+		res.Stats.ZombieDiscards, res.Stats.Restarts, res.Stats.Quarantines, res.Stats.Rejoins,
+		res.Stats.DeadWorkers)
+	fmt.Printf("duration:  %s\n", res.Duration.Round(time.Millisecond))
+	if events {
+		fmt.Println("events:")
+		for _, ev := range res.Events {
+			line := fmt.Sprintf("  %-18s worker=%s", ev.Kind, ev.Worker)
+			if ev.Cone != "" {
+				line += " cone=" + ev.Cone
+			}
+			if ev.Detail != "" {
+				line += " (" + ev.Detail + ")"
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+// rdPercent formats 100*rd/total with two decimals, in big-int space.
+func rdPercent(rd, total *big.Int) string {
+	if total.Sign() == 0 {
+		return "0.00"
+	}
+	scaled := new(big.Int).Mul(rd, big.NewInt(10000))
+	scaled.Add(scaled, new(big.Int).Quo(total, big.NewInt(2)))
+	scaled.Quo(scaled, total)
+	return fmt.Sprintf("%d.%02d", scaled.Int64()/100, scaled.Int64()%100)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rdfleet: %v\n", err)
+	os.Exit(1)
+}

@@ -46,6 +46,7 @@ func main() {
 		maxGates = flag.Int("max-gates", 200000, "admission limit on circuit size")
 		spill    = flag.String("spill", "", "directory for evicted-job checkpoints (default: system temp)")
 		retry    = flag.Duration("retry-after", time.Second, "backoff hint attached to shed load")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline: new work is shed with 503, in-flight jobs finish or checkpoint-spill")
 		selftest = flag.Bool("selftest", false, "bind an ephemeral port, exercise the service end to end, exit")
 	)
 	flag.Parse()
@@ -82,12 +83,17 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
+	// Graceful drain: the listener stays up so clients asking for work get
+	// 503 + Retry-After instead of a connection refusal, in-flight jobs run
+	// to completion or checkpoint-spill at the deadline, then everything
+	// closes.
+	fmt.Fprintf(os.Stderr, "rdserved: draining (deadline %s)\n", *drain)
+	s.Drain(*drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "rdserved: http shutdown: %v\n", err)
 	}
-	s.Close()
 	fmt.Fprintln(os.Stderr, "rdserved: drained")
 }
 

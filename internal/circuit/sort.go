@@ -67,6 +67,63 @@ func (s InputSort) Inverse() InputSort {
 	return InputSort{Pos: pos}
 }
 
+// Cone projects the sort onto a subcircuit extracted by Circuit.Cone:
+// mapping[newID] is the parent GateID of the cone gate newID, exactly as
+// Cone returned it. Because a cone keeps every fanin pin of every gate it
+// contains, each projected row is a verbatim copy of the parent row —
+// which is what makes per-cone σ^π enumeration under the projected sort
+// agree path-for-path with the whole-circuit run (the side-input
+// positions every criterion decision reads are unchanged).
+func (s InputSort) Cone(mapping []GateID) InputSort {
+	pos := make([][]int, len(mapping))
+	for ng, old := range mapping {
+		pos[ng] = append([]int(nil), s.Pos[old]...)
+	}
+	return InputSort{Pos: pos}
+}
+
+// ByName renders the sort as a gate-name-keyed wire format holding only
+// the rows that carry information (gates with at least two fanin pins).
+// SortFromNames inverts it on the receiving side; the name keying is what
+// survives a WriteBench/ParseBench round trip, where GateIDs are
+// renumbered and single-pin wrapper gates are renamed.
+func (s InputSort) ByName(c *Circuit) map[string][]int {
+	out := make(map[string][]int)
+	for g, row := range s.Pos {
+		if len(row) >= 2 {
+			out[c.Gate(GateID(g)).Name] = append([]int(nil), row...)
+		}
+	}
+	return out
+}
+
+// SortFromNames rebuilds an InputSort for c from ByName's wire format.
+// Gates absent from the map take the identity order, which is only
+// admissible for gates with fewer than two pins (nothing to order);
+// a missing multi-input gate is an error, not a silent pin-order
+// fallback — the caller was promised a specific σ and must not
+// enumerate under a different one.
+func SortFromNames(c *Circuit, byName map[string][]int) (InputSort, error) {
+	pos := make([][]int, c.NumGates())
+	for g := range pos {
+		fanin := c.Fanin(GateID(g))
+		name := c.Gate(GateID(g)).Name
+		if row, ok := byName[name]; ok {
+			pos[g] = append([]int(nil), row...)
+			continue
+		}
+		if len(fanin) >= 2 {
+			return InputSort{}, fmt.Errorf("sort names no positions for %d-input gate %q", len(fanin), name)
+		}
+		pos[g] = make([]int, len(fanin))
+	}
+	s := InputSort{Pos: pos}
+	if err := s.Validate(c); err != nil {
+		return InputSort{}, err
+	}
+	return s, nil
+}
+
 // LowOrderSides returns the pins of gate g whose position precedes that of
 // pin: the "low-order side-inputs" of the lead entering pin (footnote 2 of
 // the paper).

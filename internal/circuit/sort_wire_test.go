@@ -1,0 +1,121 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoCone builds a circuit with two overlapping output cones:
+//
+//	y1 = AND(OR(a,b), OR(b,c))   y2 = NAND(OR(b,c), d)
+//
+// The OR(b,c) gate is shared, so its sort row must project identically
+// into both cones.
+func twoCone(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("twocone")
+	a := b.Input("a")
+	bb := b.Input("b")
+	cc := b.Input("c")
+	d := b.Input("d")
+	o1 := b.Gate(Or, "o1", a, bb)
+	o2 := b.Gate(Or, "o2", bb, cc)
+	y1 := b.Gate(And, "y1", o1, o2)
+	y2 := b.Gate(Nand, "y2", o2, d)
+	b.Output("y1$po", y1)
+	b.Output("y2$po", y2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+// An inverse sort projected onto each cone must keep every shared gate's
+// row byte-for-byte, and validate against the cone.
+func TestInputSortConeProjection(t *testing.T) {
+	c := twoCone(t)
+	s := PinOrderSort(c).Inverse()
+	for _, po := range c.Outputs() {
+		cone, mapping, err := c.Cone(po)
+		if err != nil {
+			t.Fatalf("Cone: %v", err)
+		}
+		proj := s.Cone(mapping)
+		if err := proj.Validate(cone); err != nil {
+			t.Fatalf("projected sort invalid for %s: %v", cone.Name(), err)
+		}
+		for ng := 0; ng < cone.NumGates(); ng++ {
+			old := mapping[ng]
+			if len(proj.Pos[ng]) != len(s.Pos[old]) {
+				t.Fatalf("gate %q: projected row %v, parent row %v",
+					cone.Gate(GateID(ng)).Name, proj.Pos[ng], s.Pos[old])
+			}
+			for i, v := range proj.Pos[ng] {
+				if s.Pos[old][i] != v {
+					t.Fatalf("gate %q: projected row %v differs from parent row %v",
+						cone.Gate(GateID(ng)).Name, proj.Pos[ng], s.Pos[old])
+				}
+			}
+		}
+	}
+}
+
+// ByName → bench round trip → SortFromNames must reproduce the sort on
+// the re-parsed circuit, even though GateIDs are renumbered and the PO
+// wrapper gains a $po suffix.
+func TestSortByNameSurvivesBenchRoundTrip(t *testing.T) {
+	c := twoCone(t)
+	s := PinOrderSort(c).Inverse()
+	var buf strings.Builder
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatalf("WriteBench: %v", err)
+	}
+	rt, err := ParseBench(c.Name(), strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ParseBench: %v", err)
+	}
+	got, err := SortFromNames(rt, s.ByName(c))
+	if err != nil {
+		t.Fatalf("SortFromNames: %v", err)
+	}
+	for g := 0; g < rt.NumGates(); g++ {
+		name := rt.Gate(GateID(g)).Name
+		if len(rt.Fanin(GateID(g))) < 2 {
+			continue
+		}
+		// Find the gate of the same name in the original.
+		var orig GateID = None
+		for og := 0; og < c.NumGates(); og++ {
+			if c.Gate(GateID(og)).Name == name {
+				orig = GateID(og)
+				break
+			}
+		}
+		if orig == None {
+			t.Fatalf("gate %q not found in original", name)
+		}
+		for i, v := range got.Pos[g] {
+			if s.Pos[orig][i] != v {
+				t.Fatalf("gate %q: round-tripped row %v, want %v", name, got.Pos[g], s.Pos[orig])
+			}
+		}
+	}
+}
+
+// A multi-input gate missing from the wire map must be rejected — the
+// enumeration would otherwise silently run under the wrong σ.
+func TestSortFromNamesRejectsMissingMultiInputGate(t *testing.T) {
+	c := twoCone(t)
+	byName := PinOrderSort(c).ByName(c)
+	delete(byName, "y1")
+	if _, err := SortFromNames(c, byName); err == nil {
+		t.Fatalf("SortFromNames accepted a map missing a 2-input gate")
+	}
+	// A corrupt row (not a permutation) must be rejected by validation.
+	byName = PinOrderSort(c).ByName(c)
+	byName["y1"] = []int{0, 0}
+	if _, err := SortFromNames(c, byName); err == nil {
+		t.Fatalf("SortFromNames accepted a non-permutation row")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rdfault/internal/core"
+	"rdfault/internal/retry"
 )
 
 // SuiteOptions hardens the suite runners (RunISCAS, RunMCNC, RunAll)
@@ -87,28 +88,34 @@ func (o *SuiteOptions) runAttempt(ctx context.Context, name string, attempt int,
 	return fn(ctx)
 }
 
-// runCircuit runs fn under the per-circuit budget with retry/backoff.
-// It returns a quarantine row when every attempt failed, and a non-nil
-// fatal error only when the suite context itself is done.
+// runCircuit runs fn under the per-circuit budget, with the retry loop
+// delegated to retry.Policy: a constant jitterless backoff (Factor 1)
+// keeps the suite's historical fixed-pause behavior — and its golden
+// outputs — unchanged. It returns a quarantine row when every attempt
+// failed, and a non-nil fatal error only when the suite context itself
+// is done.
 func (o *SuiteOptions) runCircuit(name string, fn func(ctx context.Context) error) (*QuarantinedRow, error) {
 	parent := o.parent()
-	sleep := o.sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	backoff := o.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
-	max := o.attempts()
+	pol := retry.Policy{
+		Attempts: o.attempts(),
+		Base:     backoff,
+		Cap:      backoff,
+		Factor:   1,
+		NoJitter: true,
+	}
+	if o.sleep != nil {
+		sleep := o.sleep
+		pol.Sleep = func(ctx context.Context, d time.Duration) error {
+			sleep(d)
+			return ctx.Err()
+		}
+	}
 	var lastErr error
-	for attempt := 0; attempt < max; attempt++ {
-		if err := parent.Err(); err != nil {
-			return nil, err
-		}
-		if attempt > 0 {
-			sleep(backoff)
-		}
+	err := pol.Do(parent, func(attempt int) error {
 		ctx := parent
 		var cancel context.CancelFunc
 		if o.PerCircuitTimeout > 0 {
@@ -118,16 +125,21 @@ func (o *SuiteOptions) runCircuit(name string, fn func(ctx context.Context) erro
 		if cancel != nil {
 			cancel()
 		}
-		if err == nil {
-			return nil, nil
-		}
 		// Suite-level cancellation is fatal, not quarantine-worthy.
-		if parent.Err() != nil {
-			return nil, parent.Err()
+		if err != nil && parent.Err() != nil {
+			return retry.Permanent(parent.Err())
 		}
 		lastErr = err
+		return err
+	})
+	switch {
+	case err == nil:
+		return nil, nil
+	case parent.Err() != nil:
+		return nil, parent.Err()
+	default:
+		return &QuarantinedRow{Circuit: name, Attempts: o.attempts(), Reason: lastErr.Error()}, nil
 	}
-	return &QuarantinedRow{Circuit: name, Attempts: max, Reason: lastErr.Error()}, nil
 }
 
 // completeOr converts an interrupted or degraded enumeration result into

@@ -119,6 +119,27 @@ const (
 	// PointClock shifts the clock serve uses for deadlines and
 	// Retry-After arithmetic (KindSkew).
 	PointClock = "serve.clock"
+	// PointFleetDispatch fires in the fleet transport before a cone
+	// dispatch leaves the coordinator; KindError drops the request on the
+	// floor (network failure), KindSleep delays it.
+	PointFleetDispatch = "fleet.dispatch"
+	// PointFleetLatency fires in the fleet transport after a worker's
+	// response is received but before the coordinator processes it;
+	// KindSleep turns a healthy worker into a slow one, which is how the
+	// chaos suite manufactures zombie replies (the coordinator gives up,
+	// reassigns the cone, and the late answer must be discarded).
+	PointFleetLatency = "fleet.latency"
+	// PointFleetResponseCorrupt corrupts the response bytes a worker sent
+	// back (KindCorrupt) — a flaky proxy or truncated read.
+	PointFleetResponseCorrupt = "fleet.response.corrupt"
+	// PointFleetWorkerKill fires in the fleet transport before each
+	// dispatch; a firing rule makes the harness kill the destination
+	// worker first (listener closed, in-flight work lost), so the dispatch
+	// and everything after it sees a genuinely dead node.
+	PointFleetWorkerKill = "fleet.worker.kill"
+	// PointFleetClock shifts the clock the coordinator stamps its event
+	// log and deadlines with (KindSkew).
+	PointFleetClock = "fleet.clock"
 )
 
 // ErrInjected is the sentinel all injected errors unwrap to; match with

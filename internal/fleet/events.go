@@ -1,0 +1,112 @@
+// Package fleet distributes RD identification across a pool of rdserved
+// workers: the coordinator shards the circuit by output cone, computes
+// one global input sort and projects it onto every cone (which is what
+// makes per-cone counters sum bit-identically to a single-process run),
+// dispatches checkpoint-bounded slices over HTTP, and survives worker
+// death by reclaiming each cone from its last streamed checkpoint.
+//
+// The resilience contract, enforced by the chaos suite: for any worker
+// count and any schedule of kills, dropped dispatches, delayed or
+// corrupted responses, the merged Selected/RD/Total/Segments counters
+// are bit-identical to a clean run — a fault can cost time, never
+// correctness. Zombie replies (answers arriving after the coordinator
+// reassigned the cone) are discarded by epoch, so every cone's result
+// is accounted at most once.
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"rdfault/internal/faultinject"
+)
+
+// EventKind labels one entry of the coordinator's dispatch log.
+type EventKind string
+
+const (
+	// EvDispatch: a cone slice left for a worker.
+	EvDispatch EventKind = "dispatch"
+	// EvSlice: a worker answered an interrupted slice with a checkpoint;
+	// the cone is requeued with its progress kept.
+	EvSlice EventKind = "slice"
+	// EvComplete: a cone's final answer was accepted.
+	EvComplete EventKind = "complete"
+	// EvFailure: a dispatch failed (network, saturation, corrupt
+	// response); the cone was reclaimed and requeued.
+	EvFailure EventKind = "failure"
+	// EvAbandon: a dispatch exceeded the coordinator's wait; the cone's
+	// epoch advanced and the cone was requeued. Whatever the old dispatch
+	// still returns is a zombie.
+	EvAbandon EventKind = "abandon"
+	// EvZombie: a reply from an abandoned dispatch arrived and was
+	// discarded (at-most-once accounting).
+	EvZombie EventKind = "zombie-discard"
+	// EvRestart: a worker rejected the cone's checkpoint (422); the
+	// checkpoint was dropped and the cone restarts from scratch.
+	EvRestart EventKind = "checkpoint-restart"
+	// EvQuarantine: a worker crossed the consecutive-failure threshold
+	// and stopped taking work pending health probes.
+	EvQuarantine EventKind = "quarantine"
+	// EvRejoin: a quarantined worker answered a health probe and took
+	// work again.
+	EvRejoin EventKind = "rejoin"
+	// EvDead: a quarantined worker exhausted its health probes and left
+	// the pool for good.
+	EvDead EventKind = "dead"
+)
+
+// Event is one entry of the dispatch/retry/quarantine log.
+type Event struct {
+	// Time is stamped through faultinject.PointFleetClock so chaos tests
+	// can skew it.
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	Worker string    `json:"worker,omitempty"`
+	Cone   string    `json:"cone,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// eventLog collects events concurrently and optionally streams them to
+// a sink.
+type eventLog struct {
+	mu   sync.Mutex
+	list []Event
+	sink func(Event)
+}
+
+func (l *eventLog) add(kind EventKind, worker, cone, detail string) {
+	ev := Event{
+		Time:   faultinject.Now(faultinject.PointFleetClock),
+		Kind:   kind,
+		Worker: worker,
+		Cone:   cone,
+		Detail: detail,
+	}
+	l.mu.Lock()
+	l.list = append(l.list, ev)
+	sink := l.sink
+	l.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.list...)
+}
+
+// count reports how many logged events have the given kind.
+func (l *eventLog) count(kind EventKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.list {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,587 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/retry"
+	"rdfault/internal/serve"
+)
+
+// ErrNoWorkers: every worker is dead (quarantined and probed out) while
+// cones are still unfinished. The run fails typed rather than hanging.
+var ErrNoWorkers = errors.New("fleet: no live workers left with cones pending")
+
+// Config shapes one coordinator run. The zero value (plus a Transport
+// and Workers) takes the documented defaults.
+type Config struct {
+	// Transport carries dispatches; required.
+	Transport Transport
+	// Workers are the worker addresses (host:port); at least one.
+	Workers []string
+	// SliceMS bounds each dispatched slice so workers stream checkpoints
+	// back; 0 dispatches whole cones (failover then restarts a lost cone
+	// from its last completed dispatch, i.e. from scratch).
+	SliceMS int64
+	// EnumWorkers is the per-slice enumeration parallelism on the worker
+	// (0 = worker default).
+	EnumWorkers int
+	// DispatchTimeout is how long the coordinator waits for a dispatch
+	// before abandoning it: the cone's epoch advances, the cone requeues,
+	// and the old dispatch's eventual reply is discarded as a zombie
+	// (default 60s).
+	DispatchTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that quarantines a
+	// worker (default 3).
+	FailThreshold int
+	// Backoff paces a worker's retries after a failed dispatch; its
+	// Attempts field is ignored (the circuit breaker, not the retry
+	// count, bounds failures). Default: 4 attempts' worth of envelope,
+	// base 25ms, cap 1s, seeded jitter.
+	Backoff retry.Policy
+	// Probe paces a quarantined worker's health checks; when its
+	// Attempts are exhausted the worker is dead (default 5 attempts,
+	// base 50ms, cap 2s).
+	Probe retry.Policy
+	// ProbeTimeout bounds each individual health probe (default 2s).
+	ProbeTimeout time.Duration
+	// OnEvent, when set, receives every log event as it happens.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DispatchTimeout <= 0 {
+		c.DispatchTimeout = 60 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Backoff.Base <= 0 {
+		c.Backoff.Base = 25 * time.Millisecond
+	}
+	if c.Backoff.Cap <= 0 {
+		c.Backoff.Cap = time.Second
+	}
+	if c.Probe.Attempts == 0 {
+		c.Probe.Attempts = 5
+	}
+	if c.Probe.Base <= 0 {
+		c.Probe.Base = 50 * time.Millisecond
+	}
+	if c.Probe.Cap <= 0 {
+		c.Probe.Cap = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Stats counts what the run survived.
+type Stats struct {
+	Cones          int   `json:"cones"`
+	Dispatches     int64 `json:"dispatches"`
+	Slices         int64 `json:"slices"`
+	Failures       int64 `json:"failures"`
+	Abandoned      int64 `json:"abandoned"`
+	ZombieDiscards int64 `json:"zombie_discards"`
+	Restarts       int64 `json:"restarts"`
+	Quarantines    int64 `json:"quarantines"`
+	Rejoins        int64 `json:"rejoins"`
+	DeadWorkers    int64 `json:"dead_workers"`
+}
+
+// ConeResult is one cone's final accounting.
+type ConeResult struct {
+	Name string `json:"name"`
+	// Answer is the accepted complete answer (cumulative over the cone's
+	// whole slice chain).
+	Answer *serve.ConeAnswer `json:"answer"`
+	// Slices counts accepted dispatch answers, complete included.
+	Slices int `json:"slices"`
+	// Restarts counts how many times the cone lost its checkpoint and
+	// started over.
+	Restarts int `json:"restarts"`
+}
+
+// Result is the merged run: counters summed over cones in deterministic
+// cone order. Selected/RD/Total are bit-identical to a single-process
+// run of the same circuit, heuristic and criterion; Segments is the
+// sharded work sum (shared DFS prefixes are walked once per cone, so it
+// exceeds the single-process count, but it is the same for every worker
+// count and chaos schedule).
+type Result struct {
+	Circuit   string       `json:"circuit"`
+	Heuristic string       `json:"heuristic"`
+	Criterion string       `json:"criterion"`
+	Total     *big.Int     `json:"-"`
+	Selected  int64        `json:"selected"`
+	RD        *big.Int     `json:"-"`
+	Segments  int64        `json:"segments"`
+	Pruned    int64        `json:"pruned"`
+	TotalStr  string       `json:"total_paths"`
+	RDStr     string       `json:"rd"`
+	PerCone   []ConeResult `json:"per_cone"`
+	Stats     Stats        `json:"stats"`
+	Events    []Event      `json:"-"`
+	Duration  time.Duration
+}
+
+// job is one cone's mutable dispatch state. epoch implements
+// at-most-once accounting: a dispatch captures the epoch it was issued
+// under, and a reply whose epoch no longer matches (the coordinator
+// abandoned the dispatch and moved on) is discarded.
+type job struct {
+	idx   int
+	name  string
+	bench string
+	sort  map[string][]int
+
+	mu         sync.Mutex
+	epoch      uint64
+	checkpoint json.RawMessage
+	done       bool
+	final      *serve.ConeAnswer
+	slices     int
+	restarts   int
+}
+
+type coordinator struct {
+	cfg       Config
+	criterion string
+
+	jobs      []*job
+	queue     chan *job
+	remaining atomic.Int64
+	allDone   chan struct{}
+	live      atomic.Int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	failOnce sync.Once
+	failErr  error
+
+	events *eventLog
+	stats  struct {
+		dispatches, slices, failures, abandoned atomic.Int64
+		zombies, restarts                       atomic.Int64
+		quarantines, rejoins, dead              atomic.Int64
+	}
+
+	loopWG sync.WaitGroup // worker loops
+	bgWG   sync.WaitGroup // detached dispatches and zombie reapers
+}
+
+// Run shards c by output cone and drives the worker pool until every
+// cone has a complete answer (or the run fails typed). The input sort
+// is computed once, globally, from h, and projected onto each cone —
+// per-cone criterion decisions then agree path-for-path with the
+// whole-circuit run, which is what makes the merged counters exact.
+func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, errors.New("fleet: no transport")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	start := time.Now()
+
+	criterion := core.FS
+	var sort *circuit.InputSort
+	if h != core.HeuristicFUS {
+		criterion = core.SigmaPi
+		s, err := globalSort(c, h)
+		if err != nil {
+			return nil, err
+		}
+		sort = &s
+	}
+
+	outputs := c.Outputs()
+	jobs := make([]*job, 0, len(outputs))
+	for _, po := range outputs {
+		cone, mapping, err := c.Cone(po)
+		if err != nil {
+			return nil, err
+		}
+		j := &job{idx: len(jobs), name: cone.Name()}
+		var b strings.Builder
+		if err := circuit.WriteBench(&b, cone); err != nil {
+			return nil, err
+		}
+		j.bench = b.String()
+		if sort != nil {
+			j.sort = sort.Cone(mapping).ByName(cone)
+		}
+		jobs = append(jobs, j)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	co := &coordinator{
+		cfg:       cfg,
+		criterion: criterion.String(),
+		jobs:      jobs,
+		queue:     make(chan *job, len(jobs)),
+		allDone:   make(chan struct{}),
+		ctx:       runCtx,
+		cancel:    cancel,
+		events:    &eventLog{sink: cfg.OnEvent},
+	}
+	co.remaining.Store(int64(len(jobs)))
+	if len(jobs) == 0 {
+		close(co.allDone)
+	}
+	for _, j := range jobs {
+		co.queue <- j
+	}
+	co.live.Store(int64(len(cfg.Workers)))
+	for i, w := range cfg.Workers {
+		co.loopWG.Add(1)
+		go co.workerLoop(w, i)
+	}
+
+	select {
+	case <-co.allDone:
+	case <-runCtx.Done():
+	}
+	cancel()
+	co.loopWG.Wait()
+	co.bgWG.Wait()
+
+	if co.failErr != nil {
+		return nil, co.failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-co.allDone:
+	default:
+		return nil, errors.New("fleet: run ended with cones unfinished")
+	}
+	return co.merge(c, h, start)
+}
+
+// fail records the run's terminal error once and aborts everything.
+func (co *coordinator) fail(err error) {
+	co.failOnce.Do(func() {
+		co.failErr = err
+		co.cancel()
+	})
+}
+
+// jobDone retires one cone; the last one ends the run.
+func (co *coordinator) jobDone() {
+	if co.remaining.Add(-1) == 0 {
+		close(co.allDone)
+	}
+}
+
+// requeue puts a cone back on the queue. Each job has exactly one
+// ownership token (queued, or held by the dispatching loop), so the
+// buffered channel can never overflow.
+func (co *coordinator) requeue(j *job) {
+	select {
+	case co.queue <- j:
+	default:
+		// Unreachable while the single-ownership invariant holds; failing
+		// loudly beats deadlocking silently.
+		co.fail(fmt.Errorf("fleet: requeue overflow on cone %s", j.name))
+	}
+}
+
+// workerLoop owns one worker: it pulls cones, dispatches them, trips
+// the circuit breaker after FailThreshold consecutive failures, probes
+// the worker back to health or declares it dead.
+func (co *coordinator) workerLoop(worker string, seed int) {
+	defer co.loopWG.Done()
+	backoff := co.cfg.Backoff
+	backoff.Seed = int64(seed + 1) // distinct jitter stream per worker
+	consec := 0
+	for {
+		select {
+		case <-co.allDone:
+			return
+		case <-co.ctx.Done():
+			return
+		case j := <-co.queue:
+			if co.dispatch(worker, j) {
+				consec = 0
+				continue
+			}
+			consec++
+			if consec >= co.cfg.FailThreshold {
+				co.stats.quarantines.Add(1)
+				co.events.add(EvQuarantine, worker, "", fmt.Sprintf("%d consecutive failures", consec))
+				if co.probe(worker) {
+					consec = 0
+					co.stats.rejoins.Add(1)
+					co.events.add(EvRejoin, worker, "", "")
+					continue
+				}
+				co.stats.dead.Add(1)
+				co.events.add(EvDead, worker, "", "health probes exhausted")
+				if co.live.Add(-1) == 0 && co.remaining.Load() > 0 {
+					co.fail(ErrNoWorkers)
+				}
+				return
+			}
+			if d := backoff.Backoff(consec - 1); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-co.ctx.Done():
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch runs one cone slice on worker and reports whether the worker
+// behaved (true resets the failure streak). The cone itself is always
+// accounted for exactly once: completed, requeued with progress, or
+// requeued after reclaim.
+func (co *coordinator) dispatch(worker string, j *job) bool {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return true
+	}
+	epoch := j.epoch
+	req := serve.ConeRequest{
+		Bench:      j.bench,
+		Name:       j.name,
+		Criterion:  co.criterion,
+		Sort:       j.sort,
+		Checkpoint: j.checkpoint,
+		SliceMS:    co.cfg.SliceMS,
+		Workers:    co.cfg.EnumWorkers,
+	}
+	j.mu.Unlock()
+
+	co.stats.dispatches.Add(1)
+	co.events.add(EvDispatch, worker, j.name, "")
+
+	// The dispatch runs detached so an arbitrarily late reply cannot
+	// wedge the loop; the reply channel is buffered, so the goroutine
+	// never leaks even if nobody is left reading.
+	type reply struct {
+		ans *serve.ConeAnswer
+		err error
+	}
+	ch := make(chan reply, 1)
+	co.bgWG.Add(1)
+	go func() {
+		defer co.bgWG.Done()
+		ans, err := co.cfg.Transport.Dispatch(co.ctx, worker, req)
+		ch <- reply{ans, err}
+	}()
+
+	timer := time.NewTimer(co.cfg.DispatchTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return co.dispatchError(worker, j, epoch, r.err)
+		}
+		return co.apply(worker, j, epoch, r.ans)
+	case <-timer.C:
+		// Abandon: advance the epoch so the in-flight dispatch's eventual
+		// reply is provably stale, reclaim the cone, and leave a reaper
+		// to log the zombie.
+		j.mu.Lock()
+		j.epoch++
+		j.mu.Unlock()
+		co.stats.abandoned.Add(1)
+		co.events.add(EvAbandon, worker, j.name, co.cfg.DispatchTimeout.String())
+		co.requeue(j)
+		co.bgWG.Add(1)
+		go func() {
+			defer co.bgWG.Done()
+			r := <-ch
+			co.stats.zombies.Add(1)
+			detail := "late reply"
+			if r.err != nil {
+				detail = "late error: " + r.err.Error()
+			}
+			co.events.add(EvZombie, worker, j.name, detail)
+		}()
+		return false
+	case <-co.ctx.Done():
+		return false
+	}
+}
+
+// apply accounts one answered dispatch. The epoch check discards
+// replies from abandoned dispatches; the done check makes completion
+// at-most-once even if a cone was ever dispatched twice.
+func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.ConeAnswer) bool {
+	j.mu.Lock()
+	if j.done || j.epoch != epoch {
+		j.mu.Unlock()
+		co.stats.zombies.Add(1)
+		co.events.add(EvZombie, worker, j.name, "stale epoch")
+		return true
+	}
+	switch ans.Status {
+	case "complete":
+		j.done = true
+		j.final = ans
+		j.slices++
+		j.mu.Unlock()
+		co.events.add(EvComplete, worker, j.name, fmt.Sprintf("selected=%d rd=%s", ans.Selected, ans.RD))
+		co.jobDone()
+		return true
+	case "deadline", "canceled":
+		if len(ans.Checkpoint) == 0 {
+			j.mu.Unlock()
+			return co.dispatchError(worker, j, epoch, fmt.Errorf("%w: interrupted slice without checkpoint", ErrCorruptResponse))
+		}
+		j.checkpoint = ans.Checkpoint
+		j.slices++
+		j.mu.Unlock()
+		co.stats.slices.Add(1)
+		co.events.add(EvSlice, worker, j.name, "checkpoint streamed")
+		co.requeue(j)
+		return true
+	default:
+		j.mu.Unlock()
+		return co.dispatchError(worker, j, epoch, fmt.Errorf("%w: unknown slice status %q", ErrCorruptResponse, ans.Status))
+	}
+}
+
+// dispatchError reclaims the cone after a failed dispatch and picks the
+// recovery: 422 drops the checkpoint and restarts the cone, other 4xx
+// is a permanent misconfiguration that fails the run, everything else
+// (network, 429, 5xx, corruption) is transient and counts against the
+// worker's breaker.
+func (co *coordinator) dispatchError(worker string, j *job, epoch uint64, err error) bool {
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		switch {
+		case remote.Code == 422:
+			j.mu.Lock()
+			if !j.done && j.epoch == epoch {
+				j.checkpoint = nil
+				j.restarts++
+			}
+			j.mu.Unlock()
+			co.stats.restarts.Add(1)
+			co.events.add(EvRestart, worker, j.name, err.Error())
+			co.requeue(j)
+			return true // the worker is healthy; it is our checkpoint that was bad
+		case remote.Code >= 400 && remote.Code < 500 && remote.Code != 429:
+			co.fail(fmt.Errorf("fleet: cone %s permanently rejected: %w", j.name, err))
+			co.requeue(j)
+			return false
+		}
+	}
+	co.stats.failures.Add(1)
+	co.events.add(EvFailure, worker, j.name, err.Error())
+	co.requeue(j)
+	return false
+}
+
+// probe drives the quarantined worker's health checks under the Probe
+// policy; true means the worker may take work again.
+func (co *coordinator) probe(worker string) bool {
+	p := co.cfg.Probe
+	err := p.Do(co.ctx, func(int) error {
+		ctx, cancel := context.WithTimeout(co.ctx, co.cfg.ProbeTimeout)
+		defer cancel()
+		return co.cfg.Transport.Healthz(ctx, worker)
+	})
+	return err == nil
+}
+
+// merge folds the per-cone answers, in cone order, into the run result.
+func (co *coordinator) merge(c *circuit.Circuit, h core.Heuristic, start time.Time) (*Result, error) {
+	res := &Result{
+		Circuit:   c.Name(),
+		Heuristic: h.String(),
+		Criterion: co.criterion,
+		Total:     new(big.Int),
+		RD:        new(big.Int),
+		Duration:  time.Since(start),
+		Events:    co.events.snapshot(),
+	}
+	for _, j := range co.jobs {
+		a := j.final
+		if a == nil {
+			return nil, fmt.Errorf("fleet: cone %s finished without an answer", j.name)
+		}
+		if err := addDecimal(res.Total, a.TotalPaths); err != nil {
+			return nil, fmt.Errorf("fleet: cone %s: %v", j.name, err)
+		}
+		if err := addDecimal(res.RD, a.RD); err != nil {
+			return nil, fmt.Errorf("fleet: cone %s: %v", j.name, err)
+		}
+		res.Selected += a.Selected
+		res.Segments += a.Segments
+		res.Pruned += a.Pruned
+		res.PerCone = append(res.PerCone, ConeResult{
+			Name: j.name, Answer: a, Slices: j.slices, Restarts: j.restarts,
+		})
+	}
+	res.TotalStr = res.Total.String()
+	res.RDStr = res.RD.String()
+	res.Stats = Stats{
+		Cones:          len(co.jobs),
+		Dispatches:     co.stats.dispatches.Load(),
+		Slices:         co.stats.slices.Load(),
+		Failures:       co.stats.failures.Load(),
+		Abandoned:      co.stats.abandoned.Load(),
+		ZombieDiscards: co.stats.zombies.Load(),
+		Restarts:       co.stats.restarts.Load(),
+		Quarantines:    co.stats.quarantines.Load(),
+		Rejoins:        co.stats.rejoins.Load(),
+		DeadWorkers:    co.stats.dead.Load(),
+	}
+	return res, nil
+}
+
+// globalSort computes the whole-circuit input sort h prescribes — the
+// one sort every cone's projection derives from.
+func globalSort(c *circuit.Circuit, h core.Heuristic) (circuit.InputSort, error) {
+	switch h {
+	case core.Heuristic1:
+		return core.Heuristic1Sort(c), nil
+	case core.Heuristic2, core.Heuristic2Inverse:
+		s, _, _, err := core.Heuristic2SortWorkers(c, 0)
+		if err != nil {
+			return circuit.InputSort{}, err
+		}
+		if h == core.Heuristic2Inverse {
+			s = s.Inverse()
+		}
+		return s, nil
+	case core.HeuristicPinOrder:
+		return circuit.PinOrderSort(c), nil
+	}
+	return circuit.InputSort{}, fmt.Errorf("fleet: heuristic %v has no input sort", h)
+}
+
+// addDecimal folds a worker's decimal counter into sum.
+func addDecimal(sum *big.Int, s string) error {
+	if s == "" {
+		return nil
+	}
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return fmt.Errorf("bad decimal counter %q", s)
+	}
+	sum.Add(sum, v)
+	return nil
+}

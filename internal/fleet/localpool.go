@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"rdfault/internal/serve"
+)
+
+// LocalPool runs N in-process rdserved workers on loopback listeners —
+// the backing for `rdfleet -local N` and for the chaos suite, whose
+// kill switch needs to tear a worker down abruptly (listener closed,
+// in-flight work gone) rather than gracefully.
+type LocalPool struct {
+	mu      sync.Mutex
+	workers []*localWorker
+}
+
+type localWorker struct {
+	addr   string
+	srv    *serve.Server
+	hsrv   *http.Server
+	ln     net.Listener
+	killed bool
+}
+
+// NewLocalPool starts n workers, each its own serve.Server behind its
+// own 127.0.0.1:0 listener.
+func NewLocalPool(n int, cfg serve.Config) (*LocalPool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: local pool needs at least 1 worker, got %d", n)
+	}
+	p := &LocalPool{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		srv := serve.New(cfg)
+		hsrv := &http.Server{Handler: srv.Handler()}
+		w := &localWorker{addr: ln.Addr().String(), srv: srv, hsrv: hsrv, ln: ln}
+		go hsrv.Serve(ln)
+		p.workers = append(p.workers, w)
+	}
+	return p, nil
+}
+
+// Addrs lists every worker's address, killed ones included (the
+// coordinator is supposed to discover their death the hard way).
+func (p *LocalPool) Addrs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addrs := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		addrs[i] = w.addr
+	}
+	return addrs
+}
+
+// Kill tears the worker at addr down abruptly: open connections are
+// closed mid-flight and in-progress slices die with the process state —
+// exactly what a killed node looks like from the coordinator. Returns
+// false if no live worker has that address.
+func (p *LocalPool) Kill(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.addr == addr && !w.killed {
+			w.killed = true
+			w.hsrv.Close()
+			w.srv.Close()
+			return true
+		}
+	}
+	return false
+}
+
+// KillIndex kills the i-th worker; see Kill.
+func (p *LocalPool) KillIndex(i int) bool {
+	p.mu.Lock()
+	if i < 0 || i >= len(p.workers) {
+		p.mu.Unlock()
+		return false
+	}
+	addr := p.workers[i].addr
+	p.mu.Unlock()
+	return p.Kill(addr)
+}
+
+// Killed reports how many workers have been killed.
+func (p *LocalPool) Killed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if w.killed {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain gracefully drains every still-live worker in parallel (used by
+// rdfleet on shutdown); killed workers are skipped.
+func (p *LocalPool) Drain(timeout time.Duration) {
+	p.mu.Lock()
+	ws := append([]*localWorker(nil), p.workers...)
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		p.mu.Lock()
+		killed := w.killed
+		p.mu.Unlock()
+		if killed {
+			continue
+		}
+		wg.Add(1)
+		go func(w *localWorker) {
+			defer wg.Done()
+			w.srv.Drain(timeout)
+			w.hsrv.Close()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Close kills every remaining worker.
+func (p *LocalPool) Close() {
+	p.mu.Lock()
+	ws := append([]*localWorker(nil), p.workers...)
+	p.mu.Unlock()
+	for _, w := range ws {
+		p.Kill(w.addr)
+	}
+}

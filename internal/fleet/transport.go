@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rdfault/internal/faultinject"
+	"rdfault/internal/serve"
+)
+
+// Transport carries cone dispatches to workers. The coordinator only
+// ever sees this interface; the chaos suite and the HTTP transport both
+// implement it.
+type Transport interface {
+	// Dispatch runs one cone slice on the named worker and returns its
+	// verified answer.
+	Dispatch(ctx context.Context, worker string, req serve.ConeRequest) (*serve.ConeAnswer, error)
+	// Healthz probes the worker's liveness; nil means the worker is
+	// accepting work.
+	Healthz(ctx context.Context, worker string) error
+}
+
+// ErrCorruptResponse is the sentinel for a worker reply that failed
+// integrity verification — unparsable bytes or a checksum mismatch. The
+// coordinator treats it as a transient dispatch failure and retries;
+// corrupt numbers never reach the merge.
+var ErrCorruptResponse = errors.New("fleet: corrupt worker response")
+
+// RemoteError is a non-2xx worker answer, carrying enough structure for
+// the coordinator to pick the right recovery: 422 drops the checkpoint,
+// 4xx is permanent, everything else retries.
+type RemoteError struct {
+	Worker     string
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("fleet: worker %s answered %d: %s", e.Worker, e.Code, e.Msg)
+}
+
+// HTTPTransport dispatches over HTTP+JSON to rdserved workers
+// (POST /v1/cone, GET /healthz). The zero value is usable.
+type HTTPTransport struct {
+	// Client overrides the HTTP client (default: a dedicated client with
+	// no global timeout — per-dispatch bounds come from the context).
+	Client *http.Client
+	// Kill, when set, is called with the destination worker right before
+	// a dispatch whenever the fleet.worker.kill fault-injection point
+	// fires — the chaos harness installs the hook that actually tears
+	// the worker down, so the dispatch (and everything after it) meets a
+	// genuinely dead node.
+	Kill func(worker string)
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// Dispatch posts one cone slice. Fault-injection points, in order:
+// fleet.worker.kill (harness kills the destination first),
+// fleet.dispatch (KindError drops the request, KindSleep delays it),
+// fleet.response.corrupt (mutates the response bytes), fleet.latency
+// (KindSleep delays the reply past the coordinator's patience).
+func (t *HTTPTransport) Dispatch(ctx context.Context, worker string, req serve.ConeRequest) (*serve.ConeAnswer, error) {
+	if err := faultinject.Fire(faultinject.PointFleetWorkerKill); err != nil && t.Kill != nil {
+		t.Kill(worker)
+	}
+	if err := faultinject.Fire(faultinject.PointFleetDispatch); err != nil {
+		return nil, fmt.Errorf("fleet: dispatch to %s dropped: %w", worker, err)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+worker+"/v1/cone", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	raw = faultinject.Corrupt(faultinject.PointFleetResponseCorrupt, raw)
+	if err := faultinject.Fire(faultinject.PointFleetLatency); err != nil {
+		return nil, fmt.Errorf("fleet: response from %s lost: %w", worker, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var he struct {
+			Error      string `json:"error"`
+			RetryAfter int64  `json:"retry_after_ms"`
+		}
+		_ = json.Unmarshal(raw, &he)
+		if he.Error == "" {
+			he.Error = http.StatusText(resp.StatusCode)
+		}
+		return nil, &RemoteError{
+			Worker:     worker,
+			Code:       resp.StatusCode,
+			Msg:        he.Error,
+			RetryAfter: time.Duration(he.RetryAfter) * time.Millisecond,
+		}
+	}
+	var ans serve.ConeAnswer
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		return nil, fmt.Errorf("%w: worker %s: %v", ErrCorruptResponse, worker, err)
+	}
+	if !ans.Verify() {
+		return nil, fmt.Errorf("%w: worker %s: checksum mismatch", ErrCorruptResponse, worker)
+	}
+	return &ans, nil
+}
+
+// Healthz probes GET /healthz; a worker reporting anything but "ok"
+// (e.g. "draining") counts as unavailable.
+func (t *HTTPTransport) Healthz(ctx context.Context, worker string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+worker+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &RemoteError{Worker: worker, Code: resp.StatusCode, Msg: "healthz"}
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return fmt.Errorf("%w: worker %s healthz: %v", ErrCorruptResponse, worker, err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("fleet: worker %s is %q", worker, h.Status)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package retry is the repository's one backoff implementation: capped
+// exponential backoff with full jitter, context-aware, deterministic.
+//
+// Every retry loop in the tree — the experiment suite runners, the fleet
+// coordinator's dispatch and health-probe paths — routes through a
+// Policy, so backoff behavior is tuned (and chaos-tested) in exactly one
+// place. Determinism matters more here than in most backoff libraries:
+// the fleet's killed-node chaos suite replays failure schedules and
+// asserts bit-identical outcomes, so the jitter stream is drawn from a
+// seeded splitmix64 generator rather than the global math/rand, and the
+// sleep function is injectable so tests run in virtual time.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy describes one capped-exponential-backoff-with-full-jitter loop.
+// The zero value is usable: 4 attempts, 50ms base, 5s cap, factor 2,
+// full jitter, real sleeping.
+type Policy struct {
+	// Attempts is the total number of tries including the first
+	// (0 = default 4; negative = exactly one attempt, i.e. no retrying).
+	Attempts int
+	// Base is the backoff before the first retry (default 50ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 5s).
+	Cap time.Duration
+	// Factor is the exponential growth rate (default 2; values < 1 are
+	// treated as 1, a constant backoff).
+	Factor float64
+	// NoJitter disables full jitter: each backoff is exactly the capped
+	// exponential value. The experiment runners use this to keep their
+	// fixed-pause behavior (and golden outputs) unchanged.
+	NoJitter bool
+	// Seed selects the deterministic jitter stream (default 1). Two
+	// loops with the same Policy draw the same backoff sequence.
+	Seed int64
+	// Sleep replaces the context-aware sleep (tests, virtual time). It
+	// must return early with ctx.Err() if the context fires mid-sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) attempts() int {
+	switch {
+	case p.Attempts < 0:
+		return 1
+	case p.Attempts == 0:
+		return 4
+	}
+	return p.Attempts
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	if p.Factor < 1 {
+		if p.Factor != 0 {
+			p.Factor = 1
+		} else {
+			p.Factor = 2
+		}
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// sleepCtx blocks for d or until ctx fires, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately instead of retrying; the
+// wrapped error still matches errors.Is/As against the original.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// ExhaustedError reports a Do loop that ran out of attempts; the last
+// attempt's error is wrapped, so errors.Is/As see through it.
+type ExhaustedError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("retry: %d attempts exhausted: %v", e.Attempts, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Backoff returns the pause before retry number retry (0-based: the
+// backoff between the first and second attempts is Backoff(0)). With
+// jitter the value is uniform in [0, capped]; the stream is a pure
+// function of (Policy.Seed, retry), so a replayed schedule backs off
+// identically.
+func (p Policy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < retry; i++ {
+		d *= p.Factor
+		if d >= float64(p.Cap) {
+			break
+		}
+	}
+	if d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if p.NoJitter {
+		return time.Duration(d)
+	}
+	s := splitmix{x: uint64(p.Seed) ^ (uint64(retry+1) * 0x9e3779b97f4a7c15)}
+	span := uint64(d) + 1
+	return time.Duration(s.next() % span)
+}
+
+// Do runs attempt until it succeeds, returns a Permanent-marked error,
+// the context fires, or the policy's attempts are exhausted. attempt
+// receives the 0-based attempt number. The error of a failed loop is an
+// *ExhaustedError (attempts ran out), the permanent error unwrapped from
+// its marker, or ctx.Err() joined with the last attempt error when the
+// context ended the loop.
+func (p Policy) Do(ctx context.Context, attempt func(n int) error) error {
+	p = p.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	max := p.attempts()
+	var last error
+	for n := 0; n < max; n++ {
+		if err := ctx.Err(); err != nil {
+			return joinCtx(err, last)
+		}
+		if n > 0 {
+			if err := p.Sleep(ctx, p.Backoff(n-1)); err != nil {
+				return joinCtx(err, last)
+			}
+		}
+		err := attempt(n)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+	}
+	return &ExhaustedError{Attempts: max, Err: last}
+}
+
+// joinCtx pairs a context error with the last attempt error (if any) so
+// callers can match either.
+func joinCtx(ctxErr, last error) error {
+	if last == nil {
+		return ctxErr
+	}
+	return errors.Join(ctxErr, last)
+}
+
+// splitmix is splitmix64: tiny, seedable, deterministic.
+type splitmix struct{ x uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,182 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordSleep captures every backoff Do takes without really sleeping.
+func recordSleep(slept *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return ctx.Err()
+	}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Policy{Sleep: recordSleep(&slept)}.Do(context.Background(), func(int) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 || len(slept) != 0 {
+		t.Fatalf("err=%v calls=%d slept=%v, want nil/1/none", err, calls, slept)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Policy{Attempts: 5, Sleep: recordSleep(&slept)}.Do(context.Background(), func(n int) error {
+		calls++
+		if n != calls-1 {
+			t.Errorf("attempt number %d on call %d", n, calls)
+		}
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %v, want 2 backoffs", slept)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var slept []time.Duration
+	base := errors.New("still down")
+	calls := 0
+	err := Policy{Attempts: 3, Sleep: recordSleep(&slept)}.Do(context.Background(), func(int) error {
+		calls++
+		return base
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("err=%v, want *ExhaustedError with 3 attempts", err)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("exhausted error does not unwrap to the last attempt error: %v", err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d slept=%v, want 3 calls, 2 backoffs", calls, slept)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	fatal := errors.New("bad request")
+	calls := 0
+	err := Policy{Attempts: 5}.Do(context.Background(), func(int) error {
+		calls++
+		return Permanent(fatal)
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (permanent error must not retry)", calls)
+	}
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err=%v, want the unwrapped permanent error", err)
+	}
+	if IsPermanent(err) {
+		t.Fatalf("Do should unwrap the permanent marker before returning")
+	}
+	if !IsPermanent(Permanent(fatal)) {
+		t.Fatalf("IsPermanent(Permanent(err)) = false")
+	}
+}
+
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Policy{Attempts: 10}.Do(ctx, func(int) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (cancellation must stop the loop)", calls)
+	}
+}
+
+func TestDoNegativeAttemptsMeansOne(t *testing.T) {
+	calls := 0
+	err := Policy{Attempts: -1}.Do(context.Background(), func(int) error {
+		calls++
+		return errors.New("down")
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 1 || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want one attempt, no retry", err, calls)
+	}
+}
+
+// The capped exponential envelope: without jitter the sequence is
+// exactly Base*Factor^n clamped at Cap.
+func TestBackoffNoJitterEnvelope(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 450 * time.Millisecond, Factor: 2, NoJitter: true}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		450 * time.Millisecond, // capped
+		450 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// Full jitter stays inside [0, envelope] and is a pure function of
+// (seed, retry): deterministic across calls, different across seeds.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Seed: 7}
+	for i := 0; i < 6; i++ {
+		a, b := p.Backoff(i), p.Backoff(i)
+		if a != b {
+			t.Fatalf("Backoff(%d) not deterministic: %v vs %v", i, a, b)
+		}
+		env := Policy{Base: p.Base, Cap: p.Cap, Factor: 2, NoJitter: true}.Backoff(i)
+		if a < 0 || a > env {
+			t.Fatalf("Backoff(%d) = %v outside [0, %v]", i, a, env)
+		}
+	}
+	other := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Seed: 8}
+	same := true
+	for i := 0; i < 6; i++ {
+		if p.Backoff(i) != other.Backoff(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("two seeds produced identical jitter streams")
+	}
+}
+
+// The overflow guard: a huge retry count must clamp at Cap, not wrap.
+func TestBackoffLargeRetryClamps(t *testing.T) {
+	p := Policy{Base: time.Second, Cap: 30 * time.Second, Factor: 2, NoJitter: true}
+	if got := p.Backoff(500); got != 30*time.Second {
+		t.Fatalf("Backoff(500) = %v, want the cap", got)
+	}
+}
+
+func TestSleepCtxHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("sleepCtx blocked despite canceled context")
+	}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// coneDispatch renders one cone of c plus the projected global sort as
+// the wire-format request the fleet coordinator sends.
+func coneDispatch(t *testing.T, c *circuit.Circuit, sort circuit.InputSort, po circuit.GateID) ConeRequest {
+	t.Helper()
+	cone, mapping, err := c.Cone(po)
+	if err != nil {
+		t.Fatalf("Cone: %v", err)
+	}
+	proj := sort.Cone(mapping)
+	return ConeRequest{
+		Bench: benchOf(t, cone),
+		Name:  cone.Name(),
+		Sort:  proj.ByName(cone),
+	}
+}
+
+// The serve-level merge invariant the whole fleet rests on: per-cone
+// slices under the globally-computed sort, summed, reproduce the
+// whole-circuit Selected/RD/Total bit-for-bit.
+func TestConeAnswersSumToWholeCircuitRun(t *testing.T) {
+	c := gen.RippleAdder(6, gen.XorNAND)
+	ref, err := core.Identify(c, core.Heuristic2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort, err := jobSort(c, core.Heuristic2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{MaxConeInFlight: 4})
+	var selected int64
+	total, rd := new(big.Int), new(big.Int)
+	for _, po := range c.Outputs() {
+		req := coneDispatch(t, c, sort, po)
+		ans, err := s.Cone(req)
+		if err != nil {
+			t.Fatalf("cone %s: %v", req.Name, err)
+		}
+		if ans.Status != "complete" {
+			t.Fatalf("cone %s ended %q", req.Name, ans.Status)
+		}
+		selected += ans.Selected
+		addDecimal(t, total, ans.TotalPaths)
+		addDecimal(t, rd, ans.RD)
+	}
+	if total.Cmp(ref.TotalLogicalPaths) != 0 || selected != ref.Selected || rd.Cmp(ref.RD) != 0 {
+		t.Fatalf("merged total=%s selected=%d rd=%s; whole-circuit run says total=%s selected=%d rd=%s",
+			total, selected, rd, ref.TotalLogicalPaths, ref.Selected, ref.RD)
+	}
+}
+
+// The FS baseline needs no sort and must sum the same way.
+func TestConeFSCriterionSums(t *testing.T) {
+	c := gen.RippleAdder(4, gen.XorNAND)
+	ref, err := core.Identify(c, core.HeuristicFUS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{})
+	var selected int64
+	total := new(big.Int)
+	for _, po := range c.Outputs() {
+		cone, _, err := c.Cone(po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := s.Cone(ConeRequest{Bench: benchOf(t, cone), Name: cone.Name(), Criterion: "FS"})
+		if err != nil {
+			t.Fatalf("cone %s: %v", cone.Name(), err)
+		}
+		selected += ans.Selected
+		addDecimal(t, total, ans.TotalPaths)
+	}
+	if total.Cmp(ref.TotalLogicalPaths) != 0 || selected != ref.Selected {
+		t.Fatalf("merged total=%s selected=%d; whole-circuit FS run says total=%s selected=%d",
+			total, selected, ref.TotalLogicalPaths, ref.Selected)
+	}
+}
+
+// A slice chain — dispatch, expire, resume from the returned checkpoint,
+// repeat — must land on exactly the counters of an uninterrupted run.
+// This is the failover path: any later slice could run on a different
+// worker, since both sides parse the same bench text.
+func TestConeSliceChainMatchesOneShot(t *testing.T) {
+	c := gen.RippleAdder(6, gen.XorNAND)
+	sort, err := jobSort(c, core.Heuristic2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := c.Outputs()
+	req := coneDispatch(t, c, sort, outs[len(outs)-1]) // the widest cone
+
+	s := newTestServer(t, Config{})
+	oneShot, err := s.Cone(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Status != "complete" {
+		t.Fatalf("one-shot run ended %q", oneShot.Status)
+	}
+
+	// Slow every enumeration task so 5ms slices genuinely expire.
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	var final *ConeAnswer
+	interrupted := 0
+	chain := req
+	chain.SliceMS = 5
+	chain.Workers = 1
+	for hop := 0; ; hop++ {
+		if hop > 500 {
+			t.Fatalf("slice chain made no progress after %d hops", hop)
+		}
+		ans, err := s.Cone(chain)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if hop > 0 && !ans.Resumed {
+			t.Fatalf("hop %d not marked resumed", hop)
+		}
+		if ans.Status == "complete" {
+			final = ans
+			break
+		}
+		if ans.Status != "deadline" && ans.Status != "canceled" {
+			t.Fatalf("hop %d ended %q", hop, ans.Status)
+		}
+		if len(ans.Checkpoint) == 0 {
+			t.Fatalf("hop %d interrupted without a checkpoint", hop)
+		}
+		interrupted++
+		chain.Checkpoint = ans.Checkpoint
+	}
+	if interrupted == 0 {
+		t.Fatalf("no slice expired; the chain proved nothing")
+	}
+	if final.TotalPaths != oneShot.TotalPaths || final.Selected != oneShot.Selected ||
+		final.RD != oneShot.RD || final.Segments != oneShot.Segments {
+		t.Fatalf("chained run total=%s selected=%d rd=%s segments=%d; one-shot total=%s selected=%d rd=%s segments=%d",
+			final.TotalPaths, final.Selected, final.RD, final.Segments,
+			oneShot.TotalPaths, oneShot.Selected, oneShot.RD, oneShot.Segments)
+	}
+}
+
+// An unusable checkpoint must answer the typed 422 error — corrupt bytes
+// and wrong-circuit fingerprints both land there, never a wrong answer.
+func TestConeBadCheckpointIsTyped(t *testing.T) {
+	c := gen.RippleAdder(4, gen.XorNAND)
+	sort, err := jobSort(c, core.Heuristic2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{})
+	req := coneDispatch(t, c, sort, c.Outputs()[0])
+
+	req.Checkpoint = json.RawMessage(`{"version":999,"garbage":true}`)
+	if _, err := s.Cone(req); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("corrupt checkpoint: got %v, want ErrBadCheckpoint", err)
+	}
+
+	// A valid checkpoint from a different cone must be rejected by the
+	// fingerprint, not silently resumed.
+	other := coneDispatch(t, c, sort, c.Outputs()[1])
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	other.SliceMS = 1
+	other.Workers = 1
+	ans, err := s.Cone(other)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Checkpoint) == 0 {
+		t.Skip("slice completed before expiring; no foreign checkpoint to test with")
+	}
+	req.Checkpoint = ans.Checkpoint
+	if _, err := s.Cone(req); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("foreign checkpoint: got %v, want ErrBadCheckpoint", err)
+	}
+}
+
+// The cone lane sheds load with its own saturation error and counts the
+// shed in Health — the fleet's backpressure signal.
+func TestConeLaneSheds(t *testing.T) {
+	c := gen.RippleAdder(4, gen.XorNAND)
+	sort, err := jobSort(c, core.Heuristic2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{MaxConeInFlight: 1})
+	req := coneDispatch(t, c, sort, c.Outputs()[0])
+
+	// Wedge the first slice inside its budget reservation so the lane is
+	// provably occupied when the second arrives.
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointBudgetReserve,
+		Kind:  faultinject.KindSleep,
+		Delay: 300 * time.Millisecond,
+		Hit:   1,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Cone(req)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Health().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first slice never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var sat *SaturatedError
+	_, err = s.Cone(req)
+	if !errors.As(err, &sat) || sat.Lane != "cone" {
+		t.Fatalf("second slice got %v, want cone-lane saturation", err)
+	}
+	if got := s.Health().Shed; got != 1 {
+		t.Fatalf("Health.Shed = %d, want 1", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wedged slice failed: %v", err)
+	}
+}
+
+// addDecimal accumulates a decimal string counter into sum.
+func addDecimal(t *testing.T, sum *big.Int, s string) {
+	t.Helper()
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		t.Fatalf("bad decimal counter %q", s)
+	}
+	sum.Add(sum, v)
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// A drain with headroom lets in-flight work finish while refusing all
+// new intake, across every lane.
+func TestDrainCompletesInFlightAndStopsIntake(t *testing.T) {
+	bench := benchOf(t, gen.PaperExample())
+	s := newTestServer(t, Config{MaxInFlight: 1})
+	j, err := s.Submit(Request{Bench: bench, Name: "paper", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drain(10 * time.Second)
+
+	ans, err := j.Result()
+	if err != nil || ans == nil {
+		t.Fatalf("in-flight job lost to a graceful drain: (%v, %v)", ans, err)
+	}
+	if _, err := s.Submit(Request{Bench: bench}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Submit after drain: %v, want ErrShutdown", err)
+	}
+	if _, err := s.Count("n", bench); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Count after drain: %v, want ErrShutdown", err)
+	}
+	if _, err := s.Cone(ConeRequest{Bench: bench}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Cone after drain: %v, want ErrShutdown", err)
+	}
+	if st := s.Health().Status; st != "draining" {
+		t.Fatalf("Health.Status = %q, want draining", st)
+	}
+}
+
+// A job still running at the drain deadline fails typed — and its
+// frontier is spilled to a checkpoint that resumes to the exact answer
+// a clean run produces. No goroutine survives the shutdown.
+func TestDrainSpillsRunningJobAndLeaksNothing(t *testing.T) {
+	// Round-trip through bench text first: the checkpoint fingerprints
+	// the circuit as the server parsed it, and the resume below must use
+	// that same form.
+	bench := benchOf(t, gen.RippleAdder(8, gen.XorNAND))
+	c, err := circuit.ParseBench("radd8", strings.NewReader(bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Identify(c, core.HeuristicPinOrder, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	spillDir := t.TempDir()
+	s := New(Config{MaxInFlight: 1, Workers: 1, SpillDir: spillDir})
+	defer s.Close()
+
+	// Slow every enumeration task so the job is provably mid-walk when
+	// the drain deadline lands. Pin order skips the sort passes, so the
+	// walk starts immediately and PointWorker hits mean enumeration.
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	j, err := s.Submit(Request{Bench: bench, Name: c.Name(), Heuristic: "pin", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for plan.Hits(faultinject.PointWorker) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("enumeration never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.Drain(5 * time.Millisecond)
+
+	if _, err := j.Result(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("drained job failed with %v, want ErrShutdown", err)
+	}
+	spill := filepath.Join(spillDir, j.ID+".drain.ckpt")
+	if _, err := os.Stat(spill); err != nil {
+		t.Fatalf("no drain checkpoint at %s (notes: %v)", spill, j.Info().Notes)
+	}
+
+	// The spilled frontier is not a souvenir: resuming it must finish the
+	// job with exactly the clean run's counters.
+	restore()
+	cp, err := core.ReadCheckpointFile(spill)
+	if err != nil {
+		t.Fatalf("drain checkpoint unreadable: %v", err)
+	}
+	rep, err := core.Identify(c, core.HeuristicPinOrder, core.Options{Checkpoint: cp})
+	if err != nil {
+		t.Fatalf("resuming drain checkpoint: %v", err)
+	}
+	if rep.Status != core.StatusComplete || rep.Selected != ref.Selected || rep.RD.Cmp(ref.RD) != 0 {
+		t.Fatalf("resumed run status=%v selected=%d rd=%v; clean run selected=%d rd=%v",
+			rep.Status, rep.Selected, rep.RD, ref.Selected, ref.RD)
+	}
+
+	// No goroutine leak: everything the server started must be gone.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Queued jobs that never get to run during the drain window fail typed
+// with ErrShutdown — refused, not silently dropped.
+func TestDrainFailsQueuedJobsTyped(t *testing.T) {
+	c := gen.RippleAdder(8, gen.XorNAND)
+	s := newTestServer(t, Config{MaxInFlight: 1, Workers: 1, QueueDepth: 4})
+
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	bench := benchOf(t, c)
+	running, err := s.Submit(Request{Bench: bench, Name: "running", Heuristic: "pin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(Request{Bench: bench, Name: "queued", Heuristic: "pin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning, 10*time.Second)
+
+	s.Drain(time.Millisecond)
+
+	for _, j := range []*Job{running, queued} {
+		if _, err := j.Result(); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("job %s: %v, want ErrShutdown", j.ID, err)
+		}
+	}
+}

@@ -31,17 +31,21 @@ type httpError struct {
 //	GET  /v1/jobs/{id}       job status
 //	GET  /v1/jobs/{id}/result  the answer (409 while in flight)
 //	POST /v1/count           synchronous path count (cheap lane)
+//	POST /v1/cone            synchronous cone enumeration slice (fleet lane)
 //	POST /v1/budget          resize the memory budget (pressure hook)
 //	GET  /healthz            liveness + queue/budget numbers
 //
 // Saturation answers 429 with a Retry-After header — immediately, not
-// after a queueing delay.
+// after a queueing delay. A draining server answers 503 with Retry-After.
+// An unusable checkpoint in a cone dispatch answers 422 (drop the
+// checkpoint and restart the cone; the request format itself is fine).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/count", s.handleCount)
+	mux.HandleFunc("POST /v1/cone", s.handleCone)
 	mux.HandleFunc("POST /v1/budget", s.handleBudget)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
@@ -71,12 +75,22 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		})
 	case errors.Is(err, ErrTooLarge):
 		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: err.Error()})
+	case errors.Is(err, ErrBadCheckpoint):
+		writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
 	case errors.Is(err, ErrBadRequest):
 		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 	case errors.Is(err, ErrNotFound):
 		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
 	case errors.Is(err, ErrShutdown):
-		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		secs := int64(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusServiceUnavailable, httpError{
+			Error:      err.Error(),
+			RetryAfter: s.cfg.RetryAfter.Milliseconds(),
+		})
 	case errors.Is(err, ErrBudget):
 		// Even the cheapest tier could not be admitted.
 		w.Header().Set("Retry-After", "1")
@@ -158,6 +172,23 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ans, err := s.Count(req.Name, req.Bench)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+// handleCone is the fleet's work endpoint: one synchronous enumeration
+// slice per request, answered with either final counters or a resumable
+// checkpoint. See ConeRequest/ConeAnswer.
+func (s *Server) handleCone(w http.ResponseWriter, r *http.Request) {
+	var req ConeRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ans, err := s.Cone(req)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -39,6 +39,9 @@ type Config struct {
 	MaxInFlight int
 	// MaxCheapInFlight bounds the synchronous counting lane (default 8).
 	MaxCheapInFlight int
+	// MaxConeInFlight bounds the synchronous cone-slice lane used by the
+	// fleet coordinator (default 2).
+	MaxConeInFlight int
 	// MemoryBudget is the declared-bytes ledger shared by all running
 	// jobs (default 256 MiB); see Budget.
 	MemoryBudget int64
@@ -67,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCheapInFlight <= 0 {
 		c.MaxCheapInFlight = 8
+	}
+	if c.MaxConeInFlight <= 0 {
+		c.MaxConeInFlight = 2
 	}
 	if c.MemoryBudget <= 0 {
 		c.MemoryBudget = 256 << 20
@@ -245,14 +251,18 @@ type Server struct {
 
 	queue    chan *Job
 	cheapSem chan struct{}
+	coneSem  chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	nextID int64
 	closed bool
 
-	running atomic.Int64
-	done    atomic.Int64
+	running      atomic.Int64
+	done         atomic.Int64
+	coneInflight atomic.Int64
+	shed         atomic.Int64
+	draining     atomic.Bool
 
 	wg sync.WaitGroup
 }
@@ -269,6 +279,7 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		cheapSem:   make(chan struct{}, cfg.MaxCheapInFlight),
+		coneSem:    make(chan struct{}, cfg.MaxConeInFlight),
 		jobs:       make(map[string]*Job),
 	}
 	for i := 0; i < cfg.MaxInFlight; i++ {
@@ -337,7 +348,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining.Load() {
 		s.mu.Unlock()
 		return nil, ErrShutdown
 	}
@@ -359,6 +370,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		delete(s.jobs, j.ID)
 		s.nextID--
 		s.mu.Unlock()
+		s.shed.Add(1)
 		return nil, &SaturatedError{Lane: "identify", RetryAfter: s.cfg.RetryAfter}
 	}
 }
@@ -381,10 +393,11 @@ func (s *Server) Count(name, bench string) (*Answer, error) {
 	select {
 	case s.cheapSem <- struct{}{}:
 	default:
+		s.shed.Add(1)
 		return nil, &SaturatedError{Lane: "count", RetryAfter: s.cfg.RetryAfter}
 	}
 	defer func() { <-s.cheapSem }()
-	if err := s.baseCtx.Err(); err != nil {
+	if s.baseCtx.Err() != nil || s.draining.Load() {
 		return nil, ErrShutdown
 	}
 	c, err := s.admit(name, bench)
@@ -448,7 +461,9 @@ func (s *Server) runJob(j *Job) {
 	j.finish(ans, err)
 }
 
-// Health is the service's self-report.
+// Health is the service's self-report. The original fields are stable;
+// InFlight/Shed/BudgetRemaining were added later and are additive (old
+// clients simply ignore them).
 type Health struct {
 	Status      string `json:"status"`
 	Queued      int    `json:"queued"`
@@ -456,23 +471,64 @@ type Health struct {
 	JobsDone    int64  `json:"jobs_done"`
 	BudgetUsed  int64  `json:"budget_used"`
 	BudgetTotal int64  `json:"budget_total"`
+	// InFlight counts work running right now across every lane (heavy
+	// jobs plus synchronous cone slices).
+	InFlight int64 `json:"in_flight"`
+	// Shed counts requests refused with ErrSaturated since start.
+	Shed int64 `json:"shed"`
+	// BudgetRemaining is BudgetTotal - BudgetUsed (clamped at 0).
+	BudgetRemaining int64 `json:"budget_remaining"`
 }
 
 // Health snapshots queue depth, in-flight work and the memory ledger.
 func (s *Server) Health() Health {
 	st := "ok"
-	if s.baseCtx.Err() != nil {
+	if s.draining.Load() || s.baseCtx.Err() != nil {
 		st = "draining"
 	}
+	used, total := s.budget.Used(), s.budget.Total()
+	rem := total - used
+	if rem < 0 {
+		rem = 0
+	}
 	return Health{
-		Status:      st,
-		Queued:      len(s.queue),
-		Running:     s.running.Load(),
-		JobsDone:    s.done.Load(),
-		BudgetUsed:  s.budget.Used(),
-		BudgetTotal: s.budget.Total(),
+		Status:          st,
+		Queued:          len(s.queue),
+		Running:         s.running.Load(),
+		JobsDone:        s.done.Load(),
+		BudgetUsed:      used,
+		BudgetTotal:     total,
+		InFlight:        s.running.Load() + s.coneInflight.Load(),
+		Shed:            s.shed.Load(),
+		BudgetRemaining: rem,
 	}
 }
+
+// Drain is the graceful half of shutdown: intake stops immediately
+// (Submit, Count and Cone answer ErrShutdown → 503 with Retry-After),
+// then in-flight and queued work gets up to timeout to finish before
+// Close cancels whatever is left. A job canceled at the deadline is not
+// lost: the identify ladder spills its checkpoint to SpillDir (noted on
+// the job), an interrupted cone slice answers its caller with a
+// resumable checkpoint, and queued jobs that never got to run fail
+// typed with ErrShutdown. timeout <= 0 degenerates to Close.
+func (s *Server) Drain(timeout time.Duration) {
+	// Only the draining flag stops intake here; Close below still takes
+	// its full path (cancel + wait) because closed is not yet set.
+	s.draining.Store(true)
+
+	deadline := faultinject.Now(faultinject.PointClock).Add(timeout)
+	for timeout > 0 && time.Now().Before(deadline) {
+		if len(s.queue) == 0 && s.running.Load() == 0 && s.coneInflight.Load() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close()
+}
+
+// Draining reports whether Drain has stopped intake.
+func (s *Server) Draining() bool { return s.draining.Load() || s.baseCtx.Err() != nil }
 
 // Close drains the server: intake stops (Submit returns ErrShutdown),
 // running jobs are canceled and fail typed, queued jobs fail without

@@ -281,6 +281,18 @@ func (s *Server) runIdentifyTier(ctx context.Context, j *Job, tier Tier, spill *
 	case core.StatusDeadline, core.StatusCanceled:
 		if !evicted.Load() {
 			if s.baseCtx.Err() != nil {
+				// Shutdown killed the walk. A graceful drain keeps the
+				// progress: the frontier goes to its own file (not the
+				// ladder's eviction spill, which runLadder deletes) so an
+				// operator or a coordinator can resume the job elsewhere.
+				if s.draining.Load() && rep.Final != nil && rep.Final.Checkpoint != nil {
+					var drainSpill string
+					if err := s.spillCheckpointAs(j.ID+".drain.ckpt", rep.Final.Checkpoint, &drainSpill); err != nil {
+						j.note(fmt.Sprintf("drain checkpoint spill failed (%v)", err))
+					} else {
+						j.note("drained: checkpoint spilled to " + drainSpill)
+					}
+				}
 				return nil, ErrShutdown
 			}
 			return nil, &stepDown{cause: core.ErrDeadline, note: "deadline"}
@@ -306,10 +318,17 @@ func (s *Server) runIdentifyTier(ctx context.Context, j *Job, tier Tier, spill *
 // slow I/O); corruption of the bytes themselves is injected one layer
 // down at core.checkpoint.bytes.
 func (s *Server) spillCheckpoint(j *Job, cp *core.Checkpoint, spill *string) error {
+	return s.spillCheckpointAs(j.ID+".ckpt", cp, spill)
+}
+
+// spillCheckpointAs writes cp under the spill directory with an explicit
+// file name; drain spills use a distinct name so the ladder's
+// eviction-spill cleanup never deletes them.
+func (s *Server) spillCheckpointAs(name string, cp *core.Checkpoint, spill *string) error {
 	if err := faultinject.Fire(faultinject.PointSpill); err != nil {
 		return err
 	}
-	path := filepath.Join(s.cfg.SpillDir, j.ID+".ckpt")
+	path := filepath.Join(s.cfg.SpillDir, name)
 	if err := core.WriteCheckpointFile(path, cp); err != nil {
 		return err
 	}
