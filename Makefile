@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet fuzz crosscheck cover suite clean
+.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet metrics-smoke fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -23,7 +23,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis \
 		./internal/tgen ./internal/oracle ./internal/oracle/diff \
 		./internal/serve ./internal/faultinject ./internal/cliutil \
-		./internal/fleet ./internal/retry
+		./internal/fleet ./internal/retry ./internal/telemetry
 
 # The deterministic fault-injection suite under the race detector:
 # admission failures, worker panics, budget evictions mid-run, spill
@@ -39,6 +39,19 @@ chaos:
 # bit-identical to a single-process run under every schedule.
 chaos-fleet:
 	$(GO) test -race -count=1 ./internal/fleet ./internal/retry -run 'Test'
+
+# The observability contract, end to end: metric counters must agree
+# with the structured event log one-for-one (submissions, sheds, budget
+# evictions), the event stream must be byte-deterministic under the
+# frozen faultinject clock, a fleet chaos run's quarantine/dead counters
+# must match its JSONL stream, and a surviving worker's /metrics page
+# must account for the cone slices actually served.
+metrics-smoke:
+	$(GO) test -race -count=1 ./internal/telemetry
+	$(GO) test -race -count=1 ./internal/serve \
+		-run 'TestMetricsEventConsistency|TestEventLogByteDeterministic|TestStream'
+	$(GO) test -race -count=1 ./internal/fleet \
+		-run 'TestChaosTelemetryStreamMatchesEventsAndStats'
 
 # Cached-vs-uncached identification pipeline; writes BENCH_identify.json
 # and fails if the analysis manager is not strictly faster and

@@ -30,6 +30,7 @@ import (
 	"rdfault/internal/loader"
 	"rdfault/internal/retry"
 	"rdfault/internal/serve"
+	"rdfault/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +46,7 @@ func main() {
 		failures  = flag.Int("fail-threshold", 3, "consecutive failures that quarantine a worker")
 		budget    = flag.Int64("budget", 256<<20, "per-local-worker memory budget in bytes")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful drain deadline for local workers on exit")
-		events    = flag.Bool("events", false, "print the coordinator's event log")
+		events    = flag.Bool("events", false, "stream the coordinator's event log to stderr as JSONL (the unified telemetry schema)")
 	)
 	flag.Parse()
 	ctx, stop := (&cliutil.Flags{}).SignalContext()
@@ -65,6 +66,11 @@ func main() {
 		EnumWorkers:     *enum,
 		DispatchTimeout: *dispatch,
 		FailThreshold:   *failures,
+	}
+	if *events {
+		// Live JSONL as the run happens, not a post-mortem dump: one line
+		// per event in the same schema every layer uses.
+		cfg.Telemetry = telemetry.NewLog(os.Stderr)
 	}
 	tr := &fleet.HTTPTransport{}
 	cfg.Transport = tr
@@ -103,7 +109,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	printResult(res, *events)
+	printResult(res)
 }
 
 func loadCircuit(benchFile string, example bool) (*circuit.Circuit, error) {
@@ -131,7 +137,7 @@ func parseHeuristic(name string) (rdfault.Heuristic, error) {
 	return h, nil
 }
 
-func printResult(res *fleet.Result, events bool) {
+func printResult(res *fleet.Result) {
 	fmt.Printf("circuit:   %s (%d cones)\n", res.Circuit, res.Stats.Cones)
 	fmt.Printf("heuristic: %s  criterion: %s\n", res.Heuristic, res.Criterion)
 	fmt.Printf("paths:     %s\n", res.Total)
@@ -143,19 +149,6 @@ func printResult(res *fleet.Result, events bool) {
 		res.Stats.ZombieDiscards, res.Stats.Restarts, res.Stats.Quarantines, res.Stats.Rejoins,
 		res.Stats.DeadWorkers)
 	fmt.Printf("duration:  %s\n", res.Duration.Round(time.Millisecond))
-	if events {
-		fmt.Println("events:")
-		for _, ev := range res.Events {
-			line := fmt.Sprintf("  %-18s worker=%s", ev.Kind, ev.Worker)
-			if ev.Cone != "" {
-				line += " cone=" + ev.Cone
-			}
-			if ev.Detail != "" {
-				line += " (" + ev.Detail + ")"
-			}
-			fmt.Println(line)
-		}
-	}
 }
 
 // rdPercent formats 100*rd/total with two decimals, in big-int space.

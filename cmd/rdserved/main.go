@@ -10,11 +10,14 @@
 //	rdserved -selftest   # bind an ephemeral port, run one end-to-end
 //	                     # job through the real HTTP surface, exit
 //
-// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/result,
-// POST /v1/count, POST /v1/budget, GET /healthz. See internal/serve.
+// Endpoints: POST /v1/jobs, POST /v1/batch, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (SSE progress), GET /v1/jobs/{id}/result,
+// POST /v1/count, POST /v1/budget, GET /metrics, GET /healthz.
+// See internal/serve.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -33,6 +36,7 @@ import (
 	"rdfault/internal/cliutil"
 	"rdfault/internal/gen"
 	"rdfault/internal/serve"
+	"rdfault/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +52,7 @@ func main() {
 		retry    = flag.Duration("retry-after", time.Second, "backoff hint attached to shed load")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline: new work is shed with 503, in-flight jobs finish or checkpoint-spill")
 		selftest = flag.Bool("selftest", false, "bind an ephemeral port, exercise the service end to end, exit")
+		events   = flag.String("events", "", `write the structured JSONL event log to this file ("-" = stderr)`)
 	)
 	flag.Parse()
 
@@ -60,6 +65,18 @@ func main() {
 		Workers:          *workers,
 		SpillDir:         *spill,
 		RetryAfter:       *retry,
+	}
+	if *events != "" {
+		w := io.Writer(os.Stderr)
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.Telemetry = telemetry.NewLog(w)
 	}
 
 	if *selftest {
@@ -155,8 +172,111 @@ func runSelftest(cfg serve.Config) error {
 	}
 	fmt.Printf("budget: %d -> %d\n", resized["previous"], resized["bytes"])
 
+	// Batch lane: two jobs in one request must come back as two
+	// independent accepted items answering exactly like two submissions.
+	var batch struct {
+		Jobs []struct {
+			Info  *serve.Info `json:"info"`
+			Error string      `json:"error"`
+		} `json:"jobs"`
+	}
+	if err := postJSON(client, base+"/v1/batch",
+		map[string]any{"jobs": []map[string]any{req, req}},
+		http.StatusAccepted, &batch); err != nil {
+		return err
+	}
+	accepted := 0
+	for _, it := range batch.Jobs {
+		if it.Error == "" {
+			accepted++
+		}
+	}
+	fmt.Printf("batch: %d submitted, %d accepted\n", len(batch.Jobs), accepted)
+	for _, it := range batch.Jobs {
+		bans, err := pollResult(client, base+"/v1/jobs/"+it.Info.ID+"/result")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("batch result: %s tier=%s selected=%d rd=%s\n", it.Info.ID, bans.Tier, bans.Selected, bans.RD)
+	}
+
+	// Live progress counters ride on the status endpoint; on a finished
+	// job they are the exact final counters (worker-count invariant).
+	var done serve.Info
+	if err := getJSON(client, base+"/v1/jobs/"+info.ID, &done); err != nil {
+		return err
+	}
+	fmt.Printf("progress: %s selected=%d segments=%d final=%v\n",
+		done.ID, done.Progress.Selected, done.Progress.Segments, done.Progress.Final)
+
+	// The SSE stream of a finished job is a single deterministic "done"
+	// frame carrying that same snapshot.
+	event, streamed, err := readOneSSE(client, base+"/v1/jobs/"+info.ID+"/events")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream: event=%s state=%s selected=%d\n", event, streamed.State, streamed.Progress.Selected)
+
+	raw, err := fetchText(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics: submitted=%s done=%s tier[fast]=%s streams=%s\n",
+		metricValue(raw, "rd_serve_jobs_submitted_total"),
+		metricValue(raw, `rd_serve_jobs_completed_total{state="done"}`),
+		metricValue(raw, `rd_serve_tier_served_total{tier="fast"}`),
+		metricValue(raw, "rd_serve_sse_streams_total"))
+
 	fmt.Println("selftest ok")
 	return nil
+}
+
+// readOneSSE reads the first frame of an SSE stream and closes it.
+func readOneSSE(c *http.Client, url string) (string, *serve.Info, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	var event string
+	var info serve.Info
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &info); err != nil {
+				return "", nil, err
+			}
+			return event, &info, nil
+		}
+	}
+	return "", nil, errors.New("stream ended before a frame")
+}
+
+func fetchText(c *http.Client, url string) (string, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// metricValue pulls one sample's value out of a Prometheus text page.
+func metricValue(page, name string) string {
+	for _, line := range strings.Split(page, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	return "missing"
 }
 
 func getJSON(c *http.Client, url string, v any) error {

@@ -77,6 +77,15 @@ type Options struct {
 	// frontier's paths — paths delivered before the interruption are not
 	// replayed.
 	Checkpoint *Checkpoint
+	// Progress, when non-nil, receives live counter snapshots: walkers
+	// publish their plain counters into per-worker shards at task
+	// boundaries and every pollEvery cancellation checks (piggybacking
+	// on the existing poll cadence — the DFS inner loop gains no atomics
+	// and no allocations), and Tracker.Snapshot folds the shards on
+	// read. When the run ends the tracker freezes on the exact Result
+	// counters. One tracker serves a chain of runs (checkpoint resume,
+	// the serve ladder): each Enumerate call rebases it.
+	Progress *Tracker
 
 	// onPrune receives every pruned prime segment (set via
 	// CollectRDSegments; forces serial execution). Buffers are shared.
@@ -237,6 +246,7 @@ type walker struct {
 	onPath     func(paths.Logical)
 	limit      int64 // serial-mode budget; parallel uses shared.selected
 	stopped    bool
+	prog       *progressShard // live-progress slot; nil when untracked
 }
 
 func newWalker(an *analysis.Analysis, cr Criterion, opt *Options, onPath func(paths.Logical)) *walker {
@@ -255,6 +265,9 @@ func newWalker(an *analysis.Analysis, cr Criterion, opt *Options, onPath func(pa
 	if opt.Exact {
 		w.sat = satsolver.New()
 		w.vars = satsolver.AddCircuit(w.sat, c)
+	}
+	if opt.Progress != nil {
+		w.prog = opt.Progress.newShard()
 	}
 	return w
 }
@@ -277,10 +290,14 @@ func (w *walker) canceled() bool {
 	}
 	if w.ctx != nil {
 		w.pollTick++
-		if w.pollTick%pollEvery == 0 &&
-			(w.ctx.Err() != nil || (!w.deadline.IsZero() && !time.Now().Before(w.deadline))) {
-			w.cancel.Store(true)
-			return true
+		if w.pollTick%pollEvery == 0 {
+			// Piggyback live-progress publication on the poll cadence: one
+			// branch and four atomic stores per pollEvery extensions.
+			w.publish()
+			if w.ctx.Err() != nil || (!w.deadline.IsZero() && !time.Now().Before(w.deadline)) {
+				w.cancel.Store(true)
+				return true
+			}
 		}
 	}
 	return false
@@ -587,6 +604,7 @@ func (w *walker) runTask(t task) {
 // After a panic this walker's counters may include a partially-walked
 // subtree, which is why any panic degrades the whole run.
 func (w *walker) runTaskGuarded(t task, we *workerErrors) {
+	defer w.publish() // task boundary: progress is fresh even on tiny circuits
 	defer func() {
 		if r := recover(); r != nil {
 			we.add(&WorkerError{
@@ -681,11 +699,29 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 		}
 	}
 
+	// Live progress: rebase the tracker on this pass's resume baseline;
+	// finishProgress freezes it on the exact final counters at every
+	// return below.
+	if opt.Progress != nil {
+		opt.Progress.begin(Progress{
+			Selected:   baseline.Selected,
+			Segments:   baseline.Segments,
+			Pruned:     baseline.Pruned,
+			SATRejects: baseline.SATRejects,
+		})
+	}
+	finishProgress := func() {
+		if opt.Progress != nil {
+			opt.Progress.finish(progressOf(res))
+		}
+	}
+
 	// A resumed run whose baseline already consumed the budget.
 	if opt.Limit > 0 && baseline.Selected >= opt.Limit {
 		addBaseline()
 		res.Status = StatusTruncated
 		res.Duration = time.Since(start)
+		finishProgress()
 		return res, nil
 	}
 
@@ -732,6 +768,7 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 		fr := &frontier{tasks: tasks}
 		finishInterrupted(fr)
 		res.Duration = time.Since(start)
+		finishProgress()
 		return res, nil
 	}
 
@@ -871,5 +908,6 @@ func Enumerate(c *circuit.Circuit, cr Criterion, opt Options) (*Result, error) {
 		res.RD = new(big.Int).Sub(res.Total, big.NewInt(res.Selected))
 	}
 	res.Duration = time.Since(start)
+	finishProgress()
 	return res, nil
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rdfault/internal/gen"
+)
+
+// TestProgressFinalMatchesResult is the tentpole invariant: once a pass
+// ends, Snapshot is Final and bit-identical to the Result counters —
+// at any worker count, with and without a tracker attached.
+func TestProgressFinalMatchesResult(t *testing.T) {
+	c := gen.RippleAdder(6, gen.XorNAND)
+	sort := Heuristic1Sort(c)
+	ref, err := Enumerate(c, SigmaPi, Options{Sort: &sort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		tr := NewTracker()
+		res, err := Enumerate(c, SigmaPi, Options{Sort: &sort, Workers: workers, Progress: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tr.Snapshot()
+		if !p.Final {
+			t.Fatalf("workers=%d: snapshot not final after Enumerate returned", workers)
+		}
+		if p.Selected != res.Selected || p.Segments != res.Segments ||
+			p.Pruned != res.Pruned || p.SATRejects != res.SATRejects {
+			t.Fatalf("workers=%d: final snapshot %+v != result {%d %d %d %d}",
+				workers, p, res.Selected, res.Segments, res.Pruned, res.SATRejects)
+		}
+		// The tracker changed nothing about the result itself.
+		if res.Selected != ref.Selected || res.Segments != ref.Segments ||
+			res.Pruned != ref.Pruned || res.RD.Cmp(ref.RD) != 0 {
+			t.Fatalf("workers=%d: tracked counters differ from untracked reference", workers)
+		}
+	}
+}
+
+// Mid-run snapshots are sound partial views: bounded by the final
+// counters, and the final snapshot still lands exactly.
+func TestProgressLiveSnapshots(t *testing.T) {
+	c := gen.RippleAdder(10, gen.XorNAND)
+	sort := Heuristic1Sort(c)
+	tr := NewTracker()
+
+	var maxSeen atomic.Int64
+	stop := make(chan struct{})
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := tr.Snapshot()
+			if p.Segments > maxSeen.Load() {
+				maxSeen.Store(p.Segments)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	res, err := Enumerate(c, SigmaPi, Options{Sort: &sort, Workers: 4, Progress: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-sampler
+	if maxSeen.Load() > res.Segments {
+		t.Fatalf("live snapshot overshot: saw %d segments, final %d", maxSeen.Load(), res.Segments)
+	}
+	if p := tr.Snapshot(); !p.Final || p.Segments != res.Segments {
+		t.Fatalf("final snapshot %+v, want Final with %d segments", p, res.Segments)
+	}
+}
+
+// An interrupted pass freezes on its partial counters; the resumed pass
+// rebases the same tracker on the checkpoint baseline and its final
+// snapshot carries the cumulative totals.
+func TestProgressAcrossCheckpointResume(t *testing.T) {
+	c := gen.RippleAdder(10, gen.XorNAND)
+	sort := Heuristic1Sort(c)
+	ref, err := Enumerate(c, SigmaPi, Options{Sort: &sort})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracker()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // immediate cancellation: everything goes to the checkpoint
+	part, err := Enumerate(c, SigmaPi, Options{Sort: &sort, Context: ctx, Progress: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Status != StatusCanceled || part.Checkpoint == nil {
+		t.Fatalf("expected canceled pass with checkpoint, got %v", part.Status)
+	}
+	if p := tr.Snapshot(); !p.Final || p.Segments != part.Segments {
+		t.Fatalf("interrupted snapshot %+v, want Final with %d segments", p, part.Segments)
+	}
+
+	res, err := Enumerate(c, SigmaPi, Options{Sort: &sort, Checkpoint: part.Checkpoint, Progress: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusComplete || res.Selected != ref.Selected || res.RD.Cmp(ref.RD) != 0 {
+		t.Fatalf("resumed run diverged: %v selected=%d", res.Status, res.Selected)
+	}
+	if p := tr.Snapshot(); p.Selected != ref.Selected || p.Segments != ref.Segments {
+		t.Fatalf("resumed final snapshot %+v, want cumulative {%d %d}", p, ref.Selected, ref.Segments)
+	}
+}
+
+// A nil tracker is a valid (empty) snapshot source.
+func TestProgressNilTracker(t *testing.T) {
+	var tr *Tracker
+	if p := tr.Snapshot(); p != (Progress{}) {
+		t.Fatalf("nil tracker snapshot = %+v", p)
+	}
+}

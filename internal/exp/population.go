@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
-	"rdfault/internal/core"
+	"rdfault/internal/circuit"
 	"rdfault/internal/gen"
+	"rdfault/internal/serve"
 	"rdfault/internal/synth"
 )
 
@@ -27,15 +30,21 @@ type PopulationStats struct {
 	MeanInverseDrop float64
 }
 
+// populationHeuristics are the three passes run per synthesized cover,
+// in batch-item order.
+var populationHeuristics = []string{"heu1", "heu2", "inverse"}
+
 // RunPopulation measures Heuristic 1 vs Heuristic 2 vs the inverse
-// control across n seeded synthesized covers.
+// control across n seeded synthesized covers. The 3n identification
+// jobs go through an in-process serve batch — the same admission,
+// budget and accounting path production requests take — instead of a
+// private bookkeeping loop; the RD percentages are worker-count
+// invariant, so the printed statistics are identical to the old serial
+// runner's.
 func RunPopulation(w io.Writer, n int, baseSeed int64) (*PopulationStats, error) {
 	fmt.Fprintf(w, "Population study over %d synthesized covers (Heu2 vs Heu1 vs inverse)\n", n)
-	var (
-		diffs   []float64
-		invDrop []float64
-		stats   PopulationStats
-	)
+
+	reqs := make([]serve.Request, 0, 3*n)
 	for i := 0; i < n; i++ {
 		seed := baseSeed + int64(i)
 		cv := gen.RandomPLA(fmt.Sprintf("pop%d", seed),
@@ -44,21 +53,42 @@ func RunPopulation(w io.Writer, n int, baseSeed int64) (*PopulationStats, error)
 		if err != nil {
 			return nil, err
 		}
-		h1, err := core.Identify(c, core.Heuristic1, core.Options{})
-		if err != nil {
+		var bench strings.Builder
+		if err := circuit.WriteBench(&bench, c); err != nil {
 			return nil, err
 		}
-		h2, err := core.Identify(c, core.Heuristic2, core.Options{})
-		if err != nil {
-			return nil, err
+		for _, h := range populationHeuristics {
+			reqs = append(reqs, serve.Request{
+				Bench: bench.String(), Name: c.Name(), Heuristic: h, Tier: "fast",
+			})
 		}
-		inv, err := core.Identify(c, core.Heuristic2Inverse, core.Options{})
-		if err != nil {
-			return nil, err
+	}
+
+	srv := serve.New(serve.Config{QueueDepth: len(reqs)})
+	defer srv.Close()
+	items := srv.SubmitBatch(reqs)
+
+	var (
+		diffs   []float64
+		invDrop []float64
+		stats   PopulationStats
+	)
+	for i := 0; i < n; i++ {
+		var pct [3]float64
+		for k := 0; k < 3; k++ {
+			it := items[3*i+k]
+			if it.Err != nil {
+				return nil, it.Err
+			}
+			ans, err := it.Job.Wait(context.Background())
+			if err != nil {
+				return nil, err
+			}
+			pct[k] = ans.RDPercent
 		}
-		d := h2.RDPercent() - h1.RDPercent()
+		d := pct[1] - pct[0] // heu2 - heu1
 		diffs = append(diffs, d)
-		invDrop = append(invDrop, h2.RDPercent()-inv.RDPercent())
+		invDrop = append(invDrop, pct[1]-pct[2])
 		switch {
 		case d > 1e-9:
 			stats.Heu2Wins++

@@ -52,6 +52,12 @@ const (
 	// KindSkew applies to Now only: the rule shifts the clock the point
 	// observes by Rule.Skew (NTP step, VM pause).
 	KindSkew
+	// KindFreeze applies to Now only: the point observes a deterministic
+	// clock that starts at Rule.Base and advances by Rule.Skew per
+	// arrival, independent of the wall clock. This is what makes
+	// telemetry event logs byte-reproducible: the same plan against the
+	// same execution stamps the same timestamps.
+	KindFreeze
 )
 
 // String names the kind.
@@ -67,6 +73,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindSkew:
 		return "skew"
+	case KindFreeze:
+		return "freeze"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -86,8 +94,12 @@ type Rule struct {
 	Count uint64
 	// Delay is the KindSleep blocking time.
 	Delay time.Duration
-	// Skew is the KindSkew clock shift (may be negative).
+	// Skew is the KindSkew clock shift (may be negative); for KindFreeze
+	// it is the per-arrival step of the frozen clock.
 	Skew time.Duration
+	// Base is the KindFreeze clock's starting instant (zero means the
+	// zero time — still deterministic).
+	Base time.Time
 	// Seed drives KindCorrupt's deterministic byte mutations.
 	Seed int64
 }
@@ -140,6 +152,10 @@ const (
 	// PointFleetClock shifts the clock the coordinator stamps its event
 	// log and deadlines with (KindSkew).
 	PointFleetClock = "fleet.clock"
+	// PointTelemetryClock is the clock the telemetry event log stamps
+	// entries with; a KindFreeze rule here makes a run's event log
+	// byte-deterministic (production traces replay as chaos cases).
+	PointTelemetryClock = "telemetry.clock"
 )
 
 // ErrInjected is the sentinel all injected errors unwrap to; match with
@@ -314,18 +330,26 @@ func corruptBytes(seed int64, firing uint64, b []byte) []byte {
 }
 
 // Now returns the current time as observed through the point: a matching
-// KindSkew rule shifts it by Rule.Skew.
+// KindSkew rule shifts it by Rule.Skew; a matching KindFreeze rule
+// replaces it entirely with Rule.Base + (hit-1)*Rule.Skew, a clock that
+// depends only on how often the point has been reached.
 func Now(point string) time.Time {
 	now := time.Now()
 	p := active.Load()
 	if p == nil {
 		return now
 	}
-	r, _ := p.match(point)
-	if r == nil || r.Kind != KindSkew {
+	r, hit := p.match(point)
+	if r == nil {
 		return now
 	}
-	return now.Add(r.Skew)
+	switch r.Kind {
+	case KindSkew:
+		return now.Add(r.Skew)
+	case KindFreeze:
+		return r.Base.Add(time.Duration(hit-1) * r.Skew)
+	}
+	return now
 }
 
 // splitmix is splitmix64: tiny, seedable, deterministic.

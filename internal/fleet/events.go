@@ -16,73 +16,73 @@ package fleet
 
 import (
 	"sync"
-	"time"
 
 	"rdfault/internal/faultinject"
+	"rdfault/internal/telemetry"
 )
 
-// EventKind labels one entry of the coordinator's dispatch log.
-type EventKind string
+// Event is one entry of the coordinator's dispatch/retry/quarantine log
+// — the unified telemetry schema, so fleet events interleave with serve
+// job-lifecycle events in one JSONL stream. Timestamps are stamped
+// through faultinject.PointFleetClock so chaos tests can skew them.
+type Event = telemetry.Event
 
+// Event kinds. Untyped strings so they compare directly against
+// telemetry.Event.Kind.
 const (
 	// EvDispatch: a cone slice left for a worker.
-	EvDispatch EventKind = "dispatch"
+	EvDispatch = "dispatch"
 	// EvSlice: a worker answered an interrupted slice with a checkpoint;
 	// the cone is requeued with its progress kept.
-	EvSlice EventKind = "slice"
+	EvSlice = "slice"
 	// EvComplete: a cone's final answer was accepted.
-	EvComplete EventKind = "complete"
+	EvComplete = "complete"
 	// EvFailure: a dispatch failed (network, saturation, corrupt
 	// response); the cone was reclaimed and requeued.
-	EvFailure EventKind = "failure"
+	EvFailure = "failure"
 	// EvAbandon: a dispatch exceeded the coordinator's wait; the cone's
 	// epoch advanced and the cone was requeued. Whatever the old dispatch
 	// still returns is a zombie.
-	EvAbandon EventKind = "abandon"
+	EvAbandon = "abandon"
 	// EvZombie: a reply from an abandoned dispatch arrived and was
 	// discarded (at-most-once accounting).
-	EvZombie EventKind = "zombie-discard"
+	EvZombie = "zombie-discard"
 	// EvRestart: a worker rejected the cone's checkpoint (422); the
 	// checkpoint was dropped and the cone restarts from scratch.
-	EvRestart EventKind = "checkpoint-restart"
+	EvRestart = "checkpoint-restart"
 	// EvQuarantine: a worker crossed the consecutive-failure threshold
 	// and stopped taking work pending health probes.
-	EvQuarantine EventKind = "quarantine"
+	EvQuarantine = "quarantine"
 	// EvRejoin: a quarantined worker answered a health probe and took
 	// work again.
-	EvRejoin EventKind = "rejoin"
+	EvRejoin = "rejoin"
 	// EvDead: a quarantined worker exhausted its health probes and left
 	// the pool for good.
-	EvDead EventKind = "dead"
+	EvDead = "dead"
 )
 
-// Event is one entry of the dispatch/retry/quarantine log.
-type Event struct {
-	// Time is stamped through faultinject.PointFleetClock so chaos tests
-	// can skew it.
-	Time   time.Time `json:"time"`
-	Kind   EventKind `json:"kind"`
-	Worker string    `json:"worker,omitempty"`
-	Cone   string    `json:"cone,omitempty"`
-	Detail string    `json:"detail,omitempty"`
-}
-
-// eventLog collects events concurrently and optionally streams them to
-// a sink.
+// eventLog collects events concurrently, optionally streams them to a
+// sink and a telemetry log. The telemetry log assigns sequence numbers
+// and writes the JSONL, so a coordinator sharing its log with a serve
+// instance produces one totally-ordered stream.
 type eventLog struct {
 	mu   sync.Mutex
 	list []Event
 	sink func(Event)
+	tl   *telemetry.Log
 }
 
-func (l *eventLog) add(kind EventKind, worker, cone, detail string) {
+func (l *eventLog) add(kind, worker, cone, detail string, fields map[string]int64) {
 	ev := Event{
-		Time:   faultinject.Now(faultinject.PointFleetClock),
+		TS:     faultinject.Now(faultinject.PointFleetClock),
+		Source: "fleet",
 		Kind:   kind,
 		Worker: worker,
 		Cone:   cone,
 		Detail: detail,
+		Fields: fields,
 	}
+	ev = l.tl.Emit(ev) // nil-safe; assigns Seq and writes the JSONL line
 	l.mu.Lock()
 	l.list = append(l.list, ev)
 	sink := l.sink
@@ -99,14 +99,8 @@ func (l *eventLog) snapshot() []Event {
 }
 
 // count reports how many logged events have the given kind.
-func (l *eventLog) count(kind EventKind) int {
+func (l *eventLog) count(kind string) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := 0
-	for _, ev := range l.list {
-		if ev.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return telemetry.CountKind(l.list, kind)
 }

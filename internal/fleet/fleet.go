@@ -15,6 +15,7 @@ import (
 	"rdfault/internal/core"
 	"rdfault/internal/retry"
 	"rdfault/internal/serve"
+	"rdfault/internal/telemetry"
 )
 
 // ErrNoWorkers: every worker is dead (quarantined and probed out) while
@@ -56,6 +57,11 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// OnEvent, when set, receives every log event as it happens.
 	OnEvent func(Event)
+	// Telemetry, when set, receives every event as a JSONL line in the
+	// unified structured-log schema. Sharing one log between a
+	// coordinator and a serve instance interleaves both layers into one
+	// totally-ordered stream.
+	Telemetry *telemetry.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -237,7 +243,7 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 		allDone:   make(chan struct{}),
 		ctx:       runCtx,
 		cancel:    cancel,
-		events:    &eventLog{sink: cfg.OnEvent},
+		events:    &eventLog{sink: cfg.OnEvent, tl: cfg.Telemetry},
 	}
 	co.remaining.Store(int64(len(jobs)))
 	if len(jobs) == 0 {
@@ -324,15 +330,15 @@ func (co *coordinator) workerLoop(worker string, seed int) {
 			consec++
 			if consec >= co.cfg.FailThreshold {
 				co.stats.quarantines.Add(1)
-				co.events.add(EvQuarantine, worker, "", fmt.Sprintf("%d consecutive failures", consec))
+				co.events.add(EvQuarantine, worker, "", fmt.Sprintf("%d consecutive failures", consec), nil)
 				if co.probe(worker) {
 					consec = 0
 					co.stats.rejoins.Add(1)
-					co.events.add(EvRejoin, worker, "", "")
+					co.events.add(EvRejoin, worker, "", "", nil)
 					continue
 				}
 				co.stats.dead.Add(1)
-				co.events.add(EvDead, worker, "", "health probes exhausted")
+				co.events.add(EvDead, worker, "", "health probes exhausted", nil)
 				if co.live.Add(-1) == 0 && co.remaining.Load() > 0 {
 					co.fail(ErrNoWorkers)
 				}
@@ -372,7 +378,7 @@ func (co *coordinator) dispatch(worker string, j *job) bool {
 	j.mu.Unlock()
 
 	co.stats.dispatches.Add(1)
-	co.events.add(EvDispatch, worker, j.name, "")
+	co.events.add(EvDispatch, worker, j.name, "", nil)
 
 	// The dispatch runs detached so an arbitrarily late reply cannot
 	// wedge the loop; the reply channel is buffered, so the goroutine
@@ -405,7 +411,7 @@ func (co *coordinator) dispatch(worker string, j *job) bool {
 		j.epoch++
 		j.mu.Unlock()
 		co.stats.abandoned.Add(1)
-		co.events.add(EvAbandon, worker, j.name, co.cfg.DispatchTimeout.String())
+		co.events.add(EvAbandon, worker, j.name, co.cfg.DispatchTimeout.String(), nil)
 		co.requeue(j)
 		co.bgWG.Add(1)
 		go func() {
@@ -416,7 +422,7 @@ func (co *coordinator) dispatch(worker string, j *job) bool {
 			if r.err != nil {
 				detail = "late error: " + r.err.Error()
 			}
-			co.events.add(EvZombie, worker, j.name, detail)
+			co.events.add(EvZombie, worker, j.name, detail, nil)
 		}()
 		return false
 	case <-co.ctx.Done():
@@ -432,7 +438,7 @@ func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.Con
 	if j.done || j.epoch != epoch {
 		j.mu.Unlock()
 		co.stats.zombies.Add(1)
-		co.events.add(EvZombie, worker, j.name, "stale epoch")
+		co.events.add(EvZombie, worker, j.name, "stale epoch", nil)
 		return true
 	}
 	switch ans.Status {
@@ -441,7 +447,8 @@ func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.Con
 		j.final = ans
 		j.slices++
 		j.mu.Unlock()
-		co.events.add(EvComplete, worker, j.name, fmt.Sprintf("selected=%d rd=%s", ans.Selected, ans.RD))
+		co.events.add(EvComplete, worker, j.name, fmt.Sprintf("selected=%d rd=%s", ans.Selected, ans.RD),
+			map[string]int64{"selected": ans.Selected, "segments": ans.Segments, "pruned": ans.Pruned})
 		co.jobDone()
 		return true
 	case "deadline", "canceled":
@@ -453,7 +460,8 @@ func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.Con
 		j.slices++
 		j.mu.Unlock()
 		co.stats.slices.Add(1)
-		co.events.add(EvSlice, worker, j.name, "checkpoint streamed")
+		co.events.add(EvSlice, worker, j.name, "checkpoint streamed",
+			map[string]int64{"selected": ans.Selected, "segments": ans.Segments, "pruned": ans.Pruned})
 		co.requeue(j)
 		return true
 	default:
@@ -479,7 +487,7 @@ func (co *coordinator) dispatchError(worker string, j *job, epoch uint64, err er
 			}
 			j.mu.Unlock()
 			co.stats.restarts.Add(1)
-			co.events.add(EvRestart, worker, j.name, err.Error())
+			co.events.add(EvRestart, worker, j.name, err.Error(), nil)
 			co.requeue(j)
 			return true // the worker is healthy; it is our checkpoint that was bad
 		case remote.Code >= 400 && remote.Code < 500 && remote.Code != 429:
@@ -489,7 +497,7 @@ func (co *coordinator) dispatchError(worker string, j *job, epoch uint64, err er
 		}
 	}
 	co.stats.failures.Add(1)
-	co.events.add(EvFailure, worker, j.name, err.Error())
+	co.events.add(EvFailure, worker, j.name, err.Error(), nil)
 	co.requeue(j)
 	return false
 }

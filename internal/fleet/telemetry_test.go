@@ -1,0 +1,139 @@
+// Fleet half of the telemetry consistency contract: a chaos run's
+// coordinator events stream through the shared telemetry log as JSONL
+// that replays to exactly the in-memory event list, the recovery
+// counters in Stats match the event stream, and the surviving workers'
+// /metrics pages account for the cone slices the run actually served.
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/telemetry"
+)
+
+func TestChaosTelemetryStreamMatchesEventsAndStats(t *testing.T) {
+	var buf bytes.Buffer
+	res, _, pool, err := chaosRun(t, 2,
+		func(c *Config) {
+			c.FailThreshold = 1
+			c.Telemetry = telemetry.NewLog(&buf)
+		},
+		core.Heuristic2,
+		faultinject.Rule{Point: faultinject.PointFleetWorkerKill, Kind: faultinject.KindError, Hit: 2, Count: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesIdentify(t, res, chaosRef(t))
+
+	evs, err := telemetry.ParseJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse JSONL stream: %v", err)
+	}
+	if len(evs) != len(res.Events) {
+		t.Fatalf("JSONL stream has %d events, coordinator log has %d", len(evs), len(res.Events))
+	}
+	for i := range evs {
+		if evs[i].Seq != res.Events[i].Seq || evs[i].Kind != res.Events[i].Kind {
+			t.Fatalf("event %d: stream (seq=%d kind=%q) != log (seq=%d kind=%q)",
+				i, evs[i].Seq, evs[i].Kind, res.Events[i].Seq, res.Events[i].Kind)
+		}
+		if evs[i].Source != "fleet" {
+			t.Fatalf("event %d: source %q, want fleet", i, evs[i].Source)
+		}
+	}
+
+	// Recovery counters: the killed worker (FailThreshold 1, probes give
+	// up) must show up as quarantine + dead in both Stats and the stream.
+	checks := []struct {
+		kind string
+		stat int64
+	}{
+		{EvQuarantine, res.Stats.Quarantines},
+		{EvDead, res.Stats.DeadWorkers},
+		{EvDispatch, res.Stats.Dispatches},
+		{EvComplete, int64(res.Stats.Cones)},
+	}
+	for _, ck := range checks {
+		if n := telemetry.CountKind(evs, ck.kind); int64(n) != ck.stat {
+			t.Errorf("%s: %d in stream, %d in Stats", ck.kind, n, ck.stat)
+		}
+	}
+	if res.Stats.Quarantines == 0 || res.Stats.DeadWorkers == 0 {
+		t.Fatalf("chaos schedule produced no quarantine/dead (stats %+v)", res.Stats)
+	}
+
+	// The complete events carry the per-cone counters; their sums are the
+	// merged result, so the stream alone reconstructs the run's totals.
+	var selected, segments int64
+	for _, ev := range evs {
+		if ev.Kind == EvComplete {
+			selected += ev.Fields["selected"]
+			segments += ev.Fields["segments"]
+		}
+	}
+	if selected != res.Selected || segments != res.Segments {
+		t.Fatalf("complete events sum to selected=%d segments=%d, result has %d/%d",
+			selected, segments, res.Selected, res.Segments)
+	}
+
+	// Every live worker is a full rdserved behind srv.Handler(), so its
+	// /metrics page is scrapeable; the surviving workers' cone-slice
+	// counters must cover every dispatch that was actually answered.
+	client := &http.Client{Timeout: 5 * time.Second}
+	var slices, submitted int64
+	reachable := 0
+	for _, addr := range pool.Addrs() {
+		page, err := fetchMetrics(client, "http://"+addr+"/metrics")
+		if err != nil {
+			continue // the killed worker refuses connections
+		}
+		reachable++
+		slices += metricSample(t, page, "rd_serve_cone_slices_total")
+		submitted += metricSample(t, page, "rd_serve_jobs_submitted_total")
+	}
+	if reachable == 0 {
+		t.Fatal("no surviving worker answered /metrics")
+	}
+	if slices == 0 {
+		t.Fatalf("surviving workers report zero cone slices after %d dispatches", res.Stats.Dispatches)
+	}
+	if submitted != 0 {
+		t.Fatalf("cone dispatches must not count as job submissions, got %d", submitted)
+	}
+}
+
+func fetchMetrics(c *http.Client, url string) (string, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// metricSample pulls one un-labeled sample out of a Prometheus text
+// page, failing the test if the metric is missing entirely.
+func metricSample(t *testing.T, page, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("%s: bad sample %q: %v", name, rest, err)
+			}
+			return int64(v)
+		}
+	}
+	t.Fatalf("metric %s missing from scrape", name)
+	return 0
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// BatchItem is one request's outcome inside a batch submission: either
+// an accepted job or that item's typed admission error. Items are
+// independent — one oversized or shed request never poisons its
+// neighbors.
+type BatchItem struct {
+	Job *Job
+	Err error
+}
+
+// SubmitBatch admits each request through exactly the same path as N
+// sequential Submit calls — same admission checks, same queue, same
+// shedding, same ladder per job — so a batch of N jobs is
+// indistinguishable from N individual submissions except for the single
+// round trip. Item order is preserved and job IDs are assigned in item
+// order.
+func (s *Server) SubmitBatch(reqs []Request) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	accepted := 0
+	for i, req := range reqs {
+		j, err := s.Submit(req)
+		items[i] = BatchItem{Job: j, Err: err}
+		if err == nil {
+			accepted++
+		}
+	}
+	s.metrics.batches.Inc()
+	s.metrics.batchJobs.Add(int64(accepted))
+	s.emit("batch.submitted", "", "", map[string]int64{
+		"jobs": int64(len(reqs)), "accepted": int64(accepted),
+	})
+	return items
+}
+
+// httpBatchRequest is the JSON body of POST /v1/batch.
+type httpBatchRequest struct {
+	Jobs []httpRequest `json:"jobs"`
+}
+
+// httpBatchItem mirrors BatchItem on the wire: exactly one of Info or
+// Error is set.
+type httpBatchItem struct {
+	Info       *Info  `json:"info,omitempty"`
+	Error      string `json:"error,omitempty"`
+	RetryAfter int64  `json:"retry_after_ms,omitempty"`
+}
+
+// handleBatch is POST /v1/batch. The response is always 202 when the
+// batch itself parses: per-item admission failures ride inside the item
+// list, because a half-accepted batch is the normal outcome under load
+// shedding and the caller needs to know exactly which items to retry.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req httpBatchRequest
+	// A batch body legitimately carries many netlists; the per-item
+	// admission limit is still enforced precisely by each Submit.
+	if err := s.decodeBodyLimit(w, r, &req, 8*s.cfg.MaxRequestBytes+4096); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeError(w, fmt.Errorf("%w: batch has no jobs", ErrBadRequest))
+		return
+	}
+	reqs := make([]Request, len(req.Jobs))
+	for i, hr := range req.Jobs {
+		reqs[i] = Request{
+			Bench:     hr.Bench,
+			Name:      hr.Name,
+			Heuristic: hr.Heuristic,
+			Tier:      hr.Tier,
+			Timeout:   time.Duration(hr.TimeoutMS) * time.Millisecond,
+		}
+	}
+	items := s.SubmitBatch(reqs)
+	out := make([]httpBatchItem, len(items))
+	for i, it := range items {
+		if it.Err != nil {
+			out[i].Error = it.Err.Error()
+			if sat, ok := it.Err.(*SaturatedError); ok {
+				out[i].RetryAfter = sat.RetryAfter.Milliseconds()
+			}
+			continue
+		}
+		info := it.Job.Info()
+		out[i].Info = &info
+	}
+	writeJSON(w, http.StatusAccepted, map[string][]httpBatchItem{"jobs": out})
+}

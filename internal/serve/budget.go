@@ -43,6 +43,10 @@ type Budget struct {
 	total int64
 	used  int64
 	resvs map[*Reservation]struct{}
+	// onEvict observes each revoked reservation's size. Set before the
+	// ledger is shared; called outside b.mu so it may take other locks.
+	onEvict   func(bytes int64)
+	evictions int64 // revocations so far (under mu)
 }
 
 // Reservation is one job's claim on the budget.
@@ -119,9 +123,9 @@ func (b *Budget) Total() int64 {
 // notification, operator).
 func (b *Budget) SetTotal(n int64) int64 {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	prev := b.total
 	b.total = n
+	var evicted []int64
 	for b.used > b.total {
 		var victim *Reservation
 		for r := range b.resvs {
@@ -137,6 +141,21 @@ func (b *Budget) SetTotal(n int64) int64 {
 		b.used -= victim.bytes
 		delete(b.resvs, victim)
 		close(victim.evict)
+		b.evictions++
+		evicted = append(evicted, victim.bytes)
+	}
+	b.mu.Unlock()
+	if b.onEvict != nil {
+		for _, bytes := range evicted {
+			b.onEvict(bytes)
+		}
 	}
 	return prev
+}
+
+// Evictions counts reservations revoked by budget shrinks since start.
+func (b *Budget) Evictions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evictions
 }

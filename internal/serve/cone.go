@@ -124,11 +124,14 @@ func (s *Server) Cone(req ConeRequest) (*ConeAnswer, error) {
 	case s.coneSem <- struct{}{}:
 	default:
 		s.shed.Add(1)
+		s.metrics.shed.With("cone").Add(1)
+		s.emit("job.shed", "", "cone", nil)
 		return nil, &SaturatedError{Lane: "cone", RetryAfter: s.cfg.RetryAfter}
 	}
 	defer func() { <-s.coneSem }()
 	s.coneInflight.Add(1)
 	defer s.coneInflight.Add(-1)
+	s.metrics.coneSlices.Inc()
 	if s.baseCtx.Err() != nil || s.draining.Load() {
 		return nil, ErrShutdown
 	}

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"rdfault/internal/telemetry"
 )
 
 // httpRequest is the JSON body of POST /v1/jobs and POST /v1/count.
@@ -28,11 +30,14 @@ type httpError struct {
 // Handler exposes the service over HTTP+JSON:
 //
 //	POST /v1/jobs            submit an identification job (heavy lane)
-//	GET  /v1/jobs/{id}       job status
+//	POST /v1/batch           submit many jobs in one request
+//	GET  /v1/jobs/{id}       job status + live progress counters
+//	GET  /v1/jobs/{id}/events  SSE stream of progress snapshots
 //	GET  /v1/jobs/{id}/result  the answer (409 while in flight)
 //	POST /v1/count           synchronous path count (cheap lane)
 //	POST /v1/cone            synchronous cone enumeration slice (fleet lane)
 //	POST /v1/budget          resize the memory budget (pressure hook)
+//	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness + queue/budget numbers
 //
 // Saturation answers 429 with a Retry-After header — immediately, not
@@ -42,15 +47,25 @@ type httpError struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/count", s.handleCount)
 	mux.HandleFunc("POST /v1/cone", s.handleCone)
 	mux.HandleFunc("POST /v1/budget", s.handleBudget)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
 	})
 	return mux
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// server's registry. Gauges read live state at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	s.metrics.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -103,7 +118,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // decodeBody parses a JSON request body, bounded by the admission byte
 // limit (the netlist limit is re-checked precisely at admit).
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes+4096)
+	return s.decodeBodyLimit(w, r, v, s.cfg.MaxRequestBytes+4096)
+}
+
+// decodeBodyLimit is decodeBody with an explicit byte bound (the batch
+// endpoint carries many netlists in one body).
+func (s *Server) decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	body := http.MaxBytesReader(w, r.Body, limit)
 	raw, err := io.ReadAll(body)
 	if err != nil {
 		var tooBig *http.MaxBytesError

@@ -1,0 +1,71 @@
+package serve
+
+import "rdfault/internal/telemetry"
+
+// serveMetrics is the server's Prometheus surface. Counters follow the
+// lifecycle event log one-for-one (the chaos suite cross-checks them);
+// the gauges read live server state through closures, so a scrape is
+// always current without any bookkeeping on the serving paths.
+type serveMetrics struct {
+	reg *telemetry.Registry
+
+	jobsSubmitted   *telemetry.Counter
+	jobsCompleted   *telemetry.CounterVec
+	tierServed      *telemetry.CounterVec
+	shed            *telemetry.CounterVec
+	batches         *telemetry.Counter
+	batchJobs       *telemetry.Counter
+	coneSlices      *telemetry.Counter
+	budgetEvictions *telemetry.Counter
+	sseStreams      *telemetry.Counter
+	sseActive       *telemetry.Gauge
+	jobSeconds      *telemetry.Histogram
+}
+
+func newServeMetrics(s *Server) *serveMetrics {
+	r := telemetry.NewRegistry()
+	m := &serveMetrics{reg: r}
+	m.jobsSubmitted = r.NewCounter("rd_serve_jobs_submitted_total",
+		"Heavy-lane submissions assigned a job ID (shed submissions included).")
+	m.jobsCompleted = r.NewCounterVec("rd_serve_jobs_completed_total",
+		"Jobs reaching a terminal state, by outcome.", "state")
+	m.tierServed = r.NewCounterVec("rd_serve_tier_served_total",
+		"Answers produced, by served ladder tier.", "tier")
+	m.shed = r.NewCounterVec("rd_serve_shed_total",
+		"Requests refused with ErrSaturated, by lane.", "lane")
+	m.batches = r.NewCounter("rd_serve_batches_total",
+		"Batch submissions processed.")
+	m.batchJobs = r.NewCounter("rd_serve_batch_jobs_total",
+		"Jobs admitted through batch submissions.")
+	m.coneSlices = r.NewCounter("rd_serve_cone_slices_total",
+		"Cone-slice requests admitted on the fleet lane.")
+	m.budgetEvictions = r.NewCounter("rd_serve_budget_evictions_total",
+		"Running jobs evicted by a memory-budget shrink.")
+	m.sseStreams = r.NewCounter("rd_serve_sse_streams_total",
+		"Progress streams opened.")
+	m.sseActive = r.NewGauge("rd_serve_sse_active",
+		"Progress streams open right now.")
+	m.jobSeconds = r.NewHistogram("rd_serve_job_seconds",
+		"Heavy-job wall time in seconds.", telemetry.DefBuckets)
+	r.NewGaugeFunc("rd_serve_queue_depth",
+		"Jobs waiting in the heavy-lane queue.",
+		func() float64 { return float64(len(s.queue)) })
+	r.NewGaugeFunc("rd_serve_running",
+		"Heavy jobs running right now.",
+		func() float64 { return float64(s.running.Load()) })
+	r.NewGaugeFunc("rd_serve_draining",
+		"1 while intake is stopped for drain or shutdown.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
+	r.NewGaugeFunc("rd_serve_budget_used_bytes",
+		"Reserved bytes outstanding in the memory ledger.",
+		func() float64 { return float64(s.budget.Used()) })
+	r.NewGaugeFunc("rd_serve_budget_total_bytes",
+		"Memory ledger capacity in bytes.",
+		func() float64 { return float64(s.budget.Total()) })
+	return m
+}

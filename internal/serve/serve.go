@@ -27,6 +27,7 @@ import (
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/faultinject"
+	"rdfault/internal/telemetry"
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -59,6 +60,17 @@ type Config struct {
 	RetryAfter time.Duration
 	// SpillDir receives checkpoints of evicted jobs (default os.TempDir()).
 	SpillDir string
+	// Telemetry, when non-nil, receives the structured lifecycle event
+	// log (job submitted/started/done/failed, shed, budget evictions,
+	// drain). Progress snapshots stream over /v1/jobs/{id}/events and
+	// never enter this log, so with a frozen faultinject clock the log
+	// of a serialized run is byte-deterministic.
+	Telemetry *telemetry.Log
+	// StreamInterval paces the SSE progress stream (default 100ms).
+	StreamInterval time.Duration
+	// StreamWriteTimeout bounds each SSE write; a subscriber that cannot
+	// keep up is disconnected instead of wedging the handler (default 5s).
+	StreamWriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +103,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpillDir == "" {
 		c.SpillDir = os.TempDir()
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = 100 * time.Millisecond
+	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -164,6 +182,12 @@ type Job struct {
 	tier      Tier
 	timeout   time.Duration
 
+	// tracker carries the job's live enumeration counters; done closes
+	// when the job reaches a terminal state (Wait and the SSE stream
+	// block on it).
+	tracker *core.Tracker
+	done    chan struct{}
+
 	mu     sync.Mutex
 	state  JobState
 	answer *Answer
@@ -186,10 +210,31 @@ func (j *Job) finish(a *Answer, err error) {
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
-		return
+	} else {
+		j.state = StateDone
+		j.answer = a
 	}
-	j.state = StateDone
-	j.answer = a
+	if j.done != nil {
+		close(j.done)
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress snapshots the job's live enumeration counters (zero while
+// queued, exact once the enumeration pass completes).
+func (j *Job) Progress() core.Progress { return j.tracker.Snapshot() }
+
+// Wait blocks until the job finishes (returning its answer or failure
+// error) or ctx fires.
+func (j *Job) Wait(ctx context.Context) (*Answer, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // note records an operational footnote (spill failure, corrupt
@@ -200,14 +245,16 @@ func (j *Job) note(s string) {
 	j.mu.Unlock()
 }
 
-// Info is a point-in-time snapshot of a job.
+// Info is a point-in-time snapshot of a job. Progress carries the live
+// enumeration counters (additive field: old clients ignore it).
 type Info struct {
-	ID      string   `json:"id"`
-	State   JobState `json:"state"`
-	Circuit string   `json:"circuit"`
-	Tier    string   `json:"tier_requested"`
-	Error   string   `json:"error,omitempty"`
-	Notes   []string `json:"notes,omitempty"`
+	ID       string         `json:"id"`
+	State    JobState       `json:"state"`
+	Circuit  string         `json:"circuit"`
+	Tier     string         `json:"tier_requested"`
+	Progress *core.Progress `json:"progress,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Notes    []string       `json:"notes,omitempty"`
 }
 
 // Info snapshots the job.
@@ -220,6 +267,10 @@ func (j *Job) Info() Info {
 		Circuit: j.circuit.Name(),
 		Tier:    j.tier.String(),
 		Notes:   append([]string(nil), j.notes...),
+	}
+	if j.tracker != nil {
+		p := j.tracker.Snapshot()
+		in.Progress = &p
 	}
 	if j.err != nil {
 		in.Error = j.err.Error()
@@ -264,6 +315,9 @@ type Server struct {
 	shed         atomic.Int64
 	draining     atomic.Bool
 
+	telem   *telemetry.Log
+	metrics *serveMetrics
+
 	wg sync.WaitGroup
 }
 
@@ -281,6 +335,12 @@ func New(cfg Config) *Server {
 		cheapSem:   make(chan struct{}, cfg.MaxCheapInFlight),
 		coneSem:    make(chan struct{}, cfg.MaxConeInFlight),
 		jobs:       make(map[string]*Job),
+		telem:      cfg.Telemetry,
+	}
+	s.metrics = newServeMetrics(s)
+	s.budget.onEvict = func(bytes int64) {
+		s.metrics.budgetEvictions.Inc()
+		s.emit("budget.evict", "", "", map[string]int64{"bytes": bytes})
 	}
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		s.wg.Add(1)
@@ -292,6 +352,18 @@ func New(cfg Config) *Server {
 // Budget exposes the memory ledger (for the memory-pressure hook and
 // health reporting).
 func (s *Server) Budget() *Budget { return s.budget }
+
+// Metrics exposes the server's Prometheus registry, for embedding the
+// service into a process that serves its own /metrics endpoint.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
+
+// emit writes one lifecycle event to the configured telemetry log
+// (a safe no-op when none is configured).
+func (s *Server) emit(kind, job, detail string, fields map[string]int64) {
+	s.telem.Emit(telemetry.Event{
+		Source: "serve", Kind: kind, Job: job, Detail: detail, Fields: fields,
+	})
+}
 
 // admit parses and size-checks a netlist.
 func (s *Server) admit(name, bench string) (*circuit.Circuit, error) {
@@ -359,18 +431,26 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		heuristic: h,
 		tier:      tier,
 		timeout:   timeout,
+		tracker:   core.NewTracker(),
+		done:      make(chan struct{}),
 		state:     StateQueued,
 	}
 	s.jobs[j.ID] = j
+	// The submitted event precedes the queue send (and is emitted under
+	// s.mu, so event order matches ID order); a shed submission keeps its
+	// burned ID so the event log stays unambiguous.
+	s.metrics.jobsSubmitted.Inc()
+	s.emit("job.submitted", j.ID, j.tier.String(), nil)
 	select {
 	case s.queue <- j:
 		s.mu.Unlock()
 		return j, nil
 	default:
 		delete(s.jobs, j.ID)
-		s.nextID--
 		s.mu.Unlock()
 		s.shed.Add(1)
+		s.metrics.shed.With("identify").Add(1)
+		s.emit("job.shed", j.ID, "identify", nil)
 		return nil, &SaturatedError{Lane: "identify", RetryAfter: s.cfg.RetryAfter}
 	}
 }
@@ -394,6 +474,8 @@ func (s *Server) Count(name, bench string) (*Answer, error) {
 	case s.cheapSem <- struct{}{}:
 	default:
 		s.shed.Add(1)
+		s.metrics.shed.With("count").Add(1)
+		s.emit("job.shed", "", "count", nil)
 		return nil, &SaturatedError{Lane: "count", RetryAfter: s.cfg.RetryAfter}
 	}
 	defer func() { <-s.cheapSem }()
@@ -442,12 +524,14 @@ func (s *Server) runJob(j *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	defer s.done.Add(1)
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			j.finish(nil, fmt.Errorf("serve: job panicked: %v", r))
+			s.finishJob(j, nil, fmt.Errorf("serve: job panicked: %v", r), start)
 		}
 	}()
 	j.setState(StateRunning)
+	s.emit("job.start", j.ID, j.tier.String(), nil)
 
 	ctx := s.baseCtx
 	if j.timeout > 0 {
@@ -458,6 +542,28 @@ func (s *Server) runJob(j *Job) {
 		defer cancel()
 	}
 	ans, err := s.runLadder(ctx, j)
+	s.finishJob(j, ans, err, start)
+}
+
+// finishJob records a job's terminal event and metrics, then finishes
+// it — in that order, so a waiter unblocked by finish always observes
+// the terminal event already in the log (which is what keeps a
+// serialized submit→wait sequence byte-deterministic). The done-event
+// counters come from the tracker's final snapshot: the streamed numbers
+// and the logged numbers are the same numbers.
+func (s *Server) finishJob(j *Job, ans *Answer, err error, start time.Time) {
+	s.metrics.jobSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.metrics.jobsCompleted.With("failed").Add(1)
+		s.emit("job.failed", j.ID, err.Error(), nil)
+	} else {
+		s.metrics.jobsCompleted.With("done").Add(1)
+		s.metrics.tierServed.With(ans.Tier).Add(1)
+		p := j.tracker.Snapshot()
+		s.emit("job.done", j.ID, ans.Tier, map[string]int64{
+			"selected": p.Selected, "segments": p.Segments, "pruned": p.Pruned,
+		})
+	}
 	j.finish(ans, err)
 }
 
@@ -516,6 +622,7 @@ func (s *Server) Drain(timeout time.Duration) {
 	// Only the draining flag stops intake here; Close below still takes
 	// its full path (cancel + wait) because closed is not yet set.
 	s.draining.Store(true)
+	s.emit("drain.begin", "", timeout.String(), nil)
 
 	deadline := faultinject.Now(faultinject.PointClock).Add(timeout)
 	for timeout > 0 && time.Now().Before(deadline) {
@@ -548,8 +655,13 @@ func (s *Server) Close() {
 	for {
 		select {
 		case j := <-s.queue:
+			// Killed while queued: terminal event first, then finish, like
+			// every other path to a terminal state.
+			s.metrics.jobsCompleted.With("failed").Add(1)
+			s.emit("job.failed", j.ID, ErrShutdown.Error(), nil)
 			j.finish(nil, ErrShutdown)
 		default:
+			s.emit("server.closed", "", "", nil)
 			return
 		}
 	}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream
+// of the job's live Progress snapshots, one "progress" frame per
+// StreamInterval plus an immediate frame on entry, terminated by a
+// single "done" frame once the job reaches a terminal state.
+//
+// The whole stream runs on the request goroutine — no subscriber
+// registry, no fan-out goroutines — so a disconnect, a server drain or a
+// finished job all end the handler by returning, and there is nothing
+// left to leak. A subscriber that cannot drain a frame within
+// StreamWriteTimeout is disconnected (its write fails) rather than
+// allowed to wedge the handler.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	s.metrics.sseStreams.Inc()
+	s.metrics.sseActive.Add(1)
+	defer s.metrics.sseActive.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	rc := http.NewResponseController(w)
+	write := func(event string, v any) bool {
+		// Best effort: some ResponseWriters cannot set deadlines; the
+		// write itself still reports a dead subscriber.
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	ticker := time.NewTicker(s.cfg.StreamInterval)
+	defer ticker.Stop()
+	for {
+		info := j.Info()
+		terminal := info.State == StateDone || info.State == StateFailed
+		event := "progress"
+		if terminal {
+			event = "done"
+		}
+		if !write(event, info) || terminal {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-j.Done():
+			// Loop once more: the next frame is the terminal "done".
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readFrames consumes SSE frames until the stream ends or max frames.
+func readFrames(t *testing.T, r *bufio.Scanner, max int) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	for r.Scan() {
+		line := r.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+			if len(frames) >= max {
+				return frames
+			}
+		}
+	}
+	return frames
+}
+
+// waitGoroutines polls until the goroutine count returns to the
+// baseline (the drain_test leak pattern).
+func waitGoroutines(t *testing.T, baseline int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowPlan wedges enumeration so a job stays running long enough to
+// stream against; pin-order jobs skip the sort passes so PointWorker
+// hits mean the walk is live.
+func slowPlan(t *testing.T) *faultinject.Plan {
+	t.Helper()
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	t.Cleanup(restore)
+	return plan
+}
+
+// TestStreamProgressToDone follows a job's stream end to end: frames
+// are progress snapshots, the last frame is "done" and carries the
+// final state with exact counters.
+func TestStreamProgressToDone(t *testing.T) {
+	s := newTestServer(t, Config{StreamInterval: 2 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, err := s.Submit(Request{Bench: benchOf(t, gen.PaperExample()), Heuristic: "heu2", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	frames := readFrames(t, bufio.NewScanner(resp.Body), 1000)
+	if len(frames) == 0 {
+		t.Fatal("stream delivered no frames")
+	}
+	last := frames[len(frames)-1]
+	if last.event != "done" {
+		t.Fatalf("last frame is %q, want done", last.event)
+	}
+	for _, f := range frames[:len(frames)-1] {
+		if f.event != "progress" {
+			t.Fatalf("mid-stream frame is %q, want progress", f.event)
+		}
+	}
+	var info Info
+	if err := json.Unmarshal([]byte(last.data), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateDone || info.Progress == nil || !info.Progress.Final {
+		t.Fatalf("done frame = %+v, want done state with final progress", info)
+	}
+	ans, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Progress.Selected != ans.Selected {
+		t.Fatalf("streamed selected=%d, served answer %d", info.Progress.Selected, ans.Selected)
+	}
+}
+
+// TestStreamDisconnectNoLeak kills the client mid-stream; the handler
+// must return (no subscriber bookkeeping survives the request).
+func TestStreamDisconnectNoLeak(t *testing.T) {
+	slowPlan(t)
+	s := newTestServer(t, Config{Workers: 1, MaxInFlight: 1, StreamInterval: 2 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, err := s.Submit(Request{Bench: benchOf(t, gen.RippleAdder(10, gen.XorNAND)), Heuristic: "pin", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 5*time.Second)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+j.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One live frame proves the stream is up, then the client vanishes.
+	readFrames(t, bufio.NewScanner(resp.Body), 1)
+	cancel()
+	resp.Body.Close()
+	waitGoroutines(t, before, 5*time.Second)
+	if v := s.metrics.sseActive.Value(); v != 0 {
+		t.Fatalf("sse_active = %d after disconnect, want 0", v)
+	}
+}
+
+// stallWriter accepts the first write, then fails like a write deadline
+// expiring on a wedged subscriber.
+type stallWriter struct {
+	h      http.Header
+	writes int
+}
+
+func (w *stallWriter) Header() http.Header { return w.h }
+func (w *stallWriter) WriteHeader(int)     {}
+func (w *stallWriter) Flush()              {}
+func (w *stallWriter) Write(b []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("write deadline exceeded")
+	}
+	return len(b), nil
+}
+
+// TestStreamSlowReaderDisconnected: a subscriber that cannot drain its
+// frames is cut off; the handler returns instead of wedging.
+func TestStreamSlowReaderDisconnected(t *testing.T) {
+	slowPlan(t)
+	s := newTestServer(t, Config{Workers: 1, MaxInFlight: 1, StreamInterval: time.Millisecond})
+	j, err := s.Submit(Request{Bench: benchOf(t, gen.RippleAdder(10, gen.XorNAND)), Heuristic: "pin", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 5*time.Second)
+
+	req := httptest.NewRequest("GET", "/v1/jobs/"+j.ID+"/events", nil)
+	req.SetPathValue("id", j.ID)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.handleEvents(&stallWriter{h: make(http.Header)}, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler wedged behind a stalled subscriber")
+	}
+	if v := s.metrics.sseActive.Value(); v != 0 {
+		t.Fatalf("sse_active = %d after stall, want 0", v)
+	}
+}
+
+// TestStreamDrainEndsStreams: a server drain terminates every open
+// stream and leaves no goroutines behind.
+func TestStreamDrainEndsStreams(t *testing.T) {
+	slowPlan(t)
+	s := newTestServer(t, Config{Workers: 1, MaxInFlight: 1, StreamInterval: 2 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, err := s.Submit(Request{Bench: benchOf(t, gen.RippleAdder(10, gen.XorNAND)), Heuristic: "pin", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 5*time.Second)
+
+	before := runtime.NumGoroutine()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	readFrames(t, bufio.NewScanner(resp.Body), 1)
+
+	s.Drain(50 * time.Millisecond)
+	// The stream must end (EOF or a final done frame), not hang.
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		readFrames(t, bufio.NewScanner(resp.Body), 1000)
+	}()
+	select {
+	case <-streamDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream survived the drain")
+	}
+	waitGoroutines(t, before, 5*time.Second)
+	if v := s.metrics.sseActive.Value(); v != 0 {
+		t.Fatalf("sse_active = %d after drain, want 0", v)
+	}
+}

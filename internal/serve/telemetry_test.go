@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+	"rdfault/internal/telemetry"
+)
+
+// TestBatchMatchesSequential is the batch acceptance property: a batch
+// of N jobs produces exactly the answers of N sequential submissions.
+func TestBatchMatchesSequential(t *testing.T) {
+	reqs := []Request{
+		{Bench: benchOf(t, gen.PaperExample()), Name: "a", Heuristic: "heu1", Tier: "fast"},
+		{Bench: benchOf(t, gen.RippleAdder(4, gen.XorNAND)), Name: "b", Heuristic: "heu2", Tier: "fast"},
+		{Bench: benchOf(t, gen.PaperExample()), Name: "c", Heuristic: "inverse", Tier: "certificate"},
+	}
+
+	seq := newTestServer(t, Config{Workers: 1})
+	want := make([]*Answer, len(reqs))
+	for i, r := range reqs {
+		j, err := seq.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bat := newTestServer(t, Config{Workers: 1, QueueDepth: len(reqs)})
+	items := bat.SubmitBatch(reqs)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("batch item %d rejected: %v", i, it.Err)
+		}
+		got, err := it.Job.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("batch item %d failed: %v", i, err)
+		}
+		w := want[i]
+		if got.Tier != w.Tier || got.TierReason != w.TierReason ||
+			got.Selected != w.Selected || got.RD != w.RD ||
+			got.TotalPaths != w.TotalPaths || got.RDPercent != w.RDPercent ||
+			got.Segments != w.Segments {
+			t.Fatalf("batch item %d diverged from sequential:\nbatch: %+v\nseq:   %+v", i, got, w)
+		}
+	}
+	if bat.metrics.batches.Value() != 1 || bat.metrics.batchJobs.Value() != int64(len(reqs)) {
+		t.Fatalf("batch metrics = %d/%d, want 1/%d",
+			bat.metrics.batches.Value(), bat.metrics.batchJobs.Value(), len(reqs))
+	}
+}
+
+// TestEventLogByteDeterministic is the telemetry acceptance property:
+// with a frozen faultinject clock, a serialized run writes the same
+// event-log bytes, run after run.
+func TestEventLogByteDeterministic(t *testing.T) {
+	base := time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+	run := func() []byte {
+		restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+			Point: faultinject.PointTelemetryClock,
+			Kind:  faultinject.KindFreeze,
+			Base:  base,
+			Skew:  time.Millisecond,
+		}))
+		defer restore()
+		var buf bytes.Buffer
+		s := newTestServer(t, Config{
+			Workers: 1, MaxInFlight: 1,
+			Telemetry: telemetry.NewLog(&buf),
+		})
+		bench := benchOf(t, gen.PaperExample())
+		for i := 0; i < 2; i++ {
+			j, err := s.Submit(Request{Bench: bench, Heuristic: "heu2", Tier: "fast"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.Wait(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Drain(time.Second)
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("frozen-clock event logs differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+	evs, err := telemetry.ParseJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []string{
+		"job.submitted", "job.start", "job.done",
+		"job.submitted", "job.start", "job.done",
+		"drain.begin", "server.closed",
+	}
+	if len(evs) != len(wantKinds) {
+		t.Fatalf("logged %d events, want %d:\n%s", len(evs), len(wantKinds), a)
+	}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Fatalf("event %d is %q, want %q", i, ev.Kind, wantKinds[i])
+		}
+		if !ev.TS.Equal(base.Add(time.Duration(i) * time.Millisecond)) {
+			t.Fatalf("event %d timestamp %v not on the frozen clock", i, ev.TS)
+		}
+	}
+	if evs[2].Fields["selected"] == 0 || evs[2].Fields["segments"] == 0 {
+		t.Fatalf("job.done carries no progress counters: %+v", evs[2])
+	}
+}
+
+// TestMetricsEventConsistency cross-checks the Prometheus counters
+// against the event log: every shed, eviction and completion is counted
+// by both, with the same totals.
+func TestMetricsEventConsistency(t *testing.T) {
+	plan := faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointWorker,
+		Kind:  faultinject.KindSleep,
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	var buf bytes.Buffer
+	s := newTestServer(t, Config{
+		Workers: 1, MaxInFlight: 1, QueueDepth: 1,
+		Telemetry: telemetry.NewLog(&buf),
+	})
+	// Pin-order jobs skip the sort passes, so PointWorker hits mean the
+	// enumeration (and its budget reservation) is live.
+	slow := benchOf(t, gen.RippleAdder(10, gen.XorNAND))
+	a, err := s.Submit(Request{Bench: slow, Heuristic: "pin", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, a, StateRunning, 5*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for plan.Hits(faultinject.PointWorker) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("enumeration never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b, err := s.Submit(Request{Bench: slow, Heuristic: "pin", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Request{Bench: slow, Heuristic: "pin", Tier: "fast"}); err == nil {
+		t.Fatal("third submission was not shed")
+	}
+	// Shrink the budget below the running job's reservation: it is
+	// evicted and steps down the ladder (failing at the bottom, since no
+	// rung fits in one byte).
+	s.budget.SetTotal(1)
+	_, _ = a.Wait(context.Background())
+	_, _ = b.Wait(context.Background())
+	s.Close()
+
+	evs, err := telemetry.ParseJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.metrics
+	if n := m.jobsSubmitted.Value(); n != 3 || telemetry.CountKind(evs, "job.submitted") != 3 {
+		t.Fatalf("submitted: metric %d, events %d, want 3/3", n, telemetry.CountKind(evs, "job.submitted"))
+	}
+	shedMetric := m.shed.Value("identify") + m.shed.Value("count") + m.shed.Value("cone")
+	if shedMetric != 1 || telemetry.CountKind(evs, "job.shed") != 1 {
+		t.Fatalf("shed: metric %d, events %d, want 1/1", shedMetric, telemetry.CountKind(evs, "job.shed"))
+	}
+	if ev, met := telemetry.CountKind(evs, "budget.evict"), m.budgetEvictions.Value(); met == 0 || int64(ev) != met {
+		t.Fatalf("evictions: metric %d, events %d, want equal and nonzero", met, ev)
+	}
+	if got := s.budget.Evictions(); got != m.budgetEvictions.Value() {
+		t.Fatalf("budget ledger counts %d evictions, metric %d", got, m.budgetEvictions.Value())
+	}
+	completed := m.jobsCompleted.Value("done") + m.jobsCompleted.Value("failed")
+	terminal := telemetry.CountKind(evs, "job.done") + telemetry.CountKind(evs, "job.failed")
+	if completed != 2 || int64(terminal) != completed {
+		t.Fatalf("completions: metric %d, events %d, want 2/2", completed, terminal)
+	}
+	if m.jobSeconds.Count() != 2 {
+		t.Fatalf("duration histogram observed %d jobs, want 2", m.jobSeconds.Count())
+	}
+}

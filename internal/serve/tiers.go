@@ -229,9 +229,10 @@ func (s *Server) runIdentifyTier(ctx context.Context, j *Job, tier Tier, spill *
 	defer func() { cancel(); <-watchDone }()
 
 	opt := core.Options{
-		Workers: s.cfg.Workers,
-		Context: tierCtx,
-		Exact:   tier == TierExact,
+		Workers:  s.cfg.Workers,
+		Context:  tierCtx,
+		Exact:    tier == TierExact,
+		Progress: j.tracker,
 	}
 	if tier == TierFast && *spill != "" {
 		// An evicted exact rung left a frontier behind; same circuit,
@@ -372,7 +373,7 @@ func (s *Server) runCertTier(ctx context.Context, j *Job) (*Answer, error) {
 	if err != nil {
 		return nil, &stepDown{cause: err, note: downNote(err)}
 	}
-	cert, err := core.CollectRDSegments(j.circuit, sort, core.Options{Context: tierCtx})
+	cert, err := core.CollectRDSegments(j.circuit, sort, core.Options{Context: tierCtx, Progress: j.tracker})
 	if err != nil {
 		return nil, &stepDown{cause: err, note: downNote(err)}
 	}

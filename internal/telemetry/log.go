@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"rdfault/internal/faultinject"
+)
+
+// Event is one structured log entry. Every layer of the pipeline emits
+// the same shape — serve job lifecycle, fleet dispatch/quarantine,
+// batch admission — so one JSONL stream tells the whole story of a run.
+//
+// Timestamps are stamped through the faultinject clock
+// (PointTelemetryClock by default): with a KindFreeze rule armed, the
+// encoded log of a deterministic execution is byte-identical across
+// runs, which is what lets a production trace replay as a chaos case.
+// Field order is fixed and Fields is a map encoded with sorted keys
+// (encoding/json guarantees that), so the encoding itself adds no
+// nondeterminism.
+type Event struct {
+	// TS is the event time as observed through the log's clock point.
+	TS time.Time `json:"ts"`
+	// Seq is the log-assigned sequence number (1-based); it orders
+	// events totally even when the frozen clock repeats timestamps.
+	Seq uint64 `json:"seq"`
+	// Source names the emitting layer ("serve", "fleet", ...).
+	Source string `json:"source"`
+	// Kind is the event type, e.g. "job.done" or "quarantine".
+	Kind   string `json:"kind"`
+	Job    string `json:"job,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Cone   string `json:"cone,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Fields carries small named counters (selected, segments, shed...).
+	Fields map[string]int64 `json:"fields,omitempty"`
+}
+
+// Log is a concurrency-safe JSONL event sink. A nil *Log is valid and
+// drops everything, so call sites never need a guard.
+type Log struct {
+	mu    sync.Mutex
+	w     io.Writer // may be nil: events still sequence and fan out
+	clock string
+	seq   uint64
+	sink  func(Event)
+}
+
+// NewLog returns a log writing JSONL to w (nil w keeps the log purely
+// in-memory: sequencing and sinks still work). Timestamps flow through
+// faultinject.PointTelemetryClock unless WithClock overrides it.
+func NewLog(w io.Writer) *Log {
+	return &Log{w: w, clock: faultinject.PointTelemetryClock}
+}
+
+// WithClock reroutes timestamping through a different faultinject
+// point; returns the log for chaining.
+func (l *Log) WithClock(point string) *Log {
+	l.mu.Lock()
+	l.clock = point
+	l.mu.Unlock()
+	return l
+}
+
+// SetSink installs a function receiving every emitted event, in
+// sequence order. The sink runs under the log's lock — it must not
+// Emit recursively.
+func (l *Log) SetSink(fn func(Event)) {
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
+}
+
+// Emit stamps, sequences, encodes and writes one event, returning the
+// stamped copy. An event arriving with a nonzero TS keeps it (the
+// emitter already stamped through its own clock point); zero TS is
+// stamped through the log's clock. Nil logs drop the event.
+func (l *Log) Emit(ev Event) Event {
+	if l == nil {
+		return ev
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev.Seq = l.seq
+	if ev.TS.IsZero() {
+		ev.TS = faultinject.Now(l.clock)
+	}
+	if l.w != nil {
+		if b, err := json.Marshal(ev); err == nil {
+			l.w.Write(append(b, '\n'))
+		}
+	}
+	if l.sink != nil {
+		l.sink(ev)
+	}
+	return ev
+}
+
+// Seq reports how many events the log has emitted.
+func (l *Log) Seq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// ParseJSONL decodes a JSONL event stream (one Event per line), for
+// tests and replay tooling.
+func ParseJSONL(data []byte) ([]Event, error) {
+	var evs []Event
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// CountKind tallies events of one kind — the consistency checks between
+// metrics and the event log live on this.
+func CountKind(evs []Event, kind string) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,269 @@
+// Package telemetry is the observability spine of the RD pipeline: a
+// dependency-free metrics registry (counters, gauges, histograms with
+// Prometheus text exposition) and a structured JSONL event log whose
+// timestamps flow through the faultinject clock — so a production trace
+// captured from a live server replays as a deterministic chaos case.
+//
+// The registry is deliberately tiny: the service needs a couple dozen
+// series, not a client library. Metrics are registered once at startup
+// (registration order is exposition order, so scrapes are byte-stable
+// for fixed values), updated with atomics on the hot path, and written
+// in the Prometheus text format (version 0.0.4) on demand.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is anything the registry can expose.
+type metric interface {
+	// write emits the metric's # HELP/# TYPE header and sample lines.
+	write(w io.Writer)
+}
+
+// Registry holds a fixed set of metrics and writes them in the
+// Prometheus text exposition format.
+type Registry struct {
+	mu      sync.Mutex
+	names   map[string]struct{}
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) register(name string, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[name]; dup {
+		panic("telemetry: duplicate metric name " + name)
+	}
+	r.names[name] = struct{}{}
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus writes every registered metric in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		m.write(w)
+	}
+}
+
+// ContentType is the scrape response content type for WritePrometheus
+// output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// Gauge is a settable integer metric.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+}
+
+// GaugeFunc is a gauge sampled at scrape time — queue depth, budget
+// remaining, drain state: values some other structure already owns.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers a scrape-time gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(name, g)
+	return g
+}
+
+func (g *GaugeFunc) write(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// CounterVec is a counter family keyed by one label (tier, lane, state).
+// Children appear in the exposition sorted by label value, so scrapes
+// are byte-stable for fixed values.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*atomic.Int64
+}
+
+// NewCounterVec registers a one-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label,
+		children: make(map[string]*atomic.Int64)}
+	r.register(name, v)
+	return v
+}
+
+// With returns the child counter for the label value, creating it at
+// zero on first use.
+func (v *CounterVec) With(value string) *atomic.Int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &atomic.Int64{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Value reads one child (0 if the label value was never used).
+func (v *CounterVec) Value(value string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (v *CounterVec) write(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, k, v.children[k].Load())
+	}
+	v.mu.Unlock()
+}
+
+// Histogram is a cumulative-bucket histogram of float observations
+// (durations in seconds, by convention).
+type Histogram struct {
+	name, help string
+	buckets    []float64 // upper bounds, ascending; +Inf is implicit
+
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, plus the +Inf overflow at the end
+	sum    float64
+	total  uint64
+}
+
+// DefBuckets spans sub-millisecond cache hits to multi-minute exact
+// runs.
+var DefBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 60, 300}
+
+// NewHistogram registers a histogram; nil buckets take DefBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		buckets: append([]float64(nil), buckets...),
+		counts:  make([]uint64, len(buckets)+1),
+	}
+	r.register(name, h)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count reports how many observations the histogram holds.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (h *Histogram) write(w io.Writer) {
+	header(w, h.name, h.help, "histogram")
+	h.mu.Lock()
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.total)
+	h.mu.Unlock()
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfault/internal/faultinject"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("rd_jobs_total", "Jobs accepted.")
+	g := r.NewGauge("rd_queue_depth", "Queued jobs.")
+	r.NewGaugeFunc("rd_draining", "1 while draining.", func() float64 { return 1 })
+	v := r.NewCounterVec("rd_tier_total", "Answers by tier.", "tier")
+	h := r.NewHistogram("rd_seconds", "Job duration.", []float64{1, 10})
+
+	c.Add(3)
+	g.Set(2)
+	v.With("fast").Add(5)
+	v.With("count").Add(1)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	want := strings.Join([]string{
+		"# HELP rd_jobs_total Jobs accepted.",
+		"# TYPE rd_jobs_total counter",
+		"rd_jobs_total 3",
+		"# HELP rd_queue_depth Queued jobs.",
+		"# TYPE rd_queue_depth gauge",
+		"rd_queue_depth 2",
+		"# HELP rd_draining 1 while draining.",
+		"# TYPE rd_draining gauge",
+		"rd_draining 1",
+		"# HELP rd_tier_total Answers by tier.",
+		"# TYPE rd_tier_total counter",
+		`rd_tier_total{tier="count"} 1`,
+		`rd_tier_total{tier="fast"} 5`,
+		"# HELP rd_seconds Job duration.",
+		"# TYPE rd_seconds histogram",
+		`rd_seconds_bucket{le="1"} 1`,
+		`rd_seconds_bucket{le="10"} 2`,
+		`rd_seconds_bucket{le="+Inf"} 3`,
+		"rd_seconds_sum 105.5",
+		"rd_seconds_count 3",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("x", "")
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("c", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.With("a").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Value("a"); got != 8000 {
+		t.Fatalf("concurrent vec count = %d, want 8000", got)
+	}
+}
+
+// TestLogFrozenClockDeterministic is the acceptance property of the
+// telemetry log: with a KindFreeze rule on the telemetry clock, the
+// same event sequence encodes to the same bytes, run after run.
+func TestLogFrozenClockDeterministic(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	run := func() []byte {
+		restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+			Point: faultinject.PointTelemetryClock,
+			Kind:  faultinject.KindFreeze,
+			Base:  base,
+			Skew:  time.Millisecond,
+		}))
+		defer restore()
+		var b bytes.Buffer
+		l := NewLog(&b)
+		l.Emit(Event{Source: "serve", Kind: "job.submitted", Job: "job-1"})
+		l.Emit(Event{Source: "serve", Kind: "job.done", Job: "job-1",
+			Fields: map[string]int64{"selected": 5, "segments": 40}})
+		return b.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("frozen-clock logs differ:\n%s\nvs:\n%s", a, b)
+	}
+	evs, err := ParseJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("parsed %d events, seqs %v", len(evs), evs)
+	}
+	if !evs[0].TS.Equal(base) || !evs[1].TS.Equal(base.Add(time.Millisecond)) {
+		t.Fatalf("frozen timestamps wrong: %v, %v", evs[0].TS, evs[1].TS)
+	}
+	if CountKind(evs, "job.done") != 1 {
+		t.Fatal("CountKind miscounted")
+	}
+}
+
+// A nil log and a writerless log are both valid sinks.
+func TestLogNilAndWriterless(t *testing.T) {
+	var nilLog *Log
+	nilLog.Emit(Event{Kind: "dropped"}) // must not panic
+	if nilLog.Seq() != 0 {
+		t.Fatal("nil log sequenced an event")
+	}
+	l := NewLog(nil)
+	var got []Event
+	l.SetSink(func(ev Event) { got = append(got, ev) })
+	l.Emit(Event{Kind: "a"})
+	l.Emit(Event{Kind: "b"})
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Seq != 2 {
+		t.Fatalf("sink fan-out wrong: %+v", got)
+	}
+}
+
+// A pre-stamped TS (an emitter using its own clock point) survives Emit.
+func TestLogKeepsForeignTimestamp(t *testing.T) {
+	l := NewLog(nil)
+	ts := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	out := l.Emit(Event{Kind: "x", TS: ts})
+	if !out.TS.Equal(ts) {
+		t.Fatalf("Emit restamped a foreign timestamp: %v", out.TS)
+	}
+}
