@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet metrics-smoke fuzz crosscheck cover suite clean
+.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet metrics-smoke eco-smoke fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -23,7 +23,8 @@ race:
 	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis \
 		./internal/tgen ./internal/oracle ./internal/oracle/diff \
 		./internal/serve ./internal/faultinject ./internal/cliutil \
-		./internal/fleet ./internal/retry ./internal/telemetry
+		./internal/fleet ./internal/retry ./internal/telemetry \
+		./internal/store
 
 # The deterministic fault-injection suite under the race detector:
 # admission failures, worker panics, budget evictions mid-run, spill
@@ -31,7 +32,7 @@ race:
 # error or a correctly-labeled degraded tier, never a wrong answer.
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/serve \
-		./internal/cliutil -run 'Test'
+		./internal/cliutil ./internal/store -run 'Test'
 
 # The killed-node chaos suite: worker kills, dropped dispatches,
 # corrupted responses, zombie replies and checkpoint migration injected
@@ -52,6 +53,18 @@ metrics-smoke:
 		-run 'TestMetricsEventConsistency|TestEventLogByteDeterministic|TestStream'
 	$(GO) test -race -count=1 ./internal/fleet \
 		-run 'TestChaosTelemetryStreamMatchesEventsAndStats'
+
+# The ECO-workload gate: the content-addressed result store must serve
+# a repeat submission of every suite circuit as a pure hit with counters
+# bit-identical to the cold run and zero enumeration work, k-of-n-cone
+# edits as deltas that re-enumerate only the changed cones, survive a
+# process restart, and degrade corrupt/unreadable entries to correct
+# recomputation — through the direct, serving and fleet paths alike.
+eco-smoke:
+	$(GO) test -race -count=1 ./internal/store \
+		-run 'TestECO|TestStoreSurvivesRestart|TestStoreMatchesWholeCircuitRun'
+	$(GO) test -race -count=1 ./internal/serve -run 'TestServeStore|TestServeNoStore'
+	$(GO) test -race -count=1 ./internal/fleet -run 'TestFleetStore|TestFleetReuses|TestFleetECO'
 
 # Cached-vs-uncached identification pipeline; writes BENCH_identify.json
 # and fails if the analysis manager is not strictly faster and
@@ -81,6 +94,7 @@ bench:
 # oracle harness.
 fuzz:
 	$(GO) test ./internal/circuit -run=NONE -fuzz FuzzParseBench -fuzztime 30s
+	$(GO) test ./internal/store -run=NONE -fuzz FuzzECODelta -fuzztime 30s
 	$(GO) test ./internal/verilog -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/pla -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/oracle/diff -run=NONE -fuzz FuzzCrossCheck -fuzztime 30s

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runArgs(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run %v: %v\n%s", args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// Cold run populates, identical rerun is a pure hit, and the -edit demo
+// reports a delta — the full ECO workload through the CLI entry point.
+func TestRdecoColdWarmAndEdit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rdstore")
+
+	cold, _ := runArgs(t, "-store", dir, "-example", "-heuristic", "heu1")
+	if !strings.Contains(cold, "outcome:    miss") {
+		t.Fatalf("cold run not a miss:\n%s", cold)
+	}
+
+	warm, events := runArgs(t, "-store", dir, "-example", "-heuristic", "heu1", "-events")
+	if !strings.Contains(warm, "outcome:    hit (reused 1 cones, re-identified 0, 0 segments walked)") {
+		t.Fatalf("warm run not a pure hit:\n%s", warm)
+	}
+	if !strings.Contains(events, `"store.hit"`) {
+		t.Fatalf("no store.hit event on stderr:\n%s", events)
+	}
+	// Counter lines must be verbatim identical between cold and warm.
+	for _, prefix := range []string{"paths:", "selected:", "rd:", "segments:"} {
+		if lineWith(cold, prefix) != lineWith(warm, prefix) {
+			t.Fatalf("%s diverges between cold and warm:\n%s\n%s", prefix, cold, warm)
+		}
+	}
+
+	eco, _ := runArgs(t, "-store", dir, "-example", "-edit", "1", "-seed", "3", "-heuristic", "heu1")
+	if !strings.Contains(eco, "eco edits:") {
+		t.Fatalf("edit demo printed no edits:\n%s", eco)
+	}
+}
+
+// Missing -store or circuit flags fail typed instead of panicking.
+func TestRdecoUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-example"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("missing -store: %v", err)
+	}
+	if err := run([]string{"-store", t.TempDir()}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-bench or -example") {
+		t.Fatalf("missing circuit: %v", err)
+	}
+	if err := run([]string{"-store", t.TempDir(), "-example", "-heuristic", "bogus"}, &out, &errb); err == nil {
+		t.Fatal("bogus heuristic accepted")
+	}
+}
+
+func lineWith(s, prefix string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, prefix) {
+			return l
+		}
+	}
+	return ""
+}

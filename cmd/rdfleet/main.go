@@ -30,6 +30,7 @@ import (
 	"rdfault/internal/loader"
 	"rdfault/internal/retry"
 	"rdfault/internal/serve"
+	"rdfault/internal/store"
 	"rdfault/internal/telemetry"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		budget    = flag.Int64("budget", 256<<20, "per-local-worker memory budget in bytes")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful drain deadline for local workers on exit")
 		events    = flag.Bool("events", false, "stream the coordinator's event log to stderr as JSONL (the unified telemetry schema)")
+		storeDir  = flag.String("store", "", "content-addressed result store directory: cones with stored answers are retired without dispatching, fresh answers are written back")
 	)
 	flag.Parse()
 	ctx, stop := (&cliutil.Flags{}).SignalContext()
@@ -71,6 +73,16 @@ func main() {
 		// Live JSONL as the run happens, not a post-mortem dump: one line
 		// per event in the same schema every layer uses.
 		cfg.Telemetry = telemetry.NewLog(os.Stderr)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+		if cfg.Telemetry != nil {
+			st.SetTelemetry(cfg.Telemetry)
+		}
 	}
 	tr := &fleet.HTTPTransport{}
 	cfg.Transport = tr
@@ -144,10 +156,10 @@ func printResult(res *fleet.Result) {
 	fmt.Printf("selected:  %d\n", res.Selected)
 	fmt.Printf("rd:        %s (%s%%)\n", res.RD, rdPercent(res.RD, res.Total))
 	fmt.Printf("segments:  %d  pruned: %d\n", res.Segments, res.Pruned)
-	fmt.Printf("stats:     dispatches=%d slices=%d failures=%d abandoned=%d zombies=%d restarts=%d quarantines=%d rejoins=%d dead=%d\n",
+	fmt.Printf("stats:     dispatches=%d slices=%d failures=%d abandoned=%d zombies=%d restarts=%d quarantines=%d rejoins=%d dead=%d store_hits=%d\n",
 		res.Stats.Dispatches, res.Stats.Slices, res.Stats.Failures, res.Stats.Abandoned,
 		res.Stats.ZombieDiscards, res.Stats.Restarts, res.Stats.Quarantines, res.Stats.Rejoins,
-		res.Stats.DeadWorkers)
+		res.Stats.DeadWorkers, res.Stats.StoreHits)
 	fmt.Printf("duration:  %s\n", res.Duration.Round(time.Millisecond))
 }
 

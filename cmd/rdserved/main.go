@@ -36,6 +36,7 @@ import (
 	"rdfault/internal/cliutil"
 	"rdfault/internal/gen"
 	"rdfault/internal/serve"
+	"rdfault/internal/store"
 	"rdfault/internal/telemetry"
 )
 
@@ -53,6 +54,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline: new work is shed with 503, in-flight jobs finish or checkpoint-spill")
 		selftest = flag.Bool("selftest", false, "bind an ephemeral port, exercise the service end to end, exit")
 		events   = flag.String("events", "", `write the structured JSONL event log to this file ("-" = stderr)`)
+		storeDir = flag.String("store", "", "content-addressed result store directory: fast-tier jobs are served from stored results (resubmissions hit, ECO revisions re-enumerate only changed cones) and persist across restarts")
 	)
 	flag.Parse()
 
@@ -77,6 +79,13 @@ func main() {
 			w = f
 		}
 		cfg.Telemetry = telemetry.NewLog(w)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
 	}
 
 	if *selftest {

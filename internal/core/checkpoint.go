@@ -30,11 +30,11 @@ const CheckpointVersion = 1
 // recorded as fingerprints; Enumerate refuses to resume against anything
 // else.
 type Checkpoint struct {
-	Version   int    `json:"version"`
-	Circuit   string `json:"circuit"`
-	CircuitFP uint64 `json:"circuit_fp"`
-	Criterion string `json:"criterion"`
-	SortFP    uint64 `json:"sort_fp"` // 0 when the criterion uses no sort
+	Version   int                `json:"version"`
+	Circuit   string             `json:"circuit"`
+	CircuitFP uint64             `json:"circuit_fp"`
+	Criterion string             `json:"criterion"`
+	SortFP    uint64             `json:"sort_fp"` // 0 when the criterion uses no sort
 	Counters  CheckpointCounters `json:"counters"`
 	Tasks     []CheckpointTask   `json:"tasks"`
 }

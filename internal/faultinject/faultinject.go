@@ -156,6 +156,17 @@ const (
 	// entries with; a KindFreeze rule here makes a run's event log
 	// byte-deterministic (production traces replay as chaos cases).
 	PointTelemetryClock = "telemetry.clock"
+	// PointStoreRead fires before the result store reads an entry from
+	// disk (KindError makes lookups fail like an I/O error; the store
+	// must degrade to recomputation, never serve a wrong answer).
+	PointStoreRead = "store.read"
+	// PointStoreWrite fires before the result store persists an entry
+	// (KindError loses the write; identification still answers).
+	PointStoreWrite = "store.write"
+	// PointStoreCorrupt corrupts the serialized entry bytes on their way
+	// to disk (KindCorrupt), so a later read sees a checksum mismatch
+	// and must fall back to full re-identification.
+	PointStoreCorrupt = "store.corrupt"
 )
 
 // ErrInjected is the sentinel all injected errors unwrap to; match with

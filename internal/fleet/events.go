@@ -59,6 +59,9 @@ const (
 	// EvDead: a quarantined worker exhausted its health probes and left
 	// the pool for good.
 	EvDead = "dead"
+	// EvStoreHit: a cone was retired from the result store at build
+	// time, without a single dispatch.
+	EvStoreHit = "store.hit"
 )
 
 // eventLog collects events concurrently, optionally streams them to a

@@ -15,6 +15,7 @@ import (
 	"rdfault/internal/core"
 	"rdfault/internal/retry"
 	"rdfault/internal/serve"
+	"rdfault/internal/store"
 	"rdfault/internal/telemetry"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// coordinator and a serve instance interleaves both layers into one
 	// totally-ordered stream.
 	Telemetry *telemetry.Log
+	// Store, when set, is consulted before dispatching: a cone whose key
+	// (shape + projected sort + criterion) has a stored answer is
+	// retired at build time without ever reaching a worker, and every
+	// fresh complete answer is written back for the next run.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +110,9 @@ type Stats struct {
 	Quarantines    int64 `json:"quarantines"`
 	Rejoins        int64 `json:"rejoins"`
 	DeadWorkers    int64 `json:"dead_workers"`
+	// StoreHits counts cones served from the result store without a
+	// single dispatch.
+	StoreHits int64 `json:"store_hits,omitempty"`
 }
 
 // ConeResult is one cone's final accounting.
@@ -151,6 +160,9 @@ type job struct {
 	name  string
 	bench string
 	sort  map[string][]int
+	// storeKey addresses this cone's result in the store ("" without
+	// one); a completed cone writes back under it.
+	storeKey string
 
 	mu         sync.Mutex
 	epoch      uint64
@@ -181,7 +193,7 @@ type coordinator struct {
 	stats  struct {
 		dispatches, slices, failures, abandoned atomic.Int64
 		zombies, restarts                       atomic.Int64
-		quarantines, rejoins, dead              atomic.Int64
+		quarantines, rejoins, dead, storeHits   atomic.Int64
 	}
 
 	loopWG sync.WaitGroup // worker loops
@@ -216,6 +228,8 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 
 	outputs := c.Outputs()
 	jobs := make([]*job, 0, len(outputs))
+	pending := 0
+	var storeHits int64
 	for _, po := range outputs {
 		cone, mapping, err := c.Cone(po)
 		if err != nil {
@@ -227,8 +241,25 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 			return nil, err
 		}
 		j.bench = b.String()
+		var proj *circuit.InputSort
 		if sort != nil {
-			j.sort = sort.Cone(mapping).ByName(cone)
+			p := sort.Cone(mapping)
+			proj = &p
+			j.sort = p.ByName(cone)
+		}
+		if cfg.Store != nil {
+			j.storeKey = store.ConeKey(cone, proj, criterion)
+			if ans := storedConeAnswer(cfg.Store, j.storeKey, cone.Name(), criterion); ans != nil {
+				// Retired before the run starts: never queued, never
+				// dispatched. The answer is sealed like a worker's, so the
+				// merge path treats both provenances identically.
+				j.done = true
+				j.final = ans
+				storeHits++
+			}
+		}
+		if !j.done {
+			pending++
 		}
 		jobs = append(jobs, j)
 	}
@@ -245,11 +276,17 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 		cancel:    cancel,
 		events:    &eventLog{sink: cfg.OnEvent, tl: cfg.Telemetry},
 	}
-	co.remaining.Store(int64(len(jobs)))
-	if len(jobs) == 0 {
+	co.stats.storeHits.Store(storeHits)
+	co.remaining.Store(int64(pending))
+	if pending == 0 {
 		close(co.allDone)
 	}
 	for _, j := range jobs {
+		if j.done {
+			co.events.add(EvStoreHit, "", j.name, "served from result store",
+				map[string]int64{"selected": j.final.Selected, "segments": j.final.Segments})
+			continue
+		}
 		co.queue <- j
 	}
 	co.live.Store(int64(len(cfg.Workers)))
@@ -449,6 +486,20 @@ func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.Con
 		j.mu.Unlock()
 		co.events.add(EvComplete, worker, j.name, fmt.Sprintf("selected=%d rd=%s", ans.Selected, ans.RD),
 			map[string]int64{"selected": ans.Selected, "segments": ans.Segments, "pruned": ans.Pruned})
+		if co.cfg.Store != nil && j.storeKey != "" {
+			// Best effort: a lost write costs the next run dispatches, not
+			// correctness.
+			if err := co.cfg.Store.PutCone(j.storeKey, &store.ConeRecord{
+				Cone:       j.name,
+				TotalPaths: ans.TotalPaths,
+				Selected:   ans.Selected,
+				RD:         ans.RD,
+				Segments:   ans.Segments,
+				Pruned:     ans.Pruned,
+			}); err != nil {
+				co.events.add(EvFailure, worker, j.name, "store write: "+err.Error(), nil)
+			}
+		}
 		co.jobDone()
 		return true
 	case "deadline", "canceled":
@@ -556,8 +607,39 @@ func (co *coordinator) merge(c *circuit.Circuit, h core.Heuristic, start time.Ti
 		Quarantines:    co.stats.quarantines.Load(),
 		Rejoins:        co.stats.rejoins.Load(),
 		DeadWorkers:    co.stats.dead.Load(),
+		StoreHits:      co.stats.storeHits.Load(),
 	}
 	return res, nil
+}
+
+// storedConeAnswer looks one cone up in the result store and, on a
+// valid hit, synthesizes the sealed complete ConeAnswer a worker would
+// have returned. Any store failure — miss, unreadable entry, corrupt
+// entry, unparsable counters — returns nil and the cone is dispatched
+// normally: the store can save dispatches, never corrupt a run.
+func storedConeAnswer(st *store.Store, key, name string, cr core.Criterion) *serve.ConeAnswer {
+	rec, err := st.GetCone(key)
+	if err != nil {
+		return nil
+	}
+	if _, ok := new(big.Int).SetString(rec.TotalPaths, 10); !ok {
+		return nil
+	}
+	if _, ok := new(big.Int).SetString(rec.RD, 10); !ok {
+		return nil
+	}
+	ans := &serve.ConeAnswer{
+		Status:     "complete",
+		Circuit:    name,
+		Criterion:  cr.String(),
+		TotalPaths: rec.TotalPaths,
+		Selected:   rec.Selected,
+		RD:         rec.RD,
+		Segments:   rec.Segments,
+		Pruned:     rec.Pruned,
+	}
+	ans.Seal()
+	return ans
 }
 
 // globalSort computes the whole-circuit input sort h prescribes — the

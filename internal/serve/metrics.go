@@ -17,6 +17,9 @@ type serveMetrics struct {
 	batchJobs       *telemetry.Counter
 	coneSlices      *telemetry.Counter
 	budgetEvictions *telemetry.Counter
+	storeLookups    *telemetry.CounterVec
+	storeCones      *telemetry.CounterVec
+	storeCorrupt    *telemetry.Counter
 	sseStreams      *telemetry.Counter
 	sseActive       *telemetry.Gauge
 	jobSeconds      *telemetry.Histogram
@@ -41,6 +44,12 @@ func newServeMetrics(s *Server) *serveMetrics {
 		"Cone-slice requests admitted on the fleet lane.")
 	m.budgetEvictions = r.NewCounter("rd_serve_budget_evictions_total",
 		"Running jobs evicted by a memory-budget shrink.")
+	m.storeLookups = r.NewCounterVec("rd_serve_store_lookups_total",
+		"Store-served fast answers, by outcome (hit/delta/miss).", "outcome")
+	m.storeCones = r.NewCounterVec("rd_serve_store_cones_total",
+		"Output cones answered on store-served jobs, by source (store/fresh).", "source")
+	m.storeCorrupt = r.NewCounter("rd_serve_store_corrupt_total",
+		"Corrupt store entries detected and recomputed around.")
 	m.sseStreams = r.NewCounter("rd_serve_sse_streams_total",
 		"Progress streams opened.")
 	m.sseActive = r.NewGauge("rd_serve_sse_active",

@@ -27,6 +27,7 @@ import (
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
 	"rdfault/internal/faultinject"
+	"rdfault/internal/store"
 	"rdfault/internal/telemetry"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// SpillDir receives checkpoints of evicted jobs (default os.TempDir()).
 	SpillDir string
+	// Store, when non-nil, serves the fast rung through the
+	// content-addressed result store: resubmissions (byte-identical or
+	// relabeled) are answered from their stored counters, ECO revisions
+	// re-enumerate only their changed cones, and every fresh result is
+	// persisted for the next job, replica or process. The answer's Store
+	// field labels the outcome (hit/delta/miss).
+	Store *store.Store
 	// Telemetry, when non-nil, receives the structured lifecycle event
 	// log (job submitted/started/done/failed, shed, budget evictions,
 	// drain). Progress snapshots stream over /v1/jobs/{id}/events and
@@ -338,6 +346,11 @@ func New(cfg Config) *Server {
 		telem:      cfg.Telemetry,
 	}
 	s.metrics = newServeMetrics(s)
+	if cfg.Store != nil && cfg.Telemetry != nil {
+		// Interleave store.hit/miss/delta/corrupt events into the server's
+		// lifecycle log.
+		cfg.Store.SetTelemetry(cfg.Telemetry)
+	}
 	s.budget.onEvict = func(bytes int64) {
 		s.metrics.budgetEvictions.Inc()
 		s.emit("budget.evict", "", "", map[string]int64{"bytes": bytes})

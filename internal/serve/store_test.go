@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/gen"
+	"rdfault/internal/store"
+	"rdfault/internal/synth"
+	"rdfault/internal/telemetry"
+)
+
+func newStoreServer(t *testing.T, cfg Config) (*Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "rdstore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	return newTestServer(t, cfg), st
+}
+
+// A store-backed fast job answers normally on first sight and serves a
+// relabeled resubmission as a pure hit: same counters, zero enumeration,
+// labeled tier reason, lookup metrics and store.hit event.
+func TestServeStoreHitOnResubmission(t *testing.T) {
+	var events bytes.Buffer
+	s, st := newStoreServer(t, Config{Telemetry: telemetry.NewLog(&events)})
+
+	c := gen.ALU(6, gen.XorNAND)
+	j1, err := s.Submit(Request{Bench: benchOf(t, c), Name: "alu", Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := waitJob(t, j1, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Store != "miss" {
+		t.Fatalf("first submission store label %q, want miss", cold.Store)
+	}
+
+	// Resubmit relabeled: byte-different netlist, same circuit.
+	r, _, err := synth.Relabel(c, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(Request{Bench: benchOf(t, r), Name: "alu-v2", Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := waitJob(t, j2, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Store != "hit" || warm.TierReason != "store hit" {
+		t.Fatalf("resubmission store=%q reason=%q, want a store hit", warm.Store, warm.TierReason)
+	}
+	if warm.TotalPaths != cold.TotalPaths || warm.Selected != cold.Selected || warm.RD != cold.RD {
+		t.Fatalf("hit served different counters: %+v vs %+v", warm, cold)
+	}
+	// The hit did no enumeration: the job's tracker never moved.
+	if p := j2.Progress(); p.Segments != 0 {
+		t.Fatalf("store hit walked %d segments", p.Segments)
+	}
+	if st.Stats().Hits == 0 {
+		t.Fatal("store handle recorded no hits")
+	}
+
+	var dump bytes.Buffer
+	s.Metrics().WritePrometheus(&dump)
+	for _, want := range []string{
+		`rd_serve_store_lookups_total{outcome="miss"} 1`,
+		`rd_serve_store_lookups_total{outcome="hit"} 1`,
+	} {
+		if !strings.Contains(dump.String(), want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, dump.String())
+		}
+	}
+	evs, err := telemetry.ParseJSONL(events.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	if kinds["store.miss"] != 1 || kinds["store.hit"] != 1 {
+		t.Fatalf("store events %v, want one miss and one hit", kinds)
+	}
+}
+
+// An ECO revision of a stored circuit is served as a delta: changed
+// cones fresh, the rest from the store, counters equal to a cold run.
+func TestServeStoreDeltaOnECO(t *testing.T) {
+	s, _ := newStoreServer(t, Config{})
+	base := gen.ALU(6, gen.XorNAND)
+	revised, _, err := store.MutateKCones(base, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reference on a store-less server.
+	ref := newTestServer(t, Config{})
+	jr, err := ref.Submit(Request{Bench: benchOf(t, revised), Name: "ref", Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := waitJob(t, jr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sub := range []struct {
+		bench, name, store string
+	}{
+		{benchOf(t, base), "base", "miss"},
+		{benchOf(t, revised), "revised", "delta"},
+	} {
+		j, err := s.Submit(Request{Bench: sub.bench, Name: sub.name, Heuristic: "heu1", Tier: "fast"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := waitJob(t, j, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Store != sub.store {
+			t.Fatalf("%s: store label %q, want %q (reason %q)", sub.name, ans.Store, sub.store, ans.TierReason)
+		}
+		if sub.store == "delta" {
+			if ans.TotalPaths != want.TotalPaths || ans.Selected != want.Selected || ans.RD != want.RD {
+				t.Fatalf("delta diverges from cold run: %+v vs %+v", ans, want)
+			}
+			if !strings.HasPrefix(ans.TierReason, "store delta: reused ") {
+				t.Fatalf("delta reason %q", ans.TierReason)
+			}
+		}
+	}
+}
+
+// Corrupt store entries under the serving path degrade to
+// recomputation: correct counters, rd_serve_store_corrupt_total > 0.
+func TestServeStoreCorruptDegrades(t *testing.T) {
+	s, _ := newStoreServer(t, Config{})
+	c := gen.ALU(6, gen.XorNAND)
+
+	// Populate with rotting writes.
+	restore := faultinject.Activate(faultinject.NewPlan(faultinject.Rule{
+		Point: faultinject.PointStoreCorrupt,
+		Kind:  faultinject.KindCorrupt,
+		Seed:  7,
+	}))
+	j1, err := s.Submit(Request{Bench: benchOf(t, c), Name: "alu", Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		restore()
+		t.Fatal(err)
+	}
+	cold, err := waitJob(t, j1, 30*time.Second)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := s.Submit(Request{Bench: benchOf(t, c), Name: "alu", Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := waitJob(t, j2, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalPaths != cold.TotalPaths || warm.Selected != cold.Selected || warm.RD != cold.RD {
+		t.Fatal("corrupt store changed the served answer")
+	}
+	var dump bytes.Buffer
+	s.Metrics().WritePrometheus(&dump)
+	if !strings.Contains(dump.String(), "rd_serve_store_corrupt_total") ||
+		strings.Contains(dump.String(), "rd_serve_store_corrupt_total 0\n") {
+		t.Fatalf("corrupt counter did not move:\n%s", dump.String())
+	}
+}
+
+// Without a store the fast rung is byte-for-byte the old path: no Store
+// label, no store metrics movement.
+func TestServeNoStoreUnchanged(t *testing.T) {
+	s := newTestServer(t, Config{})
+	j, err := s.Submit(Request{Bench: benchOf(t, gen.PaperExample()), Name: "paper", Heuristic: "heu1", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := waitJob(t, j, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Store != "" || ans.TierReason != "requested" {
+		t.Fatalf("store-less answer carries store state: %+v", ans)
+	}
+	rep, err := core.Identify(gen.PaperExample(), core.Heuristic1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.RD != rep.RD.String() {
+		t.Fatalf("RD %s, want %s", ans.RD, rep.RD.String())
+	}
+}

@@ -99,7 +99,12 @@ type Answer struct {
 	TierReason string `json:"tier_reason"`
 	// Resumed is true when the rung resumed from a checkpoint spilled by
 	// an evicted higher rung instead of restarting.
-	Resumed   bool   `json:"resumed,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+	// Store labels a store-served fast answer: "hit" (served verbatim,
+	// zero enumeration), "delta" (changed cones re-enumerated, the rest
+	// reused) or "miss" (computed in full, persisted for next time).
+	// Empty when the job ran without a store.
+	Store     string `json:"store,omitempty"`
 	Circuit   string `json:"circuit"`
 	Heuristic string `json:"heuristic,omitempty"`
 	// Exact is true only for TierExact answers (SAT-verified RD set).
@@ -164,7 +169,10 @@ func (s *Server) runLadder(ctx context.Context, j *Job) (*Answer, error) {
 		ans, err := s.runTier(ctx, j, tier, &spill, &resumed)
 		if err == nil {
 			if len(steps) == 0 {
-				ans.TierReason = "requested"
+				if ans.TierReason == "" {
+					// A store-served rung labels its own reason.
+					ans.TierReason = "requested"
+				}
 			} else {
 				ans.TierReason = "degraded: " + strings.Join(steps, "; ")
 			}
@@ -187,7 +195,15 @@ func (s *Server) runLadder(ctx context.Context, j *Job) (*Answer, error) {
 // other error fails it.
 func (s *Server) runTier(ctx context.Context, j *Job, tier Tier, spill *string, resumed *bool) (*Answer, error) {
 	switch tier {
-	case TierExact, TierFast:
+	case TierFast:
+		if s.cfg.Store != nil && *spill == "" {
+			// No spilled checkpoint to resume: serve through the store.
+			// (A spill means an evicted exact rung already paid for part of
+			// the walk; finishing it beats even a store delta.)
+			return s.runStoreFast(ctx, j)
+		}
+		return s.runIdentifyTier(ctx, j, tier, spill, resumed)
+	case TierExact:
 		return s.runIdentifyTier(ctx, j, tier, spill, resumed)
 	case TierCertificate:
 		return s.runCertTier(ctx, j)

@@ -1,0 +1,227 @@
+// Package store is the content-addressed result store and the
+// incremental (ECO) re-identification path built on top of it.
+//
+// Results are keyed by a canonical netlist hash, so byte-different but
+// isomorphic submissions — renamed gates, reshuffled declaration order,
+// buffer-padded leads — are cache hits across jobs, replicas and
+// process restarts. Two hash flavors split the work:
+//
+//   - FuncHash collapses buffer chains before canonicalizing, so it is
+//     invariant under both synth.Relabel and synth.InsertBuffers. It is
+//     the content address: it locates a circuit's store entry.
+//   - ShapeHash keeps buffers, so it is relabel-invariant but
+//     buffer-sensitive. Reusing stored counters requires a shape match,
+//     because buffer insertion changes the Segments tally (every spliced
+//     buffer adds one DFS edge extension per path through its lead) even
+//     though Selected/RD are provably unchanged.
+//
+// On top of the whole-circuit address sits cone-granular reuse: each
+// output cone's result is stored under ConeKey — the cone's ShapeHash
+// plus a canonical digest of the projected input sort plus the
+// criterion. A revised circuit's unchanged cones therefore hit the
+// store (populated by the ancestor run) and only the delta is
+// re-identified; the diff against the ancestor is implicit in the
+// content addressing, no explicit ancestry bookkeeping needed. The sort
+// digest is part of the key because cones share logic: an edit inside
+// cone i can change the global Heuristic-1/2 lead counts of a shared
+// gate and thereby the projected sort of an untouched cone j, and a
+// cone enumerated under a different σ is a different result.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"rdfault/internal/analysis"
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+)
+
+// canon is the canonical form of one circuit: a deterministic renaming
+// of its gates that depends only on structure the rewrites preserve.
+// Numbers are assigned by a post-order DFS from the primary outputs in
+// declaration order, visiting fanins in pin order — PI/PO declaration
+// order and fanin pin order are exactly what synth.Relabel keeps, so
+// isomorphic circuits get identical canonical forms. Sharing is
+// preserved exactly (a gate is numbered once, at first visit), which a
+// naive bottom-up tree hash would conflate: two POs reading one shared
+// gate and two POs reading duplicated copies have different fanout
+// stems and different Selected counts, and must hash differently.
+type canon struct {
+	// num[g] is gate g's canonical number, -1 for gates outside the form
+	// (collapsed buffers).
+	num []int
+	// order[i] is the gate with canonical number i.
+	order []circuit.GateID
+	// bytes is the serialized canonical netlist.
+	bytes []byte
+}
+
+// canonicalize computes c's canonical form. With collapse set, buffer
+// chains are resolved through to their first non-buffer ancestor and
+// the buffers themselves are dropped from the form (the FuncHash view);
+// without it buffers are ordinary single-input gates (the ShapeHash
+// view).
+func canonicalize(c *circuit.Circuit, collapse bool) *canon {
+	n := c.NumGates()
+	cn := &canon{num: make([]int, n)}
+	for i := range cn.num {
+		cn.num[i] = -1
+	}
+
+	resolve := func(g circuit.GateID) circuit.GateID { return g }
+	if collapse {
+		memo := make([]circuit.GateID, n)
+		for i := range memo {
+			memo[i] = circuit.None
+		}
+		resolve = func(g circuit.GateID) circuit.GateID {
+			seen := g
+			for memo[seen] == circuit.None && c.Type(seen) == circuit.Buf {
+				seen = c.Fanin(seen)[0]
+			}
+			if memo[seen] != circuit.None {
+				seen = memo[seen]
+			}
+			// Path-compress the chain we just walked.
+			for v := g; v != seen; v = c.Fanin(v)[0] {
+				if memo[v] != circuit.None {
+					break
+				}
+				memo[v] = seen
+			}
+			memo[seen] = seen
+			return seen
+		}
+	}
+
+	type frame struct {
+		g   circuit.GateID
+		pin int
+	}
+	var stack []frame
+	visit := func(root circuit.GateID) {
+		root = resolve(root)
+		if cn.num[root] >= 0 {
+			return
+		}
+		stack = append(stack[:0], frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			fanin := c.Fanin(f.g)
+			pushed := false
+			for f.pin < len(fanin) {
+				src := resolve(fanin[f.pin])
+				f.pin++
+				if cn.num[src] < 0 {
+					stack = append(stack, frame{src, 0})
+					pushed = true
+					break
+				}
+			}
+			if pushed {
+				continue
+			}
+			if cn.num[f.g] < 0 {
+				cn.num[f.g] = len(cn.order)
+				cn.order = append(cn.order, f.g)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Output gates are pure markers; the walk starts at their sources so
+	// the form is independent of output-wrapper naming.
+	for _, po := range c.Outputs() {
+		visit(c.Fanin(po)[0])
+	}
+	// Inputs unreachable from any output still exist (they change the
+	// PI count); append them in declaration order.
+	for _, pi := range c.Inputs() {
+		if cn.num[pi] < 0 {
+			cn.num[pi] = len(cn.order)
+			cn.order = append(cn.order, pi)
+		}
+	}
+
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putInt := func(v int) {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(v))]...)
+	}
+	for _, g := range cn.order {
+		buf = append(buf, byte(c.Type(g)))
+		fanin := c.Fanin(g)
+		putInt(len(fanin))
+		for _, f := range fanin {
+			putInt(cn.num[resolve(f)])
+		}
+	}
+	buf = append(buf, '|')
+	putInt(len(c.Outputs()))
+	for _, po := range c.Outputs() {
+		putInt(cn.num[resolve(c.Fanin(po)[0])])
+	}
+	cn.bytes = buf
+	return cn
+}
+
+// FuncHash is the buffer-collapsed canonical hash: the content address
+// under which a circuit's run entry is stored. Invariant under
+// synth.Relabel and synth.InsertBuffers.
+func FuncHash(c *circuit.Circuit) string {
+	sum := sha256.Sum256(canonicalize(c, true).bytes)
+	return hex.EncodeToString(sum[:])
+}
+
+// ShapeHash is the buffer-sensitive canonical hash: invariant under
+// synth.Relabel only. A stored run's counters (Segments included) may
+// be served verbatim only to a submission with the same shape.
+func ShapeHash(c *circuit.Circuit) string {
+	sum := sha256.Sum256(canonicalize(c, false).bytes)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashFor returns c's FuncHash and ShapeHash, computed at most once per
+// circuit version through the analysis registry (the same compute-once
+// discipline every other derived analysis uses).
+func HashFor(c *circuit.Circuit) (funcHash, shapeHash string, err error) {
+	v, err := analysis.For(c).Memo("store.canonhash", func() (any, error) {
+		return [2]string{FuncHash(c), ShapeHash(c)}, nil
+	})
+	if err != nil {
+		return "", "", err
+	}
+	h := v.([2]string)
+	return h[0], h[1], nil
+}
+
+// RunKey addresses a whole-circuit result: the content address plus the
+// pipeline parameters that shape the counters.
+func RunKey(funcHash string, h core.Heuristic, cr core.Criterion) string {
+	sum := sha256.Sum256([]byte(funcHash + "|" + h.String() + "|" + cr.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ConeKey addresses one output cone's result: the cone's shape, the
+// projected input sort rendered in canonical gate order (gate names
+// don't survive relabeling; canonical numbers do — and pin order, which
+// indexes each row, is preserved by the rewrites), and the criterion.
+// Identical cones under identical projected sorts collide on purpose:
+// duplicated logic inside one circuit is stored and enumerated once.
+func ConeKey(cone *circuit.Circuit, sort *circuit.InputSort, cr core.Criterion) string {
+	cn := canonicalize(cone, false)
+	h := sha256.New()
+	h.Write(cn.bytes)
+	fmt.Fprintf(h, "|crit:%s", cr.String())
+	if sort != nil {
+		for i, g := range cn.order {
+			row := sort.Pos[g]
+			if len(row) >= 2 {
+				fmt.Fprintf(h, "|s%d:%v", i, row)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

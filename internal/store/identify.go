@@ -1,0 +1,339 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"rdfault/internal/circuit"
+	"rdfault/internal/core"
+)
+
+// Options tunes IdentifyThrough.
+type Options struct {
+	// Heuristic picks the input sort (default Heuristic2, like the rest
+	// of the pipeline). Heuristic1/PinOrder sorts are linear-time, which
+	// makes them the natural ECO default: on a warm path the sort is the
+	// only whole-circuit work left. Heuristic2's sort itself costs two
+	// enumeration passes, so its warm savings cover only the final pass.
+	Heuristic core.Heuristic
+	// Workers is the per-cone enumeration parallelism (0 or 1 = serial).
+	// Counters are worker-count-independent, so results written at one
+	// width are valid hits at any other.
+	Workers int
+	// Context cancels the run between and inside cone enumerations.
+	Context context.Context
+}
+
+// ConeOutcome is one cone's provenance in an incremental run.
+type ConeOutcome struct {
+	Name     string `json:"name"`
+	Key      string `json:"key"`
+	Reused   bool   `json:"reused"`
+	Selected int64  `json:"selected"`
+	Segments int64  `json:"segments"`
+}
+
+// Result is one identification served through the store. Counter
+// semantics match the fleet's cone-granular runs: Total/Selected/RD are
+// bit-identical to a whole-circuit single-process run, Segments is the
+// cone-sharded work sum (shared DFS prefixes walked once per cone —
+// deterministic, but above the whole-circuit count).
+type Result struct {
+	Circuit   string   `json:"circuit"`
+	Heuristic string   `json:"heuristic"`
+	Criterion string   `json:"criterion"`
+	Total     *big.Int `json:"-"`
+	Selected  int64    `json:"selected"`
+	RD        *big.Int `json:"-"`
+	Segments  int64    `json:"segments"`
+	Pruned    int64    `json:"pruned"`
+	TotalStr  string   `json:"total_paths"`
+	RDStr     string   `json:"rd"`
+
+	// Outcome is "hit" (served without any enumeration), "delta" (some
+	// cones reused, the rest re-identified) or "miss" (nothing reusable).
+	Outcome string `json:"outcome"`
+	// RunKey is the whole-circuit store key this run was served from or
+	// written to.
+	RunKey      string `json:"run_key"`
+	Cones       int    `json:"cones"`
+	ReusedCones int    `json:"reused_cones"`
+	FreshCones  int    `json:"fresh_cones"`
+	// EnumeratedSegments counts the DFS edge extensions this call
+	// actually performed — 0 for a pure hit, the fresh cones' share for
+	// a delta. (Result.Segments, by contrast, always reports the full
+	// merged tally, reused cones included.)
+	EnumeratedSegments int64 `json:"enumerated_segments"`
+	// CorruptEntries counts store entries that failed validation and
+	// were recomputed around (each also emits a store.corrupt event).
+	CorruptEntries int           `json:"corrupt_entries,omitempty"`
+	PerCone        []ConeOutcome `json:"per_cone,omitempty"`
+	Duration       time.Duration `json:"-"`
+}
+
+// RDPercent is 100*RD/Total (0 on empty circuits).
+func (r *Result) RDPercent() float64 {
+	if r.RD == nil || r.Total == nil || r.Total.Sign() == 0 {
+		return 0
+	}
+	q, _ := new(big.Float).Quo(new(big.Float).SetInt(r.RD), new(big.Float).SetInt(r.Total)).Float64()
+	return 100 * q
+}
+
+// storeSort mirrors the fleet's globalSort: the one whole-circuit sort
+// every cone's projection derives from.
+func storeSort(c *circuit.Circuit, h core.Heuristic, workers int) (*circuit.InputSort, error) {
+	switch h {
+	case core.HeuristicFUS:
+		return nil, nil
+	case core.Heuristic1:
+		s := core.Heuristic1Sort(c)
+		return &s, nil
+	case core.Heuristic2, core.Heuristic2Inverse:
+		s, _, _, err := core.Heuristic2SortWorkers(c, workers)
+		if err != nil {
+			return nil, err
+		}
+		if h == core.Heuristic2Inverse {
+			s = s.Inverse()
+		}
+		return &s, nil
+	case core.HeuristicPinOrder:
+		s := circuit.PinOrderSort(c)
+		return &s, nil
+	}
+	return nil, fmt.Errorf("store: heuristic %v has no input sort", h)
+}
+
+// IdentifyThrough runs RD identification on c through the store s:
+//
+//  1. A run entry under c's content address whose shape matches is a
+//     pure hit — the stored counters are served with no sort
+//     computation and no enumeration at all (isomorphism implies the
+//     deterministic sort transports, so shape equality is sufficient).
+//  2. Otherwise the global sort is computed, projected per cone, and
+//     each cone is either served from its cone entry (same shape, same
+//     projected sort, same criterion — typically populated by the
+//     ancestor revision's run) or re-identified and written back. This
+//     is the incremental ECO path: a k-of-n-cone edit re-enumerates
+//     only the changed cones, and the merged counters are bit-identical
+//     to a cold run of the same cone-granular pipeline.
+//
+// Corrupt entries (checksum, version or identity failures) are typed
+// *CorruptError at the store layer; here they degrade to recomputation
+// — a corrupt store can cost time, never correctness. Every run emits
+// one store.hit, store.delta or store.miss event with the reuse
+// accounting in its fields.
+func IdentifyThrough(s *Store, c *circuit.Circuit, opt Options) (*Result, error) {
+	if s == nil {
+		return nil, errors.New("store: nil store")
+	}
+	start := time.Now()
+	h := opt.Heuristic
+	cr := core.SigmaPi
+	if h == core.HeuristicFUS {
+		cr = core.FS
+	}
+	ctx := opt.Context
+
+	funcHash, shapeHash, err := HashFor(c)
+	if err != nil {
+		return nil, err
+	}
+	runKey := RunKey(funcHash, h, cr)
+
+	res := &Result{
+		Circuit:   c.Name(),
+		Heuristic: h.String(),
+		Criterion: cr.String(),
+		RunKey:    runKey,
+	}
+
+	ancestor, err := s.GetRun(runKey)
+	switch {
+	case err == nil && ancestor.ShapeHash == shapeHash:
+		// Pure hit: same function, same shape, same pipeline. The sort a
+		// heuristic would compute is a deterministic function of the
+		// structure, so it is the same sort — nothing to recompute.
+		total, rd, perr := parseCounters(ancestor.TotalPaths, ancestor.RD)
+		if perr != nil {
+			// An entry that validated but doesn't parse is corrupt all the
+			// same; recompute below.
+			s.corrupt.Add(1)
+			s.emit("store.corrupt", fmt.Sprintf("run %s: %v", runKey, perr), nil)
+			res.CorruptEntries++
+			ancestor = nil
+		} else {
+			res.Outcome = "hit"
+			res.Total, res.RD = total, rd
+			res.Selected, res.Segments, res.Pruned = ancestor.Selected, ancestor.Segments, ancestor.Pruned
+			res.Cones, res.ReusedCones = ancestor.Cones, ancestor.Cones
+			res.TotalStr, res.RDStr = res.Total.String(), res.RD.String()
+			res.Duration = time.Since(start)
+			s.emit("store.hit", c.Name(), map[string]int64{
+				"cones": int64(res.Cones), "reused": int64(res.ReusedCones),
+			})
+			return res, nil
+		}
+	case err == nil:
+		// Same function, different shape (e.g. buffers were inserted):
+		// the run entry locates the ancestor but its counters cannot be
+		// served verbatim. The cone pass below reuses what still matches.
+	case errors.Is(err, ErrMiss):
+		ancestor = nil
+	default:
+		// Corrupt or unreadable run entry: recompute, never guess.
+		res.CorruptEntries++
+		ancestor = nil
+	}
+
+	sort, err := storeSort(c, h, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	res.Total, res.RD = new(big.Int), new(big.Int)
+	var coneKeys []string
+	for _, po := range c.Outputs() {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("%w: store identification interrupted", classifyCtx(cerr))
+			}
+		}
+		cone, mapping, cerr := c.Cone(po)
+		if cerr != nil {
+			return nil, cerr
+		}
+		var proj *circuit.InputSort
+		if sort != nil {
+			p := sort.Cone(mapping)
+			proj = &p
+		}
+		key := ConeKey(cone, proj, cr)
+		coneKeys = append(coneKeys, key)
+		out := ConeOutcome{Name: cone.Name(), Key: key}
+
+		rec, gerr := s.GetCone(key)
+		if gerr == nil {
+			total, rd, perr := parseCounters(rec.TotalPaths, rec.RD)
+			if perr == nil {
+				res.Total.Add(res.Total, total)
+				res.RD.Add(res.RD, rd)
+				res.Selected += rec.Selected
+				res.Segments += rec.Segments
+				res.Pruned += rec.Pruned
+				res.ReusedCones++
+				out.Reused, out.Selected, out.Segments = true, rec.Selected, rec.Segments
+				res.PerCone = append(res.PerCone, out)
+				continue
+			}
+			s.corrupt.Add(1)
+			s.emit("store.corrupt", fmt.Sprintf("cone %s: %v", key, perr), nil)
+			res.CorruptEntries++
+		} else if !errors.Is(gerr, ErrMiss) {
+			res.CorruptEntries++
+		}
+
+		er, eerr := core.Enumerate(cone, cr, core.Options{
+			Sort:    proj,
+			Workers: opt.Workers,
+			Context: ctx,
+		})
+		if eerr != nil {
+			return nil, eerr
+		}
+		if er.Status != core.StatusComplete {
+			cause := er.Err
+			if cause == nil {
+				cause = fmt.Errorf("core: enumeration ended %v", er.Status)
+			}
+			return nil, fmt.Errorf("store: cone %s incomplete: %w", cone.Name(), cause)
+		}
+		res.Total.Add(res.Total, er.Total)
+		res.RD.Add(res.RD, er.RD)
+		res.Selected += er.Selected
+		res.Segments += er.Segments
+		res.Pruned += er.Pruned
+		res.FreshCones++
+		res.EnumeratedSegments += er.Segments
+		out.Selected, out.Segments = er.Selected, er.Segments
+		res.PerCone = append(res.PerCone, out)
+		// Best-effort persistence: a lost write costs the next run time,
+		// not correctness.
+		if perr := s.PutCone(key, &ConeRecord{
+			Cone:       cone.Name(),
+			TotalPaths: er.Total.String(),
+			Selected:   er.Selected,
+			RD:         er.RD.String(),
+			Segments:   er.Segments,
+			Pruned:     er.Pruned,
+		}); perr != nil {
+			s.emit("store.write-error", perr.Error(), nil)
+		}
+	}
+
+	res.Cones = len(coneKeys)
+	res.TotalStr, res.RDStr = res.Total.String(), res.RD.String()
+	switch {
+	case res.FreshCones == 0:
+		// Every cone came from the store even though the run entry didn't
+		// match (or didn't exist): still zero enumeration work.
+		res.Outcome = "hit"
+	case res.ReusedCones > 0 || ancestor != nil:
+		res.Outcome = "delta"
+	default:
+		res.Outcome = "miss"
+	}
+
+	if perr := s.PutRun(runKey, &RunRecord{
+		Circuit:        c.Name(),
+		Heuristic:      h.String(),
+		Criterion:      cr.String(),
+		FuncHash:       funcHash,
+		ShapeHash:      shapeHash,
+		CircuitVersion: c.Version(),
+		TotalPaths:     res.TotalStr,
+		Selected:       res.Selected,
+		RD:             res.RDStr,
+		Segments:       res.Segments,
+		Pruned:         res.Pruned,
+		Cones:          res.Cones,
+		ConeKeys:       coneKeys,
+	}); perr != nil {
+		s.emit("store.write-error", perr.Error(), nil)
+	}
+
+	res.Duration = time.Since(start)
+	s.emit("store."+res.Outcome, c.Name(), map[string]int64{
+		"cones":               int64(res.Cones),
+		"reused":              int64(res.ReusedCones),
+		"fresh":               int64(res.FreshCones),
+		"enumerated_segments": res.EnumeratedSegments,
+		"corrupt":             int64(res.CorruptEntries),
+	})
+	return res, nil
+}
+
+// parseCounters decodes the big-int counter pair of a stored record.
+func parseCounters(total, rd string) (*big.Int, *big.Int, error) {
+	t, ok := new(big.Int).SetString(total, 10)
+	if !ok {
+		return nil, nil, fmt.Errorf("bad total %q", total)
+	}
+	r, ok := new(big.Int).SetString(rd, 10)
+	if !ok {
+		return nil, nil, fmt.Errorf("bad rd %q", rd)
+	}
+	return t, r, nil
+}
+
+// classifyCtx maps a context error onto core's typed interruptions.
+func classifyCtx(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return core.ErrDeadline
+	}
+	return core.ErrCanceled
+}
