@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet metrics-smoke eco-smoke fuzz crosscheck cover suite clean
+.PHONY: all build test vet bench bench-identify bench-compare race chaos chaos-fleet chaos-coord metrics-smoke eco-smoke fuzz crosscheck cover suite clean
 
 all: build vet test
 
@@ -23,8 +23,8 @@ race:
 	$(GO) test -race ./internal/core ./internal/logic ./internal/analysis \
 		./internal/tgen ./internal/oracle ./internal/oracle/diff \
 		./internal/serve ./internal/faultinject ./internal/cliutil \
-		./internal/fleet ./internal/retry ./internal/telemetry \
-		./internal/store
+		./internal/fleet ./internal/fleet/journal ./internal/retry \
+		./internal/telemetry ./internal/store
 
 # The deterministic fault-injection suite under the race detector:
 # admission failures, worker panics, budget evictions mid-run, spill
@@ -40,6 +40,16 @@ chaos:
 # bit-identical to a single-process run under every schedule.
 chaos-fleet:
 	$(GO) test -race -count=1 ./internal/fleet ./internal/retry -run 'Test'
+
+# The coordinator-kill chaos suite: the coordinator itself is killed at
+# every phase boundary (pre-sort, mid-dispatch, mid-merge, pre-seal),
+# recovered by restart or hot-standby promotion at 2 and 4 workers, with
+# merged counters required to stay bit-identical, every answer merged
+# exactly once (journaled lease audit), zombie primaries fenced typed,
+# and injected journal corruption degrading to a correct recompute.
+chaos-coord:
+	$(GO) test -race -count=1 ./internal/fleet \
+		-run 'TestChaosCoord|TestResume|TestZombieCoordinator|TestJournalAppend'
 
 # The observability contract, end to end: metric counters must agree
 # with the structured event log one-for-one (submissions, sheds, budget
@@ -95,6 +105,7 @@ bench:
 fuzz:
 	$(GO) test ./internal/circuit -run=NONE -fuzz FuzzParseBench -fuzztime 30s
 	$(GO) test ./internal/store -run=NONE -fuzz FuzzECODelta -fuzztime 30s
+	$(GO) test ./internal/fleet/journal -run=NONE -fuzz FuzzJournalReplay -fuzztime 30s
 	$(GO) test ./internal/verilog -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/pla -run=NONE -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/oracle/diff -run=NONE -fuzz FuzzCrossCheck -fuzztime 30s

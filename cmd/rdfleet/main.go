@@ -12,13 +12,24 @@
 //	rdfleet -example -local 4                 # 4 in-process loopback workers
 //	rdfleet -bench file.bench -workers host:a,host:b
 //	rdfleet -example -local 2 -slice 50 -events
+//	rdfleet -example -local 2 -journal /var/lib/rdfleet   # crash-safe coordinator
+//	rdfleet -resume-journal /var/lib/rdfleet/rdfleet.journal -local 2
+//	rdfleet -selftest                         # kill/recover round trip, exit
+//
+// With -journal, every admission, lease, checkpoint, answer and the
+// final seal is fsynced to a write-ahead journal before its side
+// effect; a killed coordinator (or its hot standby, fed over -standby)
+// resumes with -resume-journal and reproduces the exact counters of the
+// uninterrupted run, re-dispatching only unfinished cones.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/big"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -27,6 +38,7 @@ import (
 	"rdfault/internal/circuit"
 	"rdfault/internal/cliutil"
 	"rdfault/internal/fleet"
+	"rdfault/internal/fleet/journal"
 	"rdfault/internal/loader"
 	"rdfault/internal/retry"
 	"rdfault/internal/serve"
@@ -49,18 +61,37 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful drain deadline for local workers on exit")
 		events    = flag.Bool("events", false, "stream the coordinator's event log to stderr as JSONL (the unified telemetry schema)")
 		storeDir  = flag.String("store", "", "content-addressed result store directory: cones with stored answers are retired without dispatching, fresh answers are written back")
+		jdir      = flag.String("journal", "", "write-ahead journal directory: every coordinator decision is fsynced before its side effect, so a killed run resumes with -resume-journal")
+		standby   = flag.String("standby", "", "hot-standby address (an rdserved with -follow-journal): each journal record is shipped to its follower lane as it is appended (requires -journal)")
+		resumeAt  = flag.String("resume-journal", "", "resume a killed coordinator's run from this write-ahead journal file")
+		selftest  = flag.Bool("selftest", false, "run a deterministic kill/recover/corrupt round trip on a generated circuit, exit")
 	)
 	flag.Parse()
+	if *selftest {
+		if err := runSelftest(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	ctx, stop := (&cliutil.Flags{}).SignalContext()
 	defer stop()
 
-	c, err := loadCircuit(*benchFile, *example)
-	if err != nil {
-		fatal(err)
-	}
-	h, err := parseHeuristic(*heuristic)
-	if err != nil {
-		fatal(err)
+	// A resume rebuilds circuit and heuristic from the journal; a netlist
+	// on the command line is only the fallback for an empty journal.
+	var (
+		c   *circuit.Circuit
+		h   rdfault.Heuristic
+		err error
+	)
+	if *resumeAt == "" || *benchFile != "" || *example {
+		c, err = loadCircuit(*benchFile, *example)
+		if err != nil {
+			fatal(err)
+		}
+		h, err = parseHeuristic(*heuristic)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := fleet.Config{
@@ -117,9 +148,72 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := fleet.Run(ctx, cfg, c, h)
+	if *standby != "" && *jdir == "" && *resumeAt == "" {
+		fatal(fmt.Errorf("-standby requires -journal"))
+	}
+	var (
+		jw          *journal.Writer
+		journalPath string
+	)
+	if *resumeAt != "" {
+		journalPath = *resumeAt
+	} else if *jdir != "" {
+		if err := os.MkdirAll(*jdir, 0o755); err != nil {
+			fatal(err)
+		}
+		journalPath = filepath.Join(*jdir, "rdfleet.journal")
+		jw, err = journal.Create(journalPath, 1, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer jw.Close()
+		if *standby != "" {
+			jw.Ship = fleet.ShipHTTP(*standby, nil)
+			jw.OnShipError = func(err error) {
+				fmt.Fprintf(os.Stderr, "rdfleet: journal ship: %v\n", err)
+			}
+		}
+		cfg.Journal = jw
+	}
+
+	var res *fleet.Result
+	if *resumeAt != "" {
+		res, err = fleet.Resume(ctx, cfg, *resumeAt)
+		if errors.Is(err, fleet.ErrNoJournaledJob) && c != nil {
+			// Nothing usable in the journal: start the job fresh, journaled
+			// onto the same path so the NEXT crash resumes.
+			fmt.Fprintf(os.Stderr, "rdfleet: %v; starting fresh\n", err)
+			jw, err = journal.Create(*resumeAt, 1, nil)
+			if err != nil {
+				fatal(err)
+			}
+			defer jw.Close()
+			cfg.Journal = jw
+			res, err = fleet.Run(ctx, cfg, c, h)
+		}
+	} else {
+		res, err = fleet.Run(ctx, cfg, c, h)
+	}
 	if err != nil {
+		// ^C lands here as a graceful stop: the journal already holds every
+		// lease, checkpoint and answer (each was fsynced before its side
+		// effect), so seal it with a shutdown record and hand the operator
+		// the resume line. A second ^C force-exits from the cliutil signal
+		// watcher regardless of what this path is doing.
+		if cliutil.IsGracefulStop(err) && journalPath != "" {
+			if jw != nil {
+				jw.Append(journal.KindShutdown, struct {
+					Reason string `json:"reason"`
+				}{"signal"})
+			}
+			fmt.Fprintf(os.Stderr, "rdfleet: interrupted; in-flight progress is journaled\n")
+			fmt.Fprintf(os.Stderr, "rdfleet: resume with: rdfleet -resume-journal %s -workers <pool>\n", journalPath)
+		}
 		fatal(err)
+	}
+	if jw != nil {
+		fmt.Fprintf(os.Stderr, "rdfleet: journal %s (%d records, %d bytes)\n",
+			journalPath, jw.Seq(), jw.Bytes())
 	}
 	printResult(res)
 }
@@ -156,10 +250,10 @@ func printResult(res *fleet.Result) {
 	fmt.Printf("selected:  %d\n", res.Selected)
 	fmt.Printf("rd:        %s (%s%%)\n", res.RD, rdPercent(res.RD, res.Total))
 	fmt.Printf("segments:  %d  pruned: %d\n", res.Segments, res.Pruned)
-	fmt.Printf("stats:     dispatches=%d slices=%d failures=%d abandoned=%d zombies=%d restarts=%d quarantines=%d rejoins=%d dead=%d store_hits=%d\n",
+	fmt.Printf("stats:     dispatches=%d slices=%d failures=%d abandoned=%d zombies=%d restarts=%d quarantines=%d rejoins=%d dead=%d store_hits=%d journal_retired=%d fenced=%d\n",
 		res.Stats.Dispatches, res.Stats.Slices, res.Stats.Failures, res.Stats.Abandoned,
 		res.Stats.ZombieDiscards, res.Stats.Restarts, res.Stats.Quarantines, res.Stats.Rejoins,
-		res.Stats.DeadWorkers, res.Stats.StoreHits)
+		res.Stats.DeadWorkers, res.Stats.StoreHits, res.Stats.JournalRetired, res.Stats.Fenced)
 	fmt.Printf("duration:  %s\n", res.Duration.Round(time.Millisecond))
 }
 

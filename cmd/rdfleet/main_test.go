@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"rdfault/internal/cliutil/goldentest"
+)
+
+// TestGoldenSelftest runs the crash-safety round trip: a journaled
+// fleet run killed mid-dispatch, resumed from its write-ahead journal
+// to the single-process counters, audited for exactly-once answers,
+// then recomputed identically from a deliberately corrupted journal
+// copy. Every printed value is deterministic.
+func TestGoldenSelftest(t *testing.T) {
+	golden := goldentest.Golden(t, "selftest")
+	t.Chdir(t.TempDir())
+	out := goldentest.Run(t, "rdfleet", main, "-selftest")
+	goldentest.Check(t, golden, out)
+}

@@ -55,6 +55,8 @@ func main() {
 		selftest = flag.Bool("selftest", false, "bind an ephemeral port, exercise the service end to end, exit")
 		events   = flag.String("events", "", `write the structured JSONL event log to this file ("-" = stderr)`)
 		storeDir = flag.String("store", "", "content-addressed result store directory: fast-tier jobs are served from stored results (resubmissions hit, ECO revisions re-enumerate only changed cones) and persist across restarts")
+		follow   = flag.String("follow-journal", "", "hot-standby follower journal file: POST /v1/journal shipments from a fleet coordinator (rdfleet -standby) are validated and appended here; promote with rdfleet -resume-journal on this file")
+		storeCap = flag.Int64("store-max-bytes", 0, "result-store size cap in bytes; exceeding it evicts least-recently-used entries (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,7 @@ func main() {
 		Workers:          *workers,
 		SpillDir:         *spill,
 		RetryAfter:       *retry,
+		FollowerJournal:  *follow,
 	}
 	if *events != "" {
 		w := io.Writer(os.Stderr)
@@ -85,6 +88,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		st.SetMaxBytes(*storeCap)
 		cfg.Store = st
 	}
 
@@ -103,6 +107,10 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rdserved: listening on %s\n", *addr)
+	if info := s.FollowerInfo(); info.Path != "" {
+		fmt.Fprintf(os.Stderr, "rdserved: following journal %s (term %d, %d records)\n",
+			info.Path, info.Term, info.Records)
+	}
 
 	select {
 	case err := <-errCh:

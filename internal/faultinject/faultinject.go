@@ -167,6 +167,29 @@ const (
 	// to disk (KindCorrupt), so a later read sees a checksum mismatch
 	// and must fall back to full re-identification.
 	PointStoreCorrupt = "store.corrupt"
+	// PointCoordKill fires at every phase boundary of the fleet
+	// coordinator (pre-sort, mid-dispatch, mid-merge, pre-seal); a
+	// KindError rule aborts the run as if the coordinator process died
+	// on the spot — no further journal appends, no merge. Each boundary
+	// also fires a phase-specific subpoint ("coord.kill.mid-merge", ...)
+	// so a chaos schedule can target one phase deterministically under
+	// concurrency.
+	PointCoordKill = "coord.kill"
+	// PointCoordJournalCorrupt corrupts a write-ahead journal record's
+	// bytes on their way to disk (KindCorrupt); recovery must detect the
+	// record typed and degrade to replay-up-to-corruption plus recompute.
+	PointCoordJournalCorrupt = "coord.journal.corrupt"
+	// PointCoordJournalLatency fires before each journal record write;
+	// KindSleep wedges the append (slow disk), KindError fails it — and a
+	// failed append must abort the run, because proceeding past an
+	// unjournaled side effect would make recovery wrong.
+	PointCoordJournalLatency = "coord.journal.latency"
+	// PointStandbyPartition fires in the journal shipping hook before
+	// each shipment to the hot standby; KindError drops the shipment (a
+	// partitioned follower). Shipping failures are events, not run
+	// failures — a promoted standby with a prefix journal recomputes the
+	// missing cones.
+	PointStandbyPartition = "standby.partition"
 )
 
 // ErrInjected is the sentinel all injected errors unwrap to; match with

@@ -62,6 +62,33 @@ const (
 	// EvStoreHit: a cone was retired from the result store at build
 	// time, without a single dispatch.
 	EvStoreHit = "store.hit"
+	// EvJournalSeal: the run merged and its seal record is durable in
+	// the write-ahead journal.
+	EvJournalSeal = "coord.journal.seal"
+	// EvJournalCorrupt: a journal record failed validation during
+	// recovery; everything from its byte offset on is treated as lost
+	// and recomputed.
+	EvJournalCorrupt = "coord.journal.corrupt"
+	// EvJournalError: a journal append failed (disk, fencing aside); the
+	// run aborts rather than proceed past an unjournaled side effect.
+	EvJournalError = "coord.journal.error"
+	// EvJournalShipError: shipping a journal record to the hot standby
+	// failed (partition, standby down). Non-fatal: the primary
+	// continues; a later promotion recomputes whatever the standby's
+	// journal prefix is missing.
+	EvJournalShipError = "coord.journal.ship-error"
+	// EvJournalRetire: recovery replay retired a cone from a journaled
+	// answer — no re-dispatch, no recompute.
+	EvJournalRetire = "coord.journal.retire"
+	// EvTakeover: a restarted or promoted coordinator took the job over
+	// under a new term.
+	EvTakeover = "coord.takeover"
+	// EvFenced: a stale coordinator's append or merge was rejected by
+	// the term fence (ErrStaleCoordinator).
+	EvFenced = "coord.fenced"
+	// EvKilled: a coord.kill fault-injection rule fired; the coordinator
+	// aborts at the phase boundary as if the process died there.
+	EvKilled = "coord.killed"
 )
 
 // eventLog collects events concurrently, optionally streams them to a

@@ -13,6 +13,8 @@ import (
 
 	"rdfault/internal/circuit"
 	"rdfault/internal/core"
+	"rdfault/internal/faultinject"
+	"rdfault/internal/fleet/journal"
 	"rdfault/internal/retry"
 	"rdfault/internal/serve"
 	"rdfault/internal/store"
@@ -22,6 +24,17 @@ import (
 // ErrNoWorkers: every worker is dead (quarantined and probed out) while
 // cones are still unfinished. The run fails typed rather than hanging.
 var ErrNoWorkers = errors.New("fleet: no live workers left with cones pending")
+
+// ErrKilled: a coord.kill fault-injection rule fired and the
+// coordinator aborted at a phase boundary as if the process died there.
+// The job's journal, if any, holds everything durable up to that
+// boundary; Resume picks it up.
+var ErrKilled = errors.New("fleet: coordinator killed")
+
+// ErrStaleCoordinator re-exports the journal's fencing error: a
+// coordinator superseded by a newer term (a standby promotion or a
+// restart takeover) gets it on every append and merge path.
+var ErrStaleCoordinator = journal.ErrStaleCoordinator
 
 // Config shapes one coordinator run. The zero value (plus a Transport
 // and Workers) takes the documented defaults.
@@ -68,6 +81,21 @@ type Config struct {
 	// retired at build time without ever reaching a worker, and every
 	// fresh complete answer is written back for the next run.
 	Store *store.Store
+	// Journal, when set, is the run's write-ahead job journal: admission,
+	// leases, checkpoints, answers and the seal are appended (and synced)
+	// before the corresponding side effect, so Resume can rebuild the
+	// run from the journal alone. The caller owns the writer's lifetime.
+	// Resume ignores this field — it opens its own writer on the
+	// journal it replays.
+	Journal *journal.Writer
+	// Fence, when set, arbitrates coordinator terms for Resume: a
+	// promoted coordinator acquires the next term on it, fencing every
+	// writer (an old primary) still appending under a lower one.
+	Fence *journal.Fence
+	// Metrics, when set, receives takeover/journal/fencing metrics.
+	// Share one Metrics across runs — registering twice on one registry
+	// panics.
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +141,11 @@ type Stats struct {
 	// StoreHits counts cones served from the result store without a
 	// single dispatch.
 	StoreHits int64 `json:"store_hits,omitempty"`
+	// JournalRetired counts cones retired by recovery replay from
+	// journaled answers — no re-dispatch, no recompute.
+	JournalRetired int64 `json:"journal_retired,omitempty"`
+	// Fenced counts stale-coordinator rejections this run observed.
+	Fenced int64 `json:"fenced,omitempty"`
 }
 
 // ConeResult is one cone's final accounting.
@@ -173,9 +206,20 @@ type job struct {
 	restarts   int
 }
 
+// runMeta carries what the merged Result reports about the run's
+// identity. A fresh Run takes it from the circuit; Resume takes it from
+// the journaled admit record — recovery never needs the circuit object.
+type runMeta struct {
+	circuit   string
+	heuristic string
+}
+
 type coordinator struct {
 	cfg       Config
 	criterion string
+	meta      runMeta
+	jw        *journal.Writer
+	metrics   *Metrics
 
 	jobs      []*job
 	queue     chan *job
@@ -194,10 +238,80 @@ type coordinator struct {
 		dispatches, slices, failures, abandoned atomic.Int64
 		zombies, restarts                       atomic.Int64
 		quarantines, rejoins, dead, storeHits   atomic.Int64
+		retired, fenced                         atomic.Int64
 	}
 
 	loopWG sync.WaitGroup // worker loops
 	bgWG   sync.WaitGroup // detached dispatches and zombie reapers
+}
+
+func newCoordinator(cfg Config, criterion string, jobs []*job) *coordinator {
+	return &coordinator{
+		cfg:       cfg,
+		criterion: criterion,
+		jw:        cfg.Journal,
+		metrics:   cfg.Metrics,
+		jobs:      jobs,
+		queue:     make(chan *job, len(jobs)),
+		allDone:   make(chan struct{}),
+		cancel:    func() {}, // replaced by run; fail is safe before then
+		events:    &eventLog{sink: cfg.OnEvent, tl: cfg.Telemetry},
+	}
+}
+
+// fireKill fires the phase-specific coord.kill subpoint, then the
+// generic point, and reports whether a kill rule matched. The subpoints
+// let a chaos schedule target exactly one phase even when phases
+// interleave across goroutines.
+func fireKill(phase string) error {
+	if err := faultinject.Fire(faultinject.PointCoordKill + "." + phase); err != nil {
+		return err
+	}
+	return faultinject.Fire(faultinject.PointCoordKill)
+}
+
+// killCheck aborts the run at a phase boundary if a coord.kill rule
+// fires; true means the caller must stop — the coordinator "died" here,
+// with every journal record up to this boundary durable and nothing
+// after it.
+func (co *coordinator) killCheck(phase string) bool {
+	if fireKill(phase) == nil {
+		return false
+	}
+	co.events.add(EvKilled, "", "", phase, nil)
+	co.fail(fmt.Errorf("%w at %s", ErrKilled, phase))
+	return true
+}
+
+// journalAppend writes one write-ahead record (nil journal: a no-op).
+// False means the append failed and the run is aborting: a fenced term
+// fails typed with ErrStaleCoordinator (the caller must not perform the
+// side effect — that is the whole at-most-once argument), any other
+// failure aborts because proceeding past an unjournaled side effect
+// would make recovery wrong.
+func (co *coordinator) journalAppend(kind string, payload any) bool {
+	if co.jw == nil {
+		return true
+	}
+	err := co.jw.Append(kind, payload)
+	if co.metrics != nil {
+		co.metrics.JournalBytes.Set(co.jw.Bytes())
+	}
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, journal.ErrStaleCoordinator) {
+		co.stats.fenced.Add(1)
+		if co.metrics != nil {
+			co.metrics.Fenced.Inc()
+		}
+		co.events.add(EvFenced, "", "", err.Error(), nil)
+		co.fail(err)
+		return false
+	}
+	co.events.add(EvJournalError, "", "", err.Error(), nil)
+	co.fail(fmt.Errorf("fleet: journal append: %w", err))
+	return false
 }
 
 // Run shards c by output cone and drives the worker pool until every
@@ -215,6 +329,12 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 	}
 	start := time.Now()
 
+	if err := fireKill("pre-sort"); err != nil {
+		// Died before admitting anything: the journal (if any) holds no
+		// job, and recovery correctly starts the run from scratch.
+		return nil, fmt.Errorf("%w at pre-sort", ErrKilled)
+	}
+
 	criterion := core.FS
 	var sort *circuit.InputSort
 	if h != core.HeuristicFUS {
@@ -228,7 +348,6 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 
 	outputs := c.Outputs()
 	jobs := make([]*job, 0, len(outputs))
-	pending := 0
 	var storeHits int64
 	for _, po := range outputs {
 		cone, mapping, err := c.Cone(po)
@@ -258,39 +377,78 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 				storeHits++
 			}
 		}
-		if !j.done {
-			pending++
-		}
 		jobs = append(jobs, j)
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	co := &coordinator{
-		cfg:       cfg,
-		criterion: criterion.String(),
-		jobs:      jobs,
-		queue:     make(chan *job, len(jobs)),
-		allDone:   make(chan struct{}),
-		ctx:       runCtx,
-		cancel:    cancel,
-		events:    &eventLog{sink: cfg.OnEvent, tl: cfg.Telemetry},
-	}
+	co := newCoordinator(cfg, criterion.String(), jobs)
+	co.meta = runMeta{circuit: c.Name(), heuristic: h.String()}
 	co.stats.storeHits.Store(storeHits)
-	co.remaining.Store(int64(pending))
-	if pending == 0 {
-		close(co.allDone)
+
+	// Journal admission before anything else happens: the admit record
+	// (cones, benches, projected sorts) is what Resume rebuilds from,
+	// and the store-retired answers follow it so a resumed journal
+	// retires them without consulting the store again.
+	if co.jw != nil {
+		ar := admitRecord{
+			Circuit:   co.meta.circuit,
+			Heuristic: co.meta.heuristic,
+			Criterion: co.criterion,
+			SliceMS:   cfg.SliceMS,
+			Cones:     make([]admitCone, 0, len(jobs)),
+		}
+		for _, j := range jobs {
+			ar.Cones = append(ar.Cones, admitCone{Name: j.name, Bench: j.bench, Sort: j.sort, StoreKey: j.storeKey})
+		}
+		if err := co.jw.Append(journal.KindAdmit, ar); err != nil {
+			return nil, fmt.Errorf("fleet: journal admission: %w", err)
+		}
+		for _, j := range jobs {
+			if !j.done {
+				continue
+			}
+			rec := answerRecord{Cone: j.idx, Name: j.name, Source: answerSourceStore, Answer: j.final}
+			if err := co.jw.Append(journal.KindAnswer, rec); err != nil {
+				return nil, fmt.Errorf("fleet: journal admission: %w", err)
+			}
+		}
+		if co.metrics != nil {
+			co.metrics.JournalBytes.Set(co.jw.Bytes())
+		}
 	}
 	for _, j := range jobs {
 		if j.done {
 			co.events.add(EvStoreHit, "", j.name, "served from result store",
 				map[string]int64{"selected": j.final.Selected, "segments": j.final.Segments})
-			continue
 		}
-		co.queue <- j
 	}
-	co.live.Store(int64(len(cfg.Workers)))
-	for i, w := range cfg.Workers {
+	return co.run(ctx, start)
+}
+
+// run drives the coordinator from built jobs to merged result: the
+// shared back half of Run and Resume.
+func (co *coordinator) run(ctx context.Context, start time.Time) (*Result, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	co.ctx = runCtx
+	co.cancel = cancel
+
+	pending := 0
+	for _, j := range co.jobs {
+		if !j.done {
+			pending++
+		}
+	}
+	co.remaining.Store(int64(pending))
+	if pending == 0 {
+		close(co.allDone)
+	}
+	for _, j := range co.jobs {
+		if !j.done {
+			co.queue <- j
+		}
+	}
+	co.live.Store(int64(len(co.cfg.Workers)))
+	for i, w := range co.cfg.Workers {
 		co.loopWG.Add(1)
 		go co.workerLoop(w, i)
 	}
@@ -314,7 +472,7 @@ func Run(ctx context.Context, cfg Config, c *circuit.Circuit, h core.Heuristic) 
 	default:
 		return nil, errors.New("fleet: run ended with cones unfinished")
 	}
-	return co.merge(c, h, start)
+	return co.merge(start)
 }
 
 // fail records the run's terminal error once and aborts everything.
@@ -414,6 +572,21 @@ func (co *coordinator) dispatch(worker string, j *job) bool {
 	}
 	j.mu.Unlock()
 
+	// The lease is journaled before the dispatch leaves: recovery reads
+	// the (cone, epoch) pairs as a floor for its own epochs, and the
+	// audit requires every merged answer to have had one.
+	if !co.journalAppend(journal.KindLease, leaseRecord{
+		Cone: j.idx, Name: j.name, Worker: worker, Epoch: epoch,
+		DeadlineMS: time.Now().Add(co.cfg.DispatchTimeout).UnixMilli(),
+	}) {
+		return false
+	}
+	if co.killCheck("mid-dispatch") {
+		// Died with a lease journaled but the dispatch never sent: the
+		// recovered coordinator re-leases the cone under a higher epoch.
+		return false
+	}
+
 	co.stats.dispatches.Add(1)
 	co.events.add(EvDispatch, worker, j.name, "", nil)
 
@@ -446,7 +619,14 @@ func (co *coordinator) dispatch(worker string, j *job) bool {
 		// to log the zombie.
 		j.mu.Lock()
 		j.epoch++
+		bumped := j.epoch
 		j.mu.Unlock()
+		// Bump-then-journal is safe here (unlike every other record, which
+		// flushes before its side effect): epochs only gate liveness inside
+		// this coordinator's life, and recovery re-bumps past the journaled
+		// maximum regardless, so a crash between the bump and the append
+		// cannot admit a zombie.
+		co.journalAppend(journal.KindEpoch, epochRecord{Cone: j.idx, Epoch: bumped})
 		co.stats.abandoned.Add(1)
 		co.events.add(EvAbandon, worker, j.name, co.cfg.DispatchTimeout.String(), nil)
 		co.requeue(j)
@@ -480,6 +660,23 @@ func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.Con
 	}
 	switch ans.Status {
 	case "complete":
+		// Flush the answer before marking the cone done: if we die between
+		// the append and the merge, recovery retires the cone from the
+		// journal; if we die before the append, recovery re-dispatches it.
+		// Either way the answer is merged exactly once. A fenced append
+		// (ErrStaleCoordinator) lands here too — the cone stays not-done,
+		// so a superseded primary can never double-merge it.
+		if !co.journalAppend(journal.KindAnswer, answerRecord{
+			Cone: j.idx, Name: j.name, Epoch: epoch,
+			Source: answerSourceWorker, Worker: worker, Answer: ans,
+		}) {
+			j.mu.Unlock()
+			return false
+		}
+		if co.killCheck("mid-merge") {
+			j.mu.Unlock()
+			return false
+		}
 		j.done = true
 		j.final = ans
 		j.slices++
@@ -506,6 +703,12 @@ func (co *coordinator) apply(worker string, j *job, epoch uint64, ans *serve.Con
 		if len(ans.Checkpoint) == 0 {
 			j.mu.Unlock()
 			return co.dispatchError(worker, j, epoch, fmt.Errorf("%w: interrupted slice without checkpoint", ErrCorruptResponse))
+		}
+		if !co.journalAppend(journal.KindSlice, sliceRecord{
+			Cone: j.idx, Epoch: epoch, Checkpoint: ans.Checkpoint,
+		}) {
+			j.mu.Unlock()
+			return false
 		}
 		j.checkpoint = ans.Checkpoint
 		j.slices++
@@ -565,16 +768,22 @@ func (co *coordinator) probe(worker string) bool {
 	return err == nil
 }
 
-// merge folds the per-cone answers, in cone order, into the run result.
-func (co *coordinator) merge(c *circuit.Circuit, h core.Heuristic, start time.Time) (*Result, error) {
+// merge folds the per-cone answers, in cone order, into the run result
+// and journals the seal.
+func (co *coordinator) merge(start time.Time) (*Result, error) {
+	if err := fireKill("pre-seal"); err != nil {
+		// Every answer is journaled; only the seal is missing. A resumed
+		// journal merges without a single dispatch.
+		co.events.add(EvKilled, "", "", "pre-seal", nil)
+		return nil, fmt.Errorf("%w at pre-seal", ErrKilled)
+	}
 	res := &Result{
-		Circuit:   c.Name(),
-		Heuristic: h.String(),
+		Circuit:   co.meta.circuit,
+		Heuristic: co.meta.heuristic,
 		Criterion: co.criterion,
 		Total:     new(big.Int),
 		RD:        new(big.Int),
 		Duration:  time.Since(start),
-		Events:    co.events.snapshot(),
 	}
 	for _, j := range co.jobs {
 		a := j.final
@@ -596,6 +805,25 @@ func (co *coordinator) merge(c *circuit.Circuit, h core.Heuristic, start time.Ti
 	}
 	res.TotalStr = res.Total.String()
 	res.RDStr = res.RD.String()
+	if co.jw != nil {
+		ok := co.journalAppend(journal.KindSeal, sealRecord{
+			Circuit:    co.meta.circuit,
+			TotalPaths: res.TotalStr,
+			Selected:   res.Selected,
+			RD:         res.RDStr,
+			Segments:   res.Segments,
+			Pruned:     res.Pruned,
+			Cones:      len(co.jobs),
+		})
+		if !ok {
+			// A merge a fenced coordinator cannot journal is a merge it must
+			// not report: the promoted term owns the job now.
+			return nil, co.failErr
+		}
+		co.events.add(EvJournalSeal, "", "", "", map[string]int64{
+			"bytes": co.jw.Bytes(), "records": int64(co.jw.Seq()),
+		})
+	}
 	res.Stats = Stats{
 		Cones:          len(co.jobs),
 		Dispatches:     co.stats.dispatches.Load(),
@@ -608,7 +836,10 @@ func (co *coordinator) merge(c *circuit.Circuit, h core.Heuristic, start time.Ti
 		Rejoins:        co.stats.rejoins.Load(),
 		DeadWorkers:    co.stats.dead.Load(),
 		StoreHits:      co.stats.storeHits.Load(),
+		JournalRetired: co.stats.retired.Load(),
+		Fenced:         co.stats.fenced.Load(),
 	}
+	res.Events = co.events.snapshot()
 	return res, nil
 }
 

@@ -1,0 +1,30 @@
+package fleet
+
+import "rdfault/internal/telemetry"
+
+// Metrics is the coordinator's Prometheus surface. One Metrics may be
+// shared across many runs (a long-lived rdfleet process that resumes,
+// or a standby that promotes): counters accumulate, the journal gauge
+// tracks the live writer.
+type Metrics struct {
+	// Takeovers counts recoveries — restarts and standby promotions that
+	// rebuilt a job from its journal.
+	Takeovers *telemetry.Counter
+	// JournalBytes is the write-ahead journal's current size.
+	JournalBytes *telemetry.Gauge
+	// Fenced counts appends and merges rejected with
+	// ErrStaleCoordinator.
+	Fenced *telemetry.Counter
+}
+
+// NewMetrics registers the fleet coordinator metrics on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Takeovers: r.NewCounter("rd_fleet_takeover_total",
+			"Coordinator recoveries: journal-replay restarts and standby promotions."),
+		JournalBytes: r.NewGauge("rd_fleet_journal_bytes",
+			"Write-ahead job journal size in bytes."),
+		Fenced: r.NewCounter("rd_fleet_fenced_total",
+			"Stale-coordinator appends and merges rejected by the term fence."),
+	}
+}

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"rdfault/internal/faultinject"
+	"rdfault/internal/fleet/journal"
+	"rdfault/internal/serve"
+)
+
+// ShipHTTP returns a journal.Writer.Ship hook that POSTs each appended
+// record to addr's follower lane (POST /v1/journal) — the feed that
+// keeps a hot standby's journal current. A 409 (the follower's term
+// floor is above ours — a standby was promoted) comes back wrapping
+// ErrStaleCoordinator, which the writer escalates to a failed append:
+// the primary stops. Any other failure — network, 5xx, or an armed
+// standby.partition faultinject rule — is a dropped shipment, reported
+// through OnShipError and survived: a partitioned standby costs
+// takeover freshness (the promoted standby recomputes the missing
+// cones), never the primary's progress.
+func ShipHTTP(addr string, client *http.Client) func(term uint64, line []byte) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return func(term uint64, line []byte) error {
+		if err := faultinject.Fire(faultinject.PointStandbyPartition); err != nil {
+			return fmt.Errorf("fleet: ship to %s: %w", addr, err)
+		}
+		body, err := json.Marshal(serve.JournalShipment{Term: term, Lines: []string{string(line)}})
+		if err != nil {
+			return fmt.Errorf("fleet: ship to %s: %w", addr, err)
+		}
+		resp, err := client.Post("http://"+addr+"/v1/journal", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("fleet: ship to %s: %w", addr, err)
+		}
+		defer func() {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusConflict:
+			return fmt.Errorf("fleet: ship to %s: follower fenced term %d: %w",
+				addr, term, journal.ErrStaleCoordinator)
+		default:
+			return fmt.Errorf("fleet: ship to %s: status %d", addr, resp.StatusCode)
+		}
+	}
+}
+
+// Standby is an in-process hot standby: a serve.Server with its
+// follower lane open on a loopback listener, plus the promotion logic —
+// watch the shipment stream's recency, fence the lane, resume from the
+// follower journal. It backs `rdfleet -standby` testing and the chaos
+// suite; a production standby is just rdserved with -follow-journal and
+// rdfleet -resume-journal pointed at the same file.
+type Standby struct {
+	srv  *serve.Server
+	hsrv *http.Server
+	ln   net.Listener
+	addr string
+	path string
+}
+
+// NewStandby starts a standby whose follower journal lives in dir.
+func NewStandby(dir string, cfg serve.Config) (*Standby, error) {
+	cfg.FollowerJournal = filepath.Join(dir, "follower.journal")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(cfg)
+	if srv.FollowerInfo().Path == "" {
+		srv.Close()
+		ln.Close()
+		return nil, fmt.Errorf("fleet: standby follower lane failed to open in %s", dir)
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	sb := &Standby{srv: srv, hsrv: hsrv, ln: ln, addr: ln.Addr().String(), path: cfg.FollowerJournal}
+	go hsrv.Serve(ln)
+	return sb, nil
+}
+
+// Addr is the standby's host:port — what the primary's ShipHTTP targets.
+func (sb *Standby) Addr() string { return sb.addr }
+
+// JournalPath is the follower journal file Promote resumes from.
+func (sb *Standby) JournalPath() string { return sb.path }
+
+// AwaitLapse blocks until the primary's shipment stream goes quiet for
+// lapse (the journal feed doubles as the primary's heartbeat: a primary
+// that is alive is appending, and every append ships). Returns nil when
+// the lease lapses, ctx.Err() if the context ends first.
+func (sb *Standby) AwaitLapse(ctx context.Context, lapse time.Duration) error {
+	tick := time.NewTicker(lapse / 10)
+	defer tick.Stop()
+	for {
+		info := sb.srv.FollowerInfo()
+		if !info.Last.IsZero() && time.Since(info.Last) >= lapse {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// FenceLane raises the follower lane's term floor past everything it
+// has seen, without resuming: the current primary's next shipment gets
+// a 409 and its run fails with ErrStaleCoordinator. This is the manual
+// "depose the coordinator" lever (Promote does it implicitly); the
+// chaos suite uses it to create a live zombie primary on purpose.
+func (sb *Standby) FenceLane() uint64 {
+	next := sb.srv.FollowerInfo().Term + 1
+	sb.srv.AdvanceFollowerTerm(next)
+	return next
+}
+
+// Promote takes the job over: the follower lane's term floor is raised
+// past everything it has seen (so the old primary's next shipment gets
+// a 409 and its run fails with ErrStaleCoordinator), then the run is
+// resumed from the follower journal. cfg names the worker pool the
+// promoted coordinator drives; its Journal must be nil (Resume opens
+// the follower journal itself).
+func (sb *Standby) Promote(ctx context.Context, cfg Config) (*Result, error) {
+	info := sb.srv.FollowerInfo()
+	sb.srv.AdvanceFollowerTerm(info.Term + 1)
+	return Resume(ctx, cfg, sb.path)
+}
+
+// Close tears the standby down. The follower journal file survives — it
+// is the whole point.
+func (sb *Standby) Close() {
+	sb.hsrv.Close()
+	sb.srv.Close()
+}

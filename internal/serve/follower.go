@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"rdfault/internal/fleet/journal"
+)
+
+// JournalShipment is the POST /v1/journal body: one or more encoded
+// journal lines (no trailing newlines) from a fleet coordinator at
+// Term. The follower lane is how a hot-standby rdserved mirrors the
+// primary coordinator's write-ahead journal: each accepted shipment is
+// validated, appended to the follower journal and fsynced before the
+// 200 goes back, so everything the primary believes is shipped is
+// durable on the standby.
+type JournalShipment struct {
+	Term  uint64   `json:"term"`
+	Lines []string `json:"lines"`
+}
+
+// journalAccepted is the 200 body.
+type journalAccepted struct {
+	Status string `json:"status"`
+	Term   uint64 `json:"term"`
+}
+
+// followerState is the follower lane's journal sink. The term floor
+// is the fencing half of standby promotion: once a shipment at term T
+// is accepted, any shipment below T answers 409 (ErrStaleCoordinator)
+// — a deposed primary cannot keep feeding the standby.
+type followerState struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	term    uint64
+	records int64
+	last    time.Time
+}
+
+// newFollowerState opens (or creates) the follower journal and scans
+// what is already there: the term floor survives a standby restart. A
+// corrupt tail is tolerated — the scan keeps the valid prefix's floor,
+// and promotion replays with the same degrade-to-recompute rules as any
+// recovery.
+func newFollowerState(path string) (*followerState, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: follower journal %s: %w", path, err)
+	}
+	fs := &followerState{path: path, f: f}
+	recs, _ := journal.ReadFile(path)
+	for _, rec := range recs {
+		if rec.Term > fs.term {
+			fs.term = rec.Term
+		}
+	}
+	fs.records = int64(len(recs))
+	return fs, nil
+}
+
+// accept validates and appends one shipment. Every line must validate
+// before any line is written — a shipment is all-or-nothing, so the
+// follower journal never holds a half-applied batch.
+func (fs *followerState) accept(req JournalShipment) error {
+	recs := make([]journal.Record, 0, len(req.Lines))
+	for i, line := range req.Lines {
+		rec, err := journal.ValidateLine([]byte(line))
+		if err != nil {
+			return fmt.Errorf("%w: shipment line %d: %v", journal.ErrCorruptRecord, i, err)
+		}
+		recs = append(recs, rec)
+	}
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if req.Term < fs.term {
+		return fmt.Errorf("serve: shipment term %d below follower floor %d: %w",
+			req.Term, fs.term, journal.ErrStaleCoordinator)
+	}
+	fs.term = req.Term
+	for _, line := range req.Lines {
+		if _, err := fs.f.Write(append([]byte(line), '\n')); err != nil {
+			return fmt.Errorf("serve: follower journal write: %w", err)
+		}
+	}
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("serve: follower journal sync: %w", err)
+	}
+	fs.records += int64(len(recs))
+	fs.last = time.Now()
+	return nil
+}
+
+// advanceTerm raises the term floor without a shipment — the promotion
+// hook: before a standby resumes from its follower journal, it fences
+// the old primary's lane so no late shipment can land under the
+// recovered run.
+func (fs *followerState) advanceTerm(term uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if term > fs.term {
+		fs.term = term
+	}
+}
+
+func (fs *followerState) info() FollowerInfo {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return FollowerInfo{Path: fs.path, Term: fs.term, Records: fs.records, Last: fs.last}
+}
+
+func (fs *followerState) close() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.f != nil {
+		fs.f.Close()
+		fs.f = nil
+	}
+}
+
+// FollowerInfo is the follower lane's observable state. Last is the
+// primary's liveness signal: journal shipments are the heartbeat, so a
+// standby that sees Last go stale past its lapse window promotes.
+type FollowerInfo struct {
+	Path    string
+	Term    uint64
+	Records int64
+	Last    time.Time
+}
+
+// FollowerInfo reports the follower lane's state; zero-valued when the
+// lane is not configured.
+func (s *Server) FollowerInfo() FollowerInfo {
+	if s.follower == nil {
+		return FollowerInfo{}
+	}
+	return s.follower.info()
+}
+
+// AdvanceFollowerTerm raises the follower lane's term floor (promotion
+// fencing); a no-op without a configured lane.
+func (s *Server) AdvanceFollowerTerm(term uint64) {
+	if s.follower != nil {
+		s.follower.advanceTerm(term)
+	}
+}

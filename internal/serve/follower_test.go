@@ -1,0 +1,216 @@
+// The follower lane: POST /v1/journal validation, term fencing, the
+// all-or-nothing append discipline, and floor persistence across a
+// standby restart.
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdfault/internal/fleet/journal"
+)
+
+// journalLines appends n records through a real writer and returns the
+// encoded lines (newline-stripped, as a shipment carries them).
+func journalLines(t *testing.T, term uint64, n int) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "feed.journal")
+	jw, err := journal.Create(path, term, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := jw.Append(journal.KindLease, map[string]int{"cone": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jw.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("feed journal has %d lines, want %d", len(lines), n)
+	}
+	return lines
+}
+
+func shipBody(t *testing.T, term uint64, lines []string) string {
+	t.Helper()
+	b, err := json.Marshal(JournalShipment{Term: term, Lines: lines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestFollowerLaneUnconfiguredIs404(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 1, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured lane answered %d, want 404", rec.Code)
+	}
+}
+
+func TestFollowerLaneAppendsValidShipments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "follower.journal")
+	s := newTestServer(t, Config{FollowerJournal: path})
+	lines := journalLines(t, 3, 4)
+
+	rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 3, lines[:2]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shipment answered %d: %s", rec.Code, rec.Body)
+	}
+	var acc journalAccepted
+	if err := json.Unmarshal(rec.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Status != "accepted" || acc.Term != 3 {
+		t.Fatalf("accepted body %+v", acc)
+	}
+	rec = do(s.Handler(), "POST", "/v1/journal", shipBody(t, 3, lines[2:]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second shipment answered %d", rec.Code)
+	}
+
+	info := s.FollowerInfo()
+	if info.Path != path || info.Term != 3 || info.Records != 4 {
+		t.Fatalf("follower info %+v, want path=%s term=3 records=4", info, path)
+	}
+	if info.Last.IsZero() {
+		t.Fatal("shipment recency not stamped; the heartbeat signal is dead")
+	}
+	recs, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatalf("follower journal unreadable: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("follower journal holds %d records, want 4", len(recs))
+	}
+	if got := s.metrics.journalRecords.Value(); got != 4 {
+		t.Fatalf("rd_serve_journal_records_total = %d, want 4", got)
+	}
+}
+
+func TestFollowerLaneFencesStaleTerms(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "follower.journal")
+	s := newTestServer(t, Config{FollowerJournal: path})
+	high := journalLines(t, 5, 1)
+	low := journalLines(t, 2, 1)
+
+	if rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 5, high)); rec.Code != http.StatusOK {
+		t.Fatalf("term-5 shipment answered %d", rec.Code)
+	}
+	rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 2, low))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("stale shipment answered %d, want 409", rec.Code)
+	}
+	if got := s.FollowerInfo().Records; got != 1 {
+		t.Fatalf("stale shipment changed the journal: %d records", got)
+	}
+	if got := s.metrics.journalStale.Value(); got != 1 {
+		t.Fatalf("rd_serve_journal_stale_total = %d, want 1", got)
+	}
+}
+
+func TestFollowerLaneRejectsCorruptShipmentsWhole(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "follower.journal")
+	s := newTestServer(t, Config{FollowerJournal: path})
+	lines := journalLines(t, 1, 2)
+	// One valid line, one with its kind rotted (checksum mismatch): the
+	// whole shipment must bounce.
+	rotten := []string{lines[0], strings.Replace(lines[1],
+		`"kind":"`+journal.KindLease, `"kind":"x`+journal.KindLease, 1)}
+	if rotten[1] == lines[1] {
+		t.Fatal("mutation missed; the test would pass vacuously")
+	}
+
+	rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 1, rotten))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt shipment answered %d, want 422", rec.Code)
+	}
+	if got := s.FollowerInfo().Records; got != 0 {
+		t.Fatalf("corrupt shipment half-applied: %d records written", got)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Fatalf("corrupt shipment wrote %d bytes", len(raw))
+	}
+}
+
+func TestFollowerTermFloorSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "follower.journal")
+	s := newTestServer(t, Config{FollowerJournal: path})
+	if rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 7, journalLines(t, 7, 2))); rec.Code != http.StatusOK {
+		t.Fatalf("shipment answered %d", rec.Code)
+	}
+	s.Close()
+
+	// A restarted standby rescans the journal: the floor and record
+	// count come back, and a pre-crash primary is still fenced.
+	s2 := newTestServer(t, Config{FollowerJournal: path})
+	info := s2.FollowerInfo()
+	if info.Term != 7 || info.Records != 2 {
+		t.Fatalf("restarted follower info %+v, want term=7 records=2", info)
+	}
+	rec := do(s2.Handler(), "POST", "/v1/journal", shipBody(t, 6, journalLines(t, 6, 1)))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("pre-crash term accepted after restart: %d", rec.Code)
+	}
+}
+
+func TestAdvanceFollowerTermFencesWithoutShipment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "follower.journal")
+	s := newTestServer(t, Config{FollowerJournal: path})
+	s.AdvanceFollowerTerm(9)
+	if got := s.FollowerInfo().Term; got != 9 {
+		t.Fatalf("advanced floor reads %d, want 9", got)
+	}
+	rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 8, journalLines(t, 8, 1)))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("shipment below the advanced floor answered %d, want 409", rec.Code)
+	}
+	// At the floor is fine — fencing is strictly-below.
+	rec = do(s.Handler(), "POST", "/v1/journal", shipBody(t, 9, journalLines(t, 9, 1)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shipment at the floor answered %d, want 200", rec.Code)
+	}
+}
+
+func TestFollowerJournalResumesFromShippedCopy(t *testing.T) {
+	// The promotion contract end to end at the serve layer: lines
+	// shipped to the follower replay exactly as the primary wrote them.
+	path := filepath.Join(t.TempDir(), "follower.journal")
+	s := newTestServer(t, Config{FollowerJournal: path})
+	lines := journalLines(t, 2, 3)
+	for i, line := range lines {
+		rec := do(s.Handler(), "POST", "/v1/journal", shipBody(t, 2, []string{line}))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("shipment %d answered %d", i, rec.Code)
+		}
+	}
+	recs, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records on the follower, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) || rec.Term != 2 {
+			t.Fatalf("record %d replayed as seq=%d term=%d", i, rec.Seq, rec.Term)
+		}
+		if rec.Kind != journal.KindLease {
+			t.Fatalf("record %d kind %q", i, rec.Kind)
+		}
+	}
+}

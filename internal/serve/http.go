@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"rdfault/internal/fleet/journal"
 	"rdfault/internal/telemetry"
 )
 
@@ -37,6 +38,7 @@ type httpError struct {
 //	POST /v1/count           synchronous path count (cheap lane)
 //	POST /v1/cone            synchronous cone enumeration slice (fleet lane)
 //	POST /v1/budget          resize the memory budget (pressure hook)
+//	POST /v1/journal         follower lane: append shipped journal records
 //	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness + queue/budget numbers
 //
@@ -54,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/count", s.handleCount)
 	mux.HandleFunc("POST /v1/cone", s.handleCone)
 	mux.HandleFunc("POST /v1/budget", s.handleBudget)
+	mux.HandleFunc("POST /v1/journal", s.handleJournal)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
@@ -215,6 +218,44 @@ func (s *Server) handleCone(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ans)
+}
+
+// handleJournal is the hot-standby follower lane: a fleet coordinator
+// ships each write-ahead journal record here as it appends it, and the
+// follower appends the validated lines to its own journal file before
+// answering 200. A shipment below the follower's term floor answers 409
+// — the fencing that stops a deposed primary from feeding a promoted
+// standby; a shipment with an invalid line answers 422 and writes
+// nothing.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	if s.follower == nil {
+		s.writeError(w, fmt.Errorf("%w: follower lane not configured", ErrNotFound))
+		return
+	}
+	var req JournalShipment
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.follower.accept(req); err != nil {
+		switch {
+		case errors.Is(err, journal.ErrStaleCoordinator):
+			s.metrics.journalStale.Inc()
+			s.emit("journal.stale", "", err.Error(), map[string]int64{"term": int64(req.Term)})
+			writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
+		case errors.Is(err, journal.ErrCorruptRecord):
+			s.emit("journal.corrupt", "", err.Error(), nil)
+			writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
+		default:
+			s.writeError(w, err)
+		}
+		return
+	}
+	s.metrics.journalRecords.Add(int64(len(req.Lines)))
+	s.emit("journal.follow", "", "", map[string]int64{
+		"term": int64(req.Term), "lines": int64(len(req.Lines)),
+	})
+	writeJSON(w, http.StatusOK, journalAccepted{Status: "accepted", Term: req.Term})
 }
 
 // handleBudget is the external memory-pressure hook: POST {"bytes": N}

@@ -23,6 +23,8 @@ type serveMetrics struct {
 	sseStreams      *telemetry.Counter
 	sseActive       *telemetry.Gauge
 	jobSeconds      *telemetry.Histogram
+	journalRecords  *telemetry.Counter
+	journalStale    *telemetry.Counter
 }
 
 func newServeMetrics(s *Server) *serveMetrics {
@@ -56,6 +58,18 @@ func newServeMetrics(s *Server) *serveMetrics {
 		"Progress streams open right now.")
 	m.jobSeconds = r.NewHistogram("rd_serve_job_seconds",
 		"Heavy-job wall time in seconds.", telemetry.DefBuckets)
+	m.journalRecords = r.NewCounter("rd_serve_journal_records_total",
+		"Journal records accepted on the follower lane.")
+	m.journalStale = r.NewCounter("rd_serve_journal_stale_total",
+		"Journal shipments rejected below the follower term floor.")
+	r.NewCounterFunc("rd_serve_store_evictions_total",
+		"Result-store entries evicted by the size cap.",
+		func() int64 {
+			if s.cfg.Store == nil {
+				return 0
+			}
+			return s.cfg.Store.Stats().Evictions
+		})
 	r.NewGaugeFunc("rd_serve_queue_depth",
 		"Jobs waiting in the heavy-lane queue.",
 		func() float64 { return float64(len(s.queue)) })

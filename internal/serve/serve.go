@@ -79,6 +79,12 @@ type Config struct {
 	// StreamWriteTimeout bounds each SSE write; a subscriber that cannot
 	// keep up is disconnected instead of wedging the handler (default 5s).
 	StreamWriteTimeout time.Duration
+	// FollowerJournal, when set, opens the hot-standby follower lane:
+	// POST /v1/journal appends a fleet coordinator's shipped journal
+	// records to this file (created if missing; the directory must
+	// exist), fenced by term. A standby promotes by resuming from this
+	// file with fleet.Resume.
+	FollowerJournal string
 }
 
 func (c Config) withDefaults() Config {
@@ -323,8 +329,9 @@ type Server struct {
 	shed         atomic.Int64
 	draining     atomic.Bool
 
-	telem   *telemetry.Log
-	metrics *serveMetrics
+	telem    *telemetry.Log
+	metrics  *serveMetrics
+	follower *followerState
 
 	wg sync.WaitGroup
 }
@@ -346,6 +353,17 @@ func New(cfg Config) *Server {
 		telem:      cfg.Telemetry,
 	}
 	s.metrics = newServeMetrics(s)
+	if cfg.FollowerJournal != "" {
+		fs, err := newFollowerState(cfg.FollowerJournal)
+		if err != nil {
+			// The lane stays disabled (POST /v1/journal answers 404); the
+			// server still serves. A standby operator sees the event and a
+			// zero FollowerInfo.
+			s.emit("journal.error", "", err.Error(), nil)
+		} else {
+			s.follower = fs
+		}
+	}
 	if cfg.Store != nil && cfg.Telemetry != nil {
 		// Interleave store.hit/miss/delta/corrupt events into the server's
 		// lifecycle log.
@@ -665,6 +683,9 @@ func (s *Server) Close() {
 
 	s.baseCancel()
 	s.wg.Wait()
+	if s.follower != nil {
+		s.follower.close()
+	}
 	for {
 		select {
 		case j := <-s.queue:

@@ -1,0 +1,178 @@
+// Size-capped eviction: the cap is enforced after every write, victims
+// are chosen least-recently-accessed (get refreshes recency), and an
+// eviction mid-ECO only costs a recompute — counters stay bit-identical
+// to a cold run.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfault/internal/core"
+	"rdfault/internal/gen"
+	"rdfault/internal/telemetry"
+)
+
+// residentBytes sums the store's entry files on disk.
+func residentBytes(t *testing.T, s *Store) int64 {
+	t.Helper()
+	var total int64
+	filepath.WalkDir(s.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		info, err := d.Info()
+		if err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// ageEntry back-dates the entry holding key so LRU ordering is
+// deterministic without sleeping.
+func ageEntry(t *testing.T, s *Store, key string, age time.Duration) {
+	t.Helper()
+	var found bool
+	filepath.WalkDir(s.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, key+".json") {
+			return nil
+		}
+		when := time.Now().Add(-age)
+		if err := os.Chtimes(path, when, when); err != nil {
+			t.Fatal(err)
+		}
+		found = true
+		return nil
+	})
+	if !found {
+		t.Fatalf("no entry file for key %q", key)
+	}
+}
+
+func TestEvictionCapsResidentBytes(t *testing.T) {
+	s := openStore(t)
+	var events bytes.Buffer
+	s.SetTelemetry(telemetry.NewLog(&events))
+
+	rec := &ConeRecord{Cone: "po0", TotalPaths: "99", RD: "11", Selected: 88, Segments: 1234}
+	for _, key := range []string{"ka", "kb", "kc", "kd", "ke"} {
+		if err := s.PutCone(key, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := residentBytes(t, s)
+	cap := total / 2
+	s.SetMaxBytes(cap)
+	// The cap is enforced on the next write, not retroactively.
+	if err := s.PutCone("kf", rec); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := residentBytes(t, s); got > cap {
+		t.Fatalf("resident bytes %d exceed the %d cap after eviction", got, cap)
+	}
+	if got := s.Stats().Evictions; got < 3 {
+		t.Fatalf("stats count %d evictions; halving a 6-entry store needs at least 3", got)
+	}
+	evs, err := telemetry.ParseJSONL(events.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if telemetry.CountKind(evs, "store.evict") == 0 {
+		t.Fatal("no store.evict event emitted")
+	}
+	for _, ev := range evs {
+		if ev.Kind == "store.evict" && (ev.Fields["evicted"] == 0 || ev.Fields["bytes_freed"] == 0) {
+			t.Fatalf("evict event carries empty fields: %+v", ev.Fields)
+		}
+	}
+}
+
+// Victims are least-recently-ACCESSED, not least-recently-written: a
+// get refreshes the entry it hits, so the read-hot entry survives and
+// the cold one goes.
+func TestEvictionIsLRUWithTouchOnGet(t *testing.T) {
+	s := openStore(t)
+	rec := &ConeRecord{Cone: "po0", TotalPaths: "7", RD: "3", Selected: 4, Segments: 55}
+	for _, key := range []string{"ka", "kb", "kc"} {
+		if err := s.PutCone(key, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ageEntry(t, s, "ka", 3*time.Hour)
+	ageEntry(t, s, "kb", 2*time.Hour)
+	ageEntry(t, s, "kc", time.Hour)
+
+	// Read ka: the write-order victim becomes the freshest entry.
+	if _, err := s.GetCone("ka"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap at exactly the current resident bytes: the next same-size write
+	// forces out exactly one entry — the LRU one, which is now kb.
+	s.SetMaxBytes(residentBytes(t, s))
+	if err := s.PutCone("kd", rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Evictions; got != 1 {
+		t.Fatalf("%d evictions, want exactly 1", got)
+	}
+	if _, err := s.GetCone("kb"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("kb (the LRU entry) survived: %v", err)
+	}
+	if _, err := s.GetCone("ka"); err != nil {
+		t.Fatalf("ka was read-refreshed yet evicted: %v", err)
+	}
+}
+
+// The ECO bar under eviction pressure: evicting every warm entry
+// between two runs of the same circuit costs a recompute — outcome
+// degrades from hit to miss/delta — and not one counter bit.
+func TestEvictMidECOKeepsCountersBitIdentical(t *testing.T) {
+	s := openStore(t)
+	opt := Options{Heuristic: core.Heuristic1, Workers: 2}
+	a := gen.ALU(8, gen.XorNAND)
+
+	cold, err := IdentifyThrough(s, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Outcome != "miss" {
+		t.Fatalf("cold run outcome %q", cold.Outcome)
+	}
+
+	// A 1-byte cap turns every write into an eviction storm: running a
+	// second circuit through the store flushes the first one's entries.
+	s.SetMaxBytes(1)
+	other, err := IdentifyThrough(s, gen.RippleAdder(6, gen.XorNAND), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Outcome != "miss" {
+		t.Fatalf("second circuit outcome %q", other.Outcome)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("the 1-byte cap evicted nothing")
+	}
+
+	s.SetMaxBytes(0)
+	warm, err := IdentifyThrough(s, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Outcome == "hit" {
+		t.Fatal("evicted store still served a pure hit")
+	}
+	if warm.EnumeratedSegments == 0 {
+		t.Fatal("rerun enumerated nothing; eviction was not exercised")
+	}
+	assertSameCounters(t, cold, warm)
+}

@@ -9,6 +9,10 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"sort"
+	"sync"
+	"time"
+
 	"rdfault/internal/faultinject"
 	"rdfault/internal/telemetry"
 )
@@ -49,6 +53,8 @@ type Stats struct {
 	Misses  int64 `json:"misses"`
 	Corrupt int64 `json:"corrupt"`
 	Writes  int64 `json:"writes"`
+	// Evictions counts entries removed by the size cap (SetMaxBytes).
+	Evictions int64 `json:"evictions,omitempty"`
 }
 
 // Store is a disk-backed, content-addressed result store. Entries are
@@ -64,6 +70,12 @@ type Store struct {
 	telem atomic.Pointer[telemetry.Log]
 
 	hits, misses, corrupt, writes atomic.Int64
+
+	// maxBytes caps the store's resident entry bytes (0 = unbounded);
+	// exceeding it after a write evicts least-recently-used entries.
+	maxBytes  atomic.Int64
+	evictions atomic.Int64
+	evictMu   sync.Mutex
 }
 
 // Open returns a handle on dir, creating it if needed.
@@ -95,12 +107,20 @@ func (s *Store) emit(kind, detail string, fields map[string]int64) {
 // Stats snapshots this handle's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Corrupt: s.corrupt.Load(),
-		Writes:  s.writes.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Writes:    s.writes.Load(),
+		Evictions: s.evictions.Load(),
 	}
 }
+
+// SetMaxBytes caps the store's resident entry bytes; 0 removes the cap.
+// When a write pushes the store over the cap, least-recently-used
+// entries (by access time — get refreshes it) are evicted until the
+// store fits. Eviction is always safe: a later lookup of an evicted key
+// is a miss, and every caller already treats a miss as "recompute".
+func (s *Store) SetMaxBytes(n int64) { s.maxBytes.Store(n) }
 
 // entry is the on-disk envelope: version stamp, kind and key echo (a
 // rename gone wrong or a filesystem-level swap is detected, not
@@ -170,7 +190,65 @@ func (s *Store) put(kind, key string, payload any) error {
 		return fmt.Errorf("store: write %s/%s: %w", kind, key, err)
 	}
 	s.writes.Add(1)
+	s.maybeEvict()
 	return nil
+}
+
+// maybeEvict enforces the size cap after a write: if the store's
+// resident entry bytes exceed SetMaxBytes, the least-recently-accessed
+// entries are removed until it fits. One evictor runs at a time; a
+// concurrent write simply triggers the next pass.
+func (s *Store) maybeEvict() {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+
+	type resident struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var (
+		entries []resident
+		total   int64
+	)
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, resident{path: path, size: info.Size(), atime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if total <= max {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].atime.Before(entries[j].atime) })
+	var evicted, freed int64
+	for _, e := range entries {
+		if total <= max {
+			break
+		}
+		if os.Remove(e.path) != nil {
+			continue // raced with a concurrent reader/rewriter; skip
+		}
+		total -= e.size
+		freed += e.size
+		evicted++
+	}
+	if evicted > 0 {
+		s.evictions.Add(evicted)
+		s.emit("store.evict", "", map[string]int64{
+			"evicted": evicted, "bytes_freed": freed, "resident_bytes": total,
+		})
+	}
 }
 
 // get loads and validates one entry. ErrMiss for an absent key; a
@@ -195,6 +273,11 @@ func (s *Store) get(kind, key string, payload any) error {
 		return err
 	}
 	s.hits.Add(1)
+	// Refresh the entry's LRU recency. mtime stands in for access time
+	// (atime is unreliable across mount options); a failed touch only
+	// ages the entry, it cannot corrupt anything.
+	now := time.Now()
+	os.Chtimes(path, now, now)
 	return nil
 }
 

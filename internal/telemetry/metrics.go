@@ -151,6 +151,27 @@ func (g *GaugeFunc) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
 }
 
+// CounterFunc is a counter sampled at scrape time — for monotone counts
+// some other structure already owns (a store's eviction total, a log's
+// line count). The function must be monotone non-decreasing; the
+// exposition declares it a counter.
+type CounterFunc struct {
+	name, help string
+	fn         func() int64
+}
+
+// NewCounterFunc registers a scrape-time counter.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) *CounterFunc {
+	c := &CounterFunc{name: name, help: help, fn: fn}
+	r.register(name, c)
+	return c
+}
+
+func (c *CounterFunc) write(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.fn())
+}
+
 // CounterVec is a counter family keyed by one label (tier, lane, state).
 // Children appear in the exposition sorted by label value, so scrapes
 // are byte-stable for fixed values.

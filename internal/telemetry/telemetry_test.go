@@ -151,3 +151,29 @@ func TestLogKeepsForeignTimestamp(t *testing.T) {
 		t.Fatalf("Emit restamped a foreign timestamp: %v", out.TS)
 	}
 }
+
+func TestCounterFuncSamplesAtScrape(t *testing.T) {
+	r := NewRegistry()
+	var n int64
+	r.NewCounterFunc("rd_evictions_total", "Entries evicted.", func() int64 { return n })
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	want := strings.Join([]string{
+		"# HELP rd_evictions_total Entries evicted.",
+		"# TYPE rd_evictions_total counter",
+		"rd_evictions_total 0",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The function is read at scrape time, not registration time.
+	n = 42
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "rd_evictions_total 42") {
+		t.Fatalf("scrape did not re-sample the function:\n%s", b.String())
+	}
+}
